@@ -1,0 +1,136 @@
+//! Microbenchmarks of the individual substrate components: how fast are
+//! the structures the simulator leans on every cycle?
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dgl_core::{AddressPredictor, DoppelgangerConfig};
+use dgl_isa::{Emulator, ProgramBuilder, Reg, SparseMemory};
+use dgl_mem::{Cache, HierarchyConfig, MemRequest, MemorySystem};
+use dgl_predictor::{BranchPredictor, BranchPredictorConfig, StrideTable, StrideTableConfig};
+
+const OPS: u64 = 10_000;
+
+fn bench_stride_table(c: &mut Criterion) {
+    let mut g = c.benchmark_group("components/stride_table");
+    g.throughput(Throughput::Elements(OPS));
+    g.bench_function("train_predict_mixed_pcs", |b| {
+        b.iter(|| {
+            let mut t = StrideTable::new(StrideTableConfig::default());
+            for i in 0..OPS {
+                let pc = (i % 64) * 4;
+                t.train(pc, 0x1000 + i * 8);
+                std::hint::black_box(t.predict_current(pc));
+            }
+            t.occupancy()
+        })
+    });
+    g.finish();
+}
+
+fn bench_address_predictor(c: &mut Criterion) {
+    let mut g = c.benchmark_group("components/address_predictor");
+    g.throughput(Throughput::Elements(OPS));
+    g.bench_function("dispatch_commit_cycle", |b| {
+        b.iter(|| {
+            let mut ap = AddressPredictor::new(DoppelgangerConfig::default());
+            for i in 0..OPS {
+                let pc = (i % 32) * 4;
+                std::hint::black_box(ap.predict_at_decode(pc));
+                ap.train_at_commit(pc, 0x4000 + i * 16);
+            }
+            ap.stats().predictions_issued
+        })
+    });
+    g.finish();
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("components/cache");
+    g.throughput(Throughput::Elements(OPS));
+    g.bench_function("l1_lookup_fill_mix", |b| {
+        b.iter(|| {
+            let mut cache = Cache::new(HierarchyConfig::default().l1);
+            for i in 0..OPS {
+                let addr = (i * 67) % 0x40000;
+                if !cache.lookup(addr, true) {
+                    cache.fill(addr);
+                }
+            }
+            cache.occupancy()
+        })
+    });
+    g.finish();
+}
+
+fn bench_memory_system(c: &mut Criterion) {
+    let mut g = c.benchmark_group("components/memory_system");
+    g.throughput(Throughput::Elements(OPS));
+    g.bench_function("request_advance_stream", |b| {
+        b.iter(|| {
+            let mut mem = MemorySystem::new(HierarchyConfig::default());
+            let mut served = 0u64;
+            let mut now = 0u64;
+            for i in 0..OPS {
+                let _ = mem.request(MemRequest::load(i * 64), now);
+                served += mem.advance(now).len() as u64;
+                now += 1;
+            }
+            for c in now..now + 200 {
+                served += mem.advance(c).len() as u64;
+            }
+            served
+        })
+    });
+    g.finish();
+}
+
+fn bench_branch_predictor(c: &mut Criterion) {
+    let mut g = c.benchmark_group("components/branch_predictor");
+    g.throughput(Throughput::Elements(OPS));
+    g.bench_function("predict_train_loop", |b| {
+        b.iter(|| {
+            let mut bp = BranchPredictor::new(BranchPredictorConfig::default());
+            for i in 0..OPS {
+                let pc = (i % 128) * 4;
+                let p = bp.predict(pc);
+                let taken = i % 3 != 0;
+                bp.restore_history(p.history_checkpoint, taken);
+                bp.train(pc, taken, Some(7));
+            }
+            bp.stats().0
+        })
+    });
+    g.finish();
+}
+
+fn bench_emulator(c: &mut Criterion) {
+    let r = Reg::new;
+    let mut b = ProgramBuilder::new("emu_bench");
+    b.imm(r(1), 0)
+        .imm(r(2), (OPS / 4) as i64)
+        .label("top")
+        .add(r(1), r(1), r(2))
+        .subi(r(2), r(2), 1)
+        .bne(r(2), Reg::ZERO, "top")
+        .halt();
+    let p = b.build().unwrap();
+    let mut g = c.benchmark_group("components/emulator");
+    g.throughput(Throughput::Elements(OPS));
+    g.bench_function("golden_model_loop", |bch| {
+        bch.iter(|| {
+            let mut emu = Emulator::new(&p, SparseMemory::new());
+            emu.run(10_000_000).unwrap().instructions
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_stride_table,
+    bench_address_predictor,
+    bench_cache,
+    bench_memory_system,
+    bench_branch_predictor,
+    bench_emulator
+);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion benches that drive the figure-regeneration pipelines at a
+//! reduced instruction budget. These exist so `cargo bench` exercises
+//! exactly the code paths the EXPERIMENTS.md figures use; the report
+//! binaries (`fig1`, `fig6`, ...) produce the actual tables.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dgl_sim::experiments::{ConfigId, Evaluation};
+use dgl_sim::figure7;
+use dgl_workloads::Scale;
+
+/// Small budget: benches measure harness throughput, not paper numbers.
+const BENCH_SCALE: Scale = Scale::Custom(1_500);
+
+fn bench_fig1_matrix(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures/fig1_matrix");
+    g.sample_size(10);
+    g.bench_function("all8_configs_20_workloads", |b| {
+        b.iter(|| {
+            let eval = Evaluation::run(BENCH_SCALE, &ConfigId::ALL).expect("matrix");
+            std::hint::black_box(eval.gmean_normalized(ConfigId::DomAp))
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig7_coverage(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures/fig7_coverage");
+    g.sample_size(10);
+    g.bench_function("dom_ap_20_workloads", |b| {
+        b.iter(|| {
+            let f = figure7(BENCH_SCALE).expect("fig7");
+            std::hint::black_box(f.gmean_coverage())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig1_matrix, bench_fig7_coverage);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Raw simulator throughput per scheme: how many simulated instructions
+//! per second the out-of-order model sustains under each speculation
+//! policy, with and without doppelganger loads. Useful for spotting
+//! performance regressions in the simulator itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dgl_core::SchemeKind;
+use dgl_sim::SimBuilder;
+use dgl_workloads::{by_name, Scale};
+
+const INSTS: u64 = 10_000;
+
+fn bench_schemes(c: &mut Criterion) {
+    let workload = by_name("gcc_like", Scale::Custom(INSTS)).expect("workload");
+    let mut g = c.benchmark_group("simulator/scheme_throughput");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(INSTS));
+    for scheme in SchemeKind::ALL {
+        for ap in [false, true] {
+            let label = format!("{}{}", scheme.name(), if ap { "+ap" } else { "" });
+            g.bench_with_input(
+                BenchmarkId::from_parameter(label),
+                &(scheme, ap),
+                |b, &(s, a)| {
+                    b.iter(|| {
+                        let mut builder = SimBuilder::new();
+                        builder.scheme(s).address_prediction(a);
+                        let report = builder.run_workload(&workload).expect("run");
+                        std::hint::black_box(report.cycles)
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_workload_classes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator/workload_classes");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(INSTS));
+    for name in ["libquantum_like", "mcf_like", "exchange2_s_like"] {
+        let workload = by_name(name, Scale::Custom(INSTS)).expect("workload");
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut builder = SimBuilder::new();
+                builder.scheme(SchemeKind::DoM).address_prediction(true);
+                let report = builder.run_workload(&workload).expect("run");
+                std::hint::black_box(report.cycles)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_schemes, bench_workload_classes);
+criterion_main!(benches);

@@ -1,0 +1,12 @@
+//! Reproduces Figure 1: headline geomean normalized IPC of NDA-P, STT,
+//! and DoM with and without doppelganger loads, plus the unsafe
+//! baseline + AP sanity result (§7).
+
+use dgl_sim::figure1;
+
+fn main() {
+    let scale = dgl_bench::scale_from_args();
+    eprintln!("running 8 configurations x 20 workloads at {:?}...", scale);
+    let fig = figure1(scale).expect("simulation");
+    println!("{}", fig.render());
+}

@@ -1,0 +1,11 @@
+//! Reproduces Figure 6: per-benchmark normalized IPC of the six secure
+//! configurations, with the GMEAN row.
+
+use dgl_sim::figure6;
+
+fn main() {
+    let scale = dgl_bench::scale_from_args();
+    eprintln!("running 8 configurations x 20 workloads at {:?}...", scale);
+    let fig = figure6(scale).expect("simulation");
+    println!("{}", fig.render());
+}

@@ -1,0 +1,11 @@
+//! Reproduces Figure 7: address-predictor coverage and accuracy under
+//! DoM+AP (the representative configuration, as in the paper).
+
+use dgl_sim::figure7;
+
+fn main() {
+    let scale = dgl_bench::scale_from_args();
+    eprintln!("running DoM+AP x 20 workloads at {:?}...", scale);
+    let fig = figure7(scale).expect("simulation");
+    println!("{}", fig.render());
+}

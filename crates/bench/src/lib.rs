@@ -1,0 +1,26 @@
+//! Shared helpers for the Doppelganger Loads benchmark harness.
+//!
+//! The binaries in this crate regenerate every table and figure of the
+//! paper's evaluation:
+//!
+//! | target | reproduces |
+//! |--------|------------|
+//! | `table1` | Table 1 (system configuration) |
+//! | `fig1` | Figure 1 (headline geomean summary + baseline+AP) |
+//! | `fig6` | Figure 6 (per-benchmark normalized IPC) |
+//! | `fig7` | Figure 7 (predictor coverage/accuracy) |
+//! | `fig8` | Figure 8 (normalized L1/L2 accesses) |
+//! | `ablation` | design-choice sweeps (predictor size, bandwidth, ports) |
+//!
+//! Run them with `cargo run --release -p dgl-bench --bin <target> [insts]`,
+//! where `insts` is the per-workload committed-instruction budget
+//! (default 25000; EXPERIMENTS.md uses 150000).
+
+/// Parses the per-workload instruction budget from `argv[1]`.
+pub fn scale_from_args() -> dgl_workloads::Scale {
+    std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .map(dgl_workloads::Scale::Custom)
+        .unwrap_or(dgl_workloads::Scale::Quick)
+}

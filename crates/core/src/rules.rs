@@ -1,0 +1,159 @@
+//! Scheme-specific propagation and reissue rules (paper §5, §5.2, §5.3).
+//!
+//! These two functions are the security heart of the mechanism: they
+//! decide *when a preloaded value may become architecturally visible*
+//! and *when a mispredicted doppelganger's real load may touch memory*.
+//! Keeping them pure and in one place makes the threat-model-transparency
+//! argument auditable and testable in isolation.
+
+use crate::entry::{DoppelgangerState, Verification};
+use crate::scheme::SchemeKind;
+
+/// Whether a doppelganger's preloaded value may be propagated to
+/// dependent instructions.
+///
+/// Common preconditions for every scheme: the predicted address must be
+/// **verified correct** and the data must be **ready** (preloaded from
+/// memory or overridden by an older store). On top of that:
+///
+/// * **Baseline + AP** — propagate immediately (there is no security
+///   delay to respect; the paper uses this to show AP alone gains only
+///   ~0.5%).
+/// * **NDA-P / NDA-S + AP** — propagate only when the load is non-speculative,
+///   matching NDA-P's rule for conventional loads (§5: "loads cannot
+///   propagate before address is verified and load is non-speculative").
+/// * **STT + AP** — propagate as soon as verified; the value then
+///   carries taint exactly as a conventional STT load result would
+///   (§5.2). The pipeline handles tainting.
+/// * **DoM + AP** — a doppelganger that *hit* in L1 behaves like a DoM
+///   hit (propagate once verified); one that *missed* behaves like a
+///   DoM miss (propagate only when non-speculative) (§5.3 / §4.6).
+pub fn may_propagate(scheme: SchemeKind, dg: &DoppelgangerState, load_nonspec: bool) -> bool {
+    if dg.verification() != Verification::Correct || !dg.data_ready() {
+        return false;
+    }
+    match scheme {
+        SchemeKind::Baseline => true,
+        SchemeKind::NdaP | SchemeKind::NdaS => load_nonspec,
+        SchemeKind::Stt => true,
+        SchemeKind::DoM => match (dg.is_store_overridden(), dg.l1_hit()) {
+            // §4.6: store-forwarded values follow the same visibility
+            // rule as the underlying access would.
+            (_, Some(true)) => true,
+            (_, Some(false)) => load_nonspec,
+            // Store override arrived before the memory response: be
+            // conservative until the hit/miss outcome is known.
+            (true, None) => load_nonspec,
+            (false, None) => false,
+        },
+    }
+}
+
+/// Whether the conventional load of a **mispredicted** doppelganger may
+/// be issued to memory now.
+///
+/// * **Baseline / NDA-P / STT** — reissue immediately; the load then
+///   obeys the scheme's ordinary issue rules (for STT the pipeline has
+///   already established that the address operands are untainted, since
+///   it only resolves addresses it may legally use; under NDA-P an
+///   address that could be computed implies its producers propagated).
+/// * **DoM + AP** — §5.3: "the second load of mispredicted doppelgangers
+///   are only issued once the load is non-speculative", closing the
+///   implicit doppelganger channel of Figure 2 without any taint
+///   tracking.
+pub fn reissue_allowed(scheme: SchemeKind, load_nonspec: bool) -> bool {
+    match scheme {
+        SchemeKind::Baseline | SchemeKind::NdaP | SchemeKind::NdaS | SchemeKind::Stt => true,
+        SchemeKind::DoM => load_nonspec,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn verified(l1_hit: bool) -> DoppelgangerState {
+        let mut dg = DoppelgangerState::predicted(0x40);
+        dg.mark_issued();
+        dg.on_data(l1_hit);
+        dg.resolve(0x40);
+        dg
+    }
+
+    #[test]
+    fn never_propagates_unverified() {
+        let mut dg = DoppelgangerState::predicted(0x40);
+        dg.mark_issued();
+        dg.on_data(true);
+        for s in SchemeKind::ALL {
+            assert!(!may_propagate(s, &dg, true), "{s}: unverified");
+        }
+    }
+
+    #[test]
+    fn never_propagates_without_data() {
+        let mut dg = DoppelgangerState::predicted(0x40);
+        dg.mark_issued();
+        dg.resolve(0x40);
+        for s in SchemeKind::ALL {
+            assert!(!may_propagate(s, &dg, true), "{s}: no data");
+        }
+    }
+
+    #[test]
+    fn never_propagates_mispredicted() {
+        let mut dg = DoppelgangerState::predicted(0x40);
+        dg.mark_issued();
+        dg.on_data(true);
+        dg.resolve(0x80);
+        for s in SchemeKind::ALL {
+            assert!(!may_propagate(s, &dg, true), "{s}: mispredicted");
+        }
+    }
+
+    #[test]
+    fn baseline_and_stt_propagate_once_verified() {
+        let dg = verified(false);
+        assert!(may_propagate(SchemeKind::Baseline, &dg, false));
+        assert!(may_propagate(SchemeKind::Stt, &dg, false));
+    }
+
+    #[test]
+    fn nda_requires_nonspeculative() {
+        let dg = verified(true);
+        assert!(!may_propagate(SchemeKind::NdaP, &dg, false));
+        assert!(may_propagate(SchemeKind::NdaP, &dg, true));
+    }
+
+    #[test]
+    fn dom_hit_propagates_on_verify_miss_waits() {
+        let hit = verified(true);
+        assert!(may_propagate(SchemeKind::DoM, &hit, false));
+        let miss = verified(false);
+        assert!(!may_propagate(SchemeKind::DoM, &miss, false));
+        assert!(may_propagate(SchemeKind::DoM, &miss, true));
+    }
+
+    #[test]
+    fn dom_store_forward_before_outcome_is_conservative() {
+        let mut dg = DoppelgangerState::predicted(0x40);
+        dg.mark_issued();
+        dg.on_store_forward();
+        dg.resolve(0x40);
+        // Outcome unknown: wait for non-speculation.
+        assert!(!may_propagate(SchemeKind::DoM, &dg, false));
+        assert!(may_propagate(SchemeKind::DoM, &dg, true));
+        // Once the access is known to have hit, it may go early.
+        dg.on_data(true);
+        assert!(may_propagate(SchemeKind::DoM, &dg, false));
+    }
+
+    #[test]
+    fn reissue_rules() {
+        assert!(reissue_allowed(SchemeKind::Baseline, false));
+        assert!(reissue_allowed(SchemeKind::NdaP, false));
+        assert!(reissue_allowed(SchemeKind::Stt, false));
+        assert!(!reissue_allowed(SchemeKind::DoM, false));
+        assert!(reissue_allowed(SchemeKind::DoM, true));
+    }
+}

@@ -1,0 +1,188 @@
+//! The secure speculation schemes the paper evaluates.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Which speculation policy the core runs.
+///
+/// These are the four baselines of the paper's evaluation (§6); each can
+/// additionally be combined with address prediction (doppelganger
+/// loads).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub enum SchemeKind {
+    /// Unprotected out-of-order execution: speculative load values
+    /// propagate freely, so secrets can leak through explicit and
+    /// implicit channels.
+    #[default]
+    Baseline,
+    /// Non-speculative Data Access, permissive propagation (NDA-P):
+    /// speculative loads may issue and complete, but their *results* are
+    /// not propagated to dependents until the load is non-speculative
+    /// (Weisse et al., MICRO 2019).
+    NdaP,
+    /// Non-speculative Data Access, **strict** data propagation (NDA-S):
+    /// *no* speculative instruction's result propagates until it is
+    /// non-speculative — the most conservative of NDA's strategies
+    /// (paper §2.1: it "blocks ILP" too). Not part of the paper's
+    /// evaluation; included to show why NDA-P is the one worth
+    /// optimizing.
+    NdaS,
+    /// Speculative Taint Tracking: speculative load outputs are tainted;
+    /// taint propagates through dependents; *transmitters* (loads,
+    /// stores, branch resolution) with tainted operands are delayed
+    /// until the taint's root load reaches the visibility point (Yu et
+    /// al., MICRO 2019).
+    Stt,
+    /// Delay-on-Miss: speculative loads issue but must hit in the L1;
+    /// misses are delayed and reissued when the load becomes
+    /// non-speculative, and replacement updates for speculative hits are
+    /// applied retroactively (Sakalis et al., ISCA 2019).
+    DoM,
+}
+
+impl SchemeKind {
+    /// All schemes, in the paper's presentation order (plus NDA-S).
+    pub const ALL: [SchemeKind; 5] = [
+        SchemeKind::Baseline,
+        SchemeKind::NdaP,
+        SchemeKind::NdaS,
+        SchemeKind::Stt,
+        SchemeKind::DoM,
+    ];
+
+    /// The three secure schemes the paper evaluates.
+    pub const SECURE: [SchemeKind; 3] = [SchemeKind::NdaP, SchemeKind::Stt, SchemeKind::DoM];
+
+    /// Short name used in reports (`baseline`, `nda-p`, `stt`, `dom`).
+    pub fn name(self) -> &'static str {
+        match self {
+            SchemeKind::Baseline => "baseline",
+            SchemeKind::NdaP => "nda-p",
+            SchemeKind::NdaS => "nda-s",
+            SchemeKind::Stt => "stt",
+            SchemeKind::DoM => "dom",
+        }
+    }
+
+    /// Whether this scheme delays the propagation of speculative load
+    /// results at the source (both NDA variants).
+    pub fn delays_propagation(self) -> bool {
+        matches!(self, SchemeKind::NdaP | SchemeKind::NdaS)
+    }
+
+    /// Whether this scheme delays the propagation of **every**
+    /// speculative result, not just loads (NDA-S).
+    pub fn delays_all_propagation(self) -> bool {
+        matches!(self, SchemeKind::NdaS)
+    }
+
+    /// Whether this scheme tracks taint through the register file (STT).
+    pub fn tracks_taint(self) -> bool {
+        matches!(self, SchemeKind::Stt)
+    }
+
+    /// Whether speculative loads are restricted to L1 hits (DoM).
+    pub fn delays_on_miss(self) -> bool {
+        matches!(self, SchemeKind::DoM)
+    }
+
+    /// Whether the scheme protects secrets already residing in registers
+    /// (part of the threat-model comparison in §3: DoM does, NDA-P and
+    /// STT do not). NDA-S also qualifies: with *no* speculative result
+    /// propagating, a register secret cannot steer any transient
+    /// transmitter — strictness buys breadth, at the §2.1 ILP cost.
+    pub fn protects_register_secrets(self) -> bool {
+        matches!(self, SchemeKind::DoM | SchemeKind::NdaS)
+    }
+
+    /// Whether combining this scheme with doppelganger loads requires
+    /// in-order (visibility-point) branch resolution (§4.6: DoM+AP must
+    /// resolve all branches in order to close implicit channels).
+    pub fn ap_requires_inorder_branch_resolution(self) -> bool {
+        matches!(self, SchemeKind::DoM)
+    }
+}
+
+impl fmt::Display for SchemeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error returned when parsing a scheme name fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseSchemeError {
+    text: String,
+}
+
+impl fmt::Display for ParseSchemeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown scheme `{}` (expected baseline, nda-p, stt, or dom)",
+            self.text
+        )
+    }
+}
+
+impl std::error::Error for ParseSchemeError {}
+
+impl FromStr for SchemeKind {
+    type Err = ParseSchemeError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "baseline" | "unsafe" => Ok(SchemeKind::Baseline),
+            "nda-p" | "nda" | "ndap" => Ok(SchemeKind::NdaP),
+            "nda-s" | "ndas" => Ok(SchemeKind::NdaS),
+            "stt" => Ok(SchemeKind::Stt),
+            "dom" | "delay-on-miss" => Ok(SchemeKind::DoM),
+            _ => Err(ParseSchemeError { text: s.to_owned() }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for s in SchemeKind::ALL {
+            assert_eq!(s.name().parse::<SchemeKind>().unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn aliases_parse() {
+        assert_eq!("NDA".parse::<SchemeKind>().unwrap(), SchemeKind::NdaP);
+        assert_eq!(
+            "delay-on-miss".parse::<SchemeKind>().unwrap(),
+            SchemeKind::DoM
+        );
+        assert!("spectre".parse::<SchemeKind>().is_err());
+    }
+
+    #[test]
+    fn property_flags_match_paper() {
+        assert!(SchemeKind::NdaP.delays_propagation());
+        assert!(SchemeKind::NdaS.delays_propagation());
+        assert!(SchemeKind::NdaS.delays_all_propagation());
+        assert!(!SchemeKind::NdaP.delays_all_propagation());
+        assert!(SchemeKind::Stt.tracks_taint());
+        assert!(SchemeKind::DoM.delays_on_miss());
+        assert!(SchemeKind::DoM.protects_register_secrets());
+        assert!(SchemeKind::NdaS.protects_register_secrets());
+        assert!(!SchemeKind::Stt.protects_register_secrets());
+        assert!(!SchemeKind::NdaP.protects_register_secrets());
+        assert!(SchemeKind::DoM.ap_requires_inorder_branch_resolution());
+        assert!(!SchemeKind::Stt.ap_requires_inorder_branch_resolution());
+    }
+
+    #[test]
+    fn secure_excludes_baseline() {
+        assert!(!SchemeKind::SECURE.contains(&SchemeKind::Baseline));
+        assert!(!SchemeKind::SECURE.contains(&SchemeKind::NdaS));
+        assert_eq!(SchemeKind::SECURE.len(), 3);
+    }
+}

@@ -1,0 +1,421 @@
+//! A small text assembler for `.dasm` sources.
+//!
+//! The syntax mirrors the [`Op`] display forms:
+//!
+//! ```text
+//! # comments start with '#' or ';'
+//!         imm   r1, 0x1000      # decimal or 0x hex immediates
+//! loop:   load  r2, [r1 + 8]    # widths: load1/load2/load4/load8 (load = load8)
+//!         add   r3, r3, r2
+//!         addi  r1, r1, 8       # alu-with-immediate via <op>i
+//!         bne   r1, r4, loop
+//!         store r3, [r1]        # offset defaults to 0
+//!         halt
+//! ```
+//!
+//! # Examples
+//!
+//! ```
+//! use dgl_isa::asm::assemble;
+//!
+//! let p = assemble("dots", "imm r1, 5\nhalt\n")?;
+//! assert_eq!(p.len(), 2);
+//! # Ok::<(), dgl_isa::asm::AsmError>(())
+//! ```
+
+use crate::builder::{BuildError, ProgramBuilder};
+use crate::inst::{AluOp, Cond, Op, Src, Width};
+use crate::program::Program;
+use crate::reg::Reg;
+use std::fmt;
+
+/// Error produced by [`assemble`], with a 1-based source line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number where assembly failed (0 for build-stage
+    /// errors such as undefined labels).
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "assembly failed: {}", self.message)
+        } else {
+            write!(f, "line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+impl From<BuildError> for AsmError {
+    fn from(e: BuildError) -> Self {
+        AsmError {
+            line: 0,
+            message: e.to_string(),
+        }
+    }
+}
+
+fn err(line: usize, message: impl Into<String>) -> AsmError {
+    AsmError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn parse_reg(tok: &str, line: usize) -> Result<Reg, AsmError> {
+    tok.trim()
+        .parse()
+        .map_err(|_| err(line, format!("expected register, got `{tok}`")))
+}
+
+fn parse_int(tok: &str, line: usize) -> Result<i64, AsmError> {
+    let tok = tok.trim();
+    let (neg, body) = match tok.strip_prefix('-') {
+        Some(rest) => (true, rest.trim_start()),
+        None => (false, tok.strip_prefix('+').unwrap_or(tok).trim_start()),
+    };
+    let value = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16)
+    } else {
+        body.parse()
+    }
+    .map_err(|_| err(line, format!("expected integer, got `{tok}`")))?;
+    Ok(if neg { -value } else { value })
+}
+
+/// Parses `[rN]`, `[rN + imm]`, or `[rN - imm]`.
+fn parse_mem_operand(tok: &str, line: usize) -> Result<(Reg, i32), AsmError> {
+    let inner = tok
+        .trim()
+        .strip_prefix('[')
+        .and_then(|s| s.strip_suffix(']'))
+        .ok_or_else(|| {
+            err(
+                line,
+                format!("expected memory operand `[reg+off]`, got `{tok}`"),
+            )
+        })?;
+    // Find a +/- separator that is not the leading register character.
+    if let Some(pos) = inner.find(['+', '-']) {
+        let (reg_part, rest) = inner.split_at(pos);
+        let base = parse_reg(reg_part, line)?;
+        let offset = parse_int(rest, line)?;
+        let offset = i32::try_from(offset)
+            .map_err(|_| err(line, format!("offset `{rest}` out of i32 range")))?;
+        Ok((base, offset))
+    } else {
+        Ok((parse_reg(inner, line)?, 0))
+    }
+}
+
+fn alu_from_mnemonic(m: &str) -> Option<AluOp> {
+    Some(match m {
+        "add" => AluOp::Add,
+        "sub" => AluOp::Sub,
+        "and" => AluOp::And,
+        "or" => AluOp::Or,
+        "xor" => AluOp::Xor,
+        "shl" => AluOp::Shl,
+        "shr" => AluOp::Shr,
+        "sar" => AluOp::Sar,
+        "mul" => AluOp::Mul,
+        "div" => AluOp::Div,
+        "rem" => AluOp::Rem,
+        "slt" => AluOp::Slt,
+        "sltu" => AluOp::Sltu,
+        _ => return None,
+    })
+}
+
+fn cond_from_mnemonic(m: &str) -> Option<Cond> {
+    Some(match m {
+        "beq" => Cond::Eq,
+        "bne" => Cond::Ne,
+        "blt" => Cond::Lt,
+        "bge" => Cond::Ge,
+        "bltu" => Cond::Ltu,
+        "bgeu" => Cond::Geu,
+        _ => return None,
+    })
+}
+
+fn width_from_suffix(suffix: &str, line: usize) -> Result<Width, AsmError> {
+    match suffix {
+        "" | "8" => Ok(Width::B8),
+        "4" => Ok(Width::B4),
+        "2" => Ok(Width::B2),
+        "1" => Ok(Width::B1),
+        other => Err(err(line, format!("unknown access width `{other}`"))),
+    }
+}
+
+/// Assembles `.dasm` source text into a [`Program`].
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] carrying the offending line number for syntax
+/// errors, or line 0 for label-resolution errors.
+pub fn assemble(name: &str, source: &str) -> Result<Program, AsmError> {
+    let mut b = ProgramBuilder::new(name);
+    for (idx, raw_line) in source.lines().enumerate() {
+        let lineno = idx + 1;
+        let mut line = raw_line;
+        if let Some(pos) = line.find(['#', ';']) {
+            line = &line[..pos];
+        }
+        let mut line = line.trim();
+        // Leading labels, possibly several.
+        while let Some(pos) = line.find(':') {
+            let (label, rest) = line.split_at(pos);
+            let label = label.trim();
+            if label.is_empty() || label.contains(char::is_whitespace) {
+                return Err(err(lineno, format!("malformed label before `{line}`")));
+            }
+            b.label(label);
+            line = rest[1..].trim();
+        }
+        if line.is_empty() {
+            continue;
+        }
+        let (mnemonic, args) = match line.find(char::is_whitespace) {
+            Some(pos) => (&line[..pos], line[pos..].trim()),
+            None => (line, ""),
+        };
+        let args: Vec<&str> = if args.is_empty() {
+            Vec::new()
+        } else {
+            args.split(',').map(str::trim).collect()
+        };
+        let argc = |n: usize| -> Result<(), AsmError> {
+            if args.len() == n {
+                Ok(())
+            } else {
+                Err(err(
+                    lineno,
+                    format!("`{mnemonic}` expects {n} operand(s), got {}", args.len()),
+                ))
+            }
+        };
+        match mnemonic {
+            "nop" => {
+                argc(0)?;
+                b.nop();
+            }
+            "halt" => {
+                argc(0)?;
+                b.halt();
+            }
+            "imm" => {
+                argc(2)?;
+                let dst = parse_reg(args[0], lineno)?;
+                let value = parse_int(args[1], lineno)?;
+                b.imm(dst, value);
+            }
+            "jmp" => {
+                argc(1)?;
+                b.jmp(args[0]);
+            }
+            "call" => {
+                argc(1)?;
+                b.call(args[0]);
+            }
+            "ret" => {
+                argc(0)?;
+                b.ret();
+            }
+            "jr" => {
+                argc(1)?;
+                b.jr(parse_reg(args[0], lineno)?);
+            }
+            m if m.starts_with("load") => {
+                argc(2)?;
+                let width = width_from_suffix(&m[4..], lineno)?;
+                let dst = parse_reg(args[0], lineno)?;
+                let (base, offset) = parse_mem_operand(args[1], lineno)?;
+                b.load_w(width, dst, base, offset);
+            }
+            m if m.starts_with("store") => {
+                argc(2)?;
+                let width = width_from_suffix(&m[5..], lineno)?;
+                let src = parse_reg(args[0], lineno)?;
+                let (base, offset) = parse_mem_operand(args[1], lineno)?;
+                b.store_w(width, src, base, offset);
+            }
+            m => {
+                if let Some(cond) = cond_from_mnemonic(m) {
+                    argc(3)?;
+                    let a = parse_reg(args[0], lineno)?;
+                    let rb = parse_reg(args[1], lineno)?;
+                    b.branch(cond, a, rb, args[2]);
+                } else if let Some((alu, imm_form)) = m
+                    .strip_suffix('i')
+                    .and_then(alu_from_mnemonic)
+                    .map(|op| (op, true))
+                    .or_else(|| alu_from_mnemonic(m).map(|op| (op, false)))
+                {
+                    argc(3)?;
+                    let dst = parse_reg(args[0], lineno)?;
+                    let a = parse_reg(args[1], lineno)?;
+                    let src = if imm_form {
+                        let v = parse_int(args[2], lineno)?;
+                        Src::Imm(i32::try_from(v).map_err(|_| {
+                            err(lineno, format!("immediate `{v}` out of i32 range"))
+                        })?)
+                    } else {
+                        Src::Reg(parse_reg(args[2], lineno)?)
+                    };
+                    b.op(Op::Alu {
+                        op: alu,
+                        dst,
+                        a,
+                        b: src,
+                    });
+                } else {
+                    return Err(err(lineno, format!("unknown mnemonic `{m}`")));
+                }
+            }
+        }
+    }
+    Ok(b.build()?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Emulator, SparseMemory};
+
+    #[test]
+    fn assembles_and_runs_a_loop() {
+        let src = r"
+            # sum 1..5
+            imm r1, 0
+            imm r2, 5
+        loop:
+            add r1, r1, r2
+            subi r2, r2, 1
+            bne r2, r0, loop
+            halt
+        ";
+        let p = assemble("sum", src).unwrap();
+        let mut emu = Emulator::new(&p, SparseMemory::new());
+        emu.run(100).unwrap();
+        assert_eq!(emu.reg(Reg::new(1)), 15);
+    }
+
+    #[test]
+    fn memory_operands() {
+        let p = assemble(
+            "mem",
+            "imm r1, 0x100\nload r2, [r1 + 8]\nstore r2, [r1-8]\nload4 r3, [r1]\nhalt\n",
+        )
+        .unwrap();
+        assert!(matches!(
+            p.fetch(1).unwrap().op,
+            Op::Load {
+                offset: 8,
+                width: Width::B8,
+                ..
+            }
+        ));
+        assert!(matches!(
+            p.fetch(2).unwrap().op,
+            Op::Store { offset: -8, .. }
+        ));
+        assert!(matches!(
+            p.fetch(3).unwrap().op,
+            Op::Load {
+                width: Width::B4,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn hex_and_negative_immediates() {
+        let p = assemble("imm", "imm r1, 0x10\nimm r2, -3\nhalt\n").unwrap();
+        assert!(matches!(p.fetch(0).unwrap().op, Op::Imm { value: 16, .. }));
+        assert!(matches!(p.fetch(1).unwrap().op, Op::Imm { value: -3, .. }));
+    }
+
+    #[test]
+    fn labels_on_their_own_line() {
+        let p = assemble("l", "top:\n  jmp top\n").unwrap();
+        assert!(matches!(p.fetch(0).unwrap().op, Op::Jump { target: 0 }));
+    }
+
+    #[test]
+    fn comments_are_ignored() {
+        let p = assemble("c", "nop # trailing\n; full line\nhalt\n").unwrap();
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn error_reports_line_number() {
+        let e = assemble("bad", "nop\nbogus r1\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("bogus"));
+    }
+
+    #[test]
+    fn undefined_label_reports_build_error() {
+        let e = assemble("bad", "jmp nowhere\n").unwrap_err();
+        assert_eq!(e.line, 0);
+        assert!(e.message.contains("nowhere"));
+    }
+
+    #[test]
+    fn wrong_arity_errors() {
+        assert!(assemble("bad", "imm r1\n").is_err());
+        assert!(assemble("bad", "add r1, r2\n").is_err());
+    }
+
+    #[test]
+    fn immediate_alu_forms() {
+        let p = assemble("a", "addi r1, r1, 4\nshli r2, r1, 3\nhalt\n").unwrap();
+        assert!(matches!(
+            p.fetch(0).unwrap().op,
+            Op::Alu {
+                op: AluOp::Add,
+                b: Src::Imm(4),
+                ..
+            }
+        ));
+        assert!(matches!(
+            p.fetch(1).unwrap().op,
+            Op::Alu {
+                op: AluOp::Shl,
+                b: Src::Imm(3),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn round_trips_display_mnemonics() {
+        // Every ALU mnemonic parses back to its op.
+        for op in [
+            AluOp::Add,
+            AluOp::Sub,
+            AluOp::And,
+            AluOp::Or,
+            AluOp::Xor,
+            AluOp::Shl,
+            AluOp::Shr,
+            AluOp::Sar,
+            AluOp::Mul,
+            AluOp::Div,
+            AluOp::Rem,
+            AluOp::Slt,
+            AluOp::Sltu,
+        ] {
+            let src = format!("{} r1, r2, r3\nhalt\n", op.mnemonic());
+            let p = assemble("rt", &src).unwrap();
+            assert!(matches!(p.fetch(0).unwrap().op, Op::Alu { op: o, .. } if o == op));
+        }
+    }
+}

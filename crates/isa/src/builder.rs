@@ -1,0 +1,411 @@
+//! An ergonomic program builder with label resolution.
+
+use crate::inst::{AluOp, Cond, Op, Src, Width};
+use crate::program::{Program, ProgramError};
+use crate::reg::Reg;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Error produced by [`ProgramBuilder::build`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// A branch or jump references a label that was never defined.
+    UndefinedLabel {
+        /// The missing label.
+        label: String,
+    },
+    /// The same label was defined twice.
+    DuplicateLabel {
+        /// The duplicated label.
+        label: String,
+    },
+    /// Program-level validation failed.
+    Program(ProgramError),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::UndefinedLabel { label } => write!(f, "undefined label `{label}`"),
+            BuildError::DuplicateLabel { label } => write!(f, "duplicate label `{label}`"),
+            BuildError::Program(e) => write!(f, "invalid program: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BuildError::Program(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ProgramError> for BuildError {
+    fn from(e: ProgramError) -> Self {
+        BuildError::Program(e)
+    }
+}
+
+#[derive(Debug, Clone)]
+enum PendingOp {
+    Ready(Op),
+    Branch {
+        cond: Cond,
+        a: Reg,
+        b: Reg,
+        label: String,
+    },
+    Jump {
+        label: String,
+    },
+    Call {
+        label: String,
+    },
+}
+
+/// Incrementally builds a [`Program`], resolving symbolic labels to
+/// instruction indices at [`build`](ProgramBuilder::build) time.
+///
+/// All emit methods return `&mut Self` for chaining. Labels may be used
+/// before they are defined (forward branches).
+///
+/// # Examples
+///
+/// ```
+/// use dgl_isa::{ProgramBuilder, Reg};
+///
+/// let r1 = Reg::new(1);
+/// let mut b = ProgramBuilder::new("count");
+/// b.imm(r1, 3)
+///     .label("top")
+///     .subi(r1, r1, 1)
+///     .bne(r1, Reg::ZERO, "top")
+///     .halt();
+/// let program = b.build()?;
+/// assert_eq!(program.len(), 4);
+/// # Ok::<(), dgl_isa::BuildError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ProgramBuilder {
+    name: String,
+    ops: Vec<PendingOp>,
+    labels: HashMap<String, usize>,
+    duplicate: Option<String>,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder for a program with the given name.
+    pub fn new(name: &str) -> Self {
+        Self {
+            name: name.to_owned(),
+            ops: Vec::new(),
+            labels: HashMap::new(),
+            duplicate: None,
+        }
+    }
+
+    /// Defines `label` at the current position.
+    pub fn label(&mut self, label: &str) -> &mut Self {
+        if self
+            .labels
+            .insert(label.to_owned(), self.ops.len())
+            .is_some()
+            && self.duplicate.is_none()
+        {
+            self.duplicate = Some(label.to_owned());
+        }
+        self
+    }
+
+    /// Current instruction index (where the next emitted op will land).
+    pub fn here(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Emits a raw operation.
+    pub fn op(&mut self, op: Op) -> &mut Self {
+        self.ops.push(PendingOp::Ready(op));
+        self
+    }
+
+    /// Emits `nop`.
+    pub fn nop(&mut self) -> &mut Self {
+        self.op(Op::Nop)
+    }
+
+    /// Emits `halt`.
+    pub fn halt(&mut self) -> &mut Self {
+        self.op(Op::Halt)
+    }
+
+    /// Emits `dst = value`.
+    pub fn imm(&mut self, dst: Reg, value: i64) -> &mut Self {
+        self.op(Op::Imm { dst, value })
+    }
+
+    /// Emits a generic ALU op with a register or immediate second operand.
+    pub fn alu(&mut self, op: AluOp, dst: Reg, a: Reg, b: impl Into<Src>) -> &mut Self {
+        self.op(Op::Alu {
+            op,
+            dst,
+            a,
+            b: b.into(),
+        })
+    }
+
+    /// Emits `dst = a + b`.
+    pub fn add(&mut self, dst: Reg, a: Reg, b: Reg) -> &mut Self {
+        self.alu(AluOp::Add, dst, a, b)
+    }
+
+    /// Emits `dst = a + imm`.
+    pub fn addi(&mut self, dst: Reg, a: Reg, imm: i32) -> &mut Self {
+        self.alu(AluOp::Add, dst, a, imm)
+    }
+
+    /// Emits `dst = a - b`.
+    pub fn sub(&mut self, dst: Reg, a: Reg, b: Reg) -> &mut Self {
+        self.alu(AluOp::Sub, dst, a, b)
+    }
+
+    /// Emits `dst = a - imm`.
+    pub fn subi(&mut self, dst: Reg, a: Reg, imm: i32) -> &mut Self {
+        self.alu(AluOp::Sub, dst, a, imm)
+    }
+
+    /// Emits `dst = a * b`.
+    pub fn mul(&mut self, dst: Reg, a: Reg, b: Reg) -> &mut Self {
+        self.alu(AluOp::Mul, dst, a, b)
+    }
+
+    /// Emits `dst = a & imm`.
+    pub fn andi(&mut self, dst: Reg, a: Reg, imm: i32) -> &mut Self {
+        self.alu(AluOp::And, dst, a, imm)
+    }
+
+    /// Emits `dst = a ^ b`.
+    pub fn xor(&mut self, dst: Reg, a: Reg, b: Reg) -> &mut Self {
+        self.alu(AluOp::Xor, dst, a, b)
+    }
+
+    /// Emits `dst = a << imm`.
+    pub fn shli(&mut self, dst: Reg, a: Reg, imm: i32) -> &mut Self {
+        self.alu(AluOp::Shl, dst, a, imm)
+    }
+
+    /// Emits `dst = a >> imm` (logical).
+    pub fn shri(&mut self, dst: Reg, a: Reg, imm: i32) -> &mut Self {
+        self.alu(AluOp::Shr, dst, a, imm)
+    }
+
+    /// Emits an 8-byte load `dst = MEM[base + offset]`.
+    pub fn load(&mut self, dst: Reg, base: Reg, offset: i32) -> &mut Self {
+        self.load_w(Width::B8, dst, base, offset)
+    }
+
+    /// Emits a load of the given width.
+    pub fn load_w(&mut self, width: Width, dst: Reg, base: Reg, offset: i32) -> &mut Self {
+        self.op(Op::Load {
+            width,
+            dst,
+            base,
+            offset,
+        })
+    }
+
+    /// Emits an 8-byte store `MEM[base + offset] = src`.
+    pub fn store(&mut self, src: Reg, base: Reg, offset: i32) -> &mut Self {
+        self.store_w(Width::B8, src, base, offset)
+    }
+
+    /// Emits a store of the given width.
+    pub fn store_w(&mut self, width: Width, src: Reg, base: Reg, offset: i32) -> &mut Self {
+        self.op(Op::Store {
+            width,
+            src,
+            base,
+            offset,
+        })
+    }
+
+    /// Emits a conditional branch to `label`.
+    pub fn branch(&mut self, cond: Cond, a: Reg, b: Reg, label: &str) -> &mut Self {
+        self.ops.push(PendingOp::Branch {
+            cond,
+            a,
+            b,
+            label: label.to_owned(),
+        });
+        self
+    }
+
+    /// Emits `beq a, b, label`.
+    pub fn beq(&mut self, a: Reg, b: Reg, label: &str) -> &mut Self {
+        self.branch(Cond::Eq, a, b, label)
+    }
+
+    /// Emits `bne a, b, label`.
+    pub fn bne(&mut self, a: Reg, b: Reg, label: &str) -> &mut Self {
+        self.branch(Cond::Ne, a, b, label)
+    }
+
+    /// Emits `blt a, b, label` (signed).
+    pub fn blt(&mut self, a: Reg, b: Reg, label: &str) -> &mut Self {
+        self.branch(Cond::Lt, a, b, label)
+    }
+
+    /// Emits `bge a, b, label` (signed).
+    pub fn bge(&mut self, a: Reg, b: Reg, label: &str) -> &mut Self {
+        self.branch(Cond::Ge, a, b, label)
+    }
+
+    /// Emits an unconditional jump to `label`.
+    pub fn jmp(&mut self, label: &str) -> &mut Self {
+        self.ops.push(PendingOp::Jump {
+            label: label.to_owned(),
+        });
+        self
+    }
+
+    /// Emits an indirect jump through `base`.
+    pub fn jr(&mut self, base: Reg) -> &mut Self {
+        self.op(Op::JumpReg { base })
+    }
+
+    /// Emits a call to `label` (links into `r31`).
+    pub fn call(&mut self, label: &str) -> &mut Self {
+        self.ops.push(PendingOp::Call {
+            label: label.to_owned(),
+        });
+        self
+    }
+
+    /// Emits a return through `r31`.
+    pub fn ret(&mut self) -> &mut Self {
+        self.op(Op::Ret)
+    }
+
+    /// Resolves labels and validates the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::DuplicateLabel`], [`BuildError::UndefinedLabel`],
+    /// or a wrapped [`ProgramError`].
+    pub fn build(&self) -> Result<Program, BuildError> {
+        if let Some(label) = &self.duplicate {
+            return Err(BuildError::DuplicateLabel {
+                label: label.clone(),
+            });
+        }
+        let resolve = |label: &str| -> Result<usize, BuildError> {
+            self.labels
+                .get(label)
+                .copied()
+                .ok_or_else(|| BuildError::UndefinedLabel {
+                    label: label.to_owned(),
+                })
+        };
+        let mut ops = Vec::with_capacity(self.ops.len());
+        for pending in &self.ops {
+            let op = match pending {
+                PendingOp::Ready(op) => *op,
+                PendingOp::Branch { cond, a, b, label } => Op::Branch {
+                    cond: *cond,
+                    a: *a,
+                    b: *b,
+                    target: resolve(label)?,
+                },
+                PendingOp::Jump { label } => Op::Jump {
+                    target: resolve(label)?,
+                },
+                PendingOp::Call { label } => Op::Call {
+                    target: resolve(label)?,
+                },
+            };
+            ops.push(op);
+        }
+        Ok(Program::new(&self.name, ops)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolves_forward_and_backward_labels() {
+        let r1 = Reg::new(1);
+        let mut b = ProgramBuilder::new("p");
+        b.jmp("end")
+            .label("back")
+            .imm(r1, 1)
+            .label("end")
+            .beq(Reg::ZERO, Reg::ZERO, "back")
+            .halt();
+        let p = b.build().unwrap();
+        assert_eq!(p.fetch(0).unwrap().op, Op::Jump { target: 2 });
+        match p.fetch(2).unwrap().op {
+            Op::Branch { target, .. } => assert_eq!(target, 1),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn undefined_label_errors() {
+        let mut b = ProgramBuilder::new("p");
+        b.jmp("missing").halt();
+        assert_eq!(
+            b.build(),
+            Err(BuildError::UndefinedLabel {
+                label: "missing".into()
+            })
+        );
+    }
+
+    #[test]
+    fn duplicate_label_errors() {
+        let mut b = ProgramBuilder::new("p");
+        b.label("x").nop().label("x").halt();
+        assert!(matches!(b.build(), Err(BuildError::DuplicateLabel { .. })));
+    }
+
+    #[test]
+    fn empty_program_errors() {
+        let b = ProgramBuilder::new("p");
+        assert!(matches!(
+            b.build(),
+            Err(BuildError::Program(ProgramError::Empty))
+        ));
+    }
+
+    #[test]
+    fn here_tracks_position() {
+        let mut b = ProgramBuilder::new("p");
+        assert_eq!(b.here(), 0);
+        b.nop().nop();
+        assert_eq!(b.here(), 2);
+    }
+
+    #[test]
+    fn emits_expected_ops() {
+        let r1 = Reg::new(1);
+        let r2 = Reg::new(2);
+        let mut b = ProgramBuilder::new("p");
+        b.imm(r1, 7)
+            .addi(r2, r1, 1)
+            .load(r2, r1, 16)
+            .store(r2, r1, 24)
+            .halt();
+        let p = b.build().unwrap();
+        assert!(matches!(
+            p.fetch(2).unwrap().op,
+            Op::Load { offset: 16, .. }
+        ));
+        assert!(matches!(
+            p.fetch(3).unwrap().op,
+            Op::Store { offset: 24, .. }
+        ));
+    }
+}

@@ -1,0 +1,386 @@
+//! The architectural golden model.
+//!
+//! Every timing configuration of the out-of-order core — unsafe baseline,
+//! NDA-P, STT, DoM, each with or without doppelganger loads — must produce
+//! exactly the architectural state this in-order emulator produces.
+//! Integration and property tests enforce that invariant.
+
+use crate::inst::{Op, Width};
+use crate::memory::SparseMemory;
+use crate::program::Program;
+use crate::reg::{Reg, NUM_REGS};
+use std::fmt;
+
+/// Error produced while emulating.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EmuError {
+    /// An indirect jump targeted an instruction index outside the program.
+    BadIndirectTarget {
+        /// PC of the offending jump.
+        pc: usize,
+        /// The invalid target index.
+        target: u64,
+    },
+    /// Execution ran off the end of the program without a `halt`.
+    RanOffEnd {
+        /// First out-of-range pc reached.
+        pc: usize,
+    },
+}
+
+impl fmt::Display for EmuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EmuError::BadIndirectTarget { pc, target } => {
+                write!(f, "indirect jump at {pc} to invalid target {target}")
+            }
+            EmuError::RanOffEnd { pc } => write!(f, "execution ran off program end at pc {pc}"),
+        }
+    }
+}
+
+impl std::error::Error for EmuError {}
+
+/// Result of [`Emulator::run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunResult {
+    /// Instructions retired (including the final `halt` if reached).
+    pub instructions: u64,
+    /// Whether the program reached `halt` within the step budget.
+    pub halted: bool,
+}
+
+/// In-order functional emulator.
+///
+/// # Examples
+///
+/// ```
+/// use dgl_isa::{Emulator, ProgramBuilder, Reg, SparseMemory};
+///
+/// let r1 = Reg::new(1);
+/// let mut b = ProgramBuilder::new("p");
+/// b.imm(r1, 10).halt();
+/// let p = b.build()?;
+/// let mut emu = Emulator::new(&p, SparseMemory::new());
+/// emu.run(100)?;
+/// assert_eq!(emu.reg(r1), 10);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Emulator<'p> {
+    program: &'p Program,
+    memory: SparseMemory,
+    regs: [i64; NUM_REGS],
+    pc: usize,
+    retired: u64,
+    halted: bool,
+    loads: u64,
+    stores: u64,
+    branches: u64,
+    taken_branches: u64,
+}
+
+impl<'p> Emulator<'p> {
+    /// Creates an emulator at pc 0 with zeroed registers and the given
+    /// initial memory image.
+    pub fn new(program: &'p Program, memory: SparseMemory) -> Self {
+        Self {
+            program,
+            memory,
+            regs: [0; NUM_REGS],
+            pc: 0,
+            retired: 0,
+            halted: false,
+            loads: 0,
+            stores: 0,
+            branches: 0,
+            taken_branches: 0,
+        }
+    }
+
+    /// Reads an architectural register.
+    pub fn reg(&self, r: Reg) -> i64 {
+        self.regs[r.index()]
+    }
+
+    /// Sets an architectural register (writes to `r0` are discarded).
+    pub fn set_reg(&mut self, r: Reg, value: i64) {
+        if !r.is_zero() {
+            self.regs[r.index()] = value;
+        }
+    }
+
+    /// A snapshot of all architectural registers.
+    pub fn regs(&self) -> [i64; NUM_REGS] {
+        self.regs
+    }
+
+    /// The memory image (borrow).
+    pub fn memory(&self) -> &SparseMemory {
+        &self.memory
+    }
+
+    /// Consumes the emulator, returning the final memory image.
+    pub fn into_memory(self) -> SparseMemory {
+        self.memory
+    }
+
+    /// Current program counter.
+    pub fn pc(&self) -> usize {
+        self.pc
+    }
+
+    /// Whether `halt` has been retired.
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Instructions retired so far.
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// `(loads, stores, branches, taken_branches)` retired so far.
+    pub fn mix(&self) -> (u64, u64, u64, u64) {
+        (self.loads, self.stores, self.branches, self.taken_branches)
+    }
+
+    /// Executes one instruction.
+    ///
+    /// Returns `Ok(true)` if an instruction retired, `Ok(false)` if the
+    /// machine has already halted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmuError`] on invalid indirect targets or running off the
+    /// program end.
+    pub fn step(&mut self) -> Result<bool, EmuError> {
+        if self.halted {
+            return Ok(false);
+        }
+        let inst = self
+            .program
+            .fetch(self.pc)
+            .ok_or(EmuError::RanOffEnd { pc: self.pc })?;
+        let mut next_pc = self.pc + 1;
+        match inst.op {
+            Op::Nop => {}
+            Op::Halt => {
+                self.halted = true;
+            }
+            Op::Imm { dst, value } => self.set_reg(dst, value),
+            Op::Alu { op, dst, a, b } => {
+                let bv = match b {
+                    crate::inst::Src::Reg(r) => self.reg(r),
+                    crate::inst::Src::Imm(i) => i as i64,
+                };
+                self.set_reg(dst, op.apply(self.reg(a), bv));
+            }
+            Op::Load {
+                width,
+                dst,
+                base,
+                offset,
+            } => {
+                let addr = effective_addr(self.reg(base), offset);
+                let value = self.memory.read(addr, width) as i64;
+                self.set_reg(dst, value);
+                self.loads += 1;
+            }
+            Op::Store {
+                width,
+                src,
+                base,
+                offset,
+            } => {
+                let addr = effective_addr(self.reg(base), offset);
+                self.memory.write(addr, self.reg(src) as u64, width);
+                self.stores += 1;
+            }
+            Op::Branch { cond, a, b, target } => {
+                self.branches += 1;
+                if cond.eval(self.reg(a), self.reg(b)) {
+                    self.taken_branches += 1;
+                    next_pc = target;
+                }
+            }
+            Op::Jump { target } => next_pc = target,
+            Op::Call { target } => {
+                self.set_reg(crate::inst::LINK_REG, (self.pc + 1) as i64);
+                next_pc = target;
+            }
+            Op::Ret => {
+                let target = self.reg(crate::inst::LINK_REG) as u64;
+                if target as usize >= self.program.len() {
+                    return Err(EmuError::BadIndirectTarget {
+                        pc: self.pc,
+                        target,
+                    });
+                }
+                next_pc = target as usize;
+            }
+            Op::JumpReg { base } => {
+                let target = self.reg(base) as u64;
+                if target as usize >= self.program.len() {
+                    return Err(EmuError::BadIndirectTarget {
+                        pc: self.pc,
+                        target,
+                    });
+                }
+                next_pc = target as usize;
+            }
+        }
+        self.retired += 1;
+        if !self.halted {
+            self.pc = next_pc;
+        }
+        Ok(true)
+    }
+
+    /// Runs until `halt` or until `max_steps` instructions retire.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EmuError`] from [`step`](Self::step).
+    pub fn run(&mut self, max_steps: u64) -> Result<RunResult, EmuError> {
+        let mut steps = 0;
+        while steps < max_steps && !self.halted {
+            self.step()?;
+            steps += 1;
+        }
+        Ok(RunResult {
+            instructions: self.retired,
+            halted: self.halted,
+        })
+    }
+
+    /// Accesses memory widths directly — test helper mirroring the loads
+    /// the program would perform.
+    pub fn peek(&self, addr: u64, width: Width) -> u64 {
+        self.memory.read(addr, width)
+    }
+}
+
+/// Computes `base + offset` with wrapping, interpreting the register as an
+/// unsigned address.
+pub fn effective_addr(base: i64, offset: i32) -> u64 {
+    (base as u64).wrapping_add(offset as i64 as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+
+    #[test]
+    fn arithmetic_loop() {
+        let r1 = Reg::new(1);
+        let r2 = Reg::new(2);
+        let mut b = ProgramBuilder::new("sum");
+        b.imm(r1, 0)
+            .imm(r2, 10)
+            .label("loop")
+            .add(r1, r1, r2)
+            .subi(r2, r2, 1)
+            .bne(r2, Reg::ZERO, "loop")
+            .halt();
+        let p = b.build().unwrap();
+        let mut emu = Emulator::new(&p, SparseMemory::new());
+        let res = emu.run(1000).unwrap();
+        assert!(res.halted);
+        assert_eq!(emu.reg(r1), 55);
+        let (_, _, branches, taken) = emu.mix();
+        assert_eq!(branches, 10);
+        assert_eq!(taken, 9);
+    }
+
+    #[test]
+    fn loads_and_stores() {
+        let r1 = Reg::new(1);
+        let r2 = Reg::new(2);
+        let mut b = ProgramBuilder::new("mem");
+        b.imm(r1, 0x1000)
+            .load(r2, r1, 0)
+            .addi(r2, r2, 1)
+            .store(r2, r1, 8)
+            .halt();
+        let p = b.build().unwrap();
+        let mut mem = SparseMemory::new();
+        mem.write_u64(0x1000, 41);
+        let mut emu = Emulator::new(&p, mem);
+        emu.run(100).unwrap();
+        assert_eq!(emu.memory().read_u64(0x1008), 42);
+        let (loads, stores, _, _) = emu.mix();
+        assert_eq!((loads, stores), (1, 1));
+    }
+
+    #[test]
+    fn zero_register_is_immutable() {
+        let mut b = ProgramBuilder::new("z");
+        b.imm(Reg::ZERO, 99).halt();
+        let p = b.build().unwrap();
+        let mut emu = Emulator::new(&p, SparseMemory::new());
+        emu.run(10).unwrap();
+        assert_eq!(emu.reg(Reg::ZERO), 0);
+    }
+
+    #[test]
+    fn indirect_jump() {
+        let r1 = Reg::new(1);
+        let r2 = Reg::new(2);
+        // 0: imm r1, 3 ; 1: jr r1 ; 2: imm r2, 1 (skipped) ; 3: halt
+        let mut b = ProgramBuilder::new("jr");
+        b.imm(r1, 3).jr(r1).imm(r2, 1).halt();
+        let p = b.build().unwrap();
+        let mut emu = Emulator::new(&p, SparseMemory::new());
+        let res = emu.run(10).unwrap();
+        assert!(res.halted);
+        assert_eq!(emu.reg(r2), 0);
+    }
+
+    #[test]
+    fn bad_indirect_target_errors() {
+        let r1 = Reg::new(1);
+        let mut b = ProgramBuilder::new("bad");
+        b.imm(r1, 1000).jr(r1).halt();
+        let p = b.build().unwrap();
+        let mut emu = Emulator::new(&p, SparseMemory::new());
+        assert!(matches!(
+            emu.run(10),
+            Err(EmuError::BadIndirectTarget { pc: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn ran_off_end_errors() {
+        let p = Program::new("noend", vec![Op::Nop]).unwrap();
+        let mut emu = Emulator::new(&p, SparseMemory::new());
+        assert!(matches!(emu.run(10), Err(EmuError::RanOffEnd { pc: 1 })));
+    }
+
+    #[test]
+    fn step_budget_stops_without_halt() {
+        let mut b = ProgramBuilder::new("inf");
+        b.label("spin").jmp("spin");
+        let p = b.build().unwrap();
+        let mut emu = Emulator::new(&p, SparseMemory::new());
+        let res = emu.run(100).unwrap();
+        assert!(!res.halted);
+        assert_eq!(res.instructions, 100);
+    }
+
+    #[test]
+    fn effective_addr_wraps() {
+        assert_eq!(effective_addr(-8, 4), u64::MAX - 3);
+        assert_eq!(effective_addr(0x1000, -16), 0xff0);
+    }
+
+    #[test]
+    fn halted_step_is_noop() {
+        let p = Program::new("h", vec![Op::Halt]).unwrap();
+        let mut emu = Emulator::new(&p, SparseMemory::new());
+        emu.run(10).unwrap();
+        assert!(!emu.step().unwrap());
+        assert_eq!(emu.retired(), 1);
+    }
+}

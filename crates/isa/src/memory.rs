@@ -1,0 +1,163 @@
+//! Sparse, byte-addressable data memory.
+
+use crate::inst::Width;
+use std::collections::HashMap;
+
+const PAGE_SHIFT: u32 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+const OFFSET_MASK: u64 = (PAGE_SIZE - 1) as u64;
+
+/// Sparse little-endian data memory backed by 4 KiB pages.
+///
+/// Unmapped bytes read as zero, and pages are allocated on first write.
+/// Every access succeeds — the simulated machine has no MMU faults, which
+/// keeps wrong-path (transient) execution total: a transient load to an
+/// arbitrary address simply returns data, exactly the behaviour Spectre
+/// gadgets rely on.
+///
+/// # Examples
+///
+/// ```
+/// use dgl_isa::SparseMemory;
+///
+/// let mut mem = SparseMemory::new();
+/// mem.write_u64(0x1000, 42);
+/// assert_eq!(mem.read_u64(0x1000), 42);
+/// assert_eq!(mem.read_u64(0xdead_beef), 0); // unmapped reads as zero
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SparseMemory {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl SparseMemory {
+    /// Creates an empty memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of mapped 4 KiB pages.
+    pub fn mapped_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Reads one byte.
+    pub fn read_u8(&self, addr: u64) -> u8 {
+        match self.pages.get(&(addr >> PAGE_SHIFT)) {
+            Some(page) => page[(addr & OFFSET_MASK) as usize],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte, mapping the page if needed.
+    pub fn write_u8(&mut self, addr: u64, value: u8) {
+        let page = self
+            .pages
+            .entry(addr >> PAGE_SHIFT)
+            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+        page[(addr & OFFSET_MASK) as usize] = value;
+    }
+
+    /// Reads `width` bytes little-endian, zero-extended to u64.
+    pub fn read(&self, addr: u64, width: Width) -> u64 {
+        let n = width.bytes();
+        let mut out = 0u64;
+        for i in 0..n {
+            out |= (self.read_u8(addr.wrapping_add(i)) as u64) << (8 * i);
+        }
+        out
+    }
+
+    /// Writes the low `width` bytes of `value` little-endian.
+    pub fn write(&mut self, addr: u64, value: u64, width: Width) {
+        for i in 0..width.bytes() {
+            self.write_u8(addr.wrapping_add(i), (value >> (8 * i)) as u8);
+        }
+    }
+
+    /// Reads an 8-byte little-endian word.
+    pub fn read_u64(&self, addr: u64) -> u64 {
+        self.read(addr, Width::B8)
+    }
+
+    /// Writes an 8-byte little-endian word.
+    pub fn write_u64(&mut self, addr: u64, value: u64) {
+        self.write(addr, value, Width::B8)
+    }
+
+    /// Writes a slice of u64 words starting at `addr` (8-byte stride).
+    pub fn write_words(&mut self, addr: u64, words: &[u64]) {
+        for (i, &w) in words.iter().enumerate() {
+            self.write_u64(addr.wrapping_add(8 * i as u64), w);
+        }
+    }
+
+    /// Reads `count` u64 words starting at `addr`.
+    pub fn read_words(&self, addr: u64, count: usize) -> Vec<u64> {
+        (0..count)
+            .map(|i| self.read_u64(addr.wrapping_add(8 * i as u64)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unmapped_reads_zero() {
+        let mem = SparseMemory::new();
+        assert_eq!(mem.read_u8(123), 0);
+        assert_eq!(mem.read_u64(0xffff_ffff_ffff_fff0), 0);
+        assert_eq!(mem.mapped_pages(), 0);
+    }
+
+    #[test]
+    fn round_trip_all_widths() {
+        let mut mem = SparseMemory::new();
+        let addr = 0x2000;
+        for (w, mask) in [
+            (Width::B1, 0xffu64),
+            (Width::B2, 0xffff),
+            (Width::B4, 0xffff_ffff),
+            (Width::B8, u64::MAX),
+        ] {
+            mem.write(addr, 0x1122_3344_5566_7788, w);
+            assert_eq!(mem.read(addr, w), 0x1122_3344_5566_7788 & mask);
+            mem.write(addr, 0, Width::B8);
+        }
+    }
+
+    #[test]
+    fn little_endian_layout() {
+        let mut mem = SparseMemory::new();
+        mem.write_u64(0, 0x0102_0304_0506_0708);
+        assert_eq!(mem.read_u8(0), 0x08);
+        assert_eq!(mem.read_u8(7), 0x01);
+    }
+
+    #[test]
+    fn crosses_page_boundary() {
+        let mut mem = SparseMemory::new();
+        let addr = (PAGE_SIZE as u64) - 4;
+        mem.write_u64(addr, 0xdead_beef_cafe_f00d);
+        assert_eq!(mem.read_u64(addr), 0xdead_beef_cafe_f00d);
+        assert_eq!(mem.mapped_pages(), 2);
+    }
+
+    #[test]
+    fn words_helpers() {
+        let mut mem = SparseMemory::new();
+        mem.write_words(0x100, &[1, 2, 3]);
+        assert_eq!(mem.read_words(0x100, 3), vec![1, 2, 3]);
+        assert_eq!(mem.read_u64(0x108), 2);
+    }
+
+    #[test]
+    fn wrapping_address_arithmetic() {
+        let mut mem = SparseMemory::new();
+        mem.write(u64::MAX, 0xABCD, Width::B2); // wraps to address 0
+        assert_eq!(mem.read_u8(u64::MAX), 0xCD);
+        assert_eq!(mem.read_u8(0), 0xAB);
+    }
+}

@@ -1,0 +1,188 @@
+//! Validated instruction sequences.
+
+use crate::inst::{Inst, Op};
+use std::fmt;
+
+/// Error produced when validating a [`Program`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProgramError {
+    /// The program contains no instructions.
+    Empty,
+    /// A branch or jump targets an instruction index outside the program.
+    TargetOutOfRange {
+        /// PC of the offending instruction.
+        pc: usize,
+        /// The out-of-range target.
+        target: usize,
+    },
+}
+
+impl fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProgramError::Empty => write!(f, "program contains no instructions"),
+            ProgramError::TargetOutOfRange { pc, target } => {
+                write!(f, "instruction {pc} targets out-of-range index {target}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProgramError {}
+
+/// A validated, immutable sequence of instructions.
+///
+/// Construction checks that every *static* control-flow target is in
+/// range, so the simulator front-end can index unchecked. Indirect jumps
+/// ([`Op::JumpReg`]) are checked dynamically: an out-of-range target stops
+/// the fetch stream like a [`Op::Halt`] would (on the correct path this is
+/// an error reported by the emulator; on the wrong path it simply starves
+/// fetch until the squash arrives).
+///
+/// # Examples
+///
+/// ```
+/// use dgl_isa::{Op, Program};
+///
+/// let program = Program::new("tiny", vec![Op::Nop, Op::Halt])?;
+/// assert_eq!(program.len(), 2);
+/// assert!(matches!(program.fetch(1), Some(i) if i.op == Op::Halt));
+/// # Ok::<(), dgl_isa::program::ProgramError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    name: String,
+    insts: Vec<Inst>,
+}
+
+impl Program {
+    /// Creates a program from raw operations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProgramError::Empty`] for an empty op list and
+    /// [`ProgramError::TargetOutOfRange`] when a static branch or jump
+    /// target is out of range.
+    pub fn new(name: &str, ops: Vec<Op>) -> Result<Self, ProgramError> {
+        if ops.is_empty() {
+            return Err(ProgramError::Empty);
+        }
+        let len = ops.len();
+        for (pc, op) in ops.iter().enumerate() {
+            let target = match *op {
+                Op::Branch { target, .. } | Op::Jump { target } | Op::Call { target } => {
+                    Some(target)
+                }
+                _ => None,
+            };
+            if let Some(target) = target {
+                if target >= len {
+                    return Err(ProgramError::TargetOutOfRange { pc, target });
+                }
+            }
+        }
+        let insts = ops
+            .into_iter()
+            .enumerate()
+            .map(|(pc, op)| Inst { pc, op })
+            .collect();
+        Ok(Self {
+            name: name.to_owned(),
+            insts,
+        })
+    }
+
+    /// The program's name (used in reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of static instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether the program is empty (never true for a validated program).
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Fetches the instruction at `pc`, or `None` past the end.
+    pub fn fetch(&self, pc: usize) -> Option<Inst> {
+        self.insts.get(pc).copied()
+    }
+
+    /// All instructions in program order.
+    pub fn insts(&self) -> &[Inst] {
+        &self.insts
+    }
+
+    /// Renders the program as assembly-like text.
+    pub fn disassemble(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for inst in &self.insts {
+            let _ = writeln!(out, "{:5}: {}", inst.pc, inst.op);
+        }
+        out
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({} insts)", self.name, self.insts.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::Cond;
+    use crate::reg::Reg;
+
+    #[test]
+    fn rejects_empty() {
+        assert_eq!(Program::new("e", vec![]), Err(ProgramError::Empty));
+    }
+
+    #[test]
+    fn rejects_out_of_range_branch() {
+        let ops = vec![
+            Op::Branch {
+                cond: Cond::Eq,
+                a: Reg::ZERO,
+                b: Reg::ZERO,
+                target: 5,
+            },
+            Op::Halt,
+        ];
+        assert_eq!(
+            Program::new("bad", ops),
+            Err(ProgramError::TargetOutOfRange { pc: 0, target: 5 })
+        );
+    }
+
+    #[test]
+    fn rejects_out_of_range_jump() {
+        let ops = vec![Op::Jump { target: 9 }];
+        assert!(Program::new("bad", ops).is_err());
+    }
+
+    #[test]
+    fn fetch_and_len() {
+        let p = Program::new("p", vec![Op::Nop, Op::Halt]).unwrap();
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+        assert_eq!(p.fetch(0).unwrap().op, Op::Nop);
+        assert!(p.fetch(2).is_none());
+        assert_eq!(p.name(), "p");
+    }
+
+    #[test]
+    fn disassemble_contains_all_pcs() {
+        let p = Program::new("p", vec![Op::Nop, Op::Nop, Op::Halt]).unwrap();
+        let text = p.disassemble();
+        assert_eq!(text.lines().count(), 3);
+        assert!(text.contains("halt"));
+    }
+}

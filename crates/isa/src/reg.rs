@@ -1,0 +1,147 @@
+//! Architectural registers.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Number of architectural integer registers.
+pub const NUM_REGS: usize = 32;
+
+/// An architectural register `r0`..`r31`.
+///
+/// `r0` is hardwired to zero, as in RISC-V: reads return 0 and writes are
+/// discarded. This gives programs a free constant and the simulator a
+/// convenient sink register.
+///
+/// # Examples
+///
+/// ```
+/// use dgl_isa::Reg;
+///
+/// let r5 = Reg::new(5);
+/// assert_eq!(r5.index(), 5);
+/// assert_eq!(format!("{r5}"), "r5");
+/// assert_eq!("r5".parse::<Reg>()?, r5);
+/// # Ok::<(), dgl_isa::reg::ParseRegError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// The hardwired-zero register `r0`.
+    pub const ZERO: Reg = Reg(0);
+
+    /// The link register `r31` (see [`crate::inst::LINK_REG`]).
+    pub const LINK: Reg = Reg(31);
+
+    /// Creates a register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= NUM_REGS`.
+    pub fn new(index: u8) -> Self {
+        assert!(
+            (index as usize) < NUM_REGS,
+            "register index {index} out of range (< {NUM_REGS})"
+        );
+        Reg(index)
+    }
+
+    /// Creates a register, returning `None` when out of range.
+    pub fn try_new(index: u8) -> Option<Self> {
+        if (index as usize) < NUM_REGS {
+            Some(Reg(index))
+        } else {
+            None
+        }
+    }
+
+    /// The register's index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Whether this is the hardwired-zero register.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterates over all architectural registers.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0..NUM_REGS as u8).map(Reg)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl Default for Reg {
+    fn default() -> Self {
+        Reg::ZERO
+    }
+}
+
+/// Error returned when parsing a register name fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRegError {
+    text: String,
+}
+
+impl fmt::Display for ParseRegError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid register name `{}`", self.text)
+    }
+}
+
+impl std::error::Error for ParseRegError {}
+
+impl FromStr for Reg {
+    type Err = ParseRegError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || ParseRegError { text: s.to_owned() };
+        let rest = s.strip_prefix('r').ok_or_else(err)?;
+        let idx: u8 = rest.parse().map_err(|_| err())?;
+        Reg::try_new(idx).ok_or_else(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_register() {
+        assert!(Reg::ZERO.is_zero());
+        assert!(!Reg::new(1).is_zero());
+    }
+
+    #[test]
+    fn round_trips_through_display_and_parse() {
+        for r in Reg::all() {
+            let text = r.to_string();
+            assert_eq!(text.parse::<Reg>().unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        assert!(Reg::try_new(32).is_none());
+        assert!("r32".parse::<Reg>().is_err());
+        assert!("x1".parse::<Reg>().is_err());
+        assert!("r".parse::<Reg>().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn new_panics_out_of_range() {
+        let _ = Reg::new(200);
+    }
+
+    #[test]
+    fn all_covers_every_register() {
+        assert_eq!(Reg::all().count(), NUM_REGS);
+    }
+}

@@ -1,0 +1,80 @@
+//! Property tests for the ISA layer: the assembler never panics on
+//! arbitrary input, builder programs always emulate deterministically,
+//! and memory behaves like a flat byte array.
+
+use dgl_isa::asm::assemble;
+use dgl_isa::{AluOp, Emulator, ProgramBuilder, Reg, SparseMemory, Width};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    #[test]
+    fn assembler_never_panics(source in "\\PC{0,200}") {
+        // Any unicode garbage: must return Ok or Err, never panic.
+        let _ = assemble("fuzz", &source);
+    }
+
+    #[test]
+    fn assembler_never_panics_on_plausible_lines(
+        lines in prop::collection::vec(
+            prop_oneof![
+                Just("nop".to_owned()),
+                Just("halt".to_owned()),
+                (0u8..40, any::<i32>()).prop_map(|(r, v)| format!("imm r{r}, {v}")),
+                (0u8..40, 0u8..40, 0u8..40).prop_map(|(a, b, c)| format!("add r{a}, r{b}, r{c}")),
+                (0u8..40, 0u8..40, any::<i32>()).prop_map(|(a, b, o)| format!("load r{a}, [r{b} + {o}]")),
+                (0u8..40, 0u8..40).prop_map(|(a, b)| format!("beq r{a}, r{b}, somewhere")),
+                Just("somewhere:".to_owned()),
+                Just("  # a comment".to_owned()),
+            ],
+            0..30,
+        )
+    ) {
+        let source = lines.join("\n");
+        let _ = assemble("fuzz", &source);
+    }
+
+    #[test]
+    fn memory_behaves_like_flat_bytes(
+        writes in prop::collection::vec((0u64..0x4000, any::<u64>(), 0u8..4), 1..60)
+    ) {
+        let widths = [Width::B1, Width::B2, Width::B4, Width::B8];
+        let mut mem = SparseMemory::new();
+        let mut model = vec![0u8; 0x4000 + 8];
+        for (addr, value, w) in writes {
+            let w = widths[w as usize % 4];
+            mem.write(addr, value, w);
+            for i in 0..w.bytes() {
+                model[(addr + i) as usize] = (value >> (8 * i)) as u8;
+            }
+        }
+        for a in (0..0x4000u64).step_by(97) {
+            prop_assert_eq!(mem.read_u8(a), model[a as usize], "byte at {:#x}", a);
+        }
+    }
+
+    #[test]
+    fn emulator_is_deterministic(
+        seeds in prop::collection::vec(any::<i64>(), 4),
+        n in 1i64..40,
+    ) {
+        let mut b = ProgramBuilder::new("det");
+        for (i, &s) in seeds.iter().enumerate() {
+            b.imm(Reg::new(i as u8 + 1), s);
+        }
+        b.imm(Reg::new(6), n)
+            .label("top")
+            .alu(AluOp::Mul, Reg::new(1), Reg::new(1), Reg::new(2))
+            .alu(AluOp::Xor, Reg::new(2), Reg::new(2), Reg::new(3))
+            .subi(Reg::new(6), Reg::new(6), 1)
+            .bne(Reg::new(6), Reg::ZERO, "top")
+            .halt();
+        let p = b.build().unwrap();
+        let mut e1 = Emulator::new(&p, SparseMemory::new());
+        let mut e2 = Emulator::new(&p, SparseMemory::new());
+        e1.run(100_000).unwrap();
+        e2.run(100_000).unwrap();
+        prop_assert_eq!(e1.regs(), e2.regs());
+    }
+}

@@ -1,0 +1,190 @@
+//! Property tests for the cache model against a reference
+//! implementation, and liveness properties of the memory system.
+
+use dgl_mem::{Cache, CacheConfig, HierarchyConfig, MemRequest, MemorySystem};
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+/// A reference set-associative LRU cache: per-set recency list.
+#[derive(Debug, Default, Clone)]
+struct RefCache {
+    sets: Vec<VecDeque<u64>>, // front = MRU
+    ways: usize,
+    line: u64,
+}
+
+impl RefCache {
+    fn new(sets: usize, ways: usize, line: u64) -> Self {
+        Self {
+            sets: vec![VecDeque::new(); sets],
+            ways,
+            line,
+        }
+    }
+
+    fn set_of(&self, addr: u64) -> usize {
+        ((addr / self.line) as usize) % self.sets.len()
+    }
+
+    fn tag(&self, addr: u64) -> u64 {
+        addr & !(self.line - 1)
+    }
+
+    fn lookup(&mut self, addr: u64, update: bool) -> bool {
+        let s = self.set_of(addr);
+        let t = self.tag(addr);
+        if let Some(pos) = self.sets[s].iter().position(|&x| x == t) {
+            if update {
+                let v = self.sets[s].remove(pos).unwrap();
+                self.sets[s].push_front(v);
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    fn fill(&mut self, addr: u64) {
+        let s = self.set_of(addr);
+        let t = self.tag(addr);
+        if let Some(pos) = self.sets[s].iter().position(|&x| x == t) {
+            let v = self.sets[s].remove(pos).unwrap();
+            self.sets[s].push_front(v);
+            return;
+        }
+        if self.sets[s].len() == self.ways {
+            self.sets[s].pop_back();
+        }
+        self.sets[s].push_front(t);
+    }
+
+    fn touch(&mut self, addr: u64) {
+        self.lookup(addr, true);
+    }
+
+    fn invalidate(&mut self, addr: u64) {
+        let s = self.set_of(addr);
+        let t = self.tag(addr);
+        self.sets[s].retain(|&x| x != t);
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum CacheOp {
+    Lookup(u64, bool),
+    Fill(u64),
+    Touch(u64),
+    Invalidate(u64),
+    Contains(u64),
+}
+
+fn cache_op() -> impl Strategy<Value = CacheOp> {
+    // A small address space so sets collide constantly.
+    let addr = 0u64..2048;
+    prop_oneof![
+        (addr.clone(), any::<bool>()).prop_map(|(a, u)| CacheOp::Lookup(a, u)),
+        addr.clone().prop_map(CacheOp::Fill),
+        addr.clone().prop_map(CacheOp::Touch),
+        addr.clone().prop_map(CacheOp::Invalidate),
+        addr.prop_map(CacheOp::Contains),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn cache_matches_reference_lru(ops in prop::collection::vec(cache_op(), 1..300)) {
+        let cfg = CacheConfig {
+            size_bytes: 4 * 2 * 64, // 4 sets? no: sets = size/(ways*line) = 4*2*64/(2*64) = 4
+            ways: 2,
+            line_bytes: 64,
+            replacement: Default::default(),
+            latency: 1,
+        };
+        let mut dut = Cache::new(cfg);
+        let mut reference = RefCache::new(cfg.sets(), cfg.ways, 64);
+        for op in ops {
+            match op {
+                CacheOp::Lookup(a, u) => {
+                    prop_assert_eq!(dut.lookup(a, u), reference.lookup(a, u), "lookup {:#x}", a);
+                }
+                CacheOp::Fill(a) => {
+                    dut.fill(a);
+                    reference.fill(a);
+                }
+                CacheOp::Touch(a) => {
+                    dut.touch(a);
+                    reference.touch(a);
+                }
+                CacheOp::Invalidate(a) => {
+                    dut.invalidate(a);
+                    reference.invalidate(a);
+                }
+                CacheOp::Contains(a) => {
+                    prop_assert_eq!(dut.contains(a), reference.lookup(a, false), "contains {:#x}", a);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_accepted_request_gets_exactly_one_response(
+        addrs in prop::collection::vec(0u64..0x10_0000, 1..64),
+        l1_only in prop::collection::vec(any::<bool>(), 64),
+    ) {
+        let mut mem = MemorySystem::new(HierarchyConfig::tiny());
+        let mut expected = Vec::new();
+        let mut now = 0u64;
+        for (i, &addr) in addrs.iter().enumerate() {
+            let req = MemRequest {
+                addr,
+                kind: dgl_mem::AccessKind::Load,
+                l1_only: l1_only[i % l1_only.len()],
+                update_replacement: true,
+            };
+            if let Some(id) = mem.request(req, now) {
+                expected.push(id);
+            }
+            now += 1;
+        }
+        let mut got = Vec::new();
+        for c in now..now + 10_000 {
+            for r in mem.advance(c) {
+                got.push(r.id);
+            }
+        }
+        expected.sort_unstable();
+        got.sort_unstable();
+        prop_assert_eq!(expected, got, "responses must match accepted requests 1:1");
+        prop_assert_eq!(mem.in_flight(), 0, "all MSHRs drained");
+    }
+
+    #[test]
+    fn fills_make_lines_resident(addrs in prop::collection::vec(0u64..0x4000, 1..20)) {
+        let mut mem = MemorySystem::new(HierarchyConfig::tiny());
+        let mut now = 0;
+        for &a in &addrs {
+            if mem.request(MemRequest::load(a), now).is_none() {
+                // MSHR full: drain first.
+                for c in now..now + 200 {
+                    let _ = mem.advance(c);
+                }
+                now += 200;
+                mem.request(MemRequest::load(a), now).expect("drained");
+            }
+            now += 1;
+        }
+        for c in now..now + 10_000 {
+            let _ = mem.advance(c);
+        }
+        // L3 is big enough (64 KiB tiny config covers 0x4000 twice over)
+        // that every touched line must be resident there.
+        for &a in &addrs {
+            prop_assert!(
+                mem.contains(dgl_mem::Level::L3, a),
+                "{a:#x} missing from L3"
+            );
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! Load and store queue entry types and address-overlap logic.
+
+use crate::shadow::Seq;
+use dgl_core::DoppelgangerState;
+use dgl_isa::Width;
+use dgl_mem::MemReqId;
+
+/// Progress of a load through the memory system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadState {
+    /// Waiting for address generation.
+    WaitAddr,
+    /// Address known; waiting for a port / scheme permission to issue.
+    WaitIssue,
+    /// Waiting for an older partially-overlapping store to drain.
+    WaitStore(Seq),
+    /// Request in flight.
+    Issued,
+    /// DoM: speculative L1 miss was blocked; reissue at the visibility
+    /// point.
+    DelayedDoM,
+    /// Value obtained (from memory, store forwarding, or a verified
+    /// doppelganger preload).
+    Done,
+}
+
+/// A load-queue entry. The doppelganger shares this entry (paper §5.1:
+/// "a load and its doppelganger share the same load queue entry").
+#[derive(Debug, Clone)]
+pub struct LqEntry {
+    /// Owning instruction.
+    pub seq: Seq,
+    /// Static pc.
+    pub pc: usize,
+    /// Access width.
+    pub width: Width,
+    /// Resolved address (after AGU).
+    pub addr: Option<u64>,
+    /// Progress.
+    pub state: LoadState,
+    /// The loaded (or preloaded) value.
+    pub value: Option<i64>,
+    /// In-flight conventional request id.
+    pub req: Option<MemReqId>,
+    /// In-flight doppelganger request id.
+    pub dgl_req: Option<MemReqId>,
+    /// Doppelganger state machine.
+    pub dgl: DoppelgangerState,
+    /// Value prediction (DoM+VP comparison mode): the value preloaded
+    /// and propagated at dispatch, pending validation against the real
+    /// load result.
+    pub vp: Option<i64>,
+    /// Whether the value came from an older store (forwarding).
+    pub forwarded: bool,
+    /// Sequence number of the store the value was forwarded from (so a
+    /// later-resolving but older store does not clobber a younger
+    /// source).
+    pub fwd_src: Option<Seq>,
+    /// Whether the value has been propagated to dependents.
+    pub propagated: bool,
+    /// DoM: a speculative L1 hit whose replacement update is deferred
+    /// to commit.
+    pub needs_touch: bool,
+    /// Whether this load was speculative when its value was obtained
+    /// (drives NDA locking and STT tainting).
+    pub speculative_at_complete: bool,
+    /// Cycle the load was dispatched (for latency accounting).
+    pub dispatch_cycle: u64,
+}
+
+impl LqEntry {
+    /// Creates an entry at dispatch. `dgl` carries the decode-time
+    /// address prediction, if one was made.
+    pub fn new(seq: Seq, pc: usize, width: Width, dgl: DoppelgangerState) -> Self {
+        Self {
+            seq,
+            pc,
+            width,
+            addr: None,
+            state: LoadState::WaitAddr,
+            value: None,
+            req: None,
+            dgl_req: None,
+            dgl,
+            vp: None,
+            forwarded: false,
+            fwd_src: None,
+            propagated: false,
+            needs_touch: false,
+            speculative_at_complete: false,
+            dispatch_cycle: 0,
+        }
+    }
+}
+
+/// A store-queue entry. Address generation and data capture are
+/// decoupled, as in real LSQs: the AGU runs as soon as the base
+/// register is available (releasing the D-shadow early), while the data
+/// may arrive much later.
+#[derive(Debug, Clone)]
+pub struct SqEntry {
+    /// Owning instruction.
+    pub seq: Seq,
+    /// Static pc.
+    pub pc: usize,
+    /// Access width.
+    pub width: Width,
+    /// Resolved address (after AGU).
+    pub addr: Option<u64>,
+    /// Store data, once the source register propagates.
+    pub data: Option<i64>,
+    /// Physical register the data comes from.
+    pub data_src: crate::regfile::PhysReg,
+}
+
+impl SqEntry {
+    /// Creates an entry at dispatch.
+    pub fn new(seq: Seq, pc: usize, width: Width, data_src: crate::regfile::PhysReg) -> Self {
+        Self {
+            seq,
+            pc,
+            width,
+            addr: None,
+            data: None,
+            data_src,
+        }
+    }
+}
+
+/// Relationship between a store's bytes and a load's bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Overlap {
+    /// No bytes shared.
+    None,
+    /// The store covers every byte of the load (forwardable).
+    Covers,
+    /// Some bytes shared but not all (must wait for the store to
+    /// drain).
+    Partial,
+}
+
+/// Classifies the overlap between `[store_addr, store_addr+store_w)` and
+/// `[load_addr, load_addr+load_w)`.
+pub fn overlap(store_addr: u64, store_w: Width, load_addr: u64, load_w: Width) -> Overlap {
+    let s0 = store_addr;
+    let s1 = store_addr.wrapping_add(store_w.bytes());
+    let l0 = load_addr;
+    let l1 = load_addr.wrapping_add(load_w.bytes());
+    // Addresses in workloads are far from wraparound; treat as linear.
+    if s1 <= l0 || l1 <= s0 {
+        Overlap::None
+    } else if s0 <= l0 && l1 <= s1 {
+        Overlap::Covers
+    } else {
+        Overlap::Partial
+    }
+}
+
+/// Extracts the loaded value when a covering store forwards: shifts the
+/// store data to the load's offset and masks to the load width.
+pub fn forward_value(store_addr: u64, store_data: i64, load_addr: u64, load_w: Width) -> i64 {
+    let byte_off = load_addr.wrapping_sub(store_addr);
+    let shifted = (store_data as u64) >> (8 * byte_off);
+    let masked = match load_w {
+        Width::B1 => shifted & 0xff,
+        Width::B2 => shifted & 0xffff,
+        Width::B4 => shifted & 0xffff_ffff,
+        Width::B8 => shifted,
+    };
+    masked as i64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overlap_classification() {
+        use Overlap::*;
+        assert_eq!(overlap(0, Width::B8, 8, Width::B8), None);
+        assert_eq!(overlap(8, Width::B8, 0, Width::B8), None);
+        assert_eq!(overlap(0, Width::B8, 0, Width::B8), Covers);
+        assert_eq!(overlap(0, Width::B8, 4, Width::B4), Covers);
+        assert_eq!(overlap(0, Width::B4, 0, Width::B8), Partial);
+        assert_eq!(overlap(4, Width::B8, 0, Width::B8), Partial);
+    }
+
+    #[test]
+    fn forward_value_same_address() {
+        assert_eq!(
+            forward_value(0x100, 0x1122334455667788, 0x100, Width::B8),
+            0x1122334455667788
+        );
+        assert_eq!(
+            forward_value(0x100, 0x1122334455667788, 0x100, Width::B4),
+            0x55667788
+        );
+    }
+
+    #[test]
+    fn forward_value_offset_within_store() {
+        // Load the high 4 bytes of an 8-byte store.
+        assert_eq!(
+            forward_value(0x100, 0x1122334455667788, 0x104, Width::B4),
+            0x11223344
+        );
+        // Single byte at offset 1 (little-endian: byte 1 is 0x77).
+        assert_eq!(
+            forward_value(0x100, 0x1122334455667788, 0x101, Width::B1),
+            0x77
+        );
+    }
+
+    #[test]
+    fn load_entry_starts_waiting() {
+        let e = LqEntry::new(3, 0, Width::B8, DoppelgangerState::unpredicted());
+        assert_eq!(e.state, LoadState::WaitAddr);
+        assert!(e.addr.is_none());
+        assert!(!e.propagated);
+    }
+
+    #[test]
+    fn store_entry_starts_unresolved() {
+        let e = SqEntry::new(3, 0, Width::B8, crate::regfile::PhysReg(5));
+        assert!(e.addr.is_none());
+        assert!(e.data.is_none());
+        assert_eq!(e.data_src, crate::regfile::PhysReg(5));
+    }
+}

@@ -1,0 +1,150 @@
+//! Reorder-buffer entry types.
+
+use crate::frontend::RasCheckpoint;
+use crate::regfile::PhysReg;
+use crate::shadow::Seq;
+use dgl_isa::{Op, Reg};
+
+/// Execution state of a ROB entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecState {
+    /// Dispatched; waiting in the instruction queue for operands.
+    Waiting,
+    /// Issued to a functional unit (or address generation in flight).
+    Issued,
+    /// Result computed but the entry is not yet finished (loads waiting
+    /// for memory; branches waiting for delayed resolution).
+    Executed,
+    /// Fully done; eligible for commit.
+    Completed,
+}
+
+/// Per-branch bookkeeping.
+#[derive(Debug, Clone, Copy)]
+pub struct BranchInfo {
+    /// Direction the front-end predicted.
+    pub predicted_taken: bool,
+    /// Where fetch continued after this instruction.
+    pub predicted_next: usize,
+    /// Actual direction, once executed.
+    pub actual_taken: Option<bool>,
+    /// Actual next pc, once executed.
+    pub actual_next: Option<usize>,
+    /// Global-history checkpoint for recovery.
+    pub history_checkpoint: u64,
+    /// Return-address-stack checkpoint for recovery.
+    pub ras_checkpoint: RasCheckpoint,
+    /// Whether resolution (shadow release / possible squash) happened.
+    pub resolved: bool,
+}
+
+/// One in-flight instruction.
+#[derive(Debug, Clone)]
+pub struct RobEntry {
+    /// Dynamic sequence number (commit order).
+    pub seq: Seq,
+    /// Static instruction.
+    pub pc: usize,
+    /// Operation.
+    pub op: Op,
+    /// Destination rename: `(arch, new, old)`.
+    pub dst: Option<(Reg, PhysReg, PhysReg)>,
+    /// Source physical registers, in operand order.
+    pub srcs: Vec<PhysReg>,
+    /// Execution state.
+    pub state: ExecState,
+    /// Branch/jump bookkeeping.
+    pub branch: Option<BranchInfo>,
+    /// Index into the load queue.
+    pub lq_index: Option<usize>,
+    /// Index into the store queue.
+    pub sq_index: Option<usize>,
+    /// Whether this entry currently occupies an IQ slot.
+    pub in_iq: bool,
+    /// STT: taint root recorded for the output.
+    pub out_taint: Option<Seq>,
+    /// NDA: completed load whose result is locked (not propagated).
+    pub locked: bool,
+}
+
+impl RobEntry {
+    /// Creates a freshly dispatched entry.
+    pub fn new(seq: Seq, pc: usize, op: Op) -> Self {
+        Self {
+            seq,
+            pc,
+            op,
+            dst: None,
+            srcs: Vec::new(),
+            state: ExecState::Waiting,
+            branch: None,
+            lq_index: None,
+            sq_index: None,
+            in_iq: false,
+            out_taint: None,
+            locked: false,
+        }
+    }
+
+    /// The predictor-visible PC address.
+    pub fn pc_addr(&self) -> u64 {
+        (self.pc as u64) << 2
+    }
+
+    /// Whether the entry may retire: completed, and for control flow,
+    /// resolved.
+    pub fn can_commit(&self) -> bool {
+        self.state == ExecState::Completed && self.branch.is_none_or(|b| b.resolved) && !self.locked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_entry_waits() {
+        let e = RobEntry::new(1, 0, Op::Nop);
+        assert_eq!(e.state, ExecState::Waiting);
+        assert!(!e.can_commit());
+    }
+
+    #[test]
+    fn completed_plain_entry_commits() {
+        let mut e = RobEntry::new(1, 0, Op::Nop);
+        e.state = ExecState::Completed;
+        assert!(e.can_commit());
+    }
+
+    #[test]
+    fn unresolved_branch_blocks_commit() {
+        let mut e = RobEntry::new(1, 0, Op::Jump { target: 0 });
+        e.state = ExecState::Completed;
+        e.branch = Some(BranchInfo {
+            predicted_taken: true,
+            predicted_next: 0,
+            actual_taken: None,
+            actual_next: None,
+            history_checkpoint: 0,
+            ras_checkpoint: RasCheckpoint::default(),
+            resolved: false,
+        });
+        assert!(!e.can_commit());
+        e.branch.as_mut().unwrap().resolved = true;
+        assert!(e.can_commit());
+    }
+
+    #[test]
+    fn locked_entry_blocks_commit() {
+        let mut e = RobEntry::new(1, 0, Op::Nop);
+        e.state = ExecState::Completed;
+        e.locked = true;
+        assert!(!e.can_commit());
+    }
+
+    #[test]
+    fn pc_addr_is_shifted() {
+        let e = RobEntry::new(1, 5, Op::Nop);
+        assert_eq!(e.pc_addr(), 20);
+    }
+}

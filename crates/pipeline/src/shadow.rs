@@ -1,0 +1,166 @@
+//! Shadow tracking (Ghost Loads / DoM style).
+//!
+//! A *shadow caster* is an older instruction that can still squash or
+//! reorder younger ones: an unresolved predicted branch or indirect jump
+//! (C-shadow), or a store whose address is not yet known (D-shadow). An
+//! instruction is *speculative* while any caster older than it is
+//! active; the youngest sequence number with no older caster is the
+//! *visibility point*. All four schemes and the doppelganger rules key
+//! off this one structure (paper §5: "we use shadow tracking ... we
+//! focus on tracking speculation originating from unresolved control
+//! flow, and unresolved store addresses").
+
+use std::collections::BTreeSet;
+
+/// Dynamic instruction sequence number.
+pub type Seq = u64;
+
+/// Tracks active shadow casters by sequence number.
+///
+/// # Examples
+///
+/// ```
+/// use dgl_pipeline::shadow::ShadowTracker;
+///
+/// let mut sh = ShadowTracker::new();
+/// sh.cast(10); // a branch at seq 10
+/// assert!(!sh.is_speculative(10)); // the caster itself is not shadowed
+/// assert!(sh.is_speculative(11));
+/// sh.resolve(10);
+/// assert!(!sh.is_speculative(11));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ShadowTracker {
+    active: BTreeSet<Seq>,
+}
+
+impl ShadowTracker {
+    /// Creates an empty tracker (nothing is speculative).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a shadow caster.
+    pub fn cast(&mut self, seq: Seq) {
+        self.active.insert(seq);
+    }
+
+    /// Removes a caster when it resolves. Idempotent.
+    pub fn resolve(&mut self, seq: Seq) {
+        self.active.remove(&seq);
+    }
+
+    /// Removes all casters younger than or equal to `from` — used on a
+    /// squash of everything with `seq > from_exclusive`.
+    pub fn squash_younger_than(&mut self, from_exclusive: Seq) {
+        self.active = self
+            .active
+            .iter()
+            .copied()
+            .take_while(|&s| s <= from_exclusive)
+            .collect();
+    }
+
+    /// The oldest active caster, if any.
+    pub fn oldest(&self) -> Option<Seq> {
+        self.active.first().copied()
+    }
+
+    /// Whether the instruction at `seq` is under a shadow (some caster
+    /// is strictly older).
+    pub fn is_speculative(&self, seq: Seq) -> bool {
+        match self.oldest() {
+            Some(o) => o < seq,
+            None => false,
+        }
+    }
+
+    /// Whether the instruction at `seq` has reached the visibility
+    /// point (not speculative).
+    pub fn is_nonspeculative(&self, seq: Seq) -> bool {
+        !self.is_speculative(seq)
+    }
+
+    /// Whether `seq` itself is an active caster.
+    pub fn is_active(&self, seq: Seq) -> bool {
+        self.active.contains(&seq)
+    }
+
+    /// Number of active casters.
+    pub fn len(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Whether no caster is active.
+    pub fn is_empty(&self) -> bool {
+        self.active.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_tracker_is_nonspeculative() {
+        let sh = ShadowTracker::new();
+        assert!(!sh.is_speculative(0));
+        assert!(!sh.is_speculative(1000));
+        assert!(sh.is_empty());
+    }
+
+    #[test]
+    fn shadows_cover_strictly_younger() {
+        let mut sh = ShadowTracker::new();
+        sh.cast(5);
+        assert!(!sh.is_speculative(4));
+        assert!(!sh.is_speculative(5));
+        assert!(sh.is_speculative(6));
+    }
+
+    #[test]
+    fn oldest_tracks_minimum() {
+        let mut sh = ShadowTracker::new();
+        sh.cast(9);
+        sh.cast(3);
+        sh.cast(7);
+        assert_eq!(sh.oldest(), Some(3));
+        sh.resolve(3);
+        assert_eq!(sh.oldest(), Some(7));
+    }
+
+    #[test]
+    fn resolve_is_idempotent() {
+        let mut sh = ShadowTracker::new();
+        sh.cast(1);
+        sh.resolve(1);
+        sh.resolve(1);
+        assert!(sh.is_empty());
+    }
+
+    #[test]
+    fn squash_removes_younger_casters() {
+        let mut sh = ShadowTracker::new();
+        sh.cast(2);
+        sh.cast(5);
+        sh.cast(9);
+        sh.squash_younger_than(5);
+        assert!(sh.is_active(2));
+        assert!(sh.is_active(5));
+        assert!(!sh.is_active(9));
+        assert_eq!(sh.len(), 2);
+    }
+
+    #[test]
+    fn visibility_point_semantics() {
+        let mut sh = ShadowTracker::new();
+        sh.cast(10);
+        sh.cast(20);
+        // Everything <= 10 is at the visibility point.
+        assert!(sh.is_nonspeculative(10));
+        assert!(!sh.is_nonspeculative(11));
+        sh.resolve(10);
+        assert!(sh.is_nonspeculative(20));
+        assert!(!sh.is_nonspeculative(21));
+    }
+}

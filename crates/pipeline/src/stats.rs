@@ -1,0 +1,104 @@
+//! Per-run core statistics.
+
+use dgl_core::ApStats;
+use dgl_mem::CacheStats;
+
+/// Counters accumulated by one simulation run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoreStats {
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Instructions committed.
+    pub committed: u64,
+    /// Loads committed.
+    pub committed_loads: u64,
+    /// Stores committed.
+    pub committed_stores: u64,
+    /// Predicted control-flow instructions committed.
+    pub committed_branches: u64,
+    /// Mispredicted control-flow instructions (squashes from branches).
+    pub branch_mispredicts: u64,
+    /// Squashes from memory-order violations.
+    pub memory_order_squashes: u64,
+    /// Total instructions squashed (wrong-path work).
+    pub squashed: u64,
+    /// Doppelganger requests issued to memory.
+    pub dgl_issued: u64,
+    /// Doppelganger preloads that propagated (useful doppelgangers).
+    pub dgl_propagated: u64,
+    /// Loads that were delayed by DoM (speculative L1 misses).
+    pub dom_delayed: u64,
+    /// Prefetch requests issued.
+    pub prefetches: u64,
+    /// Cycles in which no instruction committed.
+    pub commit_idle_cycles: u64,
+    /// Loads whose value prediction propagated at dispatch (DoM+VP
+    /// comparison mode).
+    pub vp_predicted: u64,
+    /// Squashes caused by value mispredictions (the rollback cost that
+    /// address prediction avoids, §8 "Value Prediction").
+    pub vp_squashes: u64,
+}
+
+impl CoreStats {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed as f64 / self.cycles as f64
+        }
+    }
+
+    /// Branch misprediction rate per committed branch.
+    pub fn mispredict_rate(&self) -> f64 {
+        if self.committed_branches == 0 {
+            0.0
+        } else {
+            self.branch_mispredicts as f64 / self.committed_branches as f64
+        }
+    }
+}
+
+/// Everything a finished run reports.
+#[derive(Debug, Clone)]
+pub struct RunSummary {
+    /// Core counters.
+    pub core: CoreStats,
+    /// Address-predictor coverage/accuracy (Figure 7).
+    pub ap: ApStats,
+    /// `(l1, l2, l3)` cache statistics (Figure 8 uses accesses).
+    pub caches: (CacheStats, CacheStats, CacheStats),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_handles_zero_cycles() {
+        let s = CoreStats::default();
+        assert_eq!(s.ipc(), 0.0);
+    }
+
+    #[test]
+    fn ipc_computes() {
+        let s = CoreStats {
+            cycles: 100,
+            committed: 250,
+            ..CoreStats::default()
+        };
+        assert!((s.ipc() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mispredict_rate() {
+        let s = CoreStats {
+            committed_branches: 100,
+            branch_mispredicts: 7,
+            ..CoreStats::default()
+        };
+        assert!((s.mispredict_rate() - 0.07).abs() < 1e-12);
+        assert_eq!(CoreStats::default().mispredict_rate(), 0.0);
+    }
+}

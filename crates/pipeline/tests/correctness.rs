@@ -1,0 +1,346 @@
+//! Architectural-equivalence tests: every scheme, with and without
+//! address prediction, must produce exactly the golden model's final
+//! registers, memory, and instruction count.
+
+use dgl_core::SchemeKind;
+use dgl_isa::{Emulator, Program, ProgramBuilder, Reg, SparseMemory};
+use dgl_pipeline::{Core, CoreConfig};
+
+const MAX_CYCLES: u64 = 2_000_000;
+
+/// Runs `program` under every (scheme, ap) configuration and checks
+/// final architectural state against the emulator.
+fn assert_all_configs_match(program: &Program, memory: SparseMemory, check_regs: &[Reg]) {
+    let mut emu = Emulator::new(program, memory.clone());
+    let emu_result = emu.run(10_000_000).expect("golden model runs");
+    assert!(emu_result.halted, "golden model must halt");
+    for scheme in SchemeKind::ALL {
+        for ap in [false, true] {
+            let core = Core::new(CoreConfig::tiny(), scheme, ap);
+            let report = core
+                .run(program, memory.clone(), MAX_CYCLES)
+                .unwrap_or_else(|e| panic!("{scheme} ap={ap}: {e}"));
+            assert!(report.halted, "{scheme} ap={ap}: did not halt");
+            assert_eq!(
+                report.committed, emu_result.instructions,
+                "{scheme} ap={ap}: instruction count"
+            );
+            for &r in check_regs {
+                assert_eq!(
+                    report.reg(r),
+                    emu.reg(r),
+                    "{scheme} ap={ap}: register {r} mismatch"
+                );
+            }
+            // Full memory equality.
+            assert_eq!(
+                &report.memory,
+                emu.memory(),
+                "{scheme} ap={ap}: memory mismatch"
+            );
+        }
+    }
+}
+
+fn r(i: u8) -> Reg {
+    Reg::new(i)
+}
+
+#[test]
+fn straight_line_alu() {
+    let mut b = ProgramBuilder::new("alu");
+    b.imm(r(1), 7)
+        .imm(r(2), 5)
+        .add(r(3), r(1), r(2))
+        .mul(r(4), r(3), r(1))
+        .subi(r(5), r(4), 3)
+        .xor(r(6), r(5), r(2))
+        .halt();
+    assert_all_configs_match(
+        &b.build().unwrap(),
+        SparseMemory::new(),
+        &[r(3), r(4), r(5), r(6)],
+    );
+}
+
+#[test]
+fn counted_loop() {
+    let mut b = ProgramBuilder::new("loop");
+    b.imm(r(1), 0)
+        .imm(r(2), 50)
+        .label("top")
+        .add(r(1), r(1), r(2))
+        .subi(r(2), r(2), 1)
+        .bne(r(2), Reg::ZERO, "top")
+        .halt();
+    assert_all_configs_match(&b.build().unwrap(), SparseMemory::new(), &[r(1)]);
+}
+
+#[test]
+fn streaming_loads_and_stores() {
+    // b[i] = a[i] * 2 over 64 elements.
+    let mut b = ProgramBuilder::new("stream");
+    b.imm(r(1), 0x10000) // a
+        .imm(r(2), 0x20000) // b
+        .imm(r(3), 64) // count
+        .label("top")
+        .load(r(4), r(1), 0)
+        .add(r(4), r(4), r(4))
+        .store(r(4), r(2), 0)
+        .addi(r(1), r(1), 8)
+        .addi(r(2), r(2), 8)
+        .subi(r(3), r(3), 1)
+        .bne(r(3), Reg::ZERO, "top")
+        .halt();
+    let mut mem = SparseMemory::new();
+    for i in 0..64u64 {
+        mem.write_u64(0x10000 + 8 * i, i * 3 + 1);
+    }
+    assert_all_configs_match(&b.build().unwrap(), mem, &[r(4)]);
+}
+
+#[test]
+fn dependent_loads_pointer_chase() {
+    // Walk a linked list of 32 nodes.
+    let mut b = ProgramBuilder::new("chase");
+    b.imm(r(1), 0x30000)
+        .imm(r(3), 0)
+        .imm(r(2), 32)
+        .label("top")
+        .load(r(4), r(1), 8) // payload
+        .add(r(3), r(3), r(4))
+        .load(r(1), r(1), 0) // next pointer
+        .subi(r(2), r(2), 1)
+        .bne(r(2), Reg::ZERO, "top")
+        .halt();
+    let mut mem = SparseMemory::new();
+    // Scatter the nodes.
+    let mut addr = 0x30000u64;
+    for i in 0..32u64 {
+        let next = 0x30000 + ((i * 7 + 3) % 40) * 0x100;
+        mem.write_u64(addr, next);
+        mem.write_u64(addr + 8, i + 1);
+        addr = next;
+    }
+    assert_all_configs_match(&b.build().unwrap(), mem, &[r(3)]);
+}
+
+#[test]
+fn store_to_load_forwarding_same_iteration() {
+    // Write then immediately read the same address repeatedly.
+    let mut b = ProgramBuilder::new("stl");
+    b.imm(r(1), 0x40000)
+        .imm(r(2), 20)
+        .imm(r(3), 0)
+        .label("top")
+        .addi(r(3), r(3), 7)
+        .store(r(3), r(1), 0)
+        .load(r(4), r(1), 0)
+        .add(r(5), r(5), r(4))
+        .subi(r(2), r(2), 1)
+        .bne(r(2), Reg::ZERO, "top")
+        .halt();
+    assert_all_configs_match(&b.build().unwrap(), SparseMemory::new(), &[r(4), r(5)]);
+}
+
+#[test]
+fn store_load_aliasing_across_iterations() {
+    // Stores to a[i], loads from a[i-1]: exercises violation detection
+    // and forwarding between iterations.
+    let mut b = ProgramBuilder::new("alias");
+    b.imm(r(1), 0x50000)
+        .imm(r(2), 30)
+        .imm(r(3), 1)
+        .store(r(3), r(1), 0)
+        .label("top")
+        .load(r(4), r(1), 0)
+        .addi(r(4), r(4), 1)
+        .store(r(4), r(1), 8)
+        .addi(r(1), r(1), 8)
+        .subi(r(2), r(2), 1)
+        .bne(r(2), Reg::ZERO, "top")
+        .halt();
+    assert_all_configs_match(&b.build().unwrap(), SparseMemory::new(), &[r(4)]);
+}
+
+#[test]
+fn data_dependent_branches() {
+    // Branch direction depends on loaded data (hard to predict).
+    let mut b = ProgramBuilder::new("ddbr");
+    b.imm(r(1), 0x60000)
+        .imm(r(2), 40)
+        .imm(r(3), 0)
+        .imm(r(6), 2)
+        .label("top")
+        .load(r(4), r(1), 0)
+        .alu(dgl_isa::AluOp::Rem, r(5), r(4), r(6))
+        .beq(r(5), Reg::ZERO, "even")
+        .addi(r(3), r(3), 100)
+        .jmp("next")
+        .label("even")
+        .addi(r(3), r(3), 1)
+        .label("next")
+        .addi(r(1), r(1), 8)
+        .subi(r(2), r(2), 1)
+        .bne(r(2), Reg::ZERO, "top")
+        .halt();
+    let mut mem = SparseMemory::new();
+    // Pseudo-random parities.
+    let mut x = 12345u64;
+    for i in 0..40u64 {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        mem.write_u64(0x60000 + 8 * i, x >> 33);
+    }
+    assert_all_configs_match(&b.build().unwrap(), mem, &[r(3)]);
+}
+
+#[test]
+fn indirect_jump_dispatch_table() {
+    // A jump table cycling through three handlers.
+    let mut b = ProgramBuilder::new("jr");
+    b.imm(r(1), 0) // acc
+        .imm(r(2), 12) // iterations
+        .imm(r(5), 0) // selector
+        .label("top");
+    // compute target = 6 + selector (handlers land at 6, 8, 10)
+    let dispatch_base = 6;
+    b.addi(r(6), r(5), dispatch_base)
+        .jr(r(6))
+        .halt() // padding, never executed
+        .label("h0")
+        .addi(r(1), r(1), 1)
+        .jmp("join")
+        .label("h1")
+        .addi(r(1), r(1), 10)
+        .jmp("join")
+        .label("h2")
+        .addi(r(1), r(1), 100)
+        .label("join")
+        .addi(r(5), r(5), 2) // step by handler size (2 insts)
+        .imm(r(7), 6)
+        .blt(r(5), r(7), "noreset")
+        .imm(r(5), 0)
+        .label("noreset")
+        .subi(r(2), r(2), 1)
+        .bne(r(2), Reg::ZERO, "top")
+        .halt();
+    let p = b.build().unwrap();
+    // Validate the dispatch base assumption: h0 must be at index 7.
+    assert_all_configs_match(&p, SparseMemory::new(), &[r(1)]);
+}
+
+#[test]
+fn deep_dependent_load_chain_under_misprediction() {
+    // A branchy loop where a dependent-load chain crosses iterations.
+    let mut b = ProgramBuilder::new("mixed");
+    b.imm(r(1), 0x70000)
+        .imm(r(2), 25)
+        .imm(r(3), 0)
+        .label("top")
+        .load(r(4), r(1), 0) // idx
+        .shli(r(5), r(4), 3)
+        .add(r(5), r(5), r(1))
+        .load(r(6), r(5), 0x800) // dependent load
+        .add(r(3), r(3), r(6))
+        .imm(r(7), 50)
+        .blt(r(6), r(7), "small")
+        .addi(r(3), r(3), 5)
+        .label("small")
+        .addi(r(1), r(1), 8)
+        .subi(r(2), r(2), 1)
+        .bne(r(2), Reg::ZERO, "top")
+        .halt();
+    let mut mem = SparseMemory::new();
+    for i in 0..32u64 {
+        mem.write_u64(0x70000 + 8 * i, (i * 5) % 32);
+    }
+    for i in 0..64u64 {
+        mem.write_u64(0x70800 + 8 * i, (i * 13) % 100);
+    }
+    assert_all_configs_match(&b.build().unwrap(), mem, &[r(3)]);
+}
+
+#[test]
+fn zero_register_semantics() {
+    let mut b = ProgramBuilder::new("zero");
+    b.imm(Reg::ZERO, 99)
+        .imm(r(1), 0x80000)
+        .load(Reg::ZERO, r(1), 0)
+        .add(r(2), Reg::ZERO, Reg::ZERO)
+        .store(Reg::ZERO, r(1), 8)
+        .halt();
+    let mut mem = SparseMemory::new();
+    mem.write_u64(0x80000, 77);
+    mem.write_u64(0x80008, 123);
+    assert_all_configs_match(&b.build().unwrap(), mem, &[r(2)]);
+}
+
+#[test]
+fn narrow_width_accesses() {
+    use dgl_isa::Width;
+    let mut b = ProgramBuilder::new("widths");
+    b.imm(r(1), 0x90000)
+        .imm(r(2), 0x1122334455667788u64 as i64)
+        .store(r(2), r(1), 0)
+        .load_w(Width::B1, r(3), r(1), 1)
+        .load_w(Width::B2, r(4), r(1), 2)
+        .load_w(Width::B4, r(5), r(1), 4)
+        .store_w(Width::B2, r(2), r(1), 16)
+        .load(r(6), r(1), 16)
+        .halt();
+    assert_all_configs_match(
+        &b.build().unwrap(),
+        SparseMemory::new(),
+        &[r(3), r(4), r(5), r(6)],
+    );
+}
+
+#[test]
+fn bad_indirect_target_matches_golden_model() {
+    let mut b = ProgramBuilder::new("badjr");
+    b.imm(r(1), 1_000_000).jr(r(1)).halt();
+    let p = b.build().unwrap();
+    let mut emu = Emulator::new(&p, SparseMemory::new());
+    assert!(emu.run(100).is_err());
+    for scheme in SchemeKind::ALL {
+        let core = Core::new(CoreConfig::tiny(), scheme, true);
+        let err = core.run(&p, SparseMemory::new(), 100_000).unwrap_err();
+        assert!(
+            matches!(err, dgl_pipeline::RunError::BadIndirectTarget { pc: 1, .. }),
+            "{scheme}: {err}"
+        );
+    }
+}
+
+#[test]
+fn table1_sized_core_also_matches() {
+    // One heavier program on the full Table 1 configuration.
+    let mut b = ProgramBuilder::new("big");
+    b.imm(r(1), 0xA0000)
+        .imm(r(2), 200)
+        .imm(r(3), 0)
+        .label("top")
+        .load(r(4), r(1), 0)
+        .load(r(5), r(1), 4096)
+        .add(r(3), r(3), r(4))
+        .add(r(3), r(3), r(5))
+        .addi(r(1), r(1), 16)
+        .subi(r(2), r(2), 1)
+        .bne(r(2), Reg::ZERO, "top")
+        .halt();
+    let mut mem = SparseMemory::new();
+    for i in 0..2000u64 {
+        mem.write_u64(0xA0000 + 8 * i, i);
+    }
+    let p = b.build().unwrap();
+    let mut emu = Emulator::new(&p, mem.clone());
+    let g = emu.run(10_000_000).unwrap();
+    for scheme in [SchemeKind::Baseline, SchemeKind::DoM] {
+        let core = Core::new(CoreConfig::default(), scheme, true);
+        let report = core.run(&p, mem.clone(), MAX_CYCLES).unwrap();
+        assert_eq!(report.committed, g.instructions, "{scheme}");
+        assert_eq!(report.reg(r(3)), emu.reg(r(3)), "{scheme}");
+    }
+}

@@ -1,0 +1,220 @@
+//! Performance-shape tests: not absolute numbers, but the *orderings*
+//! the paper reports must hold on kernels designed to stress each
+//! mechanism:
+//!
+//! * every secure scheme is no faster than the unsafe baseline;
+//! * on dependent-load kernels, doppelganger loads recover slowdown for
+//!   NDA-P, STT, and DoM;
+//! * the predictor achieves high coverage/accuracy on strided kernels
+//!   and near-zero coverage on pointer chases.
+
+use dgl_core::SchemeKind;
+use dgl_isa::{Program, ProgramBuilder, Reg, SparseMemory};
+use dgl_pipeline::{Core, CoreConfig, RunReport};
+
+fn r(i: u8) -> Reg {
+    Reg::new(i)
+}
+
+/// An indirect-streaming kernel: `v = b[a[i]]; if (v & 1) acc += v`,
+/// where a[i] holds sequential indices, so the *dependent* load is
+/// stride-predictable, and the branch on the loaded value keeps shadows
+/// alive for the duration of each miss (the situation all three secure
+/// schemes pay for). Working set far beyond the tiny L1 so misses
+/// matter.
+fn indirect_stream(n: i64) -> (Program, SparseMemory) {
+    let mut b = ProgramBuilder::new("indirect_stream");
+    b.imm(r(1), 0x100000) // a
+        .imm(r(2), 0x400000) // b
+        .imm(r(3), n)
+        .imm(r(4), 0)
+        .label("top")
+        .load(r(5), r(1), 0) // idx = a[i]
+        .shli(r(6), r(5), 3)
+        .add(r(6), r(6), r(2))
+        .load(r(7), r(6), 0) // dependent: b[idx]
+        .andi(r(8), r(7), 1)
+        .beq(r(8), Reg::ZERO, "skip") // data-dependent branch
+        .add(r(4), r(4), r(7))
+        .label("skip")
+        .addi(r(1), r(1), 8)
+        .subi(r(3), r(3), 1)
+        .bne(r(3), Reg::ZERO, "top")
+        .halt();
+    let mut mem = SparseMemory::new();
+    let mut x = 0x9e3779b97f4a7c15u64;
+    for i in 0..n as u64 {
+        mem.write_u64(0x100000 + 8 * i, i); // sequential indices
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        mem.write_u64(0x400000 + 8 * i, x >> 32);
+    }
+    (b.build().unwrap(), mem)
+}
+
+/// Pointer chase: addresses unpredictable by a stride predictor.
+fn pointer_chase(n: u64) -> (Program, SparseMemory) {
+    let mut b = ProgramBuilder::new("chase");
+    b.imm(r(1), 0x200000)
+        .imm(r(2), n as i64)
+        .imm(r(3), 0)
+        .label("top")
+        .load(r(1), r(1), 0)
+        .addi(r(3), r(3), 1)
+        .subi(r(2), r(2), 1)
+        .bne(r(2), Reg::ZERO, "top")
+        .halt();
+    let mut mem = SparseMemory::new();
+    // A permutation cycle with large, irregular hops.
+    let nodes = 512u64;
+    let mut addr = 0x200000u64;
+    for i in 1..=nodes {
+        let next = 0x200000 + ((i * 2654435761) % nodes) * 0x140;
+        mem.write_u64(addr, next);
+        addr = next;
+    }
+    (b.build().unwrap(), mem)
+}
+
+fn run(scheme: SchemeKind, ap: bool, program: &Program, mem: &SparseMemory) -> RunReport {
+    let core = Core::new(CoreConfig::tiny(), scheme, ap);
+    let report = core
+        .run(program, mem.clone(), 10_000_000)
+        .unwrap_or_else(|e| panic!("{scheme} ap={ap}: {e}"));
+    assert!(report.halted, "{scheme} ap={ap} hit cycle budget");
+    report
+}
+
+#[test]
+fn secure_schemes_never_beat_baseline() {
+    let (p, mem) = indirect_stream(400);
+    let base = run(SchemeKind::Baseline, false, &p, &mem).ipc();
+    for scheme in SchemeKind::SECURE {
+        let ipc = run(scheme, false, &p, &mem).ipc();
+        assert!(
+            ipc <= base * 1.02,
+            "{scheme} ipc {ipc:.3} vs baseline {base:.3}"
+        );
+    }
+}
+
+#[test]
+fn dependent_load_kernel_shows_scheme_overheads() {
+    let (p, mem) = indirect_stream(400);
+    let base = run(SchemeKind::Baseline, false, &p, &mem).ipc();
+    let nda = run(SchemeKind::NdaP, false, &p, &mem).ipc();
+    let stt = run(SchemeKind::Stt, false, &p, &mem).ipc();
+    let dom = run(SchemeKind::DoM, false, &p, &mem).ipc();
+    // All schemes must pay something on a dependent-load kernel.
+    assert!(nda < base * 0.98, "nda {nda:.3} base {base:.3}");
+    assert!(dom < base * 0.98, "dom {dom:.3} base {base:.3}");
+    // STT never does worse than NDA-P (it strictly enables more ILP).
+    assert!(stt >= nda * 0.95, "stt {stt:.3} should be >= nda {nda:.3}");
+}
+
+#[test]
+fn address_prediction_recovers_slowdown_on_predictable_kernel() {
+    let (p, mem) = indirect_stream(400);
+    for scheme in SchemeKind::SECURE {
+        let without = run(scheme, false, &p, &mem);
+        let with = run(scheme, true, &p, &mem);
+        assert!(
+            with.ipc() > without.ipc() * 1.02,
+            "{scheme}: ap {:.3} vs no-ap {:.3} (dgl issued {}, propagated {})",
+            with.ipc(),
+            without.ipc(),
+            with.stats.dgl_issued,
+            with.stats.dgl_propagated,
+        );
+    }
+}
+
+#[test]
+fn address_prediction_barely_moves_the_baseline() {
+    // Paper §7: unsafe baseline + AP gains only ~0.5% geomean.
+    let (p, mem) = indirect_stream(400);
+    let without = run(SchemeKind::Baseline, false, &p, &mem).ipc();
+    let with = run(SchemeKind::Baseline, true, &p, &mem).ipc();
+    let gain = with / without;
+    assert!(
+        (0.9..1.3).contains(&gain),
+        "baseline AP gain should be modest, got {gain:.3}"
+    );
+}
+
+#[test]
+fn predictor_covers_strided_not_chased() {
+    let (p, mem) = indirect_stream(400);
+    let strided = run(SchemeKind::DoM, true, &p, &mem);
+    assert!(
+        strided.ap.coverage() > 0.5,
+        "strided coverage {:.2}",
+        strided.ap.coverage()
+    );
+    assert!(
+        strided.ap.accuracy() > 0.9,
+        "strided accuracy {:.2}",
+        strided.ap.accuracy()
+    );
+
+    let (p, mem) = pointer_chase(400);
+    let chased = run(SchemeKind::DoM, true, &p, &mem);
+    assert!(
+        chased.ap.accuracy() < 0.5 || chased.ap.coverage() < 0.3,
+        "chase should defeat the stride predictor: cov {:.2} acc {:.2}",
+        chased.ap.coverage(),
+        chased.ap.accuracy()
+    );
+}
+
+#[test]
+fn dom_delays_speculative_misses() {
+    let (p, mem) = indirect_stream(300);
+    let dom = run(SchemeKind::DoM, false, &p, &mem);
+    assert!(
+        dom.stats.dom_delayed > 0,
+        "DoM must observe blocked speculative misses"
+    );
+    let base = run(SchemeKind::Baseline, false, &p, &mem);
+    assert_eq!(base.stats.dom_delayed, 0);
+}
+
+#[test]
+fn doppelgangers_issue_and_propagate() {
+    let (p, mem) = indirect_stream(300);
+    for scheme in SchemeKind::SECURE {
+        let rep = run(scheme, true, &p, &mem);
+        assert!(
+            rep.stats.dgl_issued > 0,
+            "{scheme}: no doppelgangers issued"
+        );
+        assert!(
+            rep.stats.dgl_propagated > 0,
+            "{scheme}: no doppelganger value ever used"
+        );
+        let rep_off = run(scheme, false, &p, &mem);
+        assert_eq!(rep_off.stats.dgl_issued, 0);
+    }
+}
+
+#[test]
+fn branch_predictor_learns_the_loop() {
+    // A pure counted loop: the only branch is the backedge, which
+    // gshare should predict near-perfectly once trained.
+    let mut b = ProgramBuilder::new("counted");
+    b.imm(r(1), 0)
+        .imm(r(2), 2000)
+        .label("top")
+        .add(r(1), r(1), r(2))
+        .subi(r(2), r(2), 1)
+        .bne(r(2), Reg::ZERO, "top")
+        .halt();
+    let p = b.build().unwrap();
+    let rep = run(SchemeKind::Baseline, false, &p, &SparseMemory::new());
+    assert!(
+        rep.stats.mispredict_rate() < 0.05,
+        "loop branch should be near-perfectly predicted, rate {:.3}",
+        rep.stats.mispredict_rate()
+    );
+}

@@ -1,0 +1,294 @@
+//! Property test: for *arbitrary* generated programs, every scheme — with
+//! and without doppelganger loads — must be architecturally equivalent to
+//! the in-order golden model. This is the strongest correctness net in
+//! the repository: secure-speculation machinery may change timing, never
+//! results.
+
+use dgl_core::SchemeKind;
+use dgl_isa::{AluOp, Emulator, ProgramBuilder, Reg, SparseMemory, Width};
+use dgl_pipeline::{Core, CoreConfig};
+use proptest::prelude::*;
+
+/// Data registers the generator plays with.
+const DATA_REGS: u8 = 8; // r1..=r8
+const BASE: u8 = 10; // r10 holds the memory region base
+const SCRATCH: u8 = 11; // r11 computes data-dependent addresses
+const COUNTER: u8 = 12; // r12 loop counter
+const REGION: i64 = 0x10000;
+
+#[derive(Debug, Clone)]
+enum Stmt {
+    Alu {
+        op: u8,
+        dst: u8,
+        a: u8,
+        b: u8,
+        imm: Option<i16>,
+    },
+    /// Load via a data-dependent address inside the shared region.
+    Load { dst: u8, addr_src: u8, offset: u8 },
+    /// Store via a data-dependent address inside the shared region.
+    Store {
+        val: u8,
+        addr_src: u8,
+        offset: u8,
+        width: u8,
+    },
+    /// Conditionally skip a small body.
+    If { a: u8, b: u8, body: Vec<Stmt> },
+    /// Bounded counted loop.
+    Loop { count: u8, body: Vec<Stmt> },
+    /// A function definition + immediate call (exercises call/ret, the
+    /// RAS, and link-register save/restore around nesting).
+    Fn { body: Vec<Stmt> },
+}
+
+fn alu_ops() -> &'static [AluOp] {
+    &[
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::And,
+        AluOp::Or,
+        AluOp::Xor,
+        AluOp::Mul,
+        AluOp::Shr,
+        AluOp::Slt,
+    ]
+}
+
+fn widths() -> &'static [Width] {
+    &[Width::B1, Width::B2, Width::B4, Width::B8]
+}
+
+fn leaf_stmt() -> impl Strategy<Value = Stmt> {
+    prop_oneof![
+        (
+            0u8..8,
+            1u8..=DATA_REGS,
+            1u8..=DATA_REGS,
+            1u8..=DATA_REGS,
+            proptest::option::of(any::<i16>())
+        )
+            .prop_map(|(op, dst, a, b, imm)| Stmt::Alu { op, dst, a, b, imm }),
+        (1u8..=DATA_REGS, 1u8..=DATA_REGS, 0u8..31).prop_map(|(dst, addr_src, offset)| {
+            Stmt::Load {
+                dst,
+                addr_src,
+                offset,
+            }
+        }),
+        (1u8..=DATA_REGS, 1u8..=DATA_REGS, 0u8..31, 0u8..4).prop_map(
+            |(val, addr_src, offset, width)| Stmt::Store {
+                val,
+                addr_src,
+                offset,
+                width
+            }
+        ),
+    ]
+}
+
+fn stmt() -> impl Strategy<Value = Stmt> {
+    leaf_stmt().prop_recursive(2, 12, 4, |inner| {
+        prop_oneof![
+            (
+                1u8..=DATA_REGS,
+                1u8..=DATA_REGS,
+                prop::collection::vec(inner.clone(), 1..4)
+            )
+                .prop_map(|(a, b, body)| Stmt::If { a, b, body }),
+            (1u8..6, prop::collection::vec(inner.clone(), 1..5))
+                .prop_map(|(count, body)| Stmt::Loop { count, body }),
+            prop::collection::vec(inner, 1..4).prop_map(|body| Stmt::Fn { body }),
+        ]
+    })
+}
+
+struct Compiler {
+    label_counter: usize,
+    loop_depth: usize,
+    fn_depth: usize,
+}
+
+impl Compiler {
+    fn fresh(&mut self, prefix: &str) -> String {
+        self.label_counter += 1;
+        format!("{prefix}_{}", self.label_counter)
+    }
+
+    fn emit(&mut self, b: &mut ProgramBuilder, s: &Stmt) {
+        let r = Reg::new;
+        match s {
+            Stmt::Alu {
+                op,
+                dst,
+                a,
+                b: rb,
+                imm,
+            } => {
+                let alu = alu_ops()[*op as usize % alu_ops().len()];
+                match imm {
+                    Some(i) => b.alu(alu, r(*dst), r(*a), *i as i32),
+                    None => b.alu(alu, r(*dst), r(*a), r(*rb)),
+                };
+            }
+            Stmt::Load {
+                dst,
+                addr_src,
+                offset,
+            } => {
+                // r11 = base + (src & 0xF8): data-dependent, in-region.
+                b.andi(r(SCRATCH), r(*addr_src), 0xF8)
+                    .add(r(SCRATCH), r(SCRATCH), r(BASE))
+                    .load(r(*dst), r(SCRATCH), *offset as i32);
+            }
+            Stmt::Store {
+                val,
+                addr_src,
+                offset,
+                width,
+            } => {
+                let w = widths()[*width as usize % widths().len()];
+                b.andi(r(SCRATCH), r(*addr_src), 0xF8)
+                    .add(r(SCRATCH), r(SCRATCH), r(BASE))
+                    .store_w(w, r(*val), r(SCRATCH), *offset as i32);
+            }
+            Stmt::If { a, b: rb, body } => {
+                let skip = self.fresh("skip");
+                b.beq(r(*a), r(*rb), &skip);
+                for s in body {
+                    self.emit(b, s);
+                }
+                b.label(&skip);
+            }
+            Stmt::Fn { body } => {
+                if self.fn_depth >= 2 {
+                    // Deep nesting would exhaust link-save registers;
+                    // inline instead.
+                    for s in body {
+                        self.emit(b, s);
+                    }
+                    return;
+                }
+                let f = self.fresh("fn");
+                let skip = self.fresh("fnskip");
+                let save = Reg::new(13 + self.fn_depth as u8); // r13/r14
+                self.fn_depth += 1;
+                b.jmp(&skip).label(&f);
+                for s in body {
+                    self.emit(b, s);
+                }
+                b.ret().label(&skip);
+                // Save/restore the link around the call so enclosing
+                // functions still return correctly.
+                b.add(save, Reg::LINK, Reg::ZERO)
+                    .call(&f)
+                    .add(Reg::LINK, save, Reg::ZERO);
+                self.fn_depth -= 1;
+            }
+            Stmt::Loop { count, body } => {
+                if self.loop_depth > 0 {
+                    // Only one live counter register: flatten inner loops.
+                    for s in body {
+                        self.emit(b, s);
+                    }
+                    return;
+                }
+                self.loop_depth += 1;
+                let top = self.fresh("top");
+                b.imm(r(COUNTER), *count as i64).label(&top);
+                for s in body {
+                    self.emit(b, s);
+                }
+                b.subi(r(COUNTER), r(COUNTER), 1)
+                    .bne(r(COUNTER), Reg::ZERO, &top);
+                self.loop_depth -= 1;
+            }
+        }
+    }
+}
+
+fn build_program(stmts: &[Stmt], seeds: &[i64]) -> dgl_isa::Program {
+    let mut b = ProgramBuilder::new("generated");
+    let r = Reg::new;
+    b.imm(r(BASE), REGION);
+    for (i, &seed) in seeds.iter().enumerate() {
+        b.imm(r(i as u8 + 1), seed);
+    }
+    let mut c = Compiler {
+        label_counter: 0,
+        loop_depth: 0,
+        fn_depth: 0,
+    };
+    for s in stmts {
+        c.emit(&mut b, s);
+    }
+    b.halt();
+    b.build()
+        .expect("generated programs are structurally valid")
+}
+
+fn initial_memory(fill: &[u64]) -> SparseMemory {
+    let mut mem = SparseMemory::new();
+    for (i, &w) in fill.iter().enumerate() {
+        mem.write_u64(REGION as u64 + 8 * i as u64, w);
+    }
+    mem
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 48,
+        max_shrink_iters: 200,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn all_schemes_match_golden_model(
+        stmts in prop::collection::vec(stmt(), 1..8),
+        seeds in prop::collection::vec(any::<i64>(), DATA_REGS as usize),
+        fill in prop::collection::vec(any::<u64>(), 40),
+    ) {
+        let program = build_program(&stmts, &seeds);
+        let mem = initial_memory(&fill);
+        let mut emu = Emulator::new(&program, mem.clone());
+        let golden = emu.run(2_000_000).expect("golden model");
+        prop_assert!(golden.halted, "generated program must halt");
+
+        // Every scheme ± address prediction, plus the DoM+VP and
+        // baseline+VP comparison modes.
+        let mut configs: Vec<(SchemeKind, bool, bool)> = Vec::new();
+        for scheme in SchemeKind::ALL {
+            configs.push((scheme, false, false));
+            configs.push((scheme, true, false));
+        }
+        configs.push((SchemeKind::DoM, false, true));
+        configs.push((SchemeKind::Baseline, false, true));
+
+        for (scheme, ap, vp) in configs {
+            let mut core = Core::new(CoreConfig::tiny(), scheme, ap);
+            if vp {
+                core.enable_value_prediction();
+            }
+            let report = core
+                .run(&program, mem.clone(), 4_000_000)
+                .map_err(|e| TestCaseError::fail(format!("{scheme} ap={ap} vp={vp}: {e}")))?;
+            prop_assert!(report.halted, "{} ap={} vp={}: cycle budget", scheme, ap, vp);
+            prop_assert_eq!(
+                report.committed, golden.instructions,
+                "{} ap={} vp={}: instruction count", scheme, ap, vp
+            );
+            for ri in 1..=DATA_REGS {
+                let reg = Reg::new(ri);
+                prop_assert_eq!(
+                    report.reg(reg), emu.reg(reg),
+                    "{} ap={} vp={}: {} mismatch", scheme, ap, vp, reg
+                );
+            }
+            prop_assert_eq!(
+                &report.memory, emu.memory(),
+                "{} ap={} vp={}: memory image mismatch", scheme, ap, vp
+            );
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! DoM+VP comparison mode: architectural correctness (predicted values
+//! are always validated; mispredictions squash) and the qualitative
+//! claim of the paper's §2.3 — value prediction recovers *less* than
+//! address prediction because it must be validated in order and pays
+//! squashes.
+
+use dgl_core::SchemeKind;
+use dgl_isa::{Emulator, Program, ProgramBuilder, Reg, SparseMemory};
+use dgl_pipeline::{Core, CoreConfig};
+
+fn r(i: u8) -> Reg {
+    Reg::new(i)
+}
+
+fn run_vp(program: &Program, mem: SparseMemory, scheme: SchemeKind) -> dgl_pipeline::RunReport {
+    let mut core = Core::new(CoreConfig::tiny(), scheme, false);
+    core.enable_value_prediction();
+    core.run(program, mem, 4_000_000).expect("vp run")
+}
+
+/// An indirect kernel whose *values* are constant (value-predictable)
+/// and whose addresses are also stride-predictable.
+fn constant_values(n: i64) -> (Program, SparseMemory) {
+    let mut b = ProgramBuilder::new("constvals");
+    b.imm(r(1), 0x100000)
+        .imm(r(2), n)
+        .imm(r(3), 0)
+        .label("top")
+        .load(r(4), r(1), 0)
+        .andi(r(5), r(4), 1)
+        .bne(r(5), Reg::ZERO, "skip")
+        .addi(r(3), r(3), 1)
+        .label("skip")
+        .add(r(3), r(3), r(4))
+        .addi(r(1), r(1), 8)
+        .subi(r(2), r(2), 1)
+        .bne(r(2), Reg::ZERO, "top")
+        .halt();
+    let mut mem = SparseMemory::new();
+    for i in 0..n as u64 {
+        mem.write_u64(0x100000 + 8 * i, 7); // constant, odd
+    }
+    (b.build().unwrap(), mem)
+}
+
+/// Same structure with unpredictable values.
+fn random_values(n: i64) -> (Program, SparseMemory) {
+    let (p, _) = constant_values(n);
+    let mut mem = SparseMemory::new();
+    let mut x = 0x1234_5678_9abc_def0u64;
+    for i in 0..n as u64 {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        mem.write_u64(0x100000 + 8 * i, (x >> 16) | 1);
+    }
+    (p, mem)
+}
+
+#[test]
+fn vp_matches_golden_model_on_predictable_values() {
+    let (p, mem) = constant_values(300);
+    let mut emu = Emulator::new(&p, mem.clone());
+    let g = emu.run(10_000_000).unwrap();
+    for scheme in [SchemeKind::Baseline, SchemeKind::DoM] {
+        let rep = run_vp(&p, mem.clone(), scheme);
+        assert!(rep.halted, "{scheme}");
+        assert_eq!(rep.committed, g.instructions, "{scheme}");
+        assert_eq!(rep.reg(r(3)), emu.reg(r(3)), "{scheme}");
+        assert!(rep.stats.vp_predicted > 0, "{scheme}: vp never fired");
+    }
+}
+
+#[test]
+fn vp_matches_golden_model_on_unpredictable_values() {
+    // Mispredictions must squash-and-repair, never corrupt.
+    let (p, mem) = random_values(300);
+    let mut emu = Emulator::new(&p, mem.clone());
+    let g = emu.run(10_000_000).unwrap();
+    for scheme in [SchemeKind::Baseline, SchemeKind::DoM] {
+        let rep = run_vp(&p, mem.clone(), scheme);
+        assert_eq!(rep.committed, g.instructions, "{scheme}");
+        assert_eq!(rep.reg(r(3)), emu.reg(r(3)), "{scheme}");
+    }
+}
+
+#[test]
+fn vp_mispredictions_cost_squashes() {
+    let (p, mem) = random_values(300);
+    let rep = run_vp(&p, mem.clone(), SchemeKind::DoM);
+    if rep.stats.vp_predicted > 0 {
+        assert!(
+            rep.stats.vp_squashes > 0,
+            "random values predicted {} times without a single squash",
+            rep.stats.vp_predicted
+        );
+    }
+    let (p, mem) = constant_values(300);
+    let rep = run_vp(&p, mem, SchemeKind::DoM);
+    assert_eq!(
+        rep.stats.vp_squashes, 0,
+        "constant values must never squash"
+    );
+}
+
+#[test]
+fn vp_stats_account_coverage_and_accuracy() {
+    let (p, mem) = constant_values(300);
+    let rep = run_vp(&p, mem, SchemeKind::DoM);
+    assert!(rep.vp.coverage() > 0.5, "coverage {:.2}", rep.vp.coverage());
+    assert!(
+        rep.vp.accuracy() > 0.95,
+        "accuracy {:.2}",
+        rep.vp.accuracy()
+    );
+}
+
+#[test]
+#[should_panic(expected = "alternatives")]
+fn vp_plus_ap_is_rejected() {
+    let mut core = Core::new(CoreConfig::tiny(), SchemeKind::DoM, true);
+    core.enable_value_prediction();
+}
+
+#[test]
+#[should_panic(expected = "DoM")]
+fn vp_under_stt_is_rejected() {
+    let mut core = Core::new(CoreConfig::tiny(), SchemeKind::Stt, false);
+    core.enable_value_prediction();
+}

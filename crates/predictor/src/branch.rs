@@ -1,0 +1,281 @@
+//! Branch direction and target prediction.
+//!
+//! A classic gshare predictor: the program counter is xor-folded with a
+//! global history register to index a table of 2-bit saturating counters.
+//! A direct-mapped branch target buffer (BTB) predicts targets of indirect
+//! jumps. Direction/target tables are updated **at commit only** — a
+//! security requirement shared by all the schemes in the paper (predictor
+//! state must never be a function of speculative data). The speculative
+//! history register, which only encodes *predicted* directions, is
+//! checkpointed at each prediction and restored on squash.
+
+use std::fmt;
+
+/// Configuration for [`BranchPredictor`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BranchPredictorConfig {
+    /// log2 of the number of 2-bit counters in the gshare table.
+    pub gshare_bits: u32,
+    /// Number of global-history bits folded into the index.
+    pub history_bits: u32,
+    /// log2 of the number of BTB entries.
+    pub btb_bits: u32,
+}
+
+impl Default for BranchPredictorConfig {
+    fn default() -> Self {
+        Self {
+            gshare_bits: 14,
+            history_bits: 12,
+            btb_bits: 12,
+        }
+    }
+}
+
+/// A single branch prediction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Prediction {
+    /// Predicted direction for conditional branches (`true` = taken).
+    pub taken: bool,
+    /// Predicted target instruction index for indirect jumps, if the BTB
+    /// has one.
+    pub target: Option<usize>,
+    /// History checkpoint to restore on a squash of this branch.
+    pub history_checkpoint: u64,
+}
+
+/// gshare + BTB branch predictor with commit-time training.
+///
+/// # Examples
+///
+/// ```
+/// use dgl_predictor::{BranchPredictor, BranchPredictorConfig};
+///
+/// let mut bp = BranchPredictor::new(BranchPredictorConfig::default());
+/// // Train a strongly-taken branch at commit...
+/// for _ in 0..4 {
+///     bp.train(0x40, true, Some(7));
+/// }
+/// // ...and it predicts taken afterwards.
+/// let p = bp.predict(0x40);
+/// assert!(p.taken);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BranchPredictor {
+    cfg: BranchPredictorConfig,
+    counters: Vec<u8>,
+    btb: Vec<Option<(u64, usize)>>,
+    /// Speculative history: shifted at predict time with the prediction.
+    spec_history: u64,
+    /// Architectural history: shifted at commit time with the outcome.
+    commit_history: u64,
+    predictions: u64,
+    mispredictions: u64,
+}
+
+impl BranchPredictor {
+    /// Creates a predictor with all counters weakly not-taken.
+    pub fn new(cfg: BranchPredictorConfig) -> Self {
+        Self {
+            cfg,
+            counters: vec![1; 1 << cfg.gshare_bits],
+            btb: vec![None; 1 << cfg.btb_bits],
+            spec_history: 0,
+            commit_history: 0,
+            predictions: 0,
+            mispredictions: 0,
+        }
+    }
+
+    fn index(&self, pc: u64, history: u64) -> usize {
+        let mask = (1u64 << self.cfg.gshare_bits) - 1;
+        let hist_mask = (1u64 << self.cfg.history_bits) - 1;
+        (((pc >> 2) ^ (history & hist_mask)) & mask) as usize
+    }
+
+    fn btb_index(&self, pc: u64) -> usize {
+        ((pc >> 2) & ((1u64 << self.cfg.btb_bits) - 1)) as usize
+    }
+
+    /// Predicts a branch at fetch time using speculative history. The
+    /// returned checkpoint must be kept so a squash of this branch can
+    /// [`restore_history`](Self::restore_history).
+    pub fn predict(&mut self, pc: u64) -> Prediction {
+        let checkpoint = self.spec_history;
+        let idx = self.index(pc, self.spec_history);
+        let taken = self.counters[idx] >= 2;
+        self.spec_history = (self.spec_history << 1) | u64::from(taken);
+        self.predictions += 1;
+        let target = self.btb[self.btb_index(pc)].and_then(|(tag, t)| (tag == pc).then_some(t));
+        Prediction {
+            taken,
+            target,
+            history_checkpoint: checkpoint,
+        }
+    }
+
+    /// Predicts an *unconditionally taken* control transfer (indirect
+    /// jump or return): shifts speculative history with `taken = true`
+    /// so it stays consistent with commit-time training, and returns
+    /// any BTB target.
+    pub fn predict_unconditional(&mut self, pc: u64) -> Prediction {
+        let checkpoint = self.spec_history;
+        self.spec_history = (self.spec_history << 1) | 1;
+        self.predictions += 1;
+        let target = self.btb[self.btb_index(pc)].and_then(|(tag, t)| (tag == pc).then_some(t));
+        Prediction {
+            taken: true,
+            target,
+            history_checkpoint: checkpoint,
+        }
+    }
+
+    /// Restores speculative history after squashing a mispredicted
+    /// branch, then shifts in the now-known outcome.
+    pub fn restore_history(&mut self, checkpoint: u64, actual_taken: bool) {
+        self.spec_history = (checkpoint << 1) | u64::from(actual_taken);
+    }
+
+    /// Trains the predictor at commit with the architectural outcome.
+    /// `target` supplies the BTB entry for taken control flow.
+    pub fn train(&mut self, pc: u64, taken: bool, target: Option<usize>) {
+        let idx = self.index(pc, self.commit_history);
+        let c = &mut self.counters[idx];
+        if taken {
+            *c = (*c + 1).min(3);
+        } else {
+            *c = c.saturating_sub(1);
+        }
+        self.commit_history = (self.commit_history << 1) | u64::from(taken);
+        if let (true, Some(t)) = (taken, target) {
+            let idx = self.btb_index(pc);
+            self.btb[idx] = Some((pc, t));
+        }
+    }
+
+    /// Records a misprediction (for statistics).
+    pub fn note_mispredict(&mut self) {
+        self.mispredictions += 1;
+    }
+
+    /// `(predictions, mispredictions)` so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.predictions, self.mispredictions)
+    }
+
+    /// The configuration this predictor was built with.
+    pub fn config(&self) -> BranchPredictorConfig {
+        self.cfg
+    }
+}
+
+impl fmt::Display for BranchPredictor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (p, m) = self.stats();
+        write!(
+            f,
+            "gshare[{} entries] {p} predictions, {m} mispredicts",
+            self.counters.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn predictor() -> BranchPredictor {
+        BranchPredictor::new(BranchPredictorConfig::default())
+    }
+
+    #[test]
+    fn learns_biased_branch() {
+        let mut bp = predictor();
+        for _ in 0..8 {
+            bp.train(0x10, true, None);
+        }
+        assert!(bp.predict(0x10).taken);
+    }
+
+    #[test]
+    fn learns_not_taken() {
+        let mut bp = predictor();
+        for _ in 0..8 {
+            bp.train(0x10, false, None);
+        }
+        assert!(!bp.predict(0x10).taken);
+    }
+
+    #[test]
+    fn initial_prediction_is_not_taken() {
+        let mut bp = predictor();
+        assert!(!bp.predict(0x44).taken);
+    }
+
+    #[test]
+    fn btb_predicts_trained_target() {
+        let mut bp = predictor();
+        assert_eq!(bp.predict(0x20).target, None);
+        bp.train(0x20, true, Some(99));
+        assert_eq!(bp.predict(0x20).target, Some(99));
+    }
+
+    #[test]
+    fn btb_tag_mismatch_yields_none() {
+        let mut bp = predictor();
+        bp.train(0x20, true, Some(99));
+        // A different pc mapping to a different btb slot (or tag) misses.
+        assert_eq!(bp.predict(0x24).target, None);
+    }
+
+    #[test]
+    fn history_checkpoint_round_trip() {
+        let mut bp = predictor();
+        let p1 = bp.predict(0x10);
+        let _p2 = bp.predict(0x14);
+        // Squash back to the first branch; it was actually taken.
+        bp.restore_history(p1.history_checkpoint, true);
+        assert_eq!(bp.spec_history & 1, 1);
+    }
+
+    #[test]
+    fn learns_alternating_pattern_with_history() {
+        // taken, not-taken alternation is learnable with history bits.
+        let mut bp = predictor();
+        let pc = 0x80;
+        let mut outcome = false;
+        for _ in 0..256 {
+            bp.train(pc, outcome, None);
+            outcome = !outcome;
+        }
+        // After training, prediction accuracy on the same alternation
+        // should be high: simulate commit-synchronous prediction.
+        let mut correct = 0;
+        for _ in 0..64 {
+            let p = bp.predict(pc);
+            // Keep speculative and commit history in sync for this test.
+            bp.restore_history(p.history_checkpoint, outcome);
+            if p.taken == outcome {
+                correct += 1;
+            }
+            bp.train(pc, outcome, None);
+            outcome = !outcome;
+        }
+        assert!(correct >= 56, "correct = {correct}");
+    }
+
+    #[test]
+    fn stats_track_predictions() {
+        let mut bp = predictor();
+        bp.predict(0);
+        bp.predict(4);
+        bp.note_mispredict();
+        assert_eq!(bp.stats(), (2, 1));
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let bp = predictor();
+        assert!(!bp.to_string().is_empty());
+    }
+}

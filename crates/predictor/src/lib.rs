@@ -1,0 +1,30 @@
+//! Prediction structures for the Doppelganger Loads simulator.
+//!
+//! Two families live here:
+//!
+//! * **Branch prediction** ([`branch`]): a gshare direction predictor with
+//!   a branch target buffer and return-address stack. The out-of-order
+//!   front-end uses it to fetch down predicted paths — including wrong
+//!   paths, which is what makes transient-execution attacks expressible.
+//!   Following the paper's security requirements, the tables are trained
+//!   **only at commit** (never from speculative state), and the
+//!   speculative global-history register is checkpointed and restored on
+//!   squash.
+//!
+//! * **Stride table** ([`stride`]): the PC-indexed, full-PC-tagged,
+//!   set-associative stride structure that the paper shares between the
+//!   conventional prefetcher ("prefetching mode": predict *future*
+//!   instances) and the doppelganger address predictor ("address
+//!   prediction mode": predict the *current* instance). Table 1 configures
+//!   it as 1024 entries, 8-way, 13.5 KiB.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod branch;
+pub mod stride;
+pub mod value;
+
+pub use branch::{BranchPredictor, BranchPredictorConfig, Prediction};
+pub use stride::{StrideEntry, StrideTable, StrideTableConfig};
+pub use value::{ValuePredictor, ValuePredictorConfig, VpStats};

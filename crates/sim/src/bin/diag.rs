@@ -1,0 +1,39 @@
+//! Internal diagnostic: per-workload per-config stats dump.
+use dgl_core::SchemeKind;
+use dgl_sim::SimBuilder;
+use dgl_workloads::{by_name, Scale};
+
+fn main() {
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "omnetpp_like".into());
+    let scale: u64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1500);
+    let w = by_name(&name, Scale::Custom(scale)).expect("workload");
+    for (scheme, ap) in [
+        (SchemeKind::Baseline, false),
+        (SchemeKind::Baseline, true),
+        (SchemeKind::NdaP, false),
+        (SchemeKind::NdaP, true),
+        (SchemeKind::Stt, false),
+        (SchemeKind::Stt, true),
+        (SchemeKind::DoM, false),
+        (SchemeKind::DoM, true),
+    ] {
+        let rep = SimBuilder::new()
+            .scheme(scheme)
+            .address_prediction(ap)
+            .run_workload(&w)
+            .unwrap();
+        let (l1, l2, _) = rep.caches;
+        println!(
+            "{:11} ap={:5} ipc={:.3} cyc={:7} insts={:6} mispred={:4} sq={:5} memsq={:4} domdel={:5} dgl={:5}/{:5} cov={:.2} acc={:.2} l1={:6} l2={:6} pf={:4}",
+            scheme.name(), ap, rep.ipc(), rep.cycles, rep.committed,
+            rep.stats.branch_mispredicts, rep.stats.squashed, rep.stats.memory_order_squashes,
+            rep.stats.dom_delayed, rep.stats.dgl_issued, rep.stats.dgl_propagated,
+            rep.ap.coverage(), rep.ap.accuracy(), l1.accesses, l2.accesses, rep.stats.prefetches,
+        );
+    }
+}

@@ -1,0 +1,32 @@
+//! Internal tuning tool: run the full evaluation matrix and print the
+//! Figure 1/6/7 views.
+use dgl_sim::experiments::{figure1_from, ConfigId, Evaluation, Figure6, Figure7, Figure8};
+use dgl_workloads::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n: u64 = args
+        .iter()
+        .skip(1)
+        .find_map(|a| a.parse().ok())
+        .unwrap_or(25_000);
+    let eval = Evaluation::run(Scale::Custom(n), &ConfigId::ALL).expect("matrix");
+    if args.iter().any(|a| a == "--csv") {
+        print!("{}", eval.to_csv());
+        return;
+    }
+    println!("{}", figure1_from(&eval).render());
+    println!("{}", Figure6 { eval: eval.clone() }.render());
+    let f7 = Figure7 {
+        rows: eval
+            .rows
+            .iter()
+            .map(|r| {
+                let c = &r.cells[&ConfigId::DomAp];
+                (r.workload.clone(), c.coverage, c.accuracy)
+            })
+            .collect(),
+    };
+    println!("{}", f7.render());
+    println!("{}", Figure8 { eval }.render());
+}

@@ -1,0 +1,288 @@
+//! The simulation builder.
+
+use dgl_core::SchemeKind;
+use dgl_isa::{Program, SparseMemory};
+use dgl_pipeline::{Core, CoreConfig, RunError, RunReport};
+use dgl_workloads::Workload;
+
+/// Configures and launches simulations (non-consuming builder).
+///
+/// # Examples
+///
+/// ```
+/// use dgl_sim::SimBuilder;
+/// use dgl_core::SchemeKind;
+/// use dgl_isa::{ProgramBuilder, Reg, SparseMemory};
+///
+/// let mut b = ProgramBuilder::new("two");
+/// b.imm(Reg::new(1), 2).halt();
+/// let p = b.build()?;
+/// let report = SimBuilder::new()
+///     .scheme(SchemeKind::DoM)
+///     .run_program(&p, SparseMemory::new(), 100_000)?;
+/// assert_eq!(report.committed, 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimBuilder {
+    scheme: SchemeKind,
+    address_prediction: bool,
+    value_prediction: bool,
+    config: CoreConfig,
+    trace: bool,
+}
+
+impl Default for SimBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SimBuilder {
+    /// Unsafe baseline, no address prediction, Table 1 configuration.
+    pub fn new() -> Self {
+        Self {
+            scheme: SchemeKind::Baseline,
+            address_prediction: false,
+            value_prediction: false,
+            config: CoreConfig::default(),
+            trace: false,
+        }
+    }
+
+    /// Selects the secure speculation scheme.
+    pub fn scheme(&mut self, scheme: SchemeKind) -> &mut Self {
+        self.scheme = scheme;
+        self
+    }
+
+    /// Enables or disables doppelganger address prediction.
+    pub fn address_prediction(&mut self, enabled: bool) -> &mut Self {
+        self.address_prediction = enabled;
+        self
+    }
+
+    /// Enables load *value* prediction — the DoM+VP comparison mode of
+    /// the paper's §2.3. Mutually exclusive with address prediction and
+    /// only modelled for DoM and the unsafe baseline;
+    /// [`build_core`](Self::build_core) panics otherwise.
+    pub fn value_prediction(&mut self, enabled: bool) -> &mut Self {
+        self.value_prediction = enabled;
+        self
+    }
+
+    /// Overrides the core configuration.
+    pub fn config(&mut self, config: CoreConfig) -> &mut Self {
+        self.config = config;
+        self
+    }
+
+    /// Enables observation-trace recording (security experiments).
+    pub fn trace(&mut self, enabled: bool) -> &mut Self {
+        self.trace = enabled;
+        self
+    }
+
+    /// Builds the underlying [`Core`] without running it (advanced use:
+    /// warming lines, issuing invalidations mid-run in tests).
+    pub fn build_core(&self) -> Core {
+        let mut core = Core::new(self.config, self.scheme, self.address_prediction);
+        if self.value_prediction {
+            core.enable_value_prediction();
+        }
+        if self.trace {
+            core.set_trace(true);
+        }
+        core
+    }
+
+    /// Runs an arbitrary program.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RunError`] from the core.
+    pub fn run_program(
+        &self,
+        program: &Program,
+        memory: SparseMemory,
+        max_cycles: u64,
+    ) -> Result<RunReport, RunError> {
+        self.build_core().run(program, memory, max_cycles)
+    }
+
+    /// Runs a suite workload with its own cycle budget, pre-warming the
+    /// workload's declared hot ranges into the cache hierarchy first
+    /// (the stand-in for simpoint warm-up).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RunError`] from the core.
+    pub fn run_workload(&self, w: &Workload) -> Result<RunReport, RunError> {
+        let mut core = self.build_core();
+        for &(start, bytes) in &w.warm_ranges {
+            let mut addr = start & !63;
+            while addr < start + bytes {
+                core.warm_line(addr);
+                addr += 64;
+            }
+        }
+        core.run(&w.program, w.memory.clone(), w.max_cycles)
+    }
+}
+
+/// Error returned by [`SimBuilder::run_verified`]: the timing model
+/// diverged from the golden model (always a simulator bug).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// The timing model's run failed.
+    Run(RunError),
+    /// The golden model itself faulted (bad program).
+    Golden(String),
+    /// Final state differs from the golden model.
+    Mismatch {
+        /// Human-readable description of the first divergence.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VerifyError::Run(e) => write!(f, "timing model failed: {e}"),
+            VerifyError::Golden(e) => write!(f, "golden model failed: {e}"),
+            VerifyError::Mismatch { detail } => {
+                write!(f, "timing model diverged from the golden model: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+impl SimBuilder {
+    /// Runs `program` and cross-checks the final architectural state
+    /// (all registers, full memory image, instruction count) against
+    /// the in-order golden model. For users modifying the pipeline:
+    /// run this on your workload before trusting timing numbers.
+    ///
+    /// # Errors
+    ///
+    /// [`VerifyError::Mismatch`] on the first divergence; otherwise the
+    /// report.
+    pub fn run_verified(
+        &self,
+        program: &Program,
+        memory: SparseMemory,
+        max_cycles: u64,
+    ) -> Result<RunReport, VerifyError> {
+        let mut emu = dgl_isa::Emulator::new(program, memory.clone());
+        let golden = emu
+            .run(max_cycles.saturating_mul(16).max(1_000_000))
+            .map_err(|e| VerifyError::Golden(e.to_string()))?;
+        let report = self
+            .run_program(program, memory, max_cycles)
+            .map_err(VerifyError::Run)?;
+        if report.committed != golden.instructions {
+            return Err(VerifyError::Mismatch {
+                detail: format!(
+                    "instruction count {} vs golden {}",
+                    report.committed, golden.instructions
+                ),
+            });
+        }
+        for r in dgl_isa::Reg::all() {
+            if report.reg(r) != emu.reg(r) {
+                return Err(VerifyError::Mismatch {
+                    detail: format!("{r} = {} vs golden {}", report.reg(r), emu.reg(r)),
+                });
+            }
+        }
+        if &report.memory != emu.memory() {
+            return Err(VerifyError::Mismatch {
+                detail: "memory image differs".to_owned(),
+            });
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgl_isa::{ProgramBuilder, Reg};
+
+    fn tiny_program() -> Program {
+        let mut b = ProgramBuilder::new("t");
+        b.imm(Reg::new(1), 1).halt();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn default_is_unsafe_baseline() {
+        let b = SimBuilder::new();
+        let rep = b
+            .run_program(&tiny_program(), SparseMemory::new(), 10_000)
+            .unwrap();
+        assert!(rep.halted);
+        assert_eq!(rep.stats.dgl_issued, 0);
+    }
+
+    #[test]
+    fn builder_chains() {
+        let mut b = SimBuilder::new();
+        b.scheme(SchemeKind::NdaP)
+            .address_prediction(true)
+            .config(CoreConfig::tiny())
+            .trace(true);
+        let rep = b
+            .run_program(&tiny_program(), SparseMemory::new(), 10_000)
+            .unwrap();
+        assert!(rep.halted);
+    }
+
+    #[test]
+    fn run_verified_accepts_correct_execution() {
+        let mut b = ProgramBuilder::new("v");
+        b.imm(Reg::new(1), 0x1000)
+            .imm(Reg::new(2), 7)
+            .store(Reg::new(2), Reg::new(1), 0)
+            .load(Reg::new(3), Reg::new(1), 0)
+            .halt();
+        let p = b.build().unwrap();
+        let mut builder = SimBuilder::new();
+        builder.scheme(SchemeKind::DoM).address_prediction(true);
+        let rep = builder
+            .run_verified(&p, SparseMemory::new(), 100_000)
+            .expect("verified");
+        assert_eq!(rep.reg(Reg::new(3)), 7);
+    }
+
+    #[test]
+    fn run_verified_flags_bad_programs() {
+        // A program the golden model rejects (bad indirect target).
+        let mut b = ProgramBuilder::new("bad");
+        b.imm(Reg::new(1), 999).jr(Reg::new(1)).halt();
+        let p = b.build().unwrap();
+        let err = SimBuilder::new()
+            .run_verified(&p, SparseMemory::new(), 10_000)
+            .unwrap_err();
+        assert!(matches!(err, VerifyError::Golden(_) | VerifyError::Run(_)));
+    }
+
+    #[test]
+    fn trace_flag_records_events() {
+        let mut p = ProgramBuilder::new("mem");
+        p.imm(Reg::new(1), 0x4000)
+            .load(Reg::new(2), Reg::new(1), 0)
+            .halt();
+        let p = p.build().unwrap();
+        let mut b = SimBuilder::new();
+        b.trace(true).config(CoreConfig::tiny());
+        let rep = b.run_program(&p, SparseMemory::new(), 10_000).unwrap();
+        assert!(!rep.mem_system.trace().is_empty());
+        let mut b2 = SimBuilder::new();
+        b2.config(CoreConfig::tiny());
+        let rep2 = b2.run_program(&p, SparseMemory::new(), 10_000).unwrap();
+        assert!(rep2.mem_system.trace().is_empty());
+    }
+}

@@ -1,0 +1,617 @@
+//! Reproduction of the paper's evaluation (Figures 1, 6, 7, 8).
+//!
+//! Everything is derived from one *evaluation matrix*: each suite
+//! workload run under each of the eight configurations the paper
+//! evaluates (§6). The figure types embed the paper's reported values
+//! so reports can print paper-vs-measured side by side; absolute
+//! numbers are not expected to match (different substrate, synthetic
+//! workloads) but the shape — who wins, roughly by how much, where the
+//! outliers are — should.
+
+use crate::builder::SimBuilder;
+use dgl_core::SchemeKind;
+use dgl_pipeline::RunError;
+use dgl_stats::{geomean, Align, Table};
+use dgl_workloads::{suite, Scale, Workload};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One of the eight evaluated configurations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ConfigId {
+    /// Unsafe out-of-order baseline.
+    Baseline,
+    /// Baseline + address prediction (§7 "Unsafe Baseline + AP").
+    BaselineAp,
+    /// NDA-P (permissive propagation).
+    Nda,
+    /// NDA-P + doppelganger loads.
+    NdaAp,
+    /// Speculative Taint Tracking.
+    Stt,
+    /// STT + doppelganger loads.
+    SttAp,
+    /// Delay-on-Miss.
+    Dom,
+    /// DoM + doppelganger loads.
+    DomAp,
+}
+
+impl ConfigId {
+    /// All eight configurations in presentation order.
+    pub const ALL: [ConfigId; 8] = [
+        ConfigId::Baseline,
+        ConfigId::BaselineAp,
+        ConfigId::Nda,
+        ConfigId::NdaAp,
+        ConfigId::Stt,
+        ConfigId::SttAp,
+        ConfigId::Dom,
+        ConfigId::DomAp,
+    ];
+
+    /// The underlying scheme.
+    pub fn scheme(self) -> SchemeKind {
+        match self {
+            ConfigId::Baseline | ConfigId::BaselineAp => SchemeKind::Baseline,
+            ConfigId::Nda | ConfigId::NdaAp => SchemeKind::NdaP,
+            ConfigId::Stt | ConfigId::SttAp => SchemeKind::Stt,
+            ConfigId::Dom | ConfigId::DomAp => SchemeKind::DoM,
+        }
+    }
+
+    /// Whether doppelganger address prediction is on.
+    pub fn ap(self) -> bool {
+        matches!(
+            self,
+            ConfigId::BaselineAp | ConfigId::NdaAp | ConfigId::SttAp | ConfigId::DomAp
+        )
+    }
+
+    /// Display label (`nda-p+ap`, ...).
+    pub fn label(self) -> &'static str {
+        match self {
+            ConfigId::Baseline => "baseline",
+            ConfigId::BaselineAp => "baseline+ap",
+            ConfigId::Nda => "nda-p",
+            ConfigId::NdaAp => "nda-p+ap",
+            ConfigId::Stt => "stt",
+            ConfigId::SttAp => "stt+ap",
+            ConfigId::Dom => "dom",
+            ConfigId::DomAp => "dom+ap",
+        }
+    }
+}
+
+impl fmt::Display for ConfigId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Measurements from one (workload, config) run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunCell {
+    /// Instructions per cycle.
+    pub ipc: f64,
+    /// Predictor coverage (meaningful for +AP configs).
+    pub coverage: f64,
+    /// Predictor accuracy (meaningful for +AP configs).
+    pub accuracy: f64,
+    /// L1 data-cache accesses.
+    pub l1_accesses: u64,
+    /// L2 accesses.
+    pub l2_accesses: u64,
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Instructions committed.
+    pub committed: u64,
+}
+
+/// All configurations' measurements for one workload.
+#[derive(Debug, Clone)]
+pub struct MatrixRow {
+    /// Workload name.
+    pub workload: String,
+    /// `2006` / `2017`.
+    pub suite: &'static str,
+    /// Per-configuration cells.
+    pub cells: BTreeMap<ConfigId, RunCell>,
+}
+
+impl MatrixRow {
+    /// IPC of a config normalized to the unsafe baseline.
+    pub fn normalized_ipc(&self, cfg: ConfigId) -> f64 {
+        let base = self.cells[&ConfigId::Baseline].ipc;
+        if base > 0.0 {
+            self.cells[&cfg].ipc / base
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The full evaluation matrix.
+#[derive(Debug, Clone)]
+pub struct Evaluation {
+    /// One row per workload, suite order.
+    pub rows: Vec<MatrixRow>,
+    /// Scale the matrix was collected at.
+    pub scale: Scale,
+}
+
+fn run_one(w: &Workload, cfg: ConfigId) -> Result<RunCell, RunError> {
+    let report = SimBuilder::new()
+        .scheme(cfg.scheme())
+        .address_prediction(cfg.ap())
+        .run_workload(w)?;
+    let (l1, l2, _) = report.caches;
+    Ok(RunCell {
+        ipc: report.ipc(),
+        coverage: report.ap.coverage(),
+        accuracy: report.ap.accuracy(),
+        l1_accesses: l1.accesses,
+        l2_accesses: l2.accesses,
+        cycles: report.cycles,
+        committed: report.committed,
+    })
+}
+
+impl Evaluation {
+    /// Runs `configs` over the whole suite at `scale`, in parallel
+    /// across workloads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`RunError`] from any simulation.
+    pub fn run(scale: Scale, configs: &[ConfigId]) -> Result<Self, RunError> {
+        let workloads = suite(scale);
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(workloads.len());
+        let results: Vec<Result<MatrixRow, RunError>> = std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for chunk in workloads.chunks(workloads.len().div_ceil(threads)) {
+                handles.push(scope.spawn(move || {
+                    chunk
+                        .iter()
+                        .map(|w| {
+                            let mut cells = BTreeMap::new();
+                            for &cfg in configs {
+                                cells.insert(cfg, run_one(w, cfg)?);
+                            }
+                            Ok(MatrixRow {
+                                workload: w.name.to_owned(),
+                                suite: w.suite,
+                                cells,
+                            })
+                        })
+                        .collect::<Vec<_>>()
+                }));
+            }
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("worker thread"))
+                .collect()
+        });
+        let rows = results.into_iter().collect::<Result<Vec<_>, _>>()?;
+        Ok(Self { rows, scale })
+    }
+
+    /// Geometric-mean normalized IPC of one configuration.
+    pub fn gmean_normalized(&self, cfg: ConfigId) -> f64 {
+        let values: Vec<f64> = self.rows.iter().map(|r| r.normalized_ipc(cfg)).collect();
+        geomean(&values)
+    }
+
+    /// Exports the matrix as CSV (one row per workload × configuration)
+    /// for external plotting. Columns: workload, suite, config, ipc,
+    /// normalized_ipc, coverage, accuracy, l1_accesses, l2_accesses,
+    /// cycles, committed.
+    pub fn to_csv(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from(
+            "workload,suite,config,ipc,normalized_ipc,coverage,accuracy,\
+             l1_accesses,l2_accesses,cycles,committed\n",
+        );
+        for row in &self.rows {
+            for (cfg, cell) in &row.cells {
+                let _ = writeln!(
+                    out,
+                    "{},{},{},{:.6},{:.6},{:.6},{:.6},{},{},{},{}",
+                    row.workload,
+                    row.suite,
+                    cfg.label(),
+                    cell.ipc,
+                    row.normalized_ipc(*cfg),
+                    cell.coverage,
+                    cell.accuracy,
+                    cell.l1_accesses,
+                    cell.l2_accesses,
+                    cell.cycles,
+                    cell.committed,
+                );
+            }
+        }
+        out
+    }
+}
+
+/// A single line of Figure 1 / the headline claim.
+#[derive(Debug, Clone, Copy)]
+pub struct SchemeSummary {
+    /// The scheme configuration (without AP).
+    pub base_cfg: ConfigId,
+    /// Measured geomean normalized IPC without AP.
+    pub without_ap: f64,
+    /// Measured geomean normalized IPC with AP.
+    pub with_ap: f64,
+    /// Paper's reported value without AP.
+    pub paper_without: f64,
+    /// Paper's reported value with AP.
+    pub paper_with: f64,
+}
+
+impl SchemeSummary {
+    /// Fraction of the slowdown recovered by AP (the paper's headline
+    /// "reduce the geometric mean slowdown by 42/48/30 %").
+    pub fn slowdown_reduction(&self) -> f64 {
+        let before = 1.0 - self.without_ap;
+        let after = 1.0 - self.with_ap;
+        if before <= 0.0 {
+            0.0
+        } else {
+            (before - after) / before
+        }
+    }
+
+    /// The paper's slowdown reduction for comparison.
+    pub fn paper_slowdown_reduction(&self) -> f64 {
+        let before = 1.0 - self.paper_without;
+        let after = 1.0 - self.paper_with;
+        (before - after) / before
+    }
+}
+
+/// Figure 1: headline geomean performance of the three schemes ± AP,
+/// plus the baseline+AP sanity result.
+#[derive(Debug, Clone)]
+pub struct Figure1 {
+    /// NDA-P, STT, DoM summaries.
+    pub schemes: Vec<SchemeSummary>,
+    /// Measured geomean of baseline+AP (paper: ≈ 1.005).
+    pub baseline_ap: f64,
+}
+
+impl Figure1 {
+    /// Renders a paper-vs-measured table.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(vec![
+            "scheme".into(),
+            "measured".into(),
+            "measured+ap".into(),
+            "slowdown cut".into(),
+            "paper".into(),
+            "paper+ap".into(),
+            "paper cut".into(),
+        ]);
+        for c in 1..7 {
+            t.align(c, Align::Right);
+        }
+        for s in &self.schemes {
+            t.row(vec![
+                s.base_cfg.label().into(),
+                format!("{:.3}", s.without_ap),
+                format!("{:.3}", s.with_ap),
+                format!("{:.0}%", 100.0 * s.slowdown_reduction()),
+                format!("{:.3}", s.paper_without),
+                format!("{:.3}", s.paper_with),
+                format!("{:.0}%", 100.0 * s.paper_slowdown_reduction()),
+            ]);
+        }
+        format!(
+            "Figure 1 — geomean normalized IPC (unsafe baseline = 1.0)\n{}\nbaseline+ap: {:.3} (paper: ~1.005)\n",
+            t, self.baseline_ap
+        )
+    }
+}
+
+/// Runs the Figure 1 experiment.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn figure1(scale: Scale) -> Result<Figure1, RunError> {
+    let eval = Evaluation::run(scale, &ConfigId::ALL)?;
+    Ok(figure1_from(&eval))
+}
+
+/// Derives Figure 1 from an existing evaluation matrix.
+pub fn figure1_from(eval: &Evaluation) -> Figure1 {
+    let paper = [
+        (ConfigId::Nda, ConfigId::NdaAp, 0.887, 0.935),
+        (ConfigId::Stt, ConfigId::SttAp, 0.905, 0.951),
+        (ConfigId::Dom, ConfigId::DomAp, 0.818, 0.873),
+    ];
+    Figure1 {
+        schemes: paper
+            .iter()
+            .map(|&(base, ap, pw, pa)| SchemeSummary {
+                base_cfg: base,
+                without_ap: eval.gmean_normalized(base),
+                with_ap: eval.gmean_normalized(ap),
+                paper_without: pw,
+                paper_with: pa,
+            })
+            .collect(),
+        baseline_ap: eval.gmean_normalized(ConfigId::BaselineAp),
+    }
+}
+
+/// Figure 6: per-workload normalized IPC for the six secure configs.
+#[derive(Debug, Clone)]
+pub struct Figure6 {
+    /// The matrix the figure is derived from.
+    pub eval: Evaluation,
+}
+
+impl Figure6 {
+    /// The configurations Figure 6 plots.
+    pub const CONFIGS: [ConfigId; 6] = [
+        ConfigId::Nda,
+        ConfigId::NdaAp,
+        ConfigId::Stt,
+        ConfigId::SttAp,
+        ConfigId::Dom,
+        ConfigId::DomAp,
+    ];
+
+    /// Renders the per-benchmark table plus the GMEAN row.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(
+            std::iter::once("benchmark".to_owned())
+                .chain(Self::CONFIGS.iter().map(|c| c.label().to_owned()))
+                .collect(),
+        );
+        for c in 1..=Self::CONFIGS.len() {
+            t.align(c, Align::Right);
+        }
+        for row in &self.eval.rows {
+            let values: Vec<f64> = Self::CONFIGS
+                .iter()
+                .map(|&c| row.normalized_ipc(c))
+                .collect();
+            t.row_f64(&row.workload, &values, 3);
+        }
+        let gmeans: Vec<f64> = Self::CONFIGS
+            .iter()
+            .map(|&c| self.eval.gmean_normalized(c))
+            .collect();
+        t.row_f64("GMEAN", &gmeans, 3);
+        format!("Figure 6 — normalized IPC per benchmark (baseline = 1.0)\n{t}")
+    }
+}
+
+/// Runs the Figure 6 experiment.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn figure6(scale: Scale) -> Result<Figure6, RunError> {
+    let eval = Evaluation::run(scale, &ConfigId::ALL)?;
+    Ok(Figure6 { eval })
+}
+
+/// Figure 7: predictor coverage and accuracy per workload (DoM+AP as
+/// the representative configuration, as in the paper).
+#[derive(Debug, Clone)]
+pub struct Figure7 {
+    /// `(workload, coverage, accuracy)` rows.
+    pub rows: Vec<(String, f64, f64)>,
+}
+
+impl Figure7 {
+    /// Geometric-mean coverage.
+    pub fn gmean_coverage(&self) -> f64 {
+        geomean(&self.rows.iter().map(|r| r.1).collect::<Vec<_>>())
+    }
+
+    /// Geometric-mean accuracy.
+    pub fn gmean_accuracy(&self) -> f64 {
+        geomean(&self.rows.iter().map(|r| r.2).collect::<Vec<_>>())
+    }
+
+    /// Renders the coverage/accuracy table.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(vec![
+            "benchmark".into(),
+            "coverage".into(),
+            "accuracy".into(),
+        ]);
+        t.align(1, Align::Right).align(2, Align::Right);
+        for (name, cov, acc) in &self.rows {
+            t.row(vec![
+                name.clone(),
+                format!("{:.1}%", 100.0 * cov),
+                format!("{:.1}%", 100.0 * acc),
+            ]);
+        }
+        t.row(vec![
+            "GMEAN".into(),
+            format!("{:.1}%", 100.0 * self.gmean_coverage()),
+            format!("{:.1}%", 100.0 * self.gmean_accuracy()),
+        ]);
+        format!(
+            "Figure 7 — address prediction under DoM+AP (paper gmean: coverage ~35%, accuracy ~90%)\n{t}"
+        )
+    }
+}
+
+/// Runs the Figure 7 experiment (only needs DoM+AP).
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn figure7(scale: Scale) -> Result<Figure7, RunError> {
+    let eval = Evaluation::run(scale, &[ConfigId::Baseline, ConfigId::DomAp])?;
+    Ok(Figure7 {
+        rows: eval
+            .rows
+            .iter()
+            .map(|r| {
+                let c = &r.cells[&ConfigId::DomAp];
+                (r.workload.clone(), c.coverage, c.accuracy)
+            })
+            .collect(),
+    })
+}
+
+/// Figure 8: L1 and L2 access counts of each +AP configuration,
+/// normalized to the same scheme without AP.
+#[derive(Debug, Clone)]
+pub struct Figure8 {
+    /// The matrix the figure is derived from.
+    pub eval: Evaluation,
+}
+
+impl Figure8 {
+    /// Scheme pairs plotted: `(without AP, with AP)`.
+    pub const PAIRS: [(ConfigId, ConfigId); 3] = [
+        (ConfigId::Nda, ConfigId::NdaAp),
+        (ConfigId::Stt, ConfigId::SttAp),
+        (ConfigId::Dom, ConfigId::DomAp),
+    ];
+
+    /// Normalized access count for a workload row at a cache level.
+    /// `level` is 1 (L1) or 2 (L2).
+    pub fn normalized(&self, row: &MatrixRow, pair: (ConfigId, ConfigId), level: u8) -> f64 {
+        let pick = |c: &RunCell| {
+            if level == 1 {
+                c.l1_accesses
+            } else {
+                c.l2_accesses
+            }
+        };
+        let base = pick(&row.cells[&pair.0]);
+        let with = pick(&row.cells[&pair.1]);
+        if base == 0 {
+            // No accesses at all without AP (e.g. every load forwarded):
+            // report 1.0 when AP adds none either.
+            if with == 0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            with as f64 / base as f64
+        }
+    }
+
+    /// Renders both the L1 and L2 tables.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for level in [1u8, 2u8] {
+            let mut t = Table::new(
+                std::iter::once("benchmark".to_owned())
+                    .chain(
+                        Self::PAIRS
+                            .iter()
+                            .map(|(_, ap)| format!("{} L{level}", ap.label())),
+                    )
+                    .collect(),
+            );
+            for c in 1..=Self::PAIRS.len() {
+                t.align(c, Align::Right);
+            }
+            for row in &self.eval.rows {
+                let values: Vec<f64> = Self::PAIRS
+                    .iter()
+                    .map(|&pair| self.normalized(row, pair, level))
+                    .collect();
+                t.row_f64(&row.workload, &values, 3);
+            }
+            out.push_str(&format!(
+                "Figure 8 — L{level} accesses with AP, normalized to the scheme without AP\n{t}\n"
+            ));
+        }
+        out
+    }
+}
+
+/// Runs the Figure 8 experiment.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn figure8(scale: Scale) -> Result<Figure8, RunError> {
+    let eval = Evaluation::run(scale, &ConfigId::ALL)?;
+    Ok(Figure8 { eval })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_ids_cover_schemes() {
+        assert_eq!(ConfigId::ALL.len(), 8);
+        assert_eq!(ConfigId::NdaAp.scheme(), SchemeKind::NdaP);
+        assert!(ConfigId::NdaAp.ap());
+        assert!(!ConfigId::Nda.ap());
+        assert_eq!(ConfigId::DomAp.label(), "dom+ap");
+    }
+
+    #[test]
+    fn scheme_summary_slowdown_reduction() {
+        let s = SchemeSummary {
+            base_cfg: ConfigId::Nda,
+            without_ap: 0.887,
+            with_ap: 0.935,
+            paper_without: 0.887,
+            paper_with: 0.935,
+        };
+        assert!((s.slowdown_reduction() - 0.4248).abs() < 1e-3);
+        assert!((s.paper_slowdown_reduction() - 0.4248).abs() < 1e-3);
+    }
+
+    #[test]
+    fn csv_export_is_rectangular() {
+        let eval = Evaluation::run(Scale::Custom(1_000), &[ConfigId::Baseline, ConfigId::DomAp])
+            .expect("matrix");
+        let csv = eval.to_csv();
+        let mut lines = csv.lines();
+        let header = lines.next().unwrap();
+        let cols = header.split(',').count();
+        assert_eq!(cols, 11);
+        let mut n = 0;
+        for line in lines {
+            assert_eq!(line.split(',').count(), cols, "ragged row: {line}");
+            n += 1;
+        }
+        assert_eq!(n, eval.rows.len() * 2);
+        assert!(csv.contains("dom+ap"));
+    }
+
+    #[test]
+    fn tiny_evaluation_runs_and_renders() {
+        // A very small matrix to keep the test fast.
+        let eval = Evaluation::run(
+            Scale::Custom(1_500),
+            &[ConfigId::Baseline, ConfigId::Dom, ConfigId::DomAp],
+        )
+        .expect("matrix");
+        assert_eq!(eval.rows.len(), dgl_workloads::suite(Scale::Quick).len());
+        for row in &eval.rows {
+            assert!(row.cells[&ConfigId::Baseline].ipc > 0.0, "{}", row.workload);
+            assert!(
+                row.normalized_ipc(ConfigId::Dom) <= 1.08,
+                "{}: dom {:.3}",
+                row.workload,
+                row.normalized_ipc(ConfigId::Dom)
+            );
+        }
+        let g = eval.gmean_normalized(ConfigId::Dom);
+        assert!(g > 0.1 && g <= 1.05, "gmean {g}");
+    }
+}

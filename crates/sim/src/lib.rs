@@ -1,0 +1,38 @@
+//! High-level facade for the Doppelganger Loads reproduction.
+//!
+//! * [`SimBuilder`] — configure and run one simulation;
+//! * [`experiments`] — regenerate every figure of the paper's
+//!   evaluation (Figures 1, 6, 7, 8 and the baseline+AP result);
+//! * [`security`] — the attack laboratory: Spectre-v1 gadgets, the
+//!   implicit-channel scenarios of Figures 2–4, and observation-trace
+//!   noninterference checks.
+//!
+//! # Examples
+//!
+//! ```
+//! use dgl_sim::SimBuilder;
+//! use dgl_core::SchemeKind;
+//! use dgl_workloads::{by_name, Scale};
+//!
+//! let w = by_name("hmmer_like", Scale::Custom(2_000)).unwrap();
+//! let report = SimBuilder::new()
+//!     .scheme(SchemeKind::Stt)
+//!     .address_prediction(true)
+//!     .run_workload(&w)?;
+//! assert!(report.halted);
+//! # Ok::<(), dgl_pipeline::RunError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod experiments;
+pub mod report;
+pub mod security;
+
+pub use builder::{SimBuilder, VerifyError};
+pub use experiments::{
+    figure1, figure6, figure7, figure8, ConfigId, Figure1, Figure6, Figure7, Figure8,
+};
+pub use report::render_report;

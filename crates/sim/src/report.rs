@@ -1,0 +1,147 @@
+//! Human-readable rendering of a [`RunReport`].
+
+use dgl_pipeline::RunReport;
+use std::fmt::Write as _;
+
+/// Renders a run report as the multi-line summary used by the `dgl`
+/// CLI and the examples.
+///
+/// # Examples
+///
+/// ```
+/// use dgl_sim::{render_report, SimBuilder};
+/// use dgl_isa::{ProgramBuilder, Reg, SparseMemory};
+///
+/// let mut b = ProgramBuilder::new("p");
+/// b.imm(Reg::new(1), 1).halt();
+/// let report = SimBuilder::new().run_program(&b.build()?, SparseMemory::new(), 10_000)?;
+/// let text = render_report("demo", &report);
+/// assert!(text.contains("demo"));
+/// assert!(text.contains("IPC"));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn render_report(label: &str, report: &RunReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{label}: {} instructions in {} cycles (IPC {:.3})",
+        report.committed,
+        report.cycles,
+        report.ipc()
+    );
+    let (l1, l2, l3) = report.caches;
+    let _ = writeln!(
+        out,
+        "  memory: L1 {} accesses ({} misses), L2 {}, L3 {}; load latency mean {:.1} cy, {} loads ≥64 cy",
+        l1.accesses,
+        l1.misses,
+        l2.accesses,
+        l3.accesses,
+        report.load_latency.mean(),
+        report.load_latency.tail_at_least(64),
+    );
+    let _ = writeln!(
+        out,
+        "  branches: {} committed, {} mispredicted; squashed {} instructions ({} memory-order)",
+        report.stats.committed_branches,
+        report.stats.branch_mispredicts,
+        report.stats.squashed,
+        report.stats.memory_order_squashes,
+    );
+    if report.stats.dom_delayed > 0 {
+        let _ = writeln!(
+            out,
+            "  delay-on-miss: {} speculative misses blocked",
+            report.stats.dom_delayed
+        );
+    }
+    if report.stats.dgl_issued > 0 || report.ap.predictions_issued > 0 {
+        let _ = writeln!(
+            out,
+            "  doppelgangers: {} issued, {} propagated; coverage {:.1}%, accuracy {:.1}%",
+            report.stats.dgl_issued,
+            report.stats.dgl_propagated,
+            100.0 * report.ap.coverage(),
+            100.0 * report.ap.accuracy(),
+        );
+    }
+    if report.stats.vp_predicted > 0 {
+        let _ = writeln!(
+            out,
+            "  value prediction: {} predicted, {} squashes; coverage {:.1}%, accuracy {:.1}%",
+            report.stats.vp_predicted,
+            report.stats.vp_squashes,
+            100.0 * report.vp.coverage(),
+            100.0 * report.vp.accuracy(),
+        );
+    }
+    if report.stats.prefetches > 0 {
+        let _ = writeln!(out, "  prefetches issued: {}", report.stats.prefetches);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::SimBuilder;
+    use dgl_core::SchemeKind;
+    use dgl_isa::{ProgramBuilder, Reg, SparseMemory};
+
+    fn demo_report(scheme: SchemeKind, ap: bool) -> RunReport {
+        let mut b = ProgramBuilder::new("p");
+        b.imm(Reg::new(1), 0x4000)
+            .imm(Reg::new(2), 32)
+            .label("top")
+            .load(Reg::new(3), Reg::new(1), 0)
+            .addi(Reg::new(1), Reg::new(1), 8)
+            .subi(Reg::new(2), Reg::new(2), 1)
+            .bne(Reg::new(2), Reg::ZERO, "top")
+            .halt();
+        let mut builder = SimBuilder::new();
+        builder.scheme(scheme).address_prediction(ap);
+        builder
+            .run_program(&b.build().unwrap(), SparseMemory::new(), 100_000)
+            .unwrap()
+    }
+
+    #[test]
+    fn renders_core_lines() {
+        let text = render_report("x", &demo_report(SchemeKind::Baseline, false));
+        assert!(text.contains("x: "));
+        assert!(text.contains("memory: L1"));
+        assert!(text.contains("branches:"));
+        assert!(!text.contains("doppelgangers"), "ap off: no dgl line");
+    }
+
+    #[test]
+    fn renders_dgl_line_when_ap_on() {
+        let text = render_report("x", &demo_report(SchemeKind::DoM, true));
+        assert!(text.contains("doppelgangers"), "text: {text}");
+    }
+
+    #[test]
+    fn renders_dom_line() {
+        let mut b = SimBuilder::new();
+        b.scheme(SchemeKind::DoM);
+        // Strided loads over cold memory: some will be blocked.
+        let mut pb = ProgramBuilder::new("p");
+        pb.imm(Reg::new(1), 0x10000)
+            .imm(Reg::new(2), 64)
+            .label("top");
+        pb.load(Reg::new(3), Reg::new(1), 0)
+            .andi(Reg::new(4), Reg::new(3), 1)
+            .beq(Reg::new(4), Reg::new(4), "nx")
+            .label("nx")
+            .addi(Reg::new(1), Reg::new(1), 64)
+            .subi(Reg::new(2), Reg::new(2), 1)
+            .bne(Reg::new(2), Reg::ZERO, "top")
+            .halt();
+        let rep = b
+            .run_program(&pb.build().unwrap(), SparseMemory::new(), 200_000)
+            .unwrap();
+        if rep.stats.dom_delayed > 0 {
+            assert!(render_report("x", &rep).contains("delay-on-miss"));
+        }
+    }
+}

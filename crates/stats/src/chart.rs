@@ -1,0 +1,118 @@
+//! ASCII bar charts used to render the paper's figures in a terminal.
+
+use std::fmt;
+
+/// A horizontal ASCII bar chart.
+///
+/// The figure-reproduction binaries (`fig6`, `fig7`, ...) use this to
+/// render the paper's bar charts as text.
+///
+/// # Examples
+///
+/// ```
+/// use dgl_stats::BarChart;
+///
+/// let mut c = BarChart::new("normalized IPC", 1.0);
+/// c.bar("mcf_like", 0.52);
+/// let s = c.to_string();
+/// assert!(s.contains("mcf_like"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BarChart {
+    title: String,
+    max_value: f64,
+    width: usize,
+    bars: Vec<(String, f64)>,
+}
+
+impl BarChart {
+    /// Creates a chart. `max_value` is the value that fills the full bar
+    /// width; values above it are clamped visually (the numeric label is
+    /// always exact).
+    pub fn new(title: &str, max_value: f64) -> Self {
+        Self {
+            title: title.to_owned(),
+            max_value: if max_value > 0.0 { max_value } else { 1.0 },
+            width: 50,
+            bars: Vec::new(),
+        }
+    }
+
+    /// Sets the bar width in characters (default 50).
+    pub fn width(&mut self, width: usize) -> &mut Self {
+        self.width = width.max(1);
+        self
+    }
+
+    /// Appends a labelled bar.
+    pub fn bar(&mut self, label: &str, value: f64) -> &mut Self {
+        self.bars.push((label.to_owned(), value));
+        self
+    }
+
+    /// Number of bars.
+    pub fn len(&self) -> usize {
+        self.bars.len()
+    }
+
+    /// Whether the chart has no bars.
+    pub fn is_empty(&self) -> bool {
+        self.bars.is_empty()
+    }
+}
+
+impl fmt::Display for BarChart {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.title)?;
+        let label_w = self
+            .bars
+            .iter()
+            .map(|(l, _)| l.chars().count())
+            .max()
+            .unwrap_or(0);
+        for (label, value) in &self.bars {
+            let frac = (value / self.max_value).clamp(0.0, 1.0);
+            let filled = (frac * self.width as f64).round() as usize;
+            writeln!(
+                f,
+                "{label:<label_w$} |{}{} {value:.3}",
+                "#".repeat(filled),
+                " ".repeat(self.width - filled),
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_title_and_bars() {
+        let mut c = BarChart::new("t", 1.0);
+        c.bar("a", 0.5).bar("b", 1.0);
+        let s = c.to_string();
+        assert!(s.starts_with("t\n"));
+        assert_eq!(s.lines().count(), 3);
+        assert_eq!(c.len(), 2);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn clamps_overlong_bars() {
+        let mut c = BarChart::new("t", 1.0);
+        c.width(10);
+        c.bar("x", 5.0);
+        let line = c.to_string().lines().nth(1).unwrap().to_owned();
+        assert!(line.contains(&"#".repeat(10)));
+        assert!(line.contains("5.000"));
+    }
+
+    #[test]
+    fn zero_max_does_not_divide_by_zero() {
+        let mut c = BarChart::new("t", 0.0);
+        c.bar("x", 0.3);
+        let _ = c.to_string();
+    }
+}

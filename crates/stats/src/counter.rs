@@ -1,0 +1,209 @@
+//! Event counters for simulator statistics.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A saturating event counter.
+///
+/// Counters are the basic unit of simulator bookkeeping: every
+/// microarchitectural event of interest (cache access, squash, prediction)
+/// increments one. Saturating arithmetic means a runaway simulation can
+/// never panic inside statistics code.
+///
+/// # Examples
+///
+/// ```
+/// use dgl_stats::Counter;
+///
+/// let mut c = Counter::new();
+/// c.inc();
+/// c.add(41);
+/// assert_eq!(c.value(), 42);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a counter starting at zero.
+    pub fn new() -> Self {
+        Self(0)
+    }
+
+    /// Increments the counter by one.
+    pub fn inc(&mut self) {
+        self.0 = self.0.saturating_add(1);
+    }
+
+    /// Adds `n` to the counter.
+    pub fn add(&mut self, n: u64) {
+        self.0 = self.0.saturating_add(n);
+    }
+
+    /// Returns the current count.
+    pub fn value(&self) -> u64 {
+        self.0
+    }
+
+    /// Resets the counter to zero.
+    pub fn reset(&mut self) {
+        self.0 = 0;
+    }
+
+    /// Returns this counter as a fraction of `denom`, or 0.0 when
+    /// `denom` is zero.
+    pub fn ratio_of(&self, denom: u64) -> f64 {
+        if denom == 0 {
+            0.0
+        } else {
+            self.0 as f64 / denom as f64
+        }
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u64> for Counter {
+    fn from(v: u64) -> Self {
+        Self(v)
+    }
+}
+
+/// A named collection of counters, useful for ad-hoc instrumentation.
+///
+/// Unlike a struct of [`Counter`] fields, a `CounterSet` can grow at run
+/// time, which the experiment drivers use for per-workload breakdowns.
+///
+/// # Examples
+///
+/// ```
+/// use dgl_stats::CounterSet;
+///
+/// let mut set = CounterSet::new();
+/// set.inc("squashes");
+/// set.add("cycles", 100);
+/// assert_eq!(set.get("squashes"), 1);
+/// assert_eq!(set.get("missing"), 0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CounterSet {
+    counters: BTreeMap<String, Counter>,
+}
+
+impl CounterSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increments the named counter, creating it at zero if absent.
+    pub fn inc(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Adds `n` to the named counter, creating it at zero if absent.
+    pub fn add(&mut self, name: &str, n: u64) {
+        self.counters.entry(name.to_owned()).or_default().add(n);
+    }
+
+    /// Returns the value of the named counter (zero if absent).
+    pub fn get(&self, name: &str) -> u64 {
+        self.counters.get(name).map_or(0, Counter::value)
+    }
+
+    /// Iterates over `(name, value)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), v.value()))
+    }
+
+    /// Number of distinct counters recorded.
+    pub fn len(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Whether no counter has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+
+    /// Merges another set into this one by summing counters.
+    pub fn merge(&mut self, other: &CounterSet) {
+        for (name, value) in other.iter() {
+            self.add(name, value);
+        }
+    }
+}
+
+impl fmt::Display for CounterSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (name, value) in self.iter() {
+            writeln!(f, "{name}: {value}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basic() {
+        let mut c = Counter::new();
+        assert_eq!(c.value(), 0);
+        c.inc();
+        c.add(9);
+        assert_eq!(c.value(), 10);
+        c.reset();
+        assert_eq!(c.value(), 0);
+    }
+
+    #[test]
+    fn counter_saturates() {
+        let mut c = Counter::from(u64::MAX - 1);
+        c.add(100);
+        assert_eq!(c.value(), u64::MAX);
+    }
+
+    #[test]
+    fn counter_ratio() {
+        let mut c = Counter::new();
+        c.add(3);
+        assert!((c.ratio_of(4) - 0.75).abs() < 1e-12);
+        assert_eq!(c.ratio_of(0), 0.0);
+    }
+
+    #[test]
+    fn counter_set_accumulates() {
+        let mut s = CounterSet::new();
+        s.inc("a");
+        s.inc("a");
+        s.add("b", 5);
+        assert_eq!(s.get("a"), 2);
+        assert_eq!(s.get("b"), 5);
+        assert_eq!(s.get("c"), 0);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn counter_set_merge() {
+        let mut a = CounterSet::new();
+        a.add("x", 1);
+        let mut b = CounterSet::new();
+        b.add("x", 2);
+        b.add("y", 3);
+        a.merge(&b);
+        assert_eq!(a.get("x"), 3);
+        assert_eq!(a.get("y"), 3);
+    }
+
+    #[test]
+    fn counter_set_display_nonempty() {
+        let mut s = CounterSet::new();
+        s.inc("events");
+        assert!(format!("{s}").contains("events: 1"));
+    }
+}

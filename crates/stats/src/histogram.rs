@@ -1,0 +1,187 @@
+//! Power-of-two bucketed histograms for latency distributions.
+
+use std::fmt;
+
+/// A histogram with log2 buckets: bucket *k* counts samples in
+/// `[2^k, 2^(k+1))` (bucket 0 counts 0 and 1).
+///
+/// The simulator records load-completion latencies here; the
+/// distribution is how DoM's delayed misses or NDA's locked results
+/// show up most vividly.
+///
+/// # Examples
+///
+/// ```
+/// use dgl_stats::Histogram;
+///
+/// let mut h = Histogram::new();
+/// h.record(3);
+/// h.record(70);
+/// assert_eq!(h.count(), 2);
+/// assert!(h.mean() > 35.0 && h.mean() < 38.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn bucket_of(value: u64) -> usize {
+        (64 - value.max(1).leading_zeros() as usize).saturating_sub(1)
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        let b = Self::bucket_of(value);
+        if self.buckets.len() <= b {
+            self.buckets.resize(b + 1, 0);
+        }
+        self.buckets[b] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Samples at or above `threshold`'s bucket (a cheap tail count).
+    pub fn tail_at_least(&self, threshold: u64) -> u64 {
+        let b = Self::bucket_of(threshold);
+        self.buckets.iter().skip(b).sum()
+    }
+
+    /// Iterates `(bucket_lower_bound, count)` over non-empty buckets.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(k, &c)| (if k == 0 { 0 } else { 1u64 << k }, c))
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (b, &c) in other.buckets.iter().enumerate() {
+            self.buckets[b] += c;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.count == 0 {
+            return write!(f, "(empty histogram)");
+        }
+        writeln!(
+            f,
+            "n={} mean={:.1} max={}",
+            self.count,
+            self.mean(),
+            self.max
+        )?;
+        let peak = self.buckets.iter().copied().max().unwrap_or(1).max(1);
+        for (lo, c) in self.iter() {
+            let bar = "#".repeat(((c as f64 / peak as f64) * 40.0).round() as usize);
+            writeln!(f, "{lo:>8}+ |{bar} {c}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log2() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 0);
+        assert_eq!(Histogram::bucket_of(2), 1);
+        assert_eq!(Histogram::bucket_of(3), 1);
+        assert_eq!(Histogram::bucket_of(4), 2);
+        assert_eq!(Histogram::bucket_of(1023), 9);
+        assert_eq!(Histogram::bucket_of(1024), 10);
+    }
+
+    #[test]
+    fn records_and_summarizes() {
+        let mut h = Histogram::new();
+        for v in [1, 2, 4, 8] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.max(), 8);
+        assert!((h.mean() - 3.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tail_counts() {
+        let mut h = Histogram::new();
+        for v in [1, 5, 70, 80, 300] {
+            h.record(v);
+        }
+        assert_eq!(h.tail_at_least(64), 3);
+        assert_eq!(h.tail_at_least(256), 1);
+        assert_eq!(h.tail_at_least(1), 5);
+    }
+
+    #[test]
+    fn merge_adds_everything() {
+        let mut a = Histogram::new();
+        a.record(10);
+        let mut b = Histogram::new();
+        b.record(1000);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max(), 1000);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        let mut h = Histogram::new();
+        h.record(5);
+        let s = h.to_string();
+        assert!(s.contains("n=1"));
+        assert!(Histogram::new().to_string().contains("empty"));
+    }
+
+    #[test]
+    fn iter_lists_bucket_bounds() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(100);
+        let v: Vec<_> = h.iter().collect();
+        assert_eq!(v, vec![(0, 1), (64, 1)]);
+    }
+}

@@ -1,0 +1,40 @@
+//! Statistics and report-rendering utilities for the Doppelganger Loads
+//! simulator.
+//!
+//! This crate is deliberately free of simulator dependencies: it deals in
+//! plain numbers. It provides
+//!
+//! * [`Counter`] — a named, saturating event counter,
+//! * [`geomean`] / [`normalize`] — the aggregations the paper uses for its
+//!   figures (normalized IPC, geometric-mean slowdowns),
+//! * [`Table`] — ASCII table rendering for experiment reports,
+//! * [`BarChart`] — ASCII horizontal bar charts that stand in for the
+//!   paper's figures in terminal output.
+//!
+//! # Examples
+//!
+//! ```
+//! use dgl_stats::{geomean, normalize};
+//!
+//! let baseline = [2.0, 1.0];
+//! let scheme = [1.8, 0.8];
+//! let normalized = normalize(&scheme, &baseline);
+//! assert!((normalized[0] - 0.9).abs() < 1e-12);
+//! let g = geomean(&normalized);
+//! assert!(g > 0.84 && g < 0.85);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chart;
+pub mod counter;
+pub mod histogram;
+pub mod summary;
+pub mod table;
+
+pub use chart::BarChart;
+pub use counter::{Counter, CounterSet};
+pub use histogram::Histogram;
+pub use summary::{geomean, harmonic_mean, mean, normalize, percent_change, Summary};
+pub use table::{Align, Table};

@@ -1,0 +1,218 @@
+//! Aggregations used by the paper's figures: geometric means, normalized
+//! series, and descriptive summaries.
+
+/// Geometric mean of a slice of positive values.
+///
+/// This is the aggregation the paper uses across benchmarks ("GMEAN" in
+/// Figure 6). Returns `0.0` for an empty slice; non-positive elements are
+/// skipped (they would make the mean undefined).
+///
+/// # Examples
+///
+/// ```
+/// let g = dgl_stats::geomean(&[1.0, 4.0]);
+/// assert!((g - 2.0).abs() < 1e-12);
+/// ```
+pub fn geomean(values: &[f64]) -> f64 {
+    let mut sum_ln = 0.0;
+    let mut n = 0usize;
+    for &v in values {
+        if v > 0.0 {
+            sum_ln += v.ln();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        (sum_ln / n as f64).exp()
+    }
+}
+
+/// Arithmetic mean; `0.0` for an empty slice.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Harmonic mean of positive values; `0.0` if none are positive.
+///
+/// Appropriate when averaging rates such as IPC over equal instruction
+/// counts.
+pub fn harmonic_mean(values: &[f64]) -> f64 {
+    let mut sum_inv = 0.0;
+    let mut n = 0usize;
+    for &v in values {
+        if v > 0.0 {
+            sum_inv += 1.0 / v;
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        n as f64 / sum_inv
+    }
+}
+
+/// Normalizes `values[i]` to `baseline[i]`, element-wise.
+///
+/// This is how the paper presents every performance figure: scheme IPC
+/// divided by unsafe-baseline IPC. Entries with a non-positive baseline
+/// normalize to `0.0`.
+///
+/// # Panics
+///
+/// Panics if the two slices have different lengths.
+pub fn normalize(values: &[f64], baseline: &[f64]) -> Vec<f64> {
+    assert_eq!(
+        values.len(),
+        baseline.len(),
+        "normalize requires equal-length series"
+    );
+    values
+        .iter()
+        .zip(baseline)
+        .map(|(&v, &b)| if b > 0.0 { v / b } else { 0.0 })
+        .collect()
+}
+
+/// Percentage change from `from` to `to` (e.g. `percent_change(0.887, 0.935)
+/// ≈ 5.4`). Returns `0.0` when `from` is zero.
+pub fn percent_change(from: f64, to: f64) -> f64 {
+    if from == 0.0 {
+        0.0
+    } else {
+        (to - from) / from * 100.0
+    }
+}
+
+/// Descriptive summary of a data series.
+///
+/// # Examples
+///
+/// ```
+/// use dgl_stats::Summary;
+///
+/// let s = Summary::of(&[1.0, 2.0, 3.0]);
+/// assert_eq!(s.min, 1.0);
+/// assert_eq!(s.max, 3.0);
+/// assert!((s.mean - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Minimum sample (0.0 when empty).
+    pub min: f64,
+    /// Maximum sample (0.0 when empty).
+    pub max: f64,
+    /// Arithmetic mean (0.0 when empty).
+    pub mean: f64,
+    /// Geometric mean over positive samples (0.0 when none).
+    pub geomean: f64,
+}
+
+impl Summary {
+    /// Computes a summary of the given values.
+    pub fn of(values: &[f64]) -> Self {
+        if values.is_empty() {
+            return Self {
+                count: 0,
+                min: 0.0,
+                max: 0.0,
+                mean: 0.0,
+                geomean: 0.0,
+            };
+        }
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for &v in values {
+            min = min.min(v);
+            max = max.max(v);
+        }
+        Self {
+            count: values.len(),
+            min,
+            max,
+            mean: mean(values),
+            geomean: geomean(values),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_matches_hand_computation() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!((geomean(&[1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_empty_and_nonpositive() {
+        assert_eq!(geomean(&[]), 0.0);
+        assert_eq!(geomean(&[0.0, -1.0]), 0.0);
+        // Non-positive elements are skipped, not poisoned.
+        assert!((geomean(&[0.0, 4.0]) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_and_harmonic() {
+        assert!((mean(&[1.0, 3.0]) - 2.0).abs() < 1e-12);
+        assert!((harmonic_mean(&[1.0, 1.0]) - 1.0).abs() < 1e-12);
+        assert!((harmonic_mean(&[2.0, 6.0]) - 3.0).abs() < 1e-12);
+        assert_eq!(harmonic_mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn normalize_basic() {
+        let n = normalize(&[0.9, 2.0], &[1.0, 4.0]);
+        assert!((n[0] - 0.9).abs() < 1e-12);
+        assert!((n[1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_zero_baseline() {
+        let n = normalize(&[1.0], &[0.0]);
+        assert_eq!(n[0], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn normalize_length_mismatch_panics() {
+        let _ = normalize(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn percent_change_matches_paper_usage() {
+        // NDA-P: 88.7% -> 93.5% of baseline is a 42% cut in slowdown
+        // (computed on the slowdown, not the performance).
+        let slow_before = 100.0 - 88.7;
+        let slow_after = 100.0 - 93.5;
+        let cut = -percent_change(slow_before, slow_after);
+        assert!(cut > 42.0 && cut < 43.0, "cut={cut}");
+    }
+
+    #[test]
+    fn summary_of_empty() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.min, 0.0);
+    }
+
+    #[test]
+    fn summary_of_values() {
+        let s = Summary::of(&[2.0, 8.0]);
+        assert_eq!(s.count, 2);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 8.0);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.geomean - 4.0).abs() < 1e-12);
+    }
+}

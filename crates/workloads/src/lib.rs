@@ -1,0 +1,37 @@
+//! Synthetic SPEC-like workloads for the Doppelganger Loads evaluation.
+//!
+//! The paper evaluates on SPEC CPU2006/2017 simpoints, which cannot be
+//! redistributed. This crate substitutes a suite of ~20 deterministic
+//! kernels, each named after the SPEC program whose *dominant
+//! memory/control behaviour* it imitates (`libquantum_like`,
+//! `mcf_like`, ...). The per-benchmark effects the paper reports are
+//! driven by first-order properties the generators control directly:
+//!
+//! * stride predictability of load addresses (coverage/accuracy,
+//!   Figure 7),
+//! * which cache level the working set lives in (DoM's pain, MLP loss),
+//! * dependent-load depth (NDA-P/STT's pain),
+//! * branch behaviour (shadow lifetimes and squashes).
+//!
+//! Every workload is reproducible: memory images are generated from
+//! fixed seeds, programs terminate with `halt`, and the golden-model
+//! emulator validates each one in the test suite.
+//!
+//! # Examples
+//!
+//! ```
+//! use dgl_workloads::{suite, Scale};
+//!
+//! let all = suite(Scale::Quick);
+//! assert!(all.len() >= 18);
+//! let lib = all.iter().find(|w| w.name == "libquantum_like").unwrap();
+//! assert!(lib.program.len() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod kernels;
+pub mod spec;
+
+pub use spec::{by_name, suite, Scale, Workload};

@@ -1,0 +1,75 @@
+//! Assemble and run a `.dasm` file (or a built-in demo) on the golden
+//! model and on a chosen scheme, comparing architectural results and
+//! showing the timing difference.
+//!
+//! ```sh
+//! cargo run --release --example asm_playground -- path/to/program.dasm dom
+//! cargo run --release --example asm_playground          # built-in demo
+//! ```
+
+use doppelganger_loads::isa::asm::assemble;
+use doppelganger_loads::{Emulator, Reg, SchemeKind, SimBuilder, SparseMemory};
+
+const DEMO: &str = r"
+    # Fibonacci via memory: f[i] = f[i-1] + f[i-2]
+    imm r1, 0x1000      # f base
+    imm r2, 1
+    store r2, [r1]      # f[0] = 1
+    store r2, [r1+8]    # f[1] = 1
+    imm r3, 20          # count
+top:
+    load r4, [r1]
+    load r5, [r1+8]
+    add  r6, r4, r5
+    store r6, [r1+16]
+    addi r1, r1, 8
+    subi r3, r3, 1
+    bne  r3, r0, top
+    load r7, [r1+8]     # final fibonacci number
+    halt
+";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().collect();
+    let (name, source) = match args.get(1) {
+        Some(path) => (path.clone(), std::fs::read_to_string(path)?),
+        None => ("demo".to_owned(), DEMO.to_owned()),
+    };
+    let scheme: SchemeKind = args
+        .get(2)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(SchemeKind::Baseline);
+
+    let program = assemble(&name, &source)?;
+    println!("{}", program.disassemble());
+
+    // Golden model first.
+    let mut emu = Emulator::new(&program, SparseMemory::new());
+    let golden = emu.run(10_000_000)?;
+    println!(
+        "golden model: {} instructions, halted = {}",
+        golden.instructions, golden.halted
+    );
+
+    // Timing model under the chosen scheme.
+    let report = SimBuilder::new()
+        .scheme(scheme)
+        .address_prediction(true)
+        .run_program(&program, SparseMemory::new(), 10_000_000)?;
+    println!(
+        "{scheme}: {} cycles, IPC {:.3}, {} branch mispredicts",
+        report.cycles,
+        report.ipc(),
+        report.stats.branch_mispredicts
+    );
+
+    // The two must agree architecturally.
+    for i in 1..8 {
+        let r = Reg::new(i);
+        assert_eq!(report.reg(r), emu.reg(r), "register {r} diverged!");
+    }
+    println!("architectural state matches the golden model ✔");
+    println!("r7 = {}", report.reg(Reg::new(7)));
+    Ok(())
+}

@@ -1,0 +1,71 @@
+//! The Spectre laboratory: run a bounds-check-bypass gadget on the
+//! simulated core and watch each secure speculation scheme stop the
+//! leak — with and without doppelganger loads.
+//!
+//! ```sh
+//! cargo run --release --example spectre_lab
+//! ```
+//!
+//! The gadget is the paper's Figure 1(a): a transient out-of-bounds
+//! load reads a secret byte, and a dependent load encodes it in which
+//! probe-array cache line gets filled. The "attacker" then inspects
+//! cache state (the in-simulator equivalent of flush+reload).
+
+use doppelganger_loads::sim::security::{LeakOutcome, SpectreV1Lab};
+use doppelganger_loads::SchemeKind;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let secret = 0xA7;
+    let lab = SpectreV1Lab::new(secret);
+    println!("planted secret byte: {secret:#04x}");
+    println!();
+    println!(
+        "{:12} {:>4} {:>14}  verdict",
+        "scheme", "ap", "probe result"
+    );
+
+    for scheme in SchemeKind::ALL {
+        for ap in [false, true] {
+            let (outcome, report) = lab.run(scheme, ap)?;
+            let (text, verdict) = match outcome {
+                LeakOutcome::Leaked(v) => (
+                    format!("leaked {v:#04x}"),
+                    if scheme == SchemeKind::Baseline {
+                        "expected: the unsafe baseline leaks"
+                    } else {
+                        "SECURITY FAILURE"
+                    },
+                ),
+                LeakOutcome::NoLeak => (
+                    "no leak".to_owned(),
+                    if scheme == SchemeKind::Baseline {
+                        "unexpected: the baseline should leak"
+                    } else {
+                        "protected"
+                    },
+                ),
+            };
+            println!(
+                "{:12} {:>4} {:>14}  {} ({} cycles, {} committed)",
+                scheme.name(),
+                if ap { "+ap" } else { "-" },
+                text,
+                verdict,
+                report.cycles,
+                report.committed,
+            );
+        }
+    }
+
+    println!();
+    println!("Why the schemes stop it:");
+    println!("  nda-p : the transient load completes but its value never propagates,");
+    println!("          so the transmitting load's address cannot form.");
+    println!("  stt   : the transient value is tainted; the transmitting load is");
+    println!("          delayed until the taint's root reaches the visibility point.");
+    println!("  dom   : the transmitting load misses in L1 and is blocked before it");
+    println!("          can touch the rest of the hierarchy.");
+    println!("  +ap   : doppelgangers only ever issue *predicted* addresses, which");
+    println!("          are trained on committed execution — never on the secret.");
+    Ok(())
+}

@@ -1,0 +1,184 @@
+//! `dgl` — the Doppelganger Loads command-line interface.
+//!
+//! ```text
+//! dgl suite                          list the bundled workloads
+//! dgl run <workload> [opts]          simulate one workload
+//! dgl asm <file.dasm> [opts]         assemble + simulate a program
+//! dgl attack [--secret BYTE]         run the Spectre laboratory
+//! dgl figures [--insts N]            print the Figure 1 summary
+//!
+//! options: --scheme baseline|nda-p|stt|dom   (default baseline)
+//!          --ap                              enable doppelganger loads
+//!          --vp                              enable value prediction
+//!          --insts N                         instruction budget (default 25000)
+//! ```
+
+use doppelganger_loads::isa::asm::assemble;
+use doppelganger_loads::sim::figure1;
+use doppelganger_loads::sim::security::{LeakOutcome, SpectreV1Lab};
+use doppelganger_loads::workloads::{by_name, suite, Scale};
+use doppelganger_loads::{SchemeKind, SimBuilder, SparseMemory};
+use std::process::ExitCode;
+
+/// `println!` that ignores broken pipes (`dgl ... | head` must not
+/// panic).
+macro_rules! out {
+    ($($arg:tt)*) => {{
+        use std::io::Write as _;
+        let _ = writeln!(std::io::stdout(), $($arg)*);
+    }};
+}
+
+struct Opts {
+    scheme: SchemeKind,
+    ap: bool,
+    vp: bool,
+    insts: u64,
+    secret: u8,
+    positional: Vec<String>,
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut o = Opts {
+        scheme: SchemeKind::Baseline,
+        ap: false,
+        vp: false,
+        insts: 25_000,
+        secret: 0x42,
+        positional: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scheme" => {
+                let v = it.next().ok_or("--scheme needs a value")?;
+                o.scheme = v.parse().map_err(|e| format!("{e}"))?;
+            }
+            "--ap" => o.ap = true,
+            "--vp" => o.vp = true,
+            "--insts" => {
+                let v = it.next().ok_or("--insts needs a value")?;
+                o.insts = v.parse().map_err(|_| format!("bad count `{v}`"))?;
+            }
+            "--secret" => {
+                let v = it.next().ok_or("--secret needs a value")?;
+                let raw = v.strip_prefix("0x").unwrap_or(v);
+                o.secret = u8::from_str_radix(raw, 16)
+                    .or_else(|_| v.parse())
+                    .map_err(|_| format!("bad secret `{v}`"))?;
+            }
+            other if other.starts_with("--") => return Err(format!("unknown flag `{other}`")),
+            other => o.positional.push(other.to_owned()),
+        }
+    }
+    Ok(o)
+}
+
+fn print_report(label: &str, report: &doppelganger_loads::RunReport) {
+    use std::io::Write as _;
+    let _ = write!(
+        std::io::stdout(),
+        "{}",
+        doppelganger_loads::sim::render_report(label, report)
+    );
+}
+
+fn cmd_suite(o: &Opts) -> Result<(), String> {
+    out!("{:18} {:5} description", "name", "suite");
+    for w in suite(Scale::Custom(o.insts)) {
+        out!("{:18} {:5} {}", w.name, w.suite, w.description);
+    }
+    Ok(())
+}
+
+fn cmd_run(o: &Opts) -> Result<(), String> {
+    let name = o.positional.first().ok_or("run needs a workload name")?;
+    let w = by_name(name, Scale::Custom(o.insts))
+        .ok_or_else(|| format!("unknown workload `{name}` (try `dgl suite`)"))?;
+    let mut b = SimBuilder::new();
+    b.scheme(o.scheme)
+        .address_prediction(o.ap)
+        .value_prediction(o.vp);
+    let report = b.run_workload(&w).map_err(|e| e.to_string())?;
+    print_report(
+        &format!(
+            "{name} under {}{}{}",
+            o.scheme,
+            if o.ap { "+ap" } else { "" },
+            if o.vp { "+vp" } else { "" }
+        ),
+        &report,
+    );
+    Ok(())
+}
+
+fn cmd_asm(o: &Opts) -> Result<(), String> {
+    let path = o.positional.first().ok_or("asm needs a .dasm file path")?;
+    let source = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let program = assemble(path, &source).map_err(|e| e.to_string())?;
+    let mut b = SimBuilder::new();
+    b.scheme(o.scheme)
+        .address_prediction(o.ap)
+        .value_prediction(o.vp);
+    let report = b
+        .run_program(&program, SparseMemory::new(), o.insts.max(1) * 1_000)
+        .map_err(|e| e.to_string())?;
+    print_report(path, &report);
+    for i in 1..8 {
+        let r = doppelganger_loads::Reg::new(i);
+        out!("  {r} = {}", report.reg(r));
+    }
+    Ok(())
+}
+
+fn cmd_attack(o: &Opts) -> Result<(), String> {
+    if o.secret == 0 {
+        return Err("--secret must be nonzero (0 aliases the training line)".into());
+    }
+    let lab = SpectreV1Lab::new(o.secret);
+    out!("planted secret {:#04x}", o.secret);
+    for scheme in SchemeKind::ALL {
+        for ap in [false, true] {
+            let (outcome, _) = lab.run(scheme, ap).map_err(|e| e.to_string())?;
+            out!(
+                "  {:10}{}  {}",
+                scheme.name(),
+                if ap { "+ap" } else { "   " },
+                match outcome {
+                    LeakOutcome::Leaked(v) => format!("LEAKED {v:#04x}"),
+                    LeakOutcome::NoLeak => "no leak".into(),
+                }
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_figures(o: &Opts) -> Result<(), String> {
+    let fig = figure1(Scale::Custom(o.insts)).map_err(|e| e.to_string())?;
+    out!("{}", fig.render());
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("usage: dgl <suite|run|asm|attack|figures> [options]");
+        return ExitCode::FAILURE;
+    };
+    let result = parse_opts(rest).and_then(|o| match cmd.as_str() {
+        "suite" => cmd_suite(&o),
+        "run" => cmd_run(&o),
+        "asm" => cmd_asm(&o),
+        "attack" => cmd_attack(&o),
+        "figures" => cmd_figures(&o),
+        other => Err(format!("unknown command `{other}`")),
+    });
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("dgl: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

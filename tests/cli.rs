@@ -1,0 +1,133 @@
+//! End-to-end tests of the `dgl` command-line interface, driving the
+//! real binary via `CARGO_BIN_EXE_dgl`.
+
+use std::process::Command;
+
+fn dgl(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_dgl"))
+        .args(args)
+        .output()
+        .expect("spawn dgl")
+}
+
+#[test]
+fn suite_lists_all_workloads() {
+    let out = dgl(&["suite"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    let workloads =
+        doppelganger_loads::workloads::suite(doppelganger_loads::workloads::Scale::Custom(500));
+    for w in &workloads {
+        assert!(text.contains(w.name), "missing {}", w.name);
+    }
+}
+
+#[test]
+fn run_reports_ipc_and_doppelgangers() {
+    let out = dgl(&[
+        "run",
+        "hmmer_like",
+        "--scheme",
+        "stt",
+        "--ap",
+        "--insts",
+        "3000",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("IPC"));
+    assert!(text.contains("doppelgangers"));
+}
+
+#[test]
+fn run_rejects_unknown_workload() {
+    let out = dgl(&["run", "doom_like"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown workload"));
+}
+
+#[test]
+fn attack_reports_the_leak_matrix() {
+    let out = dgl(&["attack", "--secret", "0x5a", "--insts", "1000"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("LEAKED 0x5a"), "baseline must leak: {text}");
+    // Every secure line reports no leak.
+    for line in text.lines() {
+        if line.contains("nda") || line.contains("stt") || line.contains("dom") {
+            assert!(line.contains("no leak"), "line: {line}");
+        }
+    }
+}
+
+#[test]
+fn attack_rejects_zero_secret() {
+    let out = dgl(&["attack", "--secret", "0"]);
+    assert!(!out.status.success());
+}
+
+#[test]
+fn asm_runs_the_bundled_gcd_program() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/examples/programs/gcd.dasm");
+    let out = dgl(&["asm", path]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("r3 = 21"), "gcd(1071, 462) = 21: {text}");
+}
+
+#[test]
+fn unknown_flag_and_command_fail_cleanly() {
+    assert!(!dgl(&["run", "hmmer_like", "--bogus"]).status.success());
+    assert!(!dgl(&["frobnicate"]).status.success());
+    assert!(!dgl(&[]).status.success());
+}
+
+#[test]
+fn vp_flag_reports_value_prediction() {
+    let out = dgl(&[
+        "run",
+        "hmmer_like",
+        "--scheme",
+        "dom",
+        "--vp",
+        "--insts",
+        "3000",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("value prediction"), "{text}");
+}
+
+#[test]
+fn asm_runs_recursive_fibonacci() {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/examples/programs/fib_rec.dasm"
+    );
+    let out = dgl(&["asm", path, "--scheme", "stt", "--ap"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("r4 = 144"),
+        "fib(12) = 144"
+    );
+}

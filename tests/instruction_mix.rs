@@ -1,0 +1,57 @@
+//! The pipeline's committed-instruction accounting must match the
+//! golden model's instruction mix exactly: committed loads, stores,
+//! and branch counts are architectural facts, independent of scheme,
+//! prediction, or timing.
+
+use doppelganger_loads::isa::Emulator;
+use doppelganger_loads::workloads::{suite, Scale};
+use doppelganger_loads::{SchemeKind, SimBuilder};
+
+#[test]
+fn committed_mix_matches_the_golden_model() {
+    for w in suite(Scale::Custom(3_000)) {
+        let mut emu = Emulator::new(&w.program, w.memory.clone());
+        emu.run(50_000_000).unwrap();
+        let (loads, stores, branches, _) = emu.mix();
+        for (scheme, ap) in [
+            (SchemeKind::Baseline, false),
+            (SchemeKind::NdaP, true),
+            (SchemeKind::Stt, true),
+            (SchemeKind::DoM, true),
+        ] {
+            let mut b = SimBuilder::new();
+            b.scheme(scheme).address_prediction(ap);
+            let rep = b.run_workload(&w).unwrap();
+            assert_eq!(
+                rep.stats.committed_loads, loads,
+                "{} {scheme} ap={ap}: loads",
+                w.name
+            );
+            assert_eq!(
+                rep.stats.committed_stores, stores,
+                "{} {scheme} ap={ap}: stores",
+                w.name
+            );
+            // The emulator counts conditional branches; the pipeline
+            // additionally counts indirect control (jr/ret), so the
+            // pipeline count must be >= and the conditional part equal.
+            assert!(
+                rep.stats.committed_branches >= branches,
+                "{} {scheme} ap={ap}: branches {} < {}",
+                w.name,
+                rep.stats.committed_branches,
+                branches
+            );
+            // Latency histogram covers at least every committed load
+            // (squashed wrong-path loads that had already propagated
+            // also contribute samples).
+            assert!(
+                rep.load_latency.count() >= loads,
+                "{} {scheme} ap={ap}: {} latency samples < {} committed loads",
+                w.name,
+                rep.load_latency.count(),
+                loads
+            );
+        }
+    }
+}

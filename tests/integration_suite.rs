@@ -1,0 +1,120 @@
+//! Cross-crate integration: the full workload suite runs under the full
+//! configuration matrix, halts, matches the golden model, and exhibits
+//! the paper's qualitative relationships.
+
+use doppelganger_loads::isa::Emulator;
+use doppelganger_loads::workloads::{suite, Scale};
+use doppelganger_loads::{SchemeKind, SimBuilder};
+
+const SCALE: Scale = Scale::Custom(4_000);
+
+#[test]
+fn every_workload_matches_golden_model_under_every_config() {
+    for w in suite(SCALE) {
+        let mut emu = Emulator::new(&w.program, w.memory.clone());
+        let golden = emu.run(50_000_000).unwrap();
+        assert!(golden.halted, "{}", w.name);
+        for scheme in SchemeKind::ALL {
+            for ap in [false, true] {
+                let mut b = SimBuilder::new();
+                b.scheme(scheme).address_prediction(ap);
+                let report = b
+                    .run_workload(&w)
+                    .unwrap_or_else(|e| panic!("{} {scheme} ap={ap}: {e}", w.name));
+                assert!(report.halted, "{} {scheme} ap={ap}", w.name);
+                assert_eq!(
+                    report.committed, golden.instructions,
+                    "{} {scheme} ap={ap}",
+                    w.name
+                );
+                assert_eq!(
+                    &report.memory,
+                    emu.memory(),
+                    "{} {scheme} ap={ap}: memory image",
+                    w.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn secure_schemes_never_meaningfully_beat_baseline() {
+    for w in suite(SCALE) {
+        let base = SimBuilder::new().run_workload(&w).unwrap().ipc();
+        for scheme in SchemeKind::SECURE {
+            let mut b = SimBuilder::new();
+            b.scheme(scheme);
+            let ipc = b.run_workload(&w).unwrap().ipc();
+            assert!(
+                ipc <= base * 1.05,
+                "{}: {scheme} {ipc:.3} vs baseline {base:.3}",
+                w.name
+            );
+        }
+    }
+}
+
+#[test]
+fn address_prediction_never_catastrophically_regresses() {
+    // The paper tolerates small AP losses (xalancbmk under DoM loses
+    // ~3%); anything beyond ~15% would be a mechanism bug.
+    for w in suite(SCALE) {
+        for scheme in SchemeKind::SECURE {
+            let mut b = SimBuilder::new();
+            b.scheme(scheme);
+            let without = b.run_workload(&w).unwrap().ipc();
+            b.address_prediction(true);
+            let with = b.run_workload(&w).unwrap().ipc();
+            assert!(
+                with >= without * 0.85,
+                "{} {scheme}: ap {with:.3} vs {without:.3}",
+                w.name
+            );
+        }
+    }
+}
+
+#[test]
+fn doppelganger_counters_are_consistent() {
+    for w in suite(SCALE) {
+        let mut b = SimBuilder::new();
+        b.scheme(SchemeKind::Stt).address_prediction(true);
+        let report = b.run_workload(&w).unwrap();
+        assert!(
+            report.stats.dgl_propagated <= report.stats.dgl_issued + report.ap.predictions_issued,
+            "{}: propagated {} vs issued {}",
+            w.name,
+            report.stats.dgl_propagated,
+            report.stats.dgl_issued
+        );
+        let s = report.ap;
+        assert!(s.correct_predictions <= s.predicted_loads, "{}", w.name);
+        assert!(s.predicted_loads <= s.committed_loads, "{}", w.name);
+        assert_eq!(
+            s.committed_loads, report.stats.committed_loads,
+            "{}: load accounting",
+            w.name
+        );
+    }
+}
+
+#[test]
+fn coverage_and_accuracy_shapes_match_the_paper() {
+    // Figure 7's qualitative shape: streaming kernels near-full
+    // coverage/accuracy, chases near zero, stride-run kernels low
+    // accuracy.
+    let get = |name: &str| {
+        let w = doppelganger_loads::workloads::by_name(name, SCALE).unwrap();
+        let mut b = SimBuilder::new();
+        b.scheme(SchemeKind::DoM).address_prediction(true);
+        let r = b.run_workload(&w).unwrap();
+        (r.ap.coverage(), r.ap.accuracy())
+    };
+    let (cov, acc) = get("libquantum_like");
+    assert!(cov > 0.8 && acc > 0.95, "libquantum {cov:.2}/{acc:.2}");
+    let (cov, _) = get("mcf_like");
+    assert!(cov < 0.25, "mcf coverage {cov:.2}");
+    let (cov, acc) = get("xalancbmk_like");
+    assert!(cov > 0.5 && acc < 0.75, "xalancbmk {cov:.2}/{acc:.2}");
+}

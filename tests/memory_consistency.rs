@@ -1,0 +1,100 @@
+//! §4.5: doppelganger loads and memory consistency. External
+//! invalidations snoop the load queue; a doppelganger whose predicted
+//! address matches is **not** squashed — the note takes effect when the
+//! preload would propagate, and is ignored entirely on mispredictions.
+//! Architectural results must always match the golden model, with or
+//! without invalidation storms.
+
+use doppelganger_loads::isa::{Emulator, ProgramBuilder, Reg};
+use doppelganger_loads::{CoreConfig, SchemeKind, SimBuilder, SparseMemory};
+
+fn r(i: u8) -> Reg {
+    Reg::new(i)
+}
+
+/// A strided dependent-load loop whose lines we invalidate mid-run.
+fn looped_loads() -> (doppelganger_loads::Program, SparseMemory) {
+    let mut b = ProgramBuilder::new("inval_target");
+    b.imm(r(1), 0x10000)
+        .imm(r(2), 200)
+        .imm(r(3), 0)
+        .label("top")
+        .load(r(4), r(1), 0)
+        .add(r(3), r(3), r(4))
+        .addi(r(1), r(1), 8)
+        .subi(r(2), r(2), 1)
+        .bne(r(2), Reg::ZERO, "top")
+        .halt();
+    let mut mem = SparseMemory::new();
+    for i in 0..200u64 {
+        mem.write_u64(0x10000 + 8 * i, i + 1);
+    }
+    (b.build().unwrap(), mem)
+}
+
+#[test]
+fn invalidations_never_change_architectural_results() {
+    let (p, mem) = looped_loads();
+    let mut emu = Emulator::new(&p, mem.clone());
+    let golden = emu.run(1_000_000).unwrap();
+    for scheme in SchemeKind::ALL {
+        for ap in [false, true] {
+            let mut builder = SimBuilder::new();
+            builder.scheme(scheme).address_prediction(ap);
+            let mut core = builder.build_core();
+            // An invalidation storm across the loop's working set while
+            // loads are in flight.
+            for k in 0..40u64 {
+                core.inject_invalidation_at(20 + 7 * k, 0x10000 + 64 * (k % 25));
+            }
+            let report = core.run(&p, mem.clone(), 2_000_000).unwrap();
+            assert!(report.halted, "{scheme} ap={ap}");
+            assert_eq!(report.committed, golden.instructions, "{scheme} ap={ap}");
+            assert_eq!(report.reg(r(3)), emu.reg(r(3)), "{scheme} ap={ap}");
+        }
+    }
+}
+
+#[test]
+fn invalidation_slows_but_does_not_wedge() {
+    // The invalidated lines must be refetched; cycles may grow but the
+    // run completes well inside the budget.
+    let (p, mem) = looped_loads();
+    let mut builder = SimBuilder::new();
+    builder
+        .scheme(SchemeKind::DoM)
+        .address_prediction(true)
+        .config(CoreConfig::default());
+    let baseline = builder.run_program(&p, mem.clone(), 2_000_000).unwrap();
+
+    let mut core = builder.build_core();
+    for k in 0..100u64 {
+        core.inject_invalidation_at(10 + 3 * k, 0x10000 + 64 * (k % 25));
+    }
+    let stormy = core.run(&p, mem.clone(), 4_000_000).unwrap();
+    assert!(stormy.halted);
+    assert!(
+        stormy.cycles >= baseline.cycles,
+        "storm {} vs calm {}",
+        stormy.cycles,
+        baseline.cycles
+    );
+}
+
+#[test]
+fn invalidating_unused_lines_is_inert() {
+    let (p, mem) = looped_loads();
+    let mut builder = SimBuilder::new();
+    builder.scheme(SchemeKind::Stt).address_prediction(true);
+    let calm = builder.run_program(&p, mem.clone(), 2_000_000).unwrap();
+    let mut core = builder.build_core();
+    for k in 0..50u64 {
+        core.inject_invalidation_at(10 + 5 * k, 0xDEAD_0000 + 64 * k);
+    }
+    let stormy = core.run(&p, mem.clone(), 2_000_000).unwrap();
+    assert_eq!(
+        stormy.cycles, calm.cycles,
+        "unrelated lines must not perturb"
+    );
+    assert_eq!(stormy.regs, calm.regs);
+}

@@ -1,0 +1,149 @@
+//! End-to-end assertions of the paper's headline claims, run on a
+//! reduced instruction budget (the full-budget record lives in
+//! EXPERIMENTS.md). These are the statements a reviewer would check
+//! first; if a refactor breaks the shape, this suite catches it.
+
+use doppelganger_loads::sim::experiments::{figure1_from, ConfigId, Evaluation};
+use doppelganger_loads::workloads::Scale;
+
+const SCALE: Scale = Scale::Custom(6_000);
+
+fn matrix() -> Evaluation {
+    Evaluation::run(SCALE, &ConfigId::ALL).expect("evaluation matrix")
+}
+
+#[test]
+fn headline_figure1_shape() {
+    let eval = matrix();
+    let fig = figure1_from(&eval);
+
+    for s in &fig.schemes {
+        // Every scheme pays a real slowdown...
+        assert!(
+            s.without_ap < 0.99,
+            "{}: no measurable slowdown ({:.3})",
+            s.base_cfg.label(),
+            s.without_ap
+        );
+        // ...and address prediction recovers a nontrivial part of it
+        // (paper: 42%, 48%, 30%).
+        let cut = s.slowdown_reduction();
+        assert!(
+            cut > 0.15,
+            "{}: slowdown cut only {:.0}%",
+            s.base_cfg.label(),
+            100.0 * cut
+        );
+    }
+
+    // Scheme ordering without AP: STT least slowdown, DoM worst.
+    let by = |c: ConfigId| eval.gmean_normalized(c);
+    assert!(
+        by(ConfigId::Stt) >= by(ConfigId::Nda),
+        "STT should lead NDA-P"
+    );
+    assert!(
+        by(ConfigId::Nda) > by(ConfigId::Dom),
+        "NDA-P should lead DoM"
+    );
+
+    // The paper's pointed observation: NDA-P *with* AP outpaces the
+    // more complex STT *without* AP.
+    assert!(
+        by(ConfigId::NdaAp) > by(ConfigId::Stt),
+        "NDA-P+AP {:.3} should outpace plain STT {:.3}",
+        by(ConfigId::NdaAp),
+        by(ConfigId::Stt)
+    );
+
+    // §7: the unsafe baseline gains almost nothing from AP alone.
+    assert!(
+        (0.97..=1.05).contains(&fig.baseline_ap),
+        "baseline+AP should be ~1.0, got {:.3}",
+        fig.baseline_ap
+    );
+}
+
+#[test]
+fn every_ap_config_beats_or_matches_its_scheme_geomean() {
+    let eval = matrix();
+    for (base, ap) in [
+        (ConfigId::Nda, ConfigId::NdaAp),
+        (ConfigId::Stt, ConfigId::SttAp),
+        (ConfigId::Dom, ConfigId::DomAp),
+    ] {
+        let without = eval.gmean_normalized(base);
+        let with = eval.gmean_normalized(ap);
+        assert!(
+            with >= without,
+            "{}: {:.3} -> {:.3}",
+            base.label(),
+            without,
+            with
+        );
+    }
+}
+
+#[test]
+fn figure7_outlier_orderings() {
+    let eval = matrix();
+    let cell = |name: &str| {
+        let row = eval
+            .rows
+            .iter()
+            .find(|r| r.workload == name)
+            .unwrap_or_else(|| panic!("workload {name}"));
+        row.cells[&ConfigId::DomAp]
+    };
+    // xalancbmk has the worst accuracy of the suite (paper: < 60%).
+    let xal = cell("xalancbmk_like");
+    for regular in ["libquantum_like", "hmmer_like", "gcc_like"] {
+        assert!(
+            cell(regular).accuracy > xal.accuracy,
+            "{regular} accuracy should beat xalancbmk's"
+        );
+    }
+    // mcf's coverage is far below the streaming kernels' (paper: 9%).
+    assert!(cell("mcf_like").coverage < 0.35);
+    assert!(cell("libquantum_like").coverage > 0.8);
+}
+
+#[test]
+fn dom_suffers_uniquely_on_l2_resident_stencils() {
+    // GemsFDTD: the paper's example of DoM-specific pain that AP fixes.
+    let eval = matrix();
+    let row = eval
+        .rows
+        .iter()
+        .find(|r| r.workload == "GemsFDTD_like")
+        .expect("workload");
+    let nda = row.normalized_ipc(ConfigId::Nda);
+    let dom = row.normalized_ipc(ConfigId::Dom);
+    let dom_ap = row.normalized_ipc(ConfigId::DomAp);
+    assert!(dom < nda * 0.9, "DoM {dom:.3} should trail NDA-P {nda:.3}");
+    assert!(dom_ap > dom * 1.2, "AP should recover DoM's stencil loss");
+}
+
+#[test]
+fn nda_strict_is_worse_than_permissive() {
+    // Extension check (§2.1): strict data propagation blocks ILP as
+    // well as MLP, which is why the paper optimizes NDA-P.
+    use doppelganger_loads::workloads::by_name;
+    use doppelganger_loads::{SchemeKind, SimBuilder};
+    for name in ["hmmer_like", "libquantum_like", "exchange2_s_like"] {
+        let w = by_name(name, SCALE).unwrap();
+        let base = SimBuilder::new().run_workload(&w).unwrap().ipc();
+        let mut b = SimBuilder::new();
+        b.scheme(SchemeKind::NdaP);
+        let ndap = b.run_workload(&w).unwrap().ipc();
+        let mut b = SimBuilder::new();
+        b.scheme(SchemeKind::NdaS);
+        let ndas = b.run_workload(&w).unwrap().ipc();
+        assert!(
+            ndas <= ndap * 1.02,
+            "{name}: NDA-S {:.3} should not beat NDA-P {:.3}",
+            ndas / base,
+            ndap / base
+        );
+    }
+}

@@ -1,0 +1,178 @@
+//! Predictor-training isolation: the security key of the whole approach
+//! is that the address predictor (and branch predictor) are trained
+//! **only on committed execution**. If wrong-path (transient) loads
+//! could train the stride table, a speculatively-read secret could
+//! steer later doppelganger addresses and leak.
+//!
+//! The test builds a gadget where a transient region performs loads at
+//! *secret-dependent* addresses with a consistent stride, then runs the
+//! same committed-path program with two different secrets. If transient
+//! execution trained anything, the later doppelganger/prefetch traffic
+//! would differ; we assert the full observable state is identical.
+
+use doppelganger_loads::isa::{ProgramBuilder, Reg};
+use doppelganger_loads::{SchemeKind, SimBuilder, SparseMemory};
+
+fn r(i: u8) -> Reg {
+    Reg::new(i)
+}
+
+const SECRET: i64 = 0x0040_0000;
+const CHAIN: i64 = 0x0050_0000;
+const VICTIM: i64 = 0x0060_0000;
+
+/// A gadget whose *transient* region strides through memory at a
+/// secret-scaled address, then (on the committed path) runs a strided
+/// loop at a fixed PC — the load the attacker would later observe.
+fn gadget() -> doppelganger_loads::Program {
+    let mut b = ProgramBuilder::new("train_isolation");
+    b.imm(r(9), SECRET)
+        .load(r(9), r(9), 0) // secret into a register
+        .imm(r(2), CHAIN)
+        .imm(r(5), 8) // transient-attempt iterations
+        .label("spin")
+        .load(r(2), r(2), 0) // slow guard operand
+        .load(r(7), r(2), 8) // always 1
+        .bne(r(7), Reg::ZERO, "after") // taken; cold-mispredicted at first
+        // --- transient-only: strided loads at secret-scaled addresses.
+        // If these trained the predictor, later predictions would be
+        // secret-dependent.
+        .shli(r(10), r(9), 12)
+        .addi(r(10), r(10), VICTIM as i32)
+        .load(Reg::ZERO, r(10), 0)
+        .load(Reg::ZERO, r(10), 64)
+        .load(Reg::ZERO, r(10), 128)
+        .label("after")
+        .subi(r(5), r(5), 1)
+        .bne(r(5), Reg::ZERO, "spin")
+        // --- committed path: an innocent strided loop.
+        .imm(r(1), VICTIM)
+        .imm(r(3), 64)
+        .label("loop")
+        .load(r(4), r(1), 0)
+        .addi(r(1), r(1), 8)
+        .subi(r(3), r(3), 1)
+        .bne(r(3), Reg::ZERO, "loop")
+        .halt();
+    b.build().unwrap()
+}
+
+fn memory(secret: u64) -> SparseMemory {
+    let mut m = SparseMemory::new();
+    m.write_u64(SECRET as u64, secret);
+    let mut node = CHAIN as u64;
+    let mut state = 7u64;
+    for _ in 0..10 {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let next = CHAIN as u64 + (state % 2048) * 0x1000;
+        m.write_u64(node, next);
+        m.write_u64(node + 8, 1);
+        node = next;
+    }
+    for i in 0..64 {
+        m.write_u64(VICTIM as u64 + 8 * i, i);
+    }
+    m
+}
+
+#[test]
+fn predictor_statistics_are_secret_independent_everywhere() {
+    // The secret flows only through the transient region. If transient
+    // loads could train the stride table, prediction counts would vary
+    // with the secret; they must not, under any scheme.
+    for scheme in SchemeKind::ALL {
+        let mut results = Vec::new();
+        for secret in [3u64, 200u64] {
+            let mut builder = SimBuilder::new();
+            builder.scheme(scheme).address_prediction(true);
+            let report = builder
+                .run_program(&gadget(), memory(secret), 2_000_000)
+                .unwrap();
+            assert!(report.halted, "{scheme} secret={secret}");
+            results.push(report);
+        }
+        let (a, b) = (&results[0], &results[1]);
+        assert_eq!(
+            a.ap.predictions_issued, b.ap.predictions_issued,
+            "{scheme}: prediction count differs by secret"
+        );
+        assert_eq!(a.ap.coverage(), b.ap.coverage(), "{scheme}: coverage");
+        assert_eq!(a.ap.accuracy(), b.ap.accuracy(), "{scheme}: accuracy");
+        // Architectural state is secret-independent apart from r9
+        // (which holds the secret itself).
+        assert_eq!(a.committed, b.committed, "{scheme}");
+    }
+}
+
+#[test]
+fn dom_observable_traffic_is_secret_independent() {
+    // The transient loads use *register-derived* (not speculatively
+    // loaded) addresses, so NDA-P/STT legitimately let them through —
+    // register secrets are outside their threat model (§3.1). DoM is
+    // the scheme that protects them, and adding doppelgangers must not
+    // change that: the attacker-observable trace (L2+ lookups and all
+    // fills) must be identical for any secret.
+    for ap in [false, true] {
+        let mut observations = Vec::new();
+        for secret in [3u64, 200u64] {
+            let mut builder = SimBuilder::new();
+            builder
+                .scheme(SchemeKind::DoM)
+                .address_prediction(ap)
+                .trace(true);
+            let report = builder
+                .run_program(&gadget(), memory(secret), 2_000_000)
+                .unwrap();
+            observations.push((
+                report.cycles,
+                doppelganger_loads::sim::security::observation(&report),
+            ));
+        }
+        assert_eq!(
+            observations[0].1, observations[1].1,
+            "DoM ap={ap}: observable memory traffic differs by secret"
+        );
+        assert_eq!(
+            observations[0].0, observations[1].0,
+            "DoM ap={ap}: timing differs by secret"
+        );
+    }
+}
+
+#[test]
+fn committed_strided_loop_is_predicted_after_training() {
+    // Positive control: the committed-path loop *does* train the
+    // predictor (so the isolation test above is not vacuous because
+    // prediction never happens at all).
+    let mut builder = SimBuilder::new();
+    builder
+        .scheme(SchemeKind::Baseline)
+        .address_prediction(true);
+    let report = builder
+        .run_program(&gadget(), memory(3), 2_000_000)
+        .unwrap();
+    assert!(
+        report.ap.predictions_issued > 10,
+        "the committed loop should produce predictions, got {}",
+        report.ap.predictions_issued
+    );
+}
+
+#[test]
+fn wrong_path_work_exists() {
+    // Sanity: the gadget really does execute transient instructions
+    // (otherwise the isolation claim is untested).
+    let mut builder = SimBuilder::new();
+    builder
+        .scheme(SchemeKind::Baseline)
+        .address_prediction(true);
+    let report = builder
+        .run_program(&gadget(), memory(3), 2_000_000)
+        .unwrap();
+    assert!(
+        report.stats.squashed > 0,
+        "expected squashed wrong-path instructions"
+    );
+}

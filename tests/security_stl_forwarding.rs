@@ -1,0 +1,106 @@
+//! §4.4 / Figure 3: doppelganger loads and store-to-load forwarding.
+//!
+//! A doppelganger issues *regardless* of older stores with unresolved
+//! addresses (hiding it would leak that the store matched, §4.4), and
+//! when the older store's address resolves to the predicted address the
+//! store value transparently **overrides** the preload — no squash is
+//! needed as long as the preload has not propagated (which NDA-P+AP
+//! guarantees, since propagation waits for the visibility point and the
+//! unresolved store is itself a shadow).
+
+use doppelganger_loads::isa::{Emulator, ProgramBuilder, Reg};
+use doppelganger_loads::{SchemeKind, SimBuilder, SparseMemory};
+
+fn r(i: u8) -> Reg {
+    Reg::new(i)
+}
+
+const TARGET: i64 = 0x0030_0000; // the contested address
+const CHAIN: i64 = 0x0040_0000; // slow source of the store's address
+
+/// Train the predictor on a same-address load, then race an
+/// unresolved-address store against the load's doppelganger.
+fn gadget() -> (doppelganger_loads::Program, SparseMemory) {
+    let mut b = ProgramBuilder::new("stl_race");
+    b.imm(r(1), TARGET)
+        .imm(r(2), 8)
+        .label("train")
+        .load(r(3), r(1), 0) // same address every time: stride 0
+        .subi(r(2), r(2), 1)
+        .bne(r(2), Reg::ZERO, "train")
+        // The store's address arrives via a cold load: its address stays
+        // unresolved long after the probe load's doppelganger issues.
+        .imm(r(4), CHAIN)
+        .load(r(5), r(4), 0) // r5 = TARGET (cold miss, slow)
+        .imm(r(6), 77)
+        .store(r(6), r(5), 0) // store 77 to TARGET, address late
+        .load(r(7), r(1), 0) // the probe: doppelganger predicts TARGET
+        .halt();
+    let mut mem = SparseMemory::new();
+    mem.write_u64(TARGET as u64, 5); // pre-store value
+    mem.write_u64(CHAIN as u64, TARGET as u64);
+    (b.build().unwrap(), mem)
+}
+
+#[test]
+fn store_value_always_wins_architecturally() {
+    let (p, mem) = gadget();
+    let mut emu = Emulator::new(&p, mem.clone());
+    emu.run(100_000).unwrap();
+    assert_eq!(emu.reg(r(7)), 77, "golden model");
+    for scheme in SchemeKind::ALL {
+        for ap in [false, true] {
+            let mut b = SimBuilder::new();
+            b.scheme(scheme).address_prediction(ap);
+            let rep = b.run_program(&p, mem.clone(), 1_000_000).unwrap();
+            assert_eq!(rep.reg(r(7)), 77, "{scheme} ap={ap}");
+        }
+    }
+}
+
+#[test]
+fn doppelganger_issues_despite_unresolved_older_store() {
+    let (p, mem) = gadget();
+    let mut b = SimBuilder::new();
+    b.scheme(SchemeKind::NdaP).address_prediction(true);
+    let rep = b.run_program(&p, mem.clone(), 1_000_000).unwrap();
+    assert!(
+        rep.stats.dgl_issued >= 1,
+        "the doppelganger must appear in memory (§4.4: hiding it would leak)"
+    );
+}
+
+#[test]
+fn nda_ap_overrides_without_a_squash() {
+    // The headline of §4.4 case (2): because the preload has not
+    // propagated (NDA-P holds it until the visibility point, and the
+    // unresolved store is a shadow), the store forwarding overrides the
+    // register preload — no memory-order squash.
+    let (p, mem) = gadget();
+    let mut b = SimBuilder::new();
+    b.scheme(SchemeKind::NdaP).address_prediction(true);
+    let rep = b.run_program(&p, mem.clone(), 1_000_000).unwrap();
+    assert_eq!(
+        rep.stats.memory_order_squashes, 0,
+        "override must replace the preload without squashing"
+    );
+    assert_eq!(rep.reg(r(7)), 77);
+}
+
+#[test]
+fn unsafe_baseline_pays_the_conventional_squash() {
+    // Contrast: without AP the conventional load executes eagerly,
+    // propagates stale data, and the resolving store forces the
+    // standard memory-order squash — the cost the doppelganger design
+    // avoids.
+    let (p, mem) = gadget();
+    let rep = SimBuilder::new()
+        .run_program(&p, mem.clone(), 1_000_000)
+        .unwrap();
+    assert!(
+        rep.stats.memory_order_squashes >= 1,
+        "expected a conventional violation squash, got {}",
+        rep.stats.memory_order_squashes
+    );
+    assert_eq!(rep.reg(r(7)), 77, "still architecturally correct");
+}
