@@ -3,6 +3,7 @@
 use crate::cache::{Cache, CacheStats};
 use crate::config::HierarchyConfig;
 use crate::mshr::MshrFile;
+use dgl_trace::TraceSink;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -135,6 +136,36 @@ pub enum TraceEvent {
     },
 }
 
+/// Maps a hierarchy [`Level`] onto the shared trace vocabulary.
+fn to_trace_level(level: Level) -> dgl_trace::MemLevel {
+    match level {
+        Level::L1 => dgl_trace::MemLevel::L1,
+        Level::L2 => dgl_trace::MemLevel::L2,
+        Level::L3 => dgl_trace::MemLevel::L3,
+        Level::Mem => dgl_trace::MemLevel::Dram,
+    }
+}
+
+/// Maps an observation-trace event onto the shared trace vocabulary.
+fn to_trace_event(ev: TraceEvent) -> (u64, dgl_trace::MemEvent) {
+    match ev {
+        TraceEvent::Lookup { level, line, hit } => (
+            line,
+            dgl_trace::MemEvent::Lookup {
+                level: to_trace_level(level),
+                hit,
+            },
+        ),
+        TraceEvent::Fill { level, line } => (
+            line,
+            dgl_trace::MemEvent::Fill {
+                level: to_trace_level(level),
+            },
+        ),
+        TraceEvent::Blocked { line } => (line, dgl_trace::MemEvent::Blocked),
+    }
+}
+
 #[derive(Debug, Clone, Copy)]
 struct Pending {
     ready_at: u64,
@@ -244,6 +275,16 @@ impl MemorySystem {
         }
     }
 
+    /// Record `ev` in the observation trace and mirror it (with a
+    /// cycle stamp) into the structured trace sink, if one is wired.
+    fn note(&mut self, sink: &mut Option<&mut (dyn TraceSink + '_)>, cycle: u64, ev: TraceEvent) {
+        self.record(ev);
+        if let Some(s) = sink {
+            let (line, event) = to_trace_event(ev);
+            s.emit(&dgl_trace::TraceEvent::Mem { cycle, line, event });
+        }
+    }
+
     fn line(&self, addr: u64) -> u64 {
         addr & self.cfg.l1.line_mask()
     }
@@ -253,15 +294,31 @@ impl MemorySystem {
     /// Returns `None` when every MSHR is busy and the request needs one
     /// (an L1 miss that is not `l1_only`); the caller must retry later.
     pub fn request(&mut self, req: MemRequest, now: u64) -> Option<MemReqId> {
+        self.request_traced(req, now, None)
+    }
+
+    /// [`request`](Self::request) with an optional structured trace
+    /// sink. Timing and cache state are identical with or without a
+    /// sink; the sink only observes.
+    pub fn request_traced(
+        &mut self,
+        req: MemRequest,
+        now: u64,
+        mut sink: Option<&mut (dyn TraceSink + '_)>,
+    ) -> Option<MemReqId> {
         let line = self.line(req.addr);
         // Hit path: no MSHR required.
         if self.l1.contains(req.addr) {
             self.l1.lookup(req.addr, req.update_replacement);
-            self.record(TraceEvent::Lookup {
-                level: Level::L1,
-                line,
-                hit: true,
-            });
+            self.note(
+                &mut sink,
+                now,
+                TraceEvent::Lookup {
+                    level: Level::L1,
+                    line,
+                    hit: true,
+                },
+            );
             return Some(self.schedule(
                 req,
                 now + self.cfg.l1.latency,
@@ -277,12 +334,16 @@ impl MemorySystem {
         // propagates past L1 and changes nothing.
         if req.l1_only {
             self.l1.lookup(req.addr, false);
-            self.record(TraceEvent::Lookup {
-                level: Level::L1,
-                line,
-                hit: false,
-            });
-            self.record(TraceEvent::Blocked { line });
+            self.note(
+                &mut sink,
+                now,
+                TraceEvent::Lookup {
+                    level: Level::L1,
+                    line,
+                    hit: false,
+                },
+            );
+            self.note(&mut sink, now, TraceEvent::Blocked { line });
             return Some(self.schedule(
                 req,
                 now + self.cfg.l1.latency,
@@ -295,11 +356,15 @@ impl MemorySystem {
         // Secondary miss: merge onto the in-flight fill.
         if let Some(done) = self.mshrs.completion_time(line) {
             self.l1.lookup(req.addr, req.update_replacement);
-            self.record(TraceEvent::Lookup {
-                level: Level::L1,
-                line,
-                hit: false,
-            });
+            self.note(
+                &mut sink,
+                now,
+                TraceEvent::Lookup {
+                    level: Level::L1,
+                    line,
+                    hit: false,
+                },
+            );
             self.mshrs.allocate(line, done);
             let ready = done.max(now + self.cfg.l1.latency);
             return Some(self.schedule(
@@ -320,42 +385,76 @@ impl MemorySystem {
         }
         // Primary miss: walk the hierarchy.
         self.l1.lookup(req.addr, req.update_replacement);
-        self.record(TraceEvent::Lookup {
-            level: Level::L1,
-            line,
-            hit: false,
-        });
-        let (hit_level, latency, fill_l2, fill_l3) = if self.l2.lookup(req.addr, true) {
-            self.record(TraceEvent::Lookup {
-                level: Level::L2,
-                line,
-                hit: true,
-            });
-            (Level::L2, self.cfg.l2.latency, false, false)
-        } else {
-            self.record(TraceEvent::Lookup {
-                level: Level::L2,
+        self.note(
+            &mut sink,
+            now,
+            TraceEvent::Lookup {
+                level: Level::L1,
                 line,
                 hit: false,
-            });
-            if self.l3.lookup(req.addr, true) {
-                self.record(TraceEvent::Lookup {
-                    level: Level::L3,
+            },
+        );
+        let (hit_level, latency, fill_l2, fill_l3) = if self.l2.lookup(req.addr, true) {
+            self.note(
+                &mut sink,
+                now,
+                TraceEvent::Lookup {
+                    level: Level::L2,
                     line,
                     hit: true,
-                });
-                (Level::L3, self.cfg.l3.latency, true, false)
-            } else {
-                self.record(TraceEvent::Lookup {
-                    level: Level::L3,
+                },
+            );
+            (Level::L2, self.cfg.l2.latency, false, false)
+        } else {
+            self.note(
+                &mut sink,
+                now,
+                TraceEvent::Lookup {
+                    level: Level::L2,
                     line,
                     hit: false,
-                });
+                },
+            );
+            if self.l3.lookup(req.addr, true) {
+                self.note(
+                    &mut sink,
+                    now,
+                    TraceEvent::Lookup {
+                        level: Level::L3,
+                        line,
+                        hit: true,
+                    },
+                );
+                (Level::L3, self.cfg.l3.latency, true, false)
+            } else {
+                self.note(
+                    &mut sink,
+                    now,
+                    TraceEvent::Lookup {
+                        level: Level::L3,
+                        line,
+                        hit: false,
+                    },
+                );
                 // Bandwidth model: line transfers are serialized at one
                 // per `dram_service_interval` cycles.
                 let start = now.max(self.next_dram_slot);
                 self.next_dram_slot = start + self.cfg.dram_service_interval;
                 let queueing = start - now;
+                // The DRAM access itself is visible only to the
+                // structured sink; the observation trace (a
+                // side-channel model) already captures it as the L3
+                // miss above.
+                if let Some(s) = &mut sink {
+                    s.emit(&dgl_trace::TraceEvent::Mem {
+                        cycle: start,
+                        line,
+                        event: dgl_trace::MemEvent::Lookup {
+                            level: dgl_trace::MemLevel::Dram,
+                            hit: true,
+                        },
+                    });
+                }
                 (
                     Level::Mem,
                     queueing + self.cfg.dram_round_trip(),
@@ -405,6 +504,16 @@ impl MemorySystem {
     /// Delivers every response ready at or before `now`, applying fills.
     /// Prefetch completions apply their fills but produce no response.
     pub fn advance(&mut self, now: u64) -> Vec<MemResponse> {
+        self.advance_traced(now, None)
+    }
+
+    /// [`advance`](Self::advance) with an optional structured trace
+    /// sink; fills are stamped with their ready cycle.
+    pub fn advance_traced(
+        &mut self,
+        now: u64,
+        mut sink: Option<&mut (dyn TraceSink + '_)>,
+    ) -> Vec<MemResponse> {
         let mut out = Vec::new();
         while let Some(Reverse(head)) = self.pending.peek() {
             if head.ready_at > now {
@@ -414,23 +523,35 @@ impl MemorySystem {
             if p.fills {
                 let line = self.line(p.addr);
                 self.l1.fill(p.addr);
-                self.record(TraceEvent::Fill {
-                    level: Level::L1,
-                    line,
-                });
+                self.note(
+                    &mut sink,
+                    p.ready_at,
+                    TraceEvent::Fill {
+                        level: Level::L1,
+                        line,
+                    },
+                );
                 if p.fill_l2 {
                     self.l2.fill(p.addr);
-                    self.record(TraceEvent::Fill {
-                        level: Level::L2,
-                        line,
-                    });
+                    self.note(
+                        &mut sink,
+                        p.ready_at,
+                        TraceEvent::Fill {
+                            level: Level::L2,
+                            line,
+                        },
+                    );
                 }
                 if p.fill_l3 {
                     self.l3.fill(p.addr);
-                    self.record(TraceEvent::Fill {
-                        level: Level::L3,
-                        line,
-                    });
+                    self.note(
+                        &mut sink,
+                        p.ready_at,
+                        TraceEvent::Fill {
+                            level: Level::L3,
+                            line,
+                        },
+                    );
                 }
                 self.mshrs.complete(line);
             }

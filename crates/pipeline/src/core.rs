@@ -19,6 +19,7 @@ use dgl_mem::{
 };
 use dgl_predictor::{ValuePredictor, ValuePredictorConfig, VpStats};
 use dgl_stats::Histogram;
+use dgl_trace::{DglEvent, DiscardReason, InstKind, Stage, TraceEvent, TraceSink};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::fmt;
@@ -97,6 +98,10 @@ pub struct RunReport {
     /// The memory system, for cache-state probes and observation traces
     /// in security experiments.
     pub mem_system: MemorySystem,
+    /// The structured event sink installed via
+    /// [`Core::set_trace_sink`], handed back so the caller can drain
+    /// and export it. `None` when tracing was off.
+    pub trace_sink: Option<Box<dyn TraceSink>>,
 }
 
 impl RunReport {
@@ -171,6 +176,10 @@ pub struct Core {
     /// Dispatch-to-propagation latency of every load (how the schemes'
     /// delays actually look).
     load_latency: Histogram,
+    /// Structured event sink. `None` (the default) makes every `emit`
+    /// a single never-taken branch, keeping the tracing-off hot path
+    /// free.
+    sink: Option<Box<dyn TraceSink>>,
 }
 
 impl Core {
@@ -208,6 +217,7 @@ impl Core {
             pending_invalidations: Vec::new(),
             vp: None,
             load_latency: Histogram::new(),
+            sink: None,
         }
     }
 
@@ -246,6 +256,14 @@ impl Core {
     /// security experiments). Call before [`run`](Self::run).
     pub fn set_trace(&mut self, enabled: bool) {
         self.mem.set_trace(enabled);
+    }
+
+    /// Installs a structured [`TraceSink`] receiving per-instruction
+    /// stage stamps, doppelganger lifecycle transitions, and memory
+    /// hierarchy events. Call before [`run`](Self::run); the sink is
+    /// handed back in [`RunReport::trace_sink`].
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.sink = Some(sink);
     }
 
     /// Pre-warms a cache line at every level (test conditioning, e.g.
@@ -325,6 +343,7 @@ impl Core {
             regs,
             memory: self.data,
             mem_system: self.mem,
+            trace_sink: self.sink,
         })
     }
 
@@ -369,10 +388,45 @@ impl Core {
         (pc as u64) << 2
     }
 
+    /// Single funnel for trace emission: with tracing off this is one
+    /// never-taken branch, so instrumented paths cost nothing.
+    #[inline]
+    fn emit(&mut self, ev: TraceEvent) {
+        if let Some(s) = self.sink.as_deref_mut() {
+            s.emit(&ev);
+        }
+    }
+
+    #[inline]
+    fn emit_stage(&mut self, seq: Seq, pc: usize, kind: InstKind, stage: Stage, cycle: u64) {
+        if self.sink.is_some() {
+            self.emit(TraceEvent::Stage {
+                seq,
+                pc: Self::pc_addr(pc),
+                kind,
+                stage,
+                cycle,
+            });
+        }
+    }
+
+    #[inline]
+    fn emit_dgl(&mut self, seq: Seq, pc: usize, event: DglEvent) {
+        if self.sink.is_some() {
+            self.emit(TraceEvent::Dgl {
+                seq,
+                pc: Self::pc_addr(pc),
+                cycle: self.cycle,
+                event,
+            });
+        }
+    }
+
     // ---- stage 1: memory responses ------------------------------------
 
     fn handle_mem_responses(&mut self) {
-        let responses: Vec<MemResponse> = self.mem.advance(self.cycle);
+        let responses: Vec<MemResponse> =
+            self.mem.advance_traced(self.cycle, self.sink.as_deref_mut());
         for resp in responses {
             let Some((seq, tag)) = self.req_owner.remove(&resp.id) else {
                 continue;
@@ -465,6 +519,15 @@ impl Core {
                     // put the load back on the conventional path (it may
                     // already have been counting on this request).
                     self.lq[li].dgl.discard();
+                    self.stats.dgl_discard_unsafe += 1;
+                    let pc = self.lq[li].pc;
+                    self.emit_dgl(
+                        seq,
+                        pc,
+                        DglEvent::Discarded {
+                            reason: DiscardReason::StoreConflict,
+                        },
+                    );
                     if self.lq[li].addr.is_some() && self.lq[li].req.is_none() {
                         self.lq[li].state = LoadState::WaitStore(store_seq);
                     }
@@ -570,6 +633,8 @@ impl Core {
         srcs: &[PhysReg],
     ) {
         let idx = self.rob_index(seq).expect("live entry");
+        let (pc, op) = (self.rob[idx].pc, self.rob[idx].op);
+        self.emit_stage(seq, pc, inst_kind(op), Stage::Writeback, self.cycle);
         if let Some((arch, preg, _)) = dst {
             self.rf.write(preg, value);
             if self.scheme.tracks_taint() {
@@ -632,13 +697,26 @@ impl Core {
     fn load_address_resolved(&mut self, seq: Seq, addr: u64) {
         let li = self.lq_index(seq).expect("load in lq");
         self.lq[li].addr = Some(addr);
-        let verdict = self.lq[li].dgl.resolve(addr);
+        let pc = self.lq[li].pc;
+        let sink = self.sink.as_deref_mut();
+        let verdict = self.lq[li]
+            .dgl
+            .resolve_traced(addr, seq, Self::pc_addr(pc), self.cycle, sink);
         if verdict == Verification::Mispredicted {
             // Drop any in-flight doppelganger request; its response will
             // be ignored (stale id). The fill it causes stays — that is
-            // the safe, secret-independent side effect (§4.2).
+            // the safe, secret-independent side effect (§4.2). No
+            // squash: the discard is the whole cost (§4.3).
             self.lq[li].dgl_req = None;
             self.lq[li].value = None;
+            self.stats.dgl_discard_mispredict += 1;
+            self.emit_dgl(
+                seq,
+                pc,
+                DglEvent::Discarded {
+                    reason: DiscardReason::AddressMismatch,
+                },
+            );
         }
         let width = self.lq[li].width;
         match self.search_forward(seq, addr, width) {
@@ -655,10 +733,21 @@ impl Core {
                 self.try_propagate_load(seq);
             }
             ForwardResult::Partial { store_seq } => {
+                let was_predicted = self.lq[li].dgl.is_predicted();
                 self.lq[li].dgl.discard();
                 self.lq[li].dgl_req = None;
                 self.lq[li].value = None;
                 self.lq[li].state = LoadState::WaitStore(store_seq);
+                if was_predicted {
+                    self.stats.dgl_discard_unsafe += 1;
+                    self.emit_dgl(
+                        seq,
+                        pc,
+                        DglEvent::Discarded {
+                            reason: DiscardReason::StoreConflict,
+                        },
+                    );
+                }
             }
             ForwardResult::None => {
                 match verdict {
@@ -698,11 +787,15 @@ impl Core {
             // The store completes once the data is captured too; with
             // the data pending it stays Issued and the data-capture
             // sweep finishes it.
+            let pc = self.rob[idx].pc;
             self.rob[idx].state = if data.is_some() {
                 ExecState::Completed
             } else {
                 ExecState::Issued
             };
+            if data.is_some() {
+                self.emit_stage(seq, pc, InstKind::Store, Stage::Writeback, self.cycle);
+            }
         }
         // D-shadow released: the store's address is known.
         self.shadows.resolve(seq);
@@ -725,6 +818,8 @@ impl Core {
             let seq = self.sq[si].seq;
             if let Some(idx) = self.rob_index(seq) {
                 self.rob[idx].state = ExecState::Completed;
+                let pc = self.rob[idx].pc;
+                self.emit_stage(seq, pc, InstKind::Store, Stage::Writeback, self.cycle);
             }
         }
     }
@@ -769,6 +864,7 @@ impl Core {
                 continue;
             }
             if e.value.is_some() || e.dgl.is_issued() {
+                let mut dgl_conflict: Option<(Seq, usize)> = None;
                 let em = &mut self.lq[li];
                 match (ov, data) {
                     (Overlap::Covers, Some(d)) => {
@@ -784,6 +880,9 @@ impl Core {
                     // wait on the store.
                     (Overlap::Covers, None) | (Overlap::Partial, _) => {
                         em.value = None;
+                        if em.dgl.is_predicted() {
+                            dgl_conflict = Some((em.seq, em.pc));
+                        }
                         em.dgl.discard();
                         em.dgl_req = None;
                         if em.addr.is_some() {
@@ -791,6 +890,16 @@ impl Core {
                         }
                     }
                     (Overlap::None, _) => unreachable!(),
+                }
+                if let Some((lseq, lpc)) = dgl_conflict {
+                    self.stats.dgl_discard_unsafe += 1;
+                    self.emit_dgl(
+                        lseq,
+                        lpc,
+                        DglEvent::Discarded {
+                            reason: DiscardReason::StoreConflict,
+                        },
+                    );
                 }
             }
         }
@@ -887,6 +996,13 @@ impl Core {
             }
             let e = self.rob.pop_back().expect("non-empty");
             self.stats.squashed += 1;
+            if self.sink.is_some() {
+                self.emit(TraceEvent::Squash {
+                    seq: e.seq,
+                    pc: Self::pc_addr(e.pc),
+                    cycle: self.cycle,
+                });
+            }
             if e.in_iq {
                 self.iq_count -= 1;
             }
@@ -896,6 +1012,14 @@ impl Core {
         }
         while matches!(self.lq.back(), Some(e) if e.seq > last_good) {
             let e = self.lq.pop_back().expect("checked");
+            if e.dgl.is_predicted() {
+                // Mispredicted doppelgangers were already accounted at
+                // verification; only live ones die *by* the squash.
+                if e.dgl.verification() != Verification::Mispredicted {
+                    self.stats.dgl_discard_squash += 1;
+                }
+                self.emit_dgl(e.seq, e.pc, DglEvent::Squashed);
+            }
             if self.ap_enabled {
                 // Keep the predictor's in-flight instance count honest.
                 self.ap.note_squash(Self::pc_addr(e.pc));
@@ -1020,6 +1144,7 @@ impl Core {
                 .record(self.cycle.saturating_sub(self.lq[li].dispatch_cycle));
             self.rob[idx].state = ExecState::Completed;
             self.rob[idx].locked = false;
+            self.emit_stage(seq, pc, InstKind::Load, Stage::Writeback, self.cycle);
             if predicted != actual {
                 self.rf.write(preg, actual);
                 self.stats.vp_squashes += 1;
@@ -1053,6 +1178,8 @@ impl Core {
                 .record(self.cycle.saturating_sub(self.lq[li].dispatch_cycle));
             self.rob[idx].state = ExecState::Completed;
             self.rob[idx].locked = false;
+            let pc = self.lq[li].pc;
+            self.emit_stage(seq, pc, InstKind::Load, Stage::Writeback, self.cycle);
             return;
         };
         let value = e.value.expect("checked");
@@ -1065,6 +1192,15 @@ impl Core {
             em.dgl_req = None;
             em.value = None;
             em.state = LoadState::WaitIssue;
+            self.stats.dgl_discard_unsafe += 1;
+            let pc = self.lq[li].pc;
+            self.emit_dgl(
+                seq,
+                pc,
+                DglEvent::Discarded {
+                    reason: DiscardReason::Invalidation,
+                },
+            );
             return;
         }
         self.rf.write(preg, value);
@@ -1085,11 +1221,24 @@ impl Core {
                 .record(self.cycle.saturating_sub(self.lq[li].dispatch_cycle));
             self.rob[idx].state = ExecState::Completed;
             self.rob[idx].locked = false;
+            let pc = self.lq[li].pc;
+            self.emit_stage(seq, pc, InstKind::Load, Stage::Writeback, self.cycle);
             if via_dgl {
                 self.stats.dgl_propagated += 1;
+                let addr = self.lq[li]
+                    .addr
+                    .or(self.lq[li].dgl.predicted_addr())
+                    .unwrap_or(0);
+                self.emit_dgl(seq, pc, DglEvent::Propagated { addr });
             }
         } else {
             // Value ready but locked (NDA / DoM-miss / unverified).
+            if via_dgl && !self.rob[idx].locked {
+                // First time the scheme says "not yet": record the
+                // unsafe-at-propagate verdict once, not every cycle.
+                let pc = self.lq[li].pc;
+                self.emit_dgl(seq, pc, DglEvent::Deferred);
+            }
             self.rob[idx].locked = true;
             self.rob[idx].state = ExecState::Executed;
         }
@@ -1137,7 +1286,10 @@ impl Core {
                 l1_only,
                 update_replacement: update_repl,
             };
-            match self.mem.request(req, self.cycle) {
+            match self
+                .mem
+                .request_traced(req, self.cycle, self.sink.as_deref_mut())
+            {
                 Some(id) => {
                     let em = &mut self.lq[li];
                     em.req = Some(id);
@@ -1145,6 +1297,8 @@ impl Core {
                     em.needs_touch = l1_only; // cleared on non-hit outcomes
                     self.req_owner.insert(id, (seq, ReqTag::Demand));
                     load_ports -= 1;
+                    let pc = self.lq[li].pc;
+                    self.emit_stage(seq, pc, InstKind::Load, Stage::Memory, self.cycle);
                 }
                 None => mshr_blocked = true,
             }
@@ -1175,7 +1329,10 @@ impl Core {
                     l1_only: false,
                     update_replacement: true,
                 };
-                match self.mem.request(req, self.cycle) {
+                match self
+                    .mem
+                    .request_traced(req, self.cycle, self.sink.as_deref_mut())
+                {
                     Some(id) => {
                         let em = &mut self.lq[li];
                         em.dgl.mark_issued();
@@ -1187,6 +1344,9 @@ impl Core {
                         self.req_owner.insert(id, (seq, ReqTag::Doppelganger));
                         self.stats.dgl_issued += 1;
                         load_ports -= 1;
+                        let pc = self.lq[li].pc;
+                        self.emit_stage(seq, pc, InstKind::Load, Stage::Memory, self.cycle);
+                        self.emit_dgl(seq, pc, DglEvent::Issued { predicted: pred });
                     }
                     None => mshr_blocked = true,
                 }
@@ -1201,7 +1361,11 @@ impl Core {
             if sb.req.is_some() {
                 continue;
             }
-            match self.mem.request(MemRequest::store(sb.addr), self.cycle) {
+            match self.mem.request_traced(
+                MemRequest::store(sb.addr),
+                self.cycle,
+                self.sink.as_deref_mut(),
+            ) {
                 Some(id) => {
                     sb.req = Some(id);
                     self.req_owner.insert(id, (0, ReqTag::StoreDrain));
@@ -1220,7 +1384,11 @@ impl Core {
                 self.prefetch_q.pop_front();
                 continue;
             }
-            match self.mem.request(MemRequest::prefetch(addr), self.cycle) {
+            match self.mem.request_traced(
+                MemRequest::prefetch(addr),
+                self.cycle,
+                self.sink.as_deref_mut(),
+            ) {
                 Some(_) => {
                     self.prefetch_q.pop_front();
                     self.stats.prefetches += 1;
@@ -1260,6 +1428,7 @@ impl Core {
                 continue;
             }
             let seq = e.seq;
+            let (pc, op) = (e.pc, e.op);
             let latency = e.op.latency() as u64;
             let kind = if e.op.is_load() || e.op.is_store() {
                 EventKind::AguDone
@@ -1272,6 +1441,7 @@ impl Core {
             self.iq_count -= 1;
             self.events.push(Reverse((self.cycle + latency, seq, kind)));
             budget -= 1;
+            self.emit_stage(seq, pc, inst_kind(op), Stage::Issue, self.cycle);
         }
     }
 
@@ -1306,6 +1476,15 @@ impl Core {
                 .expect("peeked");
             let seq = self.next_seq;
             self.next_seq += 1;
+            if self.sink.is_some() {
+                // Decode/rename/dispatch are one cycle in this model;
+                // the stamps share a cycle but keep their stage order.
+                let kind = inst_kind(op);
+                self.emit_stage(seq, fetched.inst.pc, kind, Stage::Fetch, fetched.fetch_cycle);
+                self.emit_stage(seq, fetched.inst.pc, kind, Stage::Decode, self.cycle);
+                self.emit_stage(seq, fetched.inst.pc, kind, Stage::Rename, self.cycle);
+                self.emit_stage(seq, fetched.inst.pc, kind, Stage::Dispatch, self.cycle);
+            }
             let mut entry = RobEntry::new(seq, fetched.inst.pc, op);
             entry.srcs = op.srcs().iter().map(|&r| self.rf.map(r)).collect();
             if let Some(d) = op.dst() {
@@ -1330,7 +1509,13 @@ impl Core {
                 }
                 Op::Load { width, .. } => {
                     let dgl = if self.ap_enabled {
-                        match self.ap.predict_at_decode(Self::pc_addr(fetched.inst.pc)) {
+                        let pred = self.ap.predict_at_decode_traced(
+                            Self::pc_addr(fetched.inst.pc),
+                            seq,
+                            self.cycle,
+                            self.sink.as_deref_mut(),
+                        );
+                        match pred {
                             Some(a) => DoppelgangerState::predicted(a),
                             None => DoppelgangerState::unpredicted(),
                         }
@@ -1467,6 +1652,7 @@ impl Core {
             if let Some((_, _, old)) = head.dst {
                 self.rf.release(old);
             }
+            self.emit_stage(seq, pc, inst_kind(op), Stage::Commit, self.cycle);
             self.stats.committed += 1;
             committed_now += 1;
             if op == Op::Halt {
@@ -1545,6 +1731,19 @@ impl Core {
             self.stats.memory_order_squashes += 1;
             self.squash_to(seq - 1, pc, None);
         }
+    }
+}
+
+/// [`dgl_trace`] classification of an opcode (trace display only).
+fn inst_kind(op: Op) -> InstKind {
+    match op {
+        Op::Load { .. } => InstKind::Load,
+        Op::Store { .. } => InstKind::Store,
+        Op::Branch { .. } => InstKind::Branch,
+        Op::Jump { .. } | Op::JumpReg { .. } | Op::Call { .. } | Op::Ret => InstKind::Jump,
+        Op::Halt => InstKind::Halt,
+        Op::Nop => InstKind::Nop,
+        Op::Imm { .. } | Op::Alu { .. } => InstKind::Alu,
     }
 }
 

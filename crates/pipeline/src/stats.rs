@@ -26,6 +26,18 @@ pub struct CoreStats {
     pub dgl_issued: u64,
     /// Doppelganger preloads that propagated (useful doppelgangers).
     pub dgl_propagated: u64,
+    /// Doppelgangers discarded at address verification: the predicted
+    /// and resolved addresses differed. Crucially *not* a squash — the
+    /// load replays on the conventional path (§4.3).
+    pub dgl_discard_mispredict: u64,
+    /// Doppelgangers (still pending or verified-correct) thrown away
+    /// because a branch/memory-order squash removed their load.
+    pub dgl_discard_squash: u64,
+    /// Doppelgangers abandoned because the preload could not safely
+    /// stand in for the load: a partially overlapping older store, a
+    /// covering store whose data was still pending, or a snooped
+    /// invalidation that applied at propagation (§4.4, §4.5).
+    pub dgl_discard_unsafe: u64,
     /// Loads that were delayed by DoM (speculative L1 misses).
     pub dom_delayed: u64,
     /// Prefetch requests issued.

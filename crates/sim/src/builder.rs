@@ -3,6 +3,7 @@
 use dgl_core::SchemeKind;
 use dgl_isa::{Program, SparseMemory};
 use dgl_pipeline::{Core, CoreConfig, RunError, RunReport};
+use dgl_trace::SharedSink;
 use dgl_workloads::Workload;
 
 /// Configures and launches simulations (non-consuming builder).
@@ -30,6 +31,7 @@ pub struct SimBuilder {
     value_prediction: bool,
     config: CoreConfig,
     trace: bool,
+    trace_sink: Option<SharedSink>,
 }
 
 impl Default for SimBuilder {
@@ -47,6 +49,7 @@ impl SimBuilder {
             value_prediction: false,
             config: CoreConfig::default(),
             trace: false,
+            trace_sink: None,
         }
     }
 
@@ -83,6 +86,30 @@ impl SimBuilder {
         self
     }
 
+    /// Installs a structured [`SharedSink`] receiving per-instruction
+    /// stage stamps, doppelganger lifecycle transitions, and memory
+    /// hierarchy events. Keep a clone of the sink to drain after the
+    /// run (or take it back from [`RunReport::trace_sink`]):
+    ///
+    /// ```
+    /// use dgl_sim::SimBuilder;
+    /// use dgl_isa::{ProgramBuilder, Reg, SparseMemory};
+    /// use dgl_trace::{SharedSink, TraceSink};
+    ///
+    /// let mut b = ProgramBuilder::new("t");
+    /// b.imm(Reg::new(1), 0x4000).load(Reg::new(2), Reg::new(1), 0).halt();
+    /// let sink = SharedSink::recording();
+    /// SimBuilder::new()
+    ///     .with_trace(sink.clone())
+    ///     .run_program(&b.build()?, SparseMemory::new(), 10_000)?;
+    /// assert!(!sink.is_empty());
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn with_trace(&mut self, sink: SharedSink) -> &mut Self {
+        self.trace_sink = Some(sink);
+        self
+    }
+
     /// Builds the underlying [`Core`] without running it (advanced use:
     /// warming lines, issuing invalidations mid-run in tests).
     pub fn build_core(&self) -> Core {
@@ -92,6 +119,9 @@ impl SimBuilder {
         }
         if self.trace {
             core.set_trace(true);
+        }
+        if let Some(sink) = &self.trace_sink {
+            core.set_trace_sink(Box::new(sink.clone()));
         }
         core
     }
@@ -267,6 +297,42 @@ mod tests {
             .run_verified(&p, SparseMemory::new(), 10_000)
             .unwrap_err();
         assert!(matches!(err, VerifyError::Golden(_) | VerifyError::Run(_)));
+    }
+
+    #[test]
+    fn with_trace_shares_one_buffer_with_the_caller() {
+        use dgl_trace::{TraceEvent, TraceSink};
+        let mut p = ProgramBuilder::new("mem");
+        p.imm(Reg::new(1), 0x4000)
+            .imm(Reg::new(2), 16)
+            .label("top")
+            .load(Reg::new(3), Reg::new(1), 0)
+            .addi(Reg::new(1), Reg::new(1), 8)
+            .subi(Reg::new(2), Reg::new(2), 1)
+            .bne(Reg::new(2), Reg::ZERO, "top")
+            .halt();
+        let p = p.build().unwrap();
+        let mut sink = dgl_trace::SharedSink::recording();
+        let mut b = SimBuilder::new();
+        b.scheme(SchemeKind::NdaP)
+            .address_prediction(true)
+            .config(CoreConfig::tiny())
+            .with_trace(sink.clone());
+        let rep = b.run_program(&p, SparseMemory::new(), 100_000).unwrap();
+        assert!(rep.halted);
+        let events = sink.drain();
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, TraceEvent::Stage { .. })),
+            "stage stamps recorded"
+        );
+        assert!(
+            events.iter().any(|e| matches!(e, TraceEvent::Dgl { .. })),
+            "doppelganger lifecycle recorded"
+        );
+        // The report hands the (shared) sink back too.
+        assert!(rep.trace_sink.is_some());
     }
 
     #[test]

@@ -64,6 +64,18 @@ pub fn render_report(label: &str, report: &RunReport) -> String {
             100.0 * report.ap.coverage(),
             100.0 * report.ap.accuracy(),
         );
+        let discards = report.stats.dgl_discard_mispredict
+            + report.stats.dgl_discard_squash
+            + report.stats.dgl_discard_unsafe;
+        if discards > 0 {
+            let _ = writeln!(
+                out,
+                "  dgl discards: {} address-mismatch, {} squashed, {} unsafe-at-verify",
+                report.stats.dgl_discard_mispredict,
+                report.stats.dgl_discard_squash,
+                report.stats.dgl_discard_unsafe,
+            );
+        }
     }
     if report.stats.vp_predicted > 0 {
         let _ = writeln!(
@@ -118,6 +130,40 @@ mod tests {
     fn renders_dgl_line_when_ap_on() {
         let text = render_report("x", &demo_report(SchemeKind::DoM, true));
         assert!(text.contains("doppelgangers"), "text: {text}");
+    }
+
+    #[test]
+    fn renders_discard_reasons_when_any_doppelganger_is_dropped() {
+        // Train a stride for 12 iterations, then break it: the next
+        // instance of the same load PC mispredicts and is discarded.
+        let mut b = ProgramBuilder::new("p");
+        b.imm(Reg::new(1), 0x4000)
+            .imm(Reg::new(2), 12)
+            .imm(Reg::new(5), 0)
+            .label("top")
+            .load(Reg::new(3), Reg::new(1), 0)
+            .addi(Reg::new(1), Reg::new(1), 8)
+            .subi(Reg::new(2), Reg::new(2), 1)
+            .bne(Reg::new(2), Reg::ZERO, "top")
+            .bne(Reg::new(5), Reg::ZERO, "done")
+            .imm(Reg::new(5), 1)
+            .imm(Reg::new(1), 0x9000)
+            .imm(Reg::new(2), 4)
+            .jmp("top")
+            .label("done")
+            .halt();
+        let mut builder = SimBuilder::new();
+        builder.scheme(SchemeKind::NdaP).address_prediction(true);
+        let rep = builder
+            .run_program(&b.build().unwrap(), SparseMemory::new(), 200_000)
+            .unwrap();
+        let discards = rep.stats.dgl_discard_mispredict
+            + rep.stats.dgl_discard_squash
+            + rep.stats.dgl_discard_unsafe;
+        assert!(discards > 0, "stride break must drop a doppelganger");
+        let text = render_report("x", &rep);
+        assert!(text.contains("dgl discards:"), "text: {text}");
+        assert!(text.contains("address-mismatch"), "text: {text}");
     }
 
     #[test]

@@ -1,0 +1,394 @@
+//! The trace event vocabulary shared by all producers and exporters.
+
+use std::fmt;
+
+/// Global instruction sequence number (allocated at dispatch).
+pub type Seq = u64;
+
+/// Simulator cycle number.
+pub type Cycle = u64;
+
+/// Pipeline stage boundaries an instruction is stamped at.
+///
+/// The modeled core renames and dispatches in the same cycle, so
+/// `Rename` and `Dispatch` stamps coincide; both are emitted so
+/// viewers that expect distinct columns render sensibly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Stage {
+    /// Instruction left the fetch unit.
+    Fetch,
+    /// Instruction was decoded (folded into the frontend pipe).
+    Decode,
+    /// Instruction received physical resources.
+    Rename,
+    /// Instruction entered the ROB / issue queue.
+    Dispatch,
+    /// Instruction was selected for execution.
+    Issue,
+    /// Memory instruction was sent to the hierarchy (or store buffer).
+    Memory,
+    /// Result was produced and broadcast.
+    Writeback,
+    /// Instruction retired architecturally.
+    Commit,
+}
+
+impl Stage {
+    /// All stages in pipeline order.
+    pub const ALL: [Stage; 8] = [
+        Stage::Fetch,
+        Stage::Decode,
+        Stage::Rename,
+        Stage::Dispatch,
+        Stage::Issue,
+        Stage::Memory,
+        Stage::Writeback,
+        Stage::Commit,
+    ];
+
+    /// Stable short name (used by exporters).
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Fetch => "fetch",
+            Stage::Decode => "decode",
+            Stage::Rename => "rename",
+            Stage::Dispatch => "dispatch",
+            Stage::Issue => "issue",
+            Stage::Memory => "memory",
+            Stage::Writeback => "writeback",
+            Stage::Commit => "commit",
+        }
+    }
+
+    /// Position in pipeline order, usable as a track id.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Coarse instruction class, carried on stage stamps so viewers can
+/// color lanes without access to the program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InstKind {
+    /// Register-to-register arithmetic/logic (incl. immediates).
+    Alu,
+    /// Memory load.
+    Load,
+    /// Memory store.
+    Store,
+    /// Conditional branch.
+    Branch,
+    /// Unconditional control flow (jump/call/return).
+    Jump,
+    /// No-op.
+    Nop,
+    /// Program terminator.
+    Halt,
+}
+
+impl InstKind {
+    /// Stable short name (used by exporters).
+    pub fn name(self) -> &'static str {
+        match self {
+            InstKind::Alu => "alu",
+            InstKind::Load => "load",
+            InstKind::Store => "store",
+            InstKind::Branch => "branch",
+            InstKind::Jump => "jump",
+            InstKind::Nop => "nop",
+            InstKind::Halt => "halt",
+        }
+    }
+}
+
+impl fmt::Display for InstKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Why a doppelganger preload was thrown away (without a squash —
+/// discarding is the paper's safe, rollback-free failure path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DiscardReason {
+    /// The real address did not match the prediction.
+    AddressMismatch,
+    /// An older store overlapped the predicted line in a way the
+    /// forwarding network cannot patch (partial overlap, or data not
+    /// yet available), making the preloaded value unsafe to keep.
+    StoreConflict,
+    /// A coherence invalidation hit the predicted line while the
+    /// preload was still speculative.
+    Invalidation,
+}
+
+impl DiscardReason {
+    /// Stable short name (used by exporters).
+    pub fn name(self) -> &'static str {
+        match self {
+            DiscardReason::AddressMismatch => "address_mismatch",
+            DiscardReason::StoreConflict => "store_conflict",
+            DiscardReason::Invalidation => "invalidation",
+        }
+    }
+}
+
+impl fmt::Display for DiscardReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A doppelganger lifecycle transition.
+///
+/// A complete successful lifetime reads `Predicted → Issued → Verified
+/// {correct} → Propagated`; an unsuccessful one ends in `Discarded` or
+/// `Squashed`. `Deferred` records the scheme's *unsafe* verdict at a
+/// moment the value wanted to propagate but the load was still under a
+/// speculation shadow; `Propagated` is the matching *safe* verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DglEvent {
+    /// The address predictor produced a confident prediction at
+    /// decode/dispatch.
+    Predicted {
+        /// Predicted effective address.
+        predicted: u64,
+    },
+    /// The doppelganger access was sent to the memory hierarchy.
+    Issued {
+        /// Predicted effective address.
+        predicted: u64,
+    },
+    /// The real address resolved and was compared to the prediction.
+    Verified {
+        /// Predicted effective address.
+        predicted: u64,
+        /// Actual effective address from the AGU.
+        actual: u64,
+        /// Whether the prediction was correct.
+        correct: bool,
+    },
+    /// The scheme judged propagation unsafe for now (value stays
+    /// locked in the load queue).
+    Deferred,
+    /// The scheme judged propagation safe and the preloaded value was
+    /// written to the destination register.
+    Propagated {
+        /// Verified effective address.
+        addr: u64,
+    },
+    /// The preloaded value was thrown away; the load re-executes
+    /// normally. No squash is involved.
+    Discarded {
+        /// Why the value was unusable.
+        reason: DiscardReason,
+    },
+    /// The owning load was removed by a pipeline squash (branch
+    /// mispredict or memory-order violation), taking the prediction
+    /// with it.
+    Squashed,
+}
+
+impl DglEvent {
+    /// Stable short name (used by exporters).
+    pub fn name(&self) -> &'static str {
+        match self {
+            DglEvent::Predicted { .. } => "predicted",
+            DglEvent::Issued { .. } => "issued",
+            DglEvent::Verified { .. } => "verified",
+            DglEvent::Deferred => "deferred",
+            DglEvent::Propagated { .. } => "propagated",
+            DglEvent::Discarded { .. } => "discarded",
+            DglEvent::Squashed => "squashed",
+        }
+    }
+
+    /// Whether this event ends the lifecycle.
+    pub fn is_terminal(&self) -> bool {
+        matches!(
+            self,
+            DglEvent::Propagated { .. } | DglEvent::Discarded { .. } | DglEvent::Squashed
+        )
+    }
+}
+
+/// Cache level touched by a memory event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemLevel {
+    /// First-level data cache.
+    L1,
+    /// Second-level cache.
+    L2,
+    /// Last-level cache.
+    L3,
+    /// Main memory.
+    Dram,
+}
+
+impl MemLevel {
+    /// Stable short name (used by exporters).
+    pub fn name(self) -> &'static str {
+        match self {
+            MemLevel::L1 => "L1",
+            MemLevel::L2 => "L2",
+            MemLevel::L3 => "L3",
+            MemLevel::Dram => "DRAM",
+        }
+    }
+}
+
+impl fmt::Display for MemLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A memory-hierarchy event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemEvent {
+    /// A level was probed.
+    Lookup {
+        /// Level probed (`Dram` lookups always hit).
+        level: MemLevel,
+        /// Whether the line was resident.
+        hit: bool,
+    },
+    /// A line was installed into a level.
+    Fill {
+        /// Level filled.
+        level: MemLevel,
+    },
+    /// A request was rejected at L1 (`l1_only` probe missed).
+    Blocked,
+}
+
+impl MemEvent {
+    /// Stable short name (used by exporters).
+    pub fn name(&self) -> &'static str {
+        match self {
+            MemEvent::Lookup { hit: true, .. } => "hit",
+            MemEvent::Lookup { hit: false, .. } => "miss",
+            MemEvent::Fill { .. } => "fill",
+            MemEvent::Blocked => "blocked",
+        }
+    }
+}
+
+/// One trace record. Everything is `Copy` and allocation-free so
+/// emitting an event is cheap even at full pipeline rate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// An instruction crossed a pipeline stage boundary.
+    Stage {
+        /// Instruction sequence number.
+        seq: Seq,
+        /// Program counter (instruction index).
+        pc: u64,
+        /// Coarse instruction class.
+        kind: InstKind,
+        /// Stage crossed.
+        stage: Stage,
+        /// Cycle of the crossing.
+        cycle: Cycle,
+    },
+    /// An in-flight instruction was squashed.
+    Squash {
+        /// Instruction sequence number.
+        seq: Seq,
+        /// Program counter (instruction index).
+        pc: u64,
+        /// Cycle of the squash.
+        cycle: Cycle,
+    },
+    /// A doppelganger lifecycle transition.
+    Dgl {
+        /// Owning load's sequence number.
+        seq: Seq,
+        /// Owning load's program counter.
+        pc: u64,
+        /// Cycle of the transition.
+        cycle: Cycle,
+        /// The transition itself.
+        event: DglEvent,
+    },
+    /// A memory-hierarchy event.
+    Mem {
+        /// Cycle of the event.
+        cycle: Cycle,
+        /// Line-aligned address.
+        line: u64,
+        /// The event itself.
+        event: MemEvent,
+    },
+}
+
+impl TraceEvent {
+    /// The cycle this event is stamped with.
+    pub fn cycle(&self) -> Cycle {
+        match *self {
+            TraceEvent::Stage { cycle, .. }
+            | TraceEvent::Squash { cycle, .. }
+            | TraceEvent::Dgl { cycle, .. }
+            | TraceEvent::Mem { cycle, .. } => cycle,
+        }
+    }
+
+    /// The sequence number, for per-instruction events.
+    pub fn seq(&self) -> Option<Seq> {
+        match *self {
+            TraceEvent::Stage { seq, .. }
+            | TraceEvent::Squash { seq, .. }
+            | TraceEvent::Dgl { seq, .. } => Some(seq),
+            TraceEvent::Mem { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_order_is_pipeline_order() {
+        let idx: Vec<usize> = Stage::ALL.iter().map(|s| s.index()).collect();
+        assert_eq!(idx, (0..8).collect::<Vec<_>>());
+        assert!(Stage::Fetch < Stage::Commit);
+    }
+
+    #[test]
+    fn terminal_events_are_exactly_the_lifecycle_ends() {
+        assert!(DglEvent::Propagated { addr: 0 }.is_terminal());
+        assert!(DglEvent::Squashed.is_terminal());
+        assert!(DglEvent::Discarded {
+            reason: DiscardReason::AddressMismatch
+        }
+        .is_terminal());
+        assert!(!DglEvent::Predicted { predicted: 0 }.is_terminal());
+        assert!(!DglEvent::Deferred.is_terminal());
+    }
+
+    #[test]
+    fn event_accessors() {
+        let e = TraceEvent::Stage {
+            seq: 7,
+            pc: 3,
+            kind: InstKind::Load,
+            stage: Stage::Issue,
+            cycle: 99,
+        };
+        assert_eq!(e.cycle(), 99);
+        assert_eq!(e.seq(), Some(7));
+        let m = TraceEvent::Mem {
+            cycle: 5,
+            line: 0x40,
+            event: MemEvent::Blocked,
+        };
+        assert_eq!(m.seq(), None);
+    }
+}

@@ -6,11 +6,14 @@
 //! dgl asm <file.dasm> [opts]         assemble + simulate a program
 //! dgl attack [--secret BYTE]         run the Spectre laboratory
 //! dgl figures [--insts N]            print the Figure 1 summary
+//! dgl trace --workload NAME [opts]   record a structured pipeline trace
 //!
 //! options: --scheme baseline|nda-p|stt|dom   (default baseline)
 //!          --ap                              enable doppelganger loads
 //!          --vp                              enable value prediction
 //!          --insts N                         instruction budget (default 25000)
+//!          --format chrome|konata|jsonl      trace export format (default chrome)
+//!          --out FILE                        write the trace to FILE (default stdout)
 //! ```
 
 use doppelganger_loads::isa::asm::assemble;
@@ -35,6 +38,9 @@ struct Opts {
     vp: bool,
     insts: u64,
     secret: u8,
+    workload: Option<String>,
+    format: String,
+    out: Option<String>,
     positional: Vec<String>,
 }
 
@@ -45,6 +51,9 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         vp: false,
         insts: 25_000,
         secret: 0x42,
+        workload: None,
+        format: "chrome".to_owned(),
+        out: None,
         positional: Vec::new(),
     };
     let mut it = args.iter();
@@ -62,10 +71,28 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             }
             "--secret" => {
                 let v = it.next().ok_or("--secret needs a value")?;
-                let raw = v.strip_prefix("0x").unwrap_or(v);
-                o.secret = u8::from_str_radix(raw, 16)
-                    .or_else(|_| v.parse())
-                    .map_err(|_| format!("bad secret `{v}`"))?;
+                // `0x`-prefixed values are hex, everything else decimal
+                // (`--secret 42` means forty-two, not 0x42).
+                o.secret = match v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+                    Some(hex) => u8::from_str_radix(hex, 16),
+                    None => v.parse(),
+                }
+                .map_err(|_| format!("bad secret `{v}`"))?;
+            }
+            "--workload" => {
+                let v = it.next().ok_or("--workload needs a value")?;
+                o.workload = Some(v.clone());
+            }
+            "--format" => {
+                let v = it.next().ok_or("--format needs a value")?;
+                if !matches!(v.as_str(), "chrome" | "konata" | "jsonl") {
+                    return Err(format!("bad format `{v}` (chrome|konata|jsonl)"));
+                }
+                o.format = v.clone();
+            }
+            "--out" => {
+                let v = it.next().ok_or("--out needs a value")?;
+                o.out = Some(v.clone());
             }
             other if other.starts_with("--") => return Err(format!("unknown flag `{other}`")),
             other => o.positional.push(other.to_owned()),
@@ -154,6 +181,46 @@ fn cmd_attack(o: &Opts) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_trace(o: &Opts) -> Result<(), String> {
+    use doppelganger_loads::trace::{self as tr, TraceSink as _};
+    let name = o
+        .workload
+        .as_deref()
+        .or_else(|| o.positional.first().map(String::as_str))
+        .ok_or("trace needs a workload (`--workload NAME`; try `dgl suite`)")?;
+    let w = by_name(name, Scale::Custom(o.insts))
+        .ok_or_else(|| format!("unknown workload `{name}` (try `dgl suite`)"))?;
+    let mut sink = tr::SharedSink::recording();
+    let mut b = SimBuilder::new();
+    b.scheme(o.scheme)
+        .address_prediction(o.ap)
+        .value_prediction(o.vp)
+        .with_trace(sink.clone());
+    let report = b.run_workload(&w).map_err(|e| e.to_string())?;
+    let events = sink.drain();
+    let text = match o.format.as_str() {
+        "chrome" => tr::chrome::export(&events),
+        "konata" => tr::konata::export(&events),
+        _ => tr::jsonl::export(&events),
+    };
+    match &o.out {
+        Some(path) => {
+            std::fs::write(path, &text).map_err(|e| format!("{path}: {e}"))?;
+            out!(
+                "traced {} events over {} cycles ({} instructions) -> {path}",
+                events.len(),
+                report.cycles,
+                report.committed,
+            );
+        }
+        None => {
+            use std::io::Write as _;
+            let _ = std::io::stdout().write_all(text.as_bytes());
+        }
+    }
+    Ok(())
+}
+
 fn cmd_figures(o: &Opts) -> Result<(), String> {
     let fig = figure1(Scale::Custom(o.insts)).map_err(|e| e.to_string())?;
     out!("{}", fig.render());
@@ -163,7 +230,7 @@ fn cmd_figures(o: &Opts) -> Result<(), String> {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
-        eprintln!("usage: dgl <suite|run|asm|attack|figures> [options]");
+        eprintln!("usage: dgl <suite|run|asm|attack|figures|trace> [options]");
         return ExitCode::FAILURE;
     };
     let result = parse_opts(rest).and_then(|o| match cmd.as_str() {
@@ -172,6 +239,7 @@ fn main() -> ExitCode {
         "asm" => cmd_asm(&o),
         "attack" => cmd_attack(&o),
         "figures" => cmd_figures(&o),
+        "trace" => cmd_trace(&o),
         other => Err(format!("unknown command `{other}`")),
     });
     match result {

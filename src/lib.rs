@@ -26,6 +26,7 @@
 //! | [`pipeline`] | the out-of-order core with the four speculation policies |
 //! | [`workloads`] | the synthetic SPEC-like benchmark suite |
 //! | [`stats`] | counters, geomeans, tables, charts |
+//! | [`trace`] | structured event tracing, Chrome-trace / Konata / JSONL export |
 //! | [`sim`] | [`SimBuilder`], figure reproduction, the security laboratory |
 //!
 //! # Quickstart
@@ -63,6 +64,7 @@ pub use dgl_pipeline as pipeline;
 pub use dgl_predictor as predictor;
 pub use dgl_sim as sim;
 pub use dgl_stats as stats;
+pub use dgl_trace as trace;
 pub use dgl_workloads as workloads;
 
 pub use dgl_core::{DoppelgangerConfig, SchemeKind};

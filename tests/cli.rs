@@ -115,6 +115,124 @@ fn vp_flag_reports_value_prediction() {
 }
 
 #[test]
+fn secret_flag_parses_decimal_and_hex() {
+    // `0x`-prefixed = hex, bare = decimal: 90 and 0x5a are the same
+    // byte; a bare 42 means forty-two (0x2a), not 0x42.
+    for (arg, rendered) in [("90", "0x5a"), ("0x5a", "0x5a"), ("42", "0x2a")] {
+        let out = dgl(&["attack", "--secret", arg, "--insts", "500"]);
+        assert!(
+            out.status.success(),
+            "--secret {arg}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            text.contains(&format!("planted secret {rendered}")),
+            "--secret {arg} must plant {rendered}: {text}"
+        );
+    }
+    assert!(!dgl(&["attack", "--secret", "pony"]).status.success());
+    assert!(!dgl(&["attack", "--secret", "0x1z"]).status.success());
+}
+
+/// The PR's acceptance bar for the tracer: on a stride-friendly kernel
+/// under NDA with address prediction, the Chrome export is well-formed
+/// trace-event JSON containing fetch→commit stage spans and at least
+/// one complete doppelganger lifecycle (predicted → issued →
+/// propagated) for a single load.
+#[test]
+fn trace_chrome_export_shows_full_doppelganger_lifecycles() {
+    let dir = std::env::temp_dir().join("dgl-cli-trace-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("hmmer.trace.json");
+    let out = dgl(&[
+        "trace",
+        "--workload",
+        "hmmer_like",
+        "--scheme",
+        "nda-p",
+        "--ap",
+        "--insts",
+        "2000",
+        "--format",
+        "chrome",
+        "--out",
+        path.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("traced "));
+    let json = std::fs::read_to_string(&path).unwrap();
+    doppelganger_loads::trace::validate_json::check(&json).expect("well-formed JSON");
+    assert!(json.starts_with("{\"traceEvents\":["));
+    assert!(json.contains("\"ph\":\"X\""), "stage spans present");
+    for stage in ["fetch", "decode", "issue", "writeback", "commit"] {
+        assert!(
+            json.contains(&format!("\"name\":\"{stage}\"")),
+            "stage track `{stage}` missing"
+        );
+    }
+    // At least one load walks the full predicted → issued → propagated
+    // arc (all three events share the `dgl i<seq> <name>` label).
+    let full_lifecycle = json.split("dgl i").skip(1).any(|chunk| {
+        let Some(seq) = chunk.split(' ').next() else {
+            return false;
+        };
+        chunk.starts_with(&format!("{seq} propagated"))
+            && json.contains(&format!("dgl i{seq} predicted"))
+            && json.contains(&format!("dgl i{seq} issued"))
+    });
+    assert!(
+        full_lifecycle,
+        "no doppelganger shows predicted→issued→propagated"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn trace_rejects_bad_format_and_missing_workload() {
+    let out = dgl(&["trace", "--workload", "hmmer_like", "--format", "bogus"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("bad format"));
+    let out = dgl(&["trace", "--format", "chrome"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("needs a workload"));
+}
+
+#[test]
+fn trace_konata_and_jsonl_write_to_stdout() {
+    let out = dgl(&[
+        "trace",
+        "--workload",
+        "hmmer_like",
+        "--insts",
+        "500",
+        "--format",
+        "konata",
+    ]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.starts_with("Kanata\t0004"), "Konata header: {text}");
+    let out = dgl(&[
+        "trace",
+        "--workload",
+        "hmmer_like",
+        "--insts",
+        "500",
+        "--format",
+        "jsonl",
+    ]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for line in text.lines().take(50) {
+        doppelganger_loads::trace::validate_json::check(line).expect("each line is JSON");
+    }
+}
+
+#[test]
 fn asm_runs_recursive_fibonacci() {
     let path = concat!(
         env!("CARGO_MANIFEST_DIR"),

@@ -1,0 +1,168 @@
+//! Offline, dependency-free stand-in for the parts of the `rand` crate
+//! this workspace uses.
+//!
+//! The build environment has no access to a crates.io registry, so the
+//! workspace vendors a minimal deterministic implementation instead of
+//! the real crate. Only the API surface the workloads crate relies on
+//! is provided: [`rngs::SmallRng`], [`SeedableRng::seed_from_u64`],
+//! [`Rng::gen`] and [`Rng::gen_range`]. The generator is SplitMix64,
+//! which is plenty for synthetic-workload data generation (the only
+//! consumer); it is **not** suitable for cryptographic use.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use core::ops::{Range, RangeInclusive};
+
+/// A random number generator that can be seeded from a `u64`.
+pub trait SeedableRng: Sized {
+    /// Create a generator from a 64-bit seed.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types that can be produced uniformly from one 64-bit random draw.
+pub trait Standard: Sized {
+    /// Build a value of this type from raw random bits.
+    fn from_random_bits(bits: u64) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            #[inline]
+            fn from_random_bits(bits: u64) -> Self {
+                bits as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    #[inline]
+    fn from_random_bits(bits: u64) -> Self {
+        bits & 1 == 1
+    }
+}
+
+/// Ranges that a uniform sample can be drawn from.
+pub trait SampleRange<T> {
+    /// Map raw random bits onto the range.
+    fn sample_from_bits(self, bits: u64) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample_from_bits(self, bits: u64) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + (bits as u128 % span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample_from_bits(self, bits: u64) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                (start as i128 + (bits as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Core random-value interface, mirroring `rand::Rng`.
+pub trait Rng {
+    /// Produce the next 64 raw random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Sample a value uniformly over the type's whole domain.
+    #[inline]
+    fn gen<T: Standard>(&mut self) -> T {
+        T::from_random_bits(self.next_u64())
+    }
+
+    /// Sample a value uniformly from `range`.
+    #[inline]
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_from_bits(self.next_u64())
+    }
+
+    /// Sample a bool that is `true` with probability `p`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        (self.next_u64() as f64 / u64::MAX as f64) < p
+    }
+}
+
+/// Concrete generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Small, fast, deterministic generator (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    impl SeedableRng for SmallRng {
+        #[inline]
+        fn seed_from_u64(state: u64) -> Self {
+            Self { state }
+        }
+    }
+
+    impl Rng for SmallRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v: usize = rng.gen_range(0..17);
+            assert!(v < 17);
+            let w: usize = rng.gen_range(3..=9);
+            assert!((3..=9).contains(&w));
+            let s: i64 = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&s));
+        }
+    }
+
+    #[test]
+    fn gen_covers_both_bools() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut seen = [false; 2];
+        for _ in 0..64 {
+            seen[rng.gen::<bool>() as usize] = true;
+        }
+        assert!(seen[0] && seen[1]);
+    }
+}
