@@ -39,12 +39,14 @@
 
 pub mod config;
 pub mod entry;
+pub mod policy;
 pub mod predictor;
 pub mod rules;
 pub mod scheme;
 
 pub use config::DoppelgangerConfig;
 pub use entry::{DoppelgangerState, Verification};
+pub use policy::{policy_for, DemandAccessPlan, SchemeEntry, SpeculationPolicy, REGISTRY};
 pub use predictor::{AddressPredictor, ApMode, ApStats};
 pub use rules::{may_propagate, reissue_allowed};
 pub use scheme::SchemeKind;

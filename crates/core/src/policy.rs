@@ -1,0 +1,476 @@
+//! The `SpeculationPolicy` layer: every scheme-conditional decision the
+//! pipeline makes, behind one trait with one impl per scheme.
+//!
+//! The paper's central claim is that doppelganger loads are
+//! *threat-model transparent*: the same mechanism drops into NDA-P, STT,
+//! and DoM unchanged (§5.2/§5.3). This module is where that claim lives
+//! in code. A scheme is a [`SpeculationPolicy`] implementation plus a
+//! [`SchemeEntry`] row in [`REGISTRY`]; the pipeline's stage modules
+//! never mention [`SchemeKind`] — they consult the policy at eight fixed
+//! decision points (load issue gating, result propagation, doppelganger
+//! propagation and reissue, branch-resolution ordering, taint hooks, and
+//! DoM's delayed-replacement access plan).
+//!
+//! The [`crate::rules`] module keeps the §5.2/§5.3 truth tables as an
+//! *independent*, pure-function spec; `tests/policy_matches_rules.rs`
+//! asserts every policy reproduces them over the full
+//! `DoppelgangerState` × speculation-status space. A policy therefore
+//! cannot silently drift from the auditable rules.
+//!
+//! # Adding a scheme
+//!
+//! 1. Add a [`SchemeKind`] variant (and a row in the `rules` truth
+//!    tables, which double as the security spec).
+//! 2. Implement [`SpeculationPolicy`] for a new unit struct, overriding
+//!    only the hooks that differ from the unsafe-baseline defaults.
+//! 3. Register it in [`REGISTRY`].
+//!
+//! Nothing else: `dgl-sim`'s `ConfigId`, the `dgl` CLI parser and
+//! `attack` sweep, and the `dgl-bench` report bins all enumerate the
+//! registry. [`SchemeKind::NdaPEager`] was added exactly this way, with
+//! zero edits to pipeline stage code.
+
+use crate::entry::{DoppelgangerState, Verification};
+use crate::scheme::SchemeKind;
+use std::fmt;
+
+/// How a *speculative* demand load is allowed to probe the memory
+/// hierarchy (DoM's §2.2 lever; everyone else uses [`Self::FULL`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DemandAccessPlan {
+    /// Probe the L1 only; a miss is *not* forwarded down the hierarchy.
+    pub l1_only: bool,
+    /// Update replacement state on a hit (DoM defers this to
+    /// non-speculation so a transient hit leaves no LRU footprint).
+    pub update_replacement: bool,
+}
+
+impl DemandAccessPlan {
+    /// Unrestricted access: full hierarchy, replacement updated.
+    pub const FULL: Self = Self {
+        l1_only: false,
+        update_replacement: true,
+    };
+    /// DoM's speculative probe: L1 only, replacement untouched.
+    pub const L1_PROBE: Self = Self {
+        l1_only: true,
+        update_replacement: false,
+    };
+}
+
+/// Every scheme-conditional decision the out-of-order core makes.
+///
+/// Defaults encode the unsafe baseline; a scheme overrides only the
+/// hooks where it differs. All hooks are `&self` and stateless — the
+/// pipeline owns all mutable state (register file, taint map, shadow
+/// tracker) and passes the relevant summary (`load_nonspec`,
+/// `speculative`) in.
+pub trait SpeculationPolicy: fmt::Debug + Send + Sync {
+    /// The scheme this policy implements.
+    fn kind(&self) -> SchemeKind;
+
+    /// Report name (`nda-p`, `dom`, ...).
+    fn name(&self) -> &'static str {
+        self.kind().name()
+    }
+
+    /// STT: taint speculative load results, propagate taint through
+    /// dependents, and delay *transmitters* with tainted operands.
+    /// Gates every taint-map interaction in the pipeline.
+    fn tracks_taint(&self) -> bool {
+        false
+    }
+
+    /// NDA-S: **every** speculative result is locked at writeback, not
+    /// just load results; the visibility sweep unlocks them in order.
+    fn delays_all_propagation(&self) -> bool {
+        false
+    }
+
+    /// How a demand load may access the hierarchy. `speculative` is the
+    /// load's status at issue time. DoM restricts speculative loads to
+    /// an L1 probe with the replacement update deferred.
+    fn demand_access(&self, speculative: bool) -> DemandAccessPlan {
+        let _ = speculative;
+        DemandAccessPlan::FULL
+    }
+
+    /// Whether a *conventional* load result (own demand access, no
+    /// doppelganger involved) may propagate to dependents now.
+    /// NDA delays this to the visibility point.
+    fn may_propagate_load(&self, load_nonspec: bool) -> bool {
+        let _ = load_nonspec;
+        true
+    }
+
+    /// Scheme-specific part of the doppelganger propagation rule
+    /// (§5.2/§5.3), consulted only after the common preconditions
+    /// (verified-correct address, data ready) hold. Override this, not
+    /// [`Self::may_propagate_doppelganger`].
+    fn doppelganger_visibility(&self, dg: &DoppelgangerState, load_nonspec: bool) -> bool {
+        let _ = (dg, load_nonspec);
+        true
+    }
+
+    /// Whether a doppelganger's preloaded value may propagate to
+    /// dependents. Enforces the scheme-independent preconditions, then
+    /// defers to [`Self::doppelganger_visibility`]. Mirrors
+    /// [`crate::rules::may_propagate`].
+    fn may_propagate_doppelganger(&self, dg: &DoppelgangerState, load_nonspec: bool) -> bool {
+        dg.verification() == Verification::Correct
+            && dg.data_ready()
+            && self.doppelganger_visibility(dg, load_nonspec)
+    }
+
+    /// Whether the conventional load of a **mispredicted** doppelganger
+    /// may be issued to memory now (§5.3). Mirrors
+    /// [`crate::rules::reissue_allowed`].
+    fn reissue_allowed(&self, load_nonspec: bool) -> bool {
+        let _ = load_nonspec;
+        true
+    }
+
+    /// Whether branches must resolve in visibility-point order. §4.6:
+    /// DoM+AP closes its implicit channel this way, so the hook sees
+    /// whether address prediction is enabled.
+    fn resolves_branches_in_order(&self, ap_enabled: bool) -> bool {
+        let _ = ap_enabled;
+        false
+    }
+
+    /// Whether branch-like instructions (conditional branches, indirect
+    /// jumps, returns) may *issue* reading operands that are ready but
+    /// not yet propagated. Only `nda-p-eager` sets this; the pipeline
+    /// then tracks such reads so a locked value repaired in place
+    /// squashes its eager consumers (the §4.4 no-squash rule assumes no
+    /// consumer observed the old value).
+    fn branch_reads_unpropagated(&self) -> bool {
+        false
+    }
+
+    /// Threat-model breadth (§3): does the scheme protect secrets
+    /// already residing in registers? DoM does (speculative transmit
+    /// never leaves L1); NDA-S does (nothing speculative propagates);
+    /// NDA-P and STT do not.
+    fn protects_register_secrets(&self) -> bool {
+        false
+    }
+}
+
+/// Unprotected out-of-order execution: all defaults.
+#[derive(Debug)]
+pub struct BaselinePolicy;
+
+impl SpeculationPolicy for BaselinePolicy {
+    fn kind(&self) -> SchemeKind {
+        SchemeKind::Baseline
+    }
+}
+
+/// NDA permissive propagation: speculative load results are locked
+/// until the load is non-speculative.
+#[derive(Debug)]
+pub struct NdaPPolicy;
+
+impl SpeculationPolicy for NdaPPolicy {
+    fn kind(&self) -> SchemeKind {
+        SchemeKind::NdaP
+    }
+    fn may_propagate_load(&self, load_nonspec: bool) -> bool {
+        load_nonspec
+    }
+    fn doppelganger_visibility(&self, _dg: &DoppelgangerState, load_nonspec: bool) -> bool {
+        load_nonspec
+    }
+}
+
+/// NDA strict propagation: like NDA-P, plus *every* speculative result
+/// (not just loads) is locked until non-speculative.
+#[derive(Debug)]
+pub struct NdaSPolicy;
+
+impl SpeculationPolicy for NdaSPolicy {
+    fn kind(&self) -> SchemeKind {
+        SchemeKind::NdaS
+    }
+    fn delays_all_propagation(&self) -> bool {
+        true
+    }
+    fn may_propagate_load(&self, load_nonspec: bool) -> bool {
+        load_nonspec
+    }
+    fn doppelganger_visibility(&self, _dg: &DoppelgangerState, load_nonspec: bool) -> bool {
+        load_nonspec
+    }
+    fn protects_register_secrets(&self) -> bool {
+        true
+    }
+}
+
+/// NDA-P with eager branch resolution: branch-like instructions may
+/// read ready-but-unpropagated operands, shrinking C-shadow windows
+/// (see the `SchemeKind::NdaPEager` docs for the threat-model caveat).
+#[derive(Debug)]
+pub struct NdaPEagerPolicy;
+
+impl SpeculationPolicy for NdaPEagerPolicy {
+    fn kind(&self) -> SchemeKind {
+        SchemeKind::NdaPEager
+    }
+    fn may_propagate_load(&self, load_nonspec: bool) -> bool {
+        load_nonspec
+    }
+    fn doppelganger_visibility(&self, _dg: &DoppelgangerState, load_nonspec: bool) -> bool {
+        load_nonspec
+    }
+    fn branch_reads_unpropagated(&self) -> bool {
+        true
+    }
+}
+
+/// Speculative Taint Tracking: propagation is free, transmitters with
+/// tainted operands stall.
+#[derive(Debug)]
+pub struct SttPolicy;
+
+impl SpeculationPolicy for SttPolicy {
+    fn kind(&self) -> SchemeKind {
+        SchemeKind::Stt
+    }
+    fn tracks_taint(&self) -> bool {
+        true
+    }
+}
+
+/// Delay-on-Miss: speculative loads are L1 probes with deferred
+/// replacement; misses and mispredicted-doppelganger replays wait for
+/// the visibility point; +AP requires in-order branch resolution.
+#[derive(Debug)]
+pub struct DomPolicy;
+
+impl SpeculationPolicy for DomPolicy {
+    fn kind(&self) -> SchemeKind {
+        SchemeKind::DoM
+    }
+    fn demand_access(&self, speculative: bool) -> DemandAccessPlan {
+        if speculative {
+            DemandAccessPlan::L1_PROBE
+        } else {
+            DemandAccessPlan::FULL
+        }
+    }
+    fn doppelganger_visibility(&self, dg: &DoppelgangerState, load_nonspec: bool) -> bool {
+        match (dg.is_store_overridden(), dg.l1_hit()) {
+            // §4.6: store-forwarded values follow the same visibility
+            // rule as the underlying access would.
+            (_, Some(true)) => true,
+            (_, Some(false)) => load_nonspec,
+            // Store override arrived before the memory response: be
+            // conservative until the hit/miss outcome is known.
+            (true, None) => load_nonspec,
+            (false, None) => false,
+        }
+    }
+    fn reissue_allowed(&self, load_nonspec: bool) -> bool {
+        load_nonspec
+    }
+    fn resolves_branches_in_order(&self, ap_enabled: bool) -> bool {
+        ap_enabled
+    }
+    fn protects_register_secrets(&self) -> bool {
+        true
+    }
+}
+
+/// One registered scheme: kind, names, description, and its policy.
+#[derive(Debug, Clone, Copy)]
+pub struct SchemeEntry {
+    /// The enum tag.
+    pub kind: SchemeKind,
+    /// Canonical name (what reports print and the CLI accepts).
+    pub name: &'static str,
+    /// Accepted parse aliases, lowercase.
+    pub aliases: &'static [&'static str],
+    /// One-line description for `--help`-style listings.
+    pub summary: &'static str,
+    /// Scheme family for grouped reports (`baseline`, `nda`, `stt`,
+    /// `dom`) — e.g. the `nda_variants` bench enumerates family `nda`.
+    pub family: &'static str,
+    /// Whether the scheme is part of the paper's 8-config evaluation
+    /// matrix (§6). Extra variants still run everywhere else.
+    pub in_paper_matrix: bool,
+    policy: &'static dyn SpeculationPolicy,
+}
+
+impl SchemeEntry {
+    /// The scheme's policy implementation.
+    pub fn policy(&self) -> &'static dyn SpeculationPolicy {
+        self.policy
+    }
+}
+
+/// Every scheme the simulator knows, in presentation order. This is the
+/// single source of truth enumerated by `ConfigId`, the CLI, and the
+/// bench bins.
+pub static REGISTRY: [SchemeEntry; 6] = [
+    SchemeEntry {
+        kind: SchemeKind::Baseline,
+        name: "baseline",
+        aliases: &["unsafe"],
+        summary: "unprotected out-of-order execution",
+        family: "baseline",
+        in_paper_matrix: true,
+        policy: &BaselinePolicy,
+    },
+    SchemeEntry {
+        kind: SchemeKind::NdaP,
+        name: "nda-p",
+        aliases: &["nda", "ndap"],
+        summary: "NDA, permissive propagation: lock speculative load results",
+        family: "nda",
+        in_paper_matrix: true,
+        policy: &NdaPPolicy,
+    },
+    SchemeEntry {
+        kind: SchemeKind::NdaS,
+        name: "nda-s",
+        aliases: &["ndas"],
+        summary: "NDA, strict propagation: lock every speculative result",
+        family: "nda",
+        in_paper_matrix: false,
+        policy: &NdaSPolicy,
+    },
+    SchemeEntry {
+        kind: SchemeKind::NdaPEager,
+        name: "nda-p-eager",
+        aliases: &["ndape", "nda-eager"],
+        summary: "NDA-P variant: branches resolve on ready-but-unpropagated operands",
+        family: "nda",
+        in_paper_matrix: false,
+        policy: &NdaPEagerPolicy,
+    },
+    SchemeEntry {
+        kind: SchemeKind::Stt,
+        name: "stt",
+        aliases: &[],
+        summary: "Speculative Taint Tracking: delay tainted transmitters",
+        family: "stt",
+        in_paper_matrix: true,
+        policy: &SttPolicy,
+    },
+    SchemeEntry {
+        kind: SchemeKind::DoM,
+        name: "dom",
+        aliases: &["delay-on-miss"],
+        summary: "Delay-on-Miss: speculative loads are L1-hit-only",
+        family: "dom",
+        in_paper_matrix: true,
+        policy: &DomPolicy,
+    },
+];
+
+/// The registry row for a scheme.
+pub fn entry_for(kind: SchemeKind) -> &'static SchemeEntry {
+    REGISTRY
+        .iter()
+        .find(|e| e.kind == kind)
+        .expect("every SchemeKind has a REGISTRY row")
+}
+
+/// The policy implementation for a scheme.
+pub fn policy_for(kind: SchemeKind) -> &'static dyn SpeculationPolicy {
+    entry_for(kind).policy
+}
+
+/// Case-insensitive lookup by canonical name or alias.
+pub fn lookup(name: &str) -> Option<&'static SchemeEntry> {
+    let lower = name.to_ascii_lowercase();
+    REGISTRY
+        .iter()
+        .find(|e| e.name == lower || e.aliases.contains(&lower.as_str()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_every_kind_once() {
+        assert_eq!(REGISTRY.len(), SchemeKind::ALL.len());
+        for kind in SchemeKind::ALL {
+            let e = entry_for(kind);
+            assert_eq!(e.kind, kind);
+            assert_eq!(e.name, kind.name());
+            assert_eq!(e.policy().kind(), kind);
+        }
+        let names: std::collections::HashSet<_> = REGISTRY.iter().map(|e| e.name).collect();
+        assert_eq!(names.len(), REGISTRY.len(), "names must be unique");
+    }
+
+    #[test]
+    fn paper_matrix_is_the_four_evaluated_schemes() {
+        let evaluated: Vec<_> = REGISTRY
+            .iter()
+            .filter(|e| e.in_paper_matrix)
+            .map(|e| e.kind)
+            .collect();
+        assert_eq!(
+            evaluated,
+            [
+                SchemeKind::Baseline,
+                SchemeKind::NdaP,
+                SchemeKind::Stt,
+                SchemeKind::DoM
+            ]
+        );
+    }
+
+    #[test]
+    fn lookup_accepts_names_and_aliases() {
+        assert_eq!(lookup("NDA").unwrap().kind, SchemeKind::NdaP);
+        assert_eq!(lookup("delay-on-miss").unwrap().kind, SchemeKind::DoM);
+        assert_eq!(lookup("nda-p-eager").unwrap().kind, SchemeKind::NdaPEager);
+        assert!(lookup("spectre").is_none());
+    }
+
+    #[test]
+    fn policy_flags_match_paper() {
+        assert!(policy_for(SchemeKind::Stt).tracks_taint());
+        assert!(!policy_for(SchemeKind::NdaP).tracks_taint());
+        assert!(policy_for(SchemeKind::NdaS).delays_all_propagation());
+        assert!(!policy_for(SchemeKind::NdaP).delays_all_propagation());
+        assert!(policy_for(SchemeKind::DoM).protects_register_secrets());
+        assert!(policy_for(SchemeKind::NdaS).protects_register_secrets());
+        assert!(!policy_for(SchemeKind::NdaP).protects_register_secrets());
+        assert!(!policy_for(SchemeKind::NdaPEager).protects_register_secrets());
+        assert!(policy_for(SchemeKind::DoM).resolves_branches_in_order(true));
+        assert!(!policy_for(SchemeKind::DoM).resolves_branches_in_order(false));
+        assert!(!policy_for(SchemeKind::Stt).resolves_branches_in_order(true));
+        assert!(policy_for(SchemeKind::NdaPEager).branch_reads_unpropagated());
+        assert!(!policy_for(SchemeKind::NdaP).branch_reads_unpropagated());
+    }
+
+    #[test]
+    fn demand_access_plans() {
+        for kind in SchemeKind::ALL {
+            let p = policy_for(kind);
+            assert_eq!(p.demand_access(false), DemandAccessPlan::FULL, "{kind}");
+            let spec = p.demand_access(true);
+            if kind == SchemeKind::DoM {
+                assert_eq!(spec, DemandAccessPlan::L1_PROBE);
+            } else {
+                assert_eq!(spec, DemandAccessPlan::FULL, "{kind}");
+            }
+        }
+    }
+
+    #[test]
+    fn eager_variant_mirrors_nda_p_visibility() {
+        let p = policy_for(SchemeKind::NdaPEager);
+        let n = policy_for(SchemeKind::NdaP);
+        for nonspec in [false, true] {
+            assert_eq!(p.may_propagate_load(nonspec), n.may_propagate_load(nonspec));
+            assert_eq!(p.reissue_allowed(nonspec), n.reissue_allowed(nonspec));
+        }
+    }
+}

@@ -312,7 +312,10 @@ mod tests {
         use dgl_trace::{DglEvent, RecordingSink, TraceEvent, TraceSink};
         let mut ap = AddressPredictor::new(DoppelgangerConfig::default());
         let mut sink = RecordingSink::new();
-        assert_eq!(ap.predict_at_decode_traced(0x77, 1, 3, Some(&mut sink)), None);
+        assert_eq!(
+            ap.predict_at_decode_traced(0x77, 1, 3, Some(&mut sink)),
+            None
+        );
         assert!(sink.is_empty(), "no prediction, no event");
         trained(&mut ap, 0x77, 0x2000, 16, 5);
         let p = ap.predict_at_decode_traced(0x77, 2, 8, Some(&mut sink));

@@ -5,6 +5,12 @@
 //! and *when a mispredicted doppelganger's real load may touch memory*.
 //! Keeping them pure and in one place makes the threat-model-transparency
 //! argument auditable and testable in isolation.
+//!
+//! The pipeline does **not** call these directly — it consults the
+//! scheme's [`crate::policy::SpeculationPolicy`], which implements the
+//! same decisions independently. `tests/policy_matches_rules.rs` proves
+//! the two stay equivalent over the whole state space, so this module
+//! remains the compact, reviewable spec.
 
 use crate::entry::{DoppelgangerState, Verification};
 use crate::scheme::SchemeKind;
@@ -34,7 +40,9 @@ pub fn may_propagate(scheme: SchemeKind, dg: &DoppelgangerState, load_nonspec: b
     }
     match scheme {
         SchemeKind::Baseline => true,
-        SchemeKind::NdaP | SchemeKind::NdaS => load_nonspec,
+        // NDA-P-eager changes *operand readiness for branches*, not the
+        // propagation rule: preloads stay NDA-P-gated.
+        SchemeKind::NdaP | SchemeKind::NdaS | SchemeKind::NdaPEager => load_nonspec,
         SchemeKind::Stt => true,
         SchemeKind::DoM => match (dg.is_store_overridden(), dg.l1_hit()) {
             // §4.6: store-forwarded values follow the same visibility
@@ -63,7 +71,11 @@ pub fn may_propagate(scheme: SchemeKind, dg: &DoppelgangerState, load_nonspec: b
 ///   tracking.
 pub fn reissue_allowed(scheme: SchemeKind, load_nonspec: bool) -> bool {
     match scheme {
-        SchemeKind::Baseline | SchemeKind::NdaP | SchemeKind::NdaS | SchemeKind::Stt => true,
+        SchemeKind::Baseline
+        | SchemeKind::NdaP
+        | SchemeKind::NdaS
+        | SchemeKind::NdaPEager
+        | SchemeKind::Stt => true,
         SchemeKind::DoM => load_nonspec,
     }
 }

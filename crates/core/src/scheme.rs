@@ -1,13 +1,20 @@
 //! The secure speculation schemes the paper evaluates.
+//!
+//! `SchemeKind` is only a *tag*: every behavioural question ("does this
+//! scheme track taint?", "may this value propagate?") is answered by the
+//! scheme's [`crate::policy::SpeculationPolicy`] implementation, found
+//! through [`crate::policy::REGISTRY`]. Keeping the tag enum dumb means
+//! adding a scheme touches the policy module and nothing else.
 
 use std::fmt;
 use std::str::FromStr;
 
 /// Which speculation policy the core runs.
 ///
-/// These are the four baselines of the paper's evaluation (§6); each can
-/// additionally be combined with address prediction (doppelganger
-/// loads).
+/// The four baselines of the paper's evaluation (§6) plus two extra
+/// variants (NDA-S, NDA-P-eager); each can additionally be combined with
+/// address prediction (doppelganger loads). Behaviour lives in the
+/// matching [`crate::policy::SpeculationPolicy`] impl.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub enum SchemeKind {
     /// Unprotected out-of-order execution: speculative load values
@@ -38,14 +45,27 @@ pub enum SchemeKind {
     /// non-speculative, and replacement updates for speculative hits are
     /// applied retroactively (Sakalis et al., ISCA 2019).
     DoM,
+    /// NDA-P with **eager branch resolution**: branch-like instructions
+    /// (conditional branches, indirect jumps, returns) may issue reading
+    /// operands that are *ready* but not yet *propagated*, so a C-shadow
+    /// fed by a locked load resolves without waiting for the visibility
+    /// point. Load/store address operands still require propagation, so
+    /// the explicit Spectre-v1 cache channel stays closed; the trade-off
+    /// is that a transient value can steer branch *resolution* early,
+    /// i.e. the implicit branch channel NDA-P already leaves open (§3)
+    /// is reachable slightly sooner. Added as the registry's
+    /// proof-of-extensibility: a pure policy impl, no stage edits.
+    NdaPEager,
 }
 
 impl SchemeKind {
-    /// All schemes, in the paper's presentation order (plus NDA-S).
-    pub const ALL: [SchemeKind; 5] = [
+    /// All schemes, in the paper's presentation order (plus the NDA
+    /// variants).
+    pub const ALL: [SchemeKind; 6] = [
         SchemeKind::Baseline,
         SchemeKind::NdaP,
         SchemeKind::NdaS,
+        SchemeKind::NdaPEager,
         SchemeKind::Stt,
         SchemeKind::DoM,
     ];
@@ -59,47 +79,15 @@ impl SchemeKind {
             SchemeKind::Baseline => "baseline",
             SchemeKind::NdaP => "nda-p",
             SchemeKind::NdaS => "nda-s",
+            SchemeKind::NdaPEager => "nda-p-eager",
             SchemeKind::Stt => "stt",
             SchemeKind::DoM => "dom",
         }
     }
 
-    /// Whether this scheme delays the propagation of speculative load
-    /// results at the source (both NDA variants).
-    pub fn delays_propagation(self) -> bool {
-        matches!(self, SchemeKind::NdaP | SchemeKind::NdaS)
-    }
-
-    /// Whether this scheme delays the propagation of **every**
-    /// speculative result, not just loads (NDA-S).
-    pub fn delays_all_propagation(self) -> bool {
-        matches!(self, SchemeKind::NdaS)
-    }
-
-    /// Whether this scheme tracks taint through the register file (STT).
-    pub fn tracks_taint(self) -> bool {
-        matches!(self, SchemeKind::Stt)
-    }
-
-    /// Whether speculative loads are restricted to L1 hits (DoM).
-    pub fn delays_on_miss(self) -> bool {
-        matches!(self, SchemeKind::DoM)
-    }
-
-    /// Whether the scheme protects secrets already residing in registers
-    /// (part of the threat-model comparison in §3: DoM does, NDA-P and
-    /// STT do not). NDA-S also qualifies: with *no* speculative result
-    /// propagating, a register secret cannot steer any transient
-    /// transmitter — strictness buys breadth, at the §2.1 ILP cost.
-    pub fn protects_register_secrets(self) -> bool {
-        matches!(self, SchemeKind::DoM | SchemeKind::NdaS)
-    }
-
-    /// Whether combining this scheme with doppelganger loads requires
-    /// in-order (visibility-point) branch resolution (§4.6: DoM+AP must
-    /// resolve all branches in order to close implicit channels).
-    pub fn ap_requires_inorder_branch_resolution(self) -> bool {
-        matches!(self, SchemeKind::DoM)
+    /// This scheme's [`crate::policy::SpeculationPolicy`].
+    pub fn policy(self) -> &'static dyn crate::policy::SpeculationPolicy {
+        crate::policy::policy_for(self)
     }
 }
 
@@ -117,10 +105,12 @@ pub struct ParseSchemeError {
 
 impl fmt::Display for ParseSchemeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names: Vec<&str> = crate::policy::REGISTRY.iter().map(|e| e.name).collect();
         write!(
             f,
-            "unknown scheme `{}` (expected baseline, nda-p, stt, or dom)",
-            self.text
+            "unknown scheme `{}` (expected one of: {})",
+            self.text,
+            names.join(", ")
         )
     }
 }
@@ -131,14 +121,9 @@ impl FromStr for SchemeKind {
     type Err = ParseSchemeError;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        match s.to_ascii_lowercase().as_str() {
-            "baseline" | "unsafe" => Ok(SchemeKind::Baseline),
-            "nda-p" | "nda" | "ndap" => Ok(SchemeKind::NdaP),
-            "nda-s" | "ndas" => Ok(SchemeKind::NdaS),
-            "stt" => Ok(SchemeKind::Stt),
-            "dom" | "delay-on-miss" => Ok(SchemeKind::DoM),
-            _ => Err(ParseSchemeError { text: s.to_owned() }),
-        }
+        crate::policy::lookup(s)
+            .map(|e| e.kind)
+            .ok_or_else(|| ParseSchemeError { text: s.to_owned() })
     }
 }
 
@@ -160,29 +145,27 @@ mod tests {
             "delay-on-miss".parse::<SchemeKind>().unwrap(),
             SchemeKind::DoM
         );
-        assert!("spectre".parse::<SchemeKind>().is_err());
+        assert_eq!(
+            "nda-p-eager".parse::<SchemeKind>().unwrap(),
+            SchemeKind::NdaPEager
+        );
+        let err = "spectre".parse::<SchemeKind>().unwrap_err();
+        assert!(err.to_string().contains("nda-p-eager"), "{err}");
     }
 
     #[test]
-    fn property_flags_match_paper() {
-        assert!(SchemeKind::NdaP.delays_propagation());
-        assert!(SchemeKind::NdaS.delays_propagation());
-        assert!(SchemeKind::NdaS.delays_all_propagation());
-        assert!(!SchemeKind::NdaP.delays_all_propagation());
-        assert!(SchemeKind::Stt.tracks_taint());
-        assert!(SchemeKind::DoM.delays_on_miss());
-        assert!(SchemeKind::DoM.protects_register_secrets());
-        assert!(SchemeKind::NdaS.protects_register_secrets());
-        assert!(!SchemeKind::Stt.protects_register_secrets());
-        assert!(!SchemeKind::NdaP.protects_register_secrets());
-        assert!(SchemeKind::DoM.ap_requires_inorder_branch_resolution());
-        assert!(!SchemeKind::Stt.ap_requires_inorder_branch_resolution());
-    }
-
-    #[test]
-    fn secure_excludes_baseline() {
+    fn secure_excludes_baseline_and_variants() {
         assert!(!SchemeKind::SECURE.contains(&SchemeKind::Baseline));
         assert!(!SchemeKind::SECURE.contains(&SchemeKind::NdaS));
+        assert!(!SchemeKind::SECURE.contains(&SchemeKind::NdaPEager));
         assert_eq!(SchemeKind::SECURE.len(), 3);
+    }
+
+    #[test]
+    fn policy_accessor_agrees_with_kind() {
+        for s in SchemeKind::ALL {
+            assert_eq!(s.policy().kind(), s);
+            assert_eq!(s.policy().name(), s.name());
+        }
     }
 }

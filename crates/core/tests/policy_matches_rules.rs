@@ -1,0 +1,145 @@
+//! Every [`SpeculationPolicy`] impl must reproduce the §5.2/§5.3 truth
+//! tables kept as the auditable spec in `dgl_core::rules`.
+//!
+//! Two layers of evidence:
+//!
+//! 1. an **exhaustive** sweep over every reachable `DoppelgangerState`
+//!    (the state machine is tiny — that is the paper's §5.1 cost
+//!    argument — so we can simply enumerate it);
+//! 2. a **property test** driving the state machine with random event
+//!    sequences, catching any reachable-state combination the
+//!    enumeration template might miss.
+
+use dgl_core::policy::REGISTRY;
+use dgl_core::{may_propagate, reissue_allowed, DoppelgangerState};
+use proptest::prelude::*;
+
+/// Every reachable doppelganger state, built through the public event
+/// API: {no data, memory hit, memory miss} × {store override or not} ×
+/// {unresolved, verified correct, mispredicted} × {invalidated or not},
+/// plus the unpredicted and discarded states.
+fn reachable_states() -> Vec<DoppelgangerState> {
+    let mut states = vec![DoppelgangerState::unpredicted()];
+    // A prediction that never issued (no spare port before resolution).
+    states.push(DoppelgangerState::predicted(0x40));
+    for data in [None, Some(true), Some(false)] {
+        for store_forward in [false, true] {
+            for invalidated in [false, true] {
+                for resolve in [None, Some(0x40), Some(0x80)] {
+                    let mut dg = DoppelgangerState::predicted(0x40);
+                    dg.mark_issued();
+                    if store_forward {
+                        dg.on_store_forward();
+                    }
+                    if let Some(hit) = data {
+                        dg.on_data(hit);
+                    }
+                    if invalidated {
+                        dg.on_invalidation();
+                    }
+                    if let Some(real) = resolve {
+                        dg.resolve(real);
+                    }
+                    states.push(dg);
+                    let mut discarded = dg;
+                    discarded.discard();
+                    states.push(discarded);
+                }
+            }
+        }
+    }
+    states
+}
+
+#[test]
+fn every_policy_reproduces_the_propagation_truth_table() {
+    for entry in &REGISTRY {
+        let policy = entry.policy();
+        for dg in reachable_states() {
+            for nonspec in [false, true] {
+                assert_eq!(
+                    policy.may_propagate_doppelganger(&dg, nonspec),
+                    may_propagate(entry.kind, &dg, nonspec),
+                    "{}: diverges from rules::may_propagate on {dg:?}, nonspec={nonspec}",
+                    entry.name,
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn every_policy_reproduces_the_reissue_truth_table() {
+    for entry in &REGISTRY {
+        let policy = entry.policy();
+        for nonspec in [false, true] {
+            assert_eq!(
+                policy.reissue_allowed(nonspec),
+                reissue_allowed(entry.kind, nonspec),
+                "{}: diverges from rules::reissue_allowed, nonspec={nonspec}",
+                entry.name,
+            );
+        }
+    }
+}
+
+/// One random event applied to the state machine.
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    Issue,
+    Data(bool),
+    StoreForward,
+    Invalidate,
+    Resolve(bool),
+    Discard,
+}
+
+fn apply(dg: &mut DoppelgangerState, ev: Event) {
+    match ev {
+        Event::Issue => {
+            if dg.is_predicted() {
+                dg.mark_issued();
+            }
+        }
+        Event::Data(hit) => dg.on_data(hit),
+        Event::StoreForward => dg.on_store_forward(),
+        Event::Invalidate => dg.on_invalidation(),
+        Event::Resolve(correct) => {
+            dg.resolve(if correct { 0x40 } else { 0x80 });
+        }
+        Event::Discard => dg.discard(),
+    }
+}
+
+proptest! {
+    #[test]
+    fn random_event_sequences_keep_policy_and_rules_equivalent(
+        predicted in proptest::prelude::any::<bool>(),
+        choices in proptest::collection::vec((0u8..6, proptest::prelude::any::<bool>()), 0..8),
+        nonspec in proptest::prelude::any::<bool>(),
+    ) {
+        let mut dg = if predicted {
+            DoppelgangerState::predicted(0x40)
+        } else {
+            DoppelgangerState::unpredicted()
+        };
+        for (tag, flag) in choices {
+            let ev = match tag {
+                0 => Event::Issue,
+                1 => Event::Data(flag),
+                2 => Event::StoreForward,
+                3 => Event::Invalidate,
+                4 => Event::Resolve(flag),
+                _ => Event::Discard,
+            };
+            apply(&mut dg, ev);
+        }
+        for entry in &REGISTRY {
+            prop_assert_eq!(
+                entry.policy().may_propagate_doppelganger(&dg, nonspec),
+                may_propagate(entry.kind, &dg, nonspec),
+                "{}: {:?} nonspec={}", entry.name, dg, nonspec
+            );
+        }
+    }
+}

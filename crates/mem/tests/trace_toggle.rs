@@ -124,7 +124,9 @@ fn structured_sink_mirrors_observation_trace_with_cycles() {
     let events = sink.drain();
     // Sink sees the observation-trace events plus the DRAM access.
     assert_eq!(events.len(), mem.trace().len() + 1);
-    assert!(events.iter().all(|e| matches!(e, dgl_trace::TraceEvent::Mem { .. })));
+    assert!(events
+        .iter()
+        .all(|e| matches!(e, dgl_trace::TraceEvent::Mem { .. })));
     assert!(events.iter().any(|e| matches!(
         e,
         dgl_trace::TraceEvent::Mem {

@@ -1,0 +1,105 @@
+//! Commit stage: in-order retirement, architectural updates, predictor
+//! training, and deferred DoM replacement touches.
+
+use super::*;
+
+impl Core {
+    pub(super) fn commit_stage(&mut self, _program: &Program) {
+        let mut committed_now = 0usize;
+        for _ in 0..self.cfg.commit_width {
+            let Some(head) = self.rob.front() else { break };
+            let seq = head.seq;
+            // Give locked results a final unlock chance: the head is by
+            // definition non-speculative.
+            if head.locked {
+                if head.op.is_load() {
+                    self.try_propagate_load(seq);
+                } else if let Some(idx) = self.rob_index(seq) {
+                    self.try_unlock_result(idx);
+                }
+            }
+            let Some(head) = self.rob.front() else { break };
+            if !head.can_commit() {
+                break;
+            }
+            let op = head.op;
+            let pc = head.pc;
+            // Indirect jump off the program: architectural error,
+            // matching the golden model.
+            if let (Op::JumpReg { .. } | Op::Ret, Some(b)) = (op, head.branch) {
+                if b.actual_next == Some(usize::MAX) {
+                    let target = self.rf.read(head.srcs[0]) as u64;
+                    self.bad_indirect = Some((pc, target));
+                    return;
+                }
+            }
+            if op.is_store() {
+                if self.store_buffer.len() >= self.cfg.store_buffer_entries {
+                    break; // stall until the buffer drains
+                }
+                let s = self.sq.pop_front().expect("store at head");
+                debug_assert_eq!(s.seq, seq);
+                let addr = s.addr.expect("committed store has addr");
+                let data = s.data.expect("committed store has data");
+                self.data.write(addr, data as u64, s.width);
+                self.store_buffer.push_back(SbEntry { addr, req: None });
+                self.stats.committed_stores += 1;
+            }
+            if op.is_load() {
+                let l = self.lq.pop_front().expect("load at head");
+                debug_assert_eq!(l.seq, seq);
+                let addr = l.addr.expect("committed load has addr");
+                let pc_a = Self::pc_addr(pc);
+                // Security invariant: the predictor trains *here*, and
+                // only here — on committed, non-speculative loads.
+                self.ap.train_at_commit(pc_a, addr);
+                self.ap.note_commit_outcome(
+                    l.dgl.is_predicted(),
+                    l.dgl.verification() == Verification::Correct,
+                );
+                if l.needs_touch {
+                    // DoM's retroactive replacement update.
+                    self.mem.touch_l1(addr);
+                }
+                if let Some(vp) = &mut self.vp {
+                    let actual = l.value.expect("committed load has a value");
+                    vp.note_commit_outcome(l.vp.is_some(), l.vp == Some(actual));
+                    vp.train(pc_a, actual);
+                }
+                if let Some(cand) = self.ap.prefetch_candidate(pc_a, addr) {
+                    if self.prefetch_q.len() < self.cfg.prefetch_queue
+                        && !self.prefetch_q.contains(&cand)
+                    {
+                        self.prefetch_q.push_back(cand);
+                    }
+                }
+                self.stats.committed_loads += 1;
+            }
+            if let Some(b) = self.rob.front().and_then(|e| e.branch) {
+                let taken = b.actual_taken.expect("resolved");
+                let target = b.actual_next.expect("resolved");
+                self.front
+                    .bpred_mut()
+                    .train(Self::pc_addr(pc), taken, Some(target));
+                self.stats.committed_branches += 1;
+            }
+            let head = self.rob.pop_front().expect("checked");
+            if let Some((_, _, old)) = head.dst {
+                self.rf.release(old);
+            }
+            self.emit_stage(seq, pc, inst_kind(op), Stage::Commit, self.cycle);
+            self.stats.committed += 1;
+            committed_now += 1;
+            if op == Op::Halt {
+                self.halted = true;
+                break;
+            }
+        }
+        if committed_now == 0 {
+            self.stats.commit_idle_cycles += 1;
+            self.cycles_since_commit += 1;
+        } else {
+            self.cycles_since_commit = 0;
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Dispatch stage: rename, resource allocation (ROB/IQ/LQ/SQ), shadow
+//! casting, and decode-time doppelganger address prediction.
+
+use super::*;
+
+impl Core {
+    pub(super) fn dispatch_stage(&mut self, program: &Program) {
+        for _ in 0..self.cfg.decode_width {
+            let Some(fetched) = self.front.peek_ready(self.cycle, self.cfg.frontend_depth) else {
+                break;
+            };
+            let op = fetched.inst.op;
+            // Structural hazards: check everything before consuming.
+            if self.rob.len() >= self.cfg.rob_entries {
+                break;
+            }
+            let needs_iq = !matches!(op, Op::Halt | Op::Jump { .. });
+            if needs_iq && self.iq_count >= self.cfg.iq_entries {
+                break;
+            }
+            if op.is_load() && self.lq.len() >= self.cfg.lq_entries {
+                break;
+            }
+            if op.is_store() && self.sq.len() >= self.cfg.sq_entries {
+                break;
+            }
+            if op.dst().is_some_and(|d| !d.is_zero()) && self.rf.free_count() == 0 {
+                break;
+            }
+            let fetched = self
+                .front
+                .take_ready(self.cycle, self.cfg.frontend_depth)
+                .expect("peeked");
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            if self.sink.is_some() {
+                // Decode/rename/dispatch are one cycle in this model;
+                // the stamps share a cycle but keep their stage order.
+                let kind = inst_kind(op);
+                self.emit_stage(
+                    seq,
+                    fetched.inst.pc,
+                    kind,
+                    Stage::Fetch,
+                    fetched.fetch_cycle,
+                );
+                self.emit_stage(seq, fetched.inst.pc, kind, Stage::Decode, self.cycle);
+                self.emit_stage(seq, fetched.inst.pc, kind, Stage::Rename, self.cycle);
+                self.emit_stage(seq, fetched.inst.pc, kind, Stage::Dispatch, self.cycle);
+            }
+            let mut entry = RobEntry::new(seq, fetched.inst.pc, op);
+            entry.srcs = op.srcs().iter().map(|&r| self.rf.map(r)).collect();
+            if let Some(d) = op.dst() {
+                let (new, old) = self.rf.rename(d).expect("checked free list");
+                if self.policy().tracks_taint() {
+                    self.taint.set(new, None);
+                }
+                entry.dst = Some((d, new, old));
+            }
+            match op {
+                Op::Branch { .. } | Op::JumpReg { .. } | Op::Ret => {
+                    entry.branch = Some(BranchInfo {
+                        predicted_taken: fetched.predicted_taken,
+                        predicted_next: fetched.predicted_next,
+                        actual_taken: None,
+                        actual_next: None,
+                        history_checkpoint: fetched.history_checkpoint,
+                        ras_checkpoint: fetched.ras_checkpoint,
+                        resolved: false,
+                    });
+                    self.shadows.cast(seq);
+                }
+                Op::Load { width, .. } => {
+                    let dgl = if self.ap_enabled {
+                        let pred = self.ap.predict_at_decode_traced(
+                            Self::pc_addr(fetched.inst.pc),
+                            seq,
+                            self.cycle,
+                            self.sink.as_deref_mut(),
+                        );
+                        match pred {
+                            Some(a) => DoppelgangerState::predicted(a),
+                            None => DoppelgangerState::unpredicted(),
+                        }
+                    } else {
+                        DoppelgangerState::unpredicted()
+                    };
+                    entry.lq_index = Some(self.lq.len());
+                    let mut lq_entry = LqEntry::new(seq, fetched.inst.pc, width, dgl);
+                    lq_entry.dispatch_cycle = self.cycle;
+                    // DoM+VP comparison mode: the predicted *value*
+                    // propagates immediately; validation happens when
+                    // the real load completes (squash on mismatch).
+                    if let Some(vp) = &mut self.vp {
+                        let pred = vp.predict(Self::pc_addr(fetched.inst.pc));
+                        if let (Some(v), Some((arch, preg, _))) = (pred, entry.dst) {
+                            if !arch.is_zero() {
+                                self.rf.write(preg, v);
+                                self.rf.propagate(preg);
+                                lq_entry.vp = Some(v);
+                                self.stats.vp_predicted += 1;
+                            }
+                        }
+                    }
+                    self.lq.push_back(lq_entry);
+                }
+                Op::Store { width, .. } => {
+                    entry.sq_index = Some(self.sq.len());
+                    let data_src = entry.srcs[0];
+                    self.sq
+                        .push_back(SqEntry::new(seq, fetched.inst.pc, width, data_src));
+                    // D-shadow until the address resolves.
+                    self.shadows.cast(seq);
+                }
+                Op::Halt => {
+                    entry.state = ExecState::Completed;
+                }
+                Op::Jump { .. } => {
+                    // Direct jumps are fully handled at fetch.
+                    entry.state = ExecState::Completed;
+                }
+                _ => {}
+            }
+            if needs_iq {
+                entry.in_iq = true;
+                self.iq_count += 1;
+            }
+            self.rob.push_back(entry);
+            let _ = program;
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Execute stage: the scheduled-event queue (functional-unit latency),
+//! ALU/branch completion, AGU completion, and branch resolution with
+//! its scheme-conditional ordering constraints.
+
+use super::*;
+
+impl Core {
+    pub(super) fn handle_events(&mut self, program: &Program) {
+        while let Some(&Reverse((t, _, _))) = self.events.peek() {
+            if t > self.cycle {
+                break;
+            }
+            let Reverse((_, seq, kind)) = self.events.pop().expect("peeked");
+            if self.rob_index(seq).is_none() {
+                continue; // squashed
+            }
+            match kind {
+                EventKind::ExecDone => self.exec_done(seq, program),
+                EventKind::AguDone => self.agu_done(seq),
+            }
+        }
+    }
+
+    pub(super) fn exec_done(&mut self, seq: Seq, program: &Program) {
+        let idx = self.rob_index(seq).expect("checked");
+        let entry = &self.rob[idx];
+        let op = entry.op;
+        let pc = entry.pc;
+        let srcs = entry.srcs.clone();
+        let dst = entry.dst;
+        match op {
+            Op::Imm { value, .. } => {
+                self.writeback(seq, dst, value, &srcs);
+            }
+            Op::Alu {
+                op: alu, a: _, b, ..
+            } => {
+                let av = self.rf.read(srcs[0]);
+                let bv = match b {
+                    Src::Reg(_) => self.rf.read(srcs[1]),
+                    Src::Imm(i) => i as i64,
+                };
+                self.writeback(seq, dst, alu.apply(av, bv), &srcs);
+            }
+            Op::Nop => {
+                let e = &mut self.rob[idx];
+                e.state = ExecState::Completed;
+            }
+            Op::Branch { cond, target, .. } => {
+                let av = self.rf.read(srcs[0]);
+                let bv = self.rf.read(srcs[1]);
+                let taken = cond.eval(av, bv);
+                let e = &mut self.rob[idx];
+                let pc = e.pc;
+                let b = e.branch.as_mut().expect("branch info");
+                b.actual_taken = Some(taken);
+                b.actual_next = Some(if taken { target } else { pc + 1 });
+                e.state = ExecState::Executed;
+                self.try_resolve_branch(seq, program);
+            }
+            Op::Call { .. } => {
+                // The call's only datapath effect: link = pc + 1. The
+                // redirect happened statically at fetch.
+                self.writeback(seq, dst, (pc + 1) as i64, &srcs);
+            }
+            Op::JumpReg { .. } | Op::Ret => {
+                let target = self.rf.read(srcs[0]) as u64;
+                let e = &mut self.rob[idx];
+                let b = e.branch.as_mut().expect("indirect-control info");
+                b.actual_taken = Some(true);
+                b.actual_next = Some(if (target as usize) < program.len() {
+                    target as usize
+                } else {
+                    usize::MAX // poison: error if this commits
+                });
+                e.state = ExecState::Executed;
+                self.try_resolve_branch(seq, program);
+            }
+            Op::Jump { .. } | Op::Halt | Op::Load { .. } | Op::Store { .. } => {
+                unreachable!("{op} does not use ExecDone")
+            }
+        }
+    }
+
+    pub(super) fn agu_done(&mut self, seq: Seq) {
+        let idx = self.rob_index(seq).expect("checked");
+        let entry = &self.rob[idx];
+        let srcs = entry.srcs.clone();
+        match entry.op {
+            Op::Load { offset, .. } => {
+                let base = self.rf.read(*srcs.last().expect("load base"));
+                let addr = effective_addr(base, offset);
+                self.load_address_resolved(seq, addr);
+            }
+            Op::Store { offset, .. } => {
+                let base = self.rf.read(srcs[1]);
+                let addr = effective_addr(base, offset);
+                let data = self
+                    .rf
+                    .is_propagated(srcs[0])
+                    .then(|| self.rf.read(srcs[0]));
+                self.store_address_resolved(seq, addr, data);
+            }
+            _ => unreachable!("AguDone on non-memory op"),
+        }
+    }
+
+    pub(super) fn try_resolve_branch(&mut self, seq: Seq, _program: &Program) {
+        let Some(idx) = self.rob_index(seq) else {
+            return;
+        };
+        let e = &self.rob[idx];
+        if e.state != ExecState::Executed {
+            return;
+        }
+        let Some(b) = e.branch else { return };
+        if b.resolved || b.actual_taken.is_none() {
+            return;
+        }
+        // STT: branch resolution is a transmitter; delay while the
+        // predicate is tainted (§2.2).
+        if self.policy().tracks_taint() && self.taint.any_tainted(&e.srcs) {
+            return;
+        }
+        // Some schemes (DoM+AP, §4.6/§5.3) resolve branches in order —
+        // only at the visibility point.
+        if self.policy().branch_resolution_delayed(self.is_spec(seq)) {
+            return;
+        }
+        let actual_taken = b.actual_taken.expect("executed");
+        let actual_next = b.actual_next.expect("executed");
+        let mispredicted = actual_next != b.predicted_next;
+        let checkpoint = b.history_checkpoint;
+        let ras_checkpoint = b.ras_checkpoint;
+        let was_ret = matches!(e.op, Op::Ret);
+        {
+            let e = &mut self.rob[idx];
+            let bm = e.branch.as_mut().expect("branch");
+            bm.resolved = true;
+            e.state = ExecState::Completed;
+        }
+        self.shadows.resolve(seq);
+        if mispredicted {
+            self.stats.branch_mispredicts += 1;
+            self.front.bpred_mut().note_mispredict();
+            let redirect = if actual_next == usize::MAX {
+                // Poison target: starve fetch; the error surfaces if the
+                // jump commits.
+                usize::MAX
+            } else {
+                actual_next
+            };
+            self.squash_to(
+                seq,
+                redirect,
+                Some((checkpoint, actual_taken)),
+                // A mispredicted return corrupted the speculative RAS
+                // with its own (wrong) pop as well: restore to the
+                // pre-ret checkpoint. For branches/jumps the checkpoint
+                // undoes any wrong-path call/ret damage.
+                Some(ras_checkpoint),
+            );
+            let _ = was_ret;
+        }
+    }
+}

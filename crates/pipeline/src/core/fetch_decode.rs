@@ -1,0 +1,12 @@
+//! Fetch/decode stage: drives the frontend, which fetches up to
+//! `decode_width` instructions per cycle into the decode queue that
+//! dispatch drains.
+
+use super::*;
+
+impl Core {
+    /// Advances fetch and decode by one cycle.
+    pub(super) fn fetch_decode_stage(&mut self, program: &Program) {
+        self.front.fetch(program, self.cycle);
+    }
+}

@@ -1,0 +1,90 @@
+//! Issue stage: wakes ready instructions from the issue queue into
+//! execution, applying operand-readiness and transmitter-gating rules.
+
+use super::*;
+
+impl Core {
+    pub(super) fn issue_stage(&mut self) {
+        let mut budget = self.cfg.issue_width;
+        for idx in 0..self.rob.len() {
+            if budget == 0 {
+                break;
+            }
+            let e = &self.rob[idx];
+            if e.state != ExecState::Waiting || !e.in_iq {
+                continue;
+            }
+            // NDA-P-eager: branch-like instructions may read operands
+            // whose value is *ready* in the register file but not yet
+            // propagated (still scheme-locked). Load/store address
+            // operands never get this shortcut, so the explicit
+            // Spectre-v1 channel stays closed.
+            let eager = e.branch.is_some() && self.policy().branch_reads_unpropagated();
+            // Stores issue their AGU as soon as the *base* register is
+            // available; the data register may lag (captured later).
+            let ready = if e.op.is_store() {
+                self.rf.is_propagated(e.srcs[1])
+            } else if eager {
+                e.srcs.iter().all(|&p| self.rf.is_ready(p))
+            } else {
+                e.srcs.iter().all(|&p| self.rf.is_propagated(p))
+            };
+            if !ready {
+                continue;
+            }
+            // STT: store address generation is delayed while the address
+            // operand is tainted (implicit store-to-load-forwarding
+            // channel).
+            if self.policy().tracks_taint() && e.op.is_store() && self.taint.is_tainted(e.srcs[1]) {
+                continue;
+            }
+            let seq = e.seq;
+            let (pc, op) = (e.pc, e.op);
+            let latency = e.op.latency() as u64;
+            // An eager read of a still-locked value breaks §4.4's
+            // no-consumer precondition for in-place repair: record it
+            // so the producing load squashes instead.
+            let unpropagated: Vec<PhysReg> = if eager {
+                e.srcs
+                    .iter()
+                    .copied()
+                    .filter(|&p| !self.rf.is_propagated(p))
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            let kind = if e.op.is_load() || e.op.is_store() {
+                EventKind::AguDone
+            } else {
+                EventKind::ExecDone
+            };
+            for p in unpropagated {
+                self.note_unpropagated_read(p);
+            }
+            let em = &mut self.rob[idx];
+            em.state = ExecState::Issued;
+            em.in_iq = false;
+            self.iq_count -= 1;
+            self.events.push(Reverse((self.cycle + latency, seq, kind)));
+            budget -= 1;
+            self.emit_stage(seq, pc, inst_kind(op), Stage::Issue, self.cycle);
+        }
+    }
+
+    /// Records that an eagerly-issued branch read `preg` before it was
+    /// propagated. If the producer is a load still in the LQ, its
+    /// repair on a store-order violation or coherence invalidation must
+    /// squash rather than override in place — a consumer has observed
+    /// the old value.
+    fn note_unpropagated_read(&mut self, preg: PhysReg) {
+        let producer = self.rob.iter().find_map(|e| match e.dst {
+            Some((_, p, _)) if p == preg => Some(e.seq),
+            _ => None,
+        });
+        if let Some(seq) = producer {
+            if let Some(li) = self.lq_index(seq) {
+                self.lq[li].eager_consumed = true;
+            }
+        }
+    }
+}

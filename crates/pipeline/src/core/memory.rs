@@ -1,0 +1,595 @@
+//! Memory stage: demand/doppelganger response handling, the memory
+//! issue port, AGU address resolution for loads and stores, the
+//! store-violation scan and its §4.4 repair, store-to-load forwarding,
+//! and external (coherence) invalidations.
+
+use super::*;
+
+impl Core {
+    pub(super) fn handle_mem_responses(&mut self) {
+        let responses: Vec<MemResponse> = self
+            .mem
+            .advance_traced(self.cycle, self.sink.as_deref_mut());
+        for resp in responses {
+            let Some((seq, tag)) = self.req_owner.remove(&resp.id) else {
+                continue;
+            };
+            match tag {
+                ReqTag::Demand => self.demand_response(seq, resp),
+                ReqTag::Doppelganger => self.dgl_response(seq, resp),
+                ReqTag::StoreDrain => {
+                    self.store_buffer.retain(|e| e.req != Some(resp.id));
+                }
+            }
+        }
+    }
+
+    pub(super) fn demand_response(&mut self, seq: Seq, resp: MemResponse) {
+        let Some(li) = self.lq_index(seq) else {
+            return; // squashed
+        };
+        if self.lq[li].req != Some(resp.id) {
+            return; // stale (replayed)
+        }
+        self.lq[li].req = None;
+        match resp.payload {
+            ResponsePayload::Data { hit_level } => {
+                if hit_level != Level::L1 {
+                    self.lq[li].needs_touch = false;
+                }
+                // Prefer a covering older store over memory (the store
+                // has not drained yet).
+                let addr = self.lq[li].addr.expect("demand response without addr");
+                let width = self.lq[li].width;
+                match self.search_forward(seq, addr, width) {
+                    ForwardResult::Covers { value, store_seq } => {
+                        self.lq[li].value = Some(value);
+                        self.lq[li].forwarded = true;
+                        self.lq[li].fwd_src = Some(store_seq);
+                    }
+                    ForwardResult::Partial { store_seq } => {
+                        self.lq[li].state = LoadState::WaitStore(store_seq);
+                        self.lq[li].value = None;
+                        return;
+                    }
+                    ForwardResult::None => {
+                        self.lq[li].value = Some(self.data.read(addr, width) as i64);
+                    }
+                }
+                self.lq[li].state = LoadState::Done;
+                self.try_propagate_load(seq);
+            }
+            ResponsePayload::L1MissBlocked => {
+                self.stats.dom_delayed += 1;
+                if self.shadows.is_nonspeculative(seq) {
+                    // Became safe while the probe was in flight: retry
+                    // with full access immediately.
+                    self.lq[li].state = LoadState::WaitIssue;
+                } else {
+                    self.lq[li].state = LoadState::DelayedDoM;
+                }
+            }
+        }
+    }
+
+    pub(super) fn dgl_response(&mut self, seq: Seq, resp: MemResponse) {
+        let Some(li) = self.lq_index(seq) else {
+            return; // squashed: the doppelganger's fill is harmless (§4.2)
+        };
+        if self.lq[li].dgl_req != Some(resp.id) {
+            return; // discarded after misprediction
+        }
+        self.lq[li].dgl_req = None;
+        let ResponsePayload::Data { hit_level } = resp.payload else {
+            unreachable!("doppelgangers always issue full-hierarchy accesses");
+        };
+        let pred_addr = self.lq[li]
+            .dgl
+            .predicted_addr()
+            .expect("dgl response without prediction");
+        let width = self.lq[li].width;
+        if !self.lq[li].dgl.is_store_overridden() {
+            // §4.4: an older matching store overrides transparently; the
+            // memory value is only used when no store supplied one.
+            match self.search_forward(seq, pred_addr, width) {
+                ForwardResult::Covers { value, store_seq } => {
+                    self.lq[li].value = Some(value);
+                    self.lq[li].fwd_src = Some(store_seq);
+                    self.lq[li].dgl.on_store_forward();
+                }
+                ForwardResult::Partial { store_seq } => {
+                    // Cannot assemble the value: discard the preload and
+                    // put the load back on the conventional path (it may
+                    // already have been counting on this request).
+                    self.lq[li].dgl.discard();
+                    self.stats.dgl_discard_unsafe += 1;
+                    let pc = self.lq[li].pc;
+                    self.emit_dgl(
+                        seq,
+                        pc,
+                        DglEvent::Discarded {
+                            reason: DiscardReason::StoreConflict,
+                        },
+                    );
+                    if self.lq[li].addr.is_some() && self.lq[li].req.is_none() {
+                        self.lq[li].state = LoadState::WaitStore(store_seq);
+                    }
+                    return;
+                }
+                ForwardResult::None => {
+                    self.lq[li].value = Some(self.data.read(pred_addr, width) as i64);
+                }
+            }
+        }
+        self.lq[li].dgl.on_data(hit_level == Level::L1);
+        if self.lq[li].dgl.verification() == Verification::Correct {
+            self.lq[li].state = LoadState::Done;
+            self.try_propagate_load(seq);
+        }
+    }
+
+    pub(super) fn memory_issue(&mut self) {
+        let mut load_ports = self.cfg.load_ports;
+        let mut mshr_blocked = false;
+        // 1. Conventional demand loads, oldest first. The LQ does not
+        // change shape during this stage, so plain indexing is safe.
+        for li in 0..self.lq.len() {
+            if load_ports == 0 || mshr_blocked {
+                break;
+            }
+            let seq = self.lq[li].seq;
+            if self.lq[li].state != LoadState::WaitIssue {
+                continue;
+            }
+            let addr = self.lq[li].addr.expect("WaitIssue implies addr");
+            let idx = self.rob_index(seq).expect("load in rob");
+            // STT: a load is a transmitter — its address operands must
+            // be untainted before it may touch the memory hierarchy.
+            if self.policy().tracks_taint() && self.taint.any_tainted(&self.rob[idx].srcs) {
+                continue;
+            }
+            // A mispredicted doppelganger's conventional load may be
+            // held back by the scheme (DoM: visibility point only, §5.3).
+            let nonspec = self.shadows.is_nonspeculative(seq);
+            if self.lq[li].dgl.verification() == Verification::Mispredicted
+                && !self.policy().reissue_allowed(nonspec)
+            {
+                continue;
+            }
+            let plan = self.policy().demand_access(!nonspec);
+            let req = MemRequest {
+                addr,
+                kind: AccessKind::Load,
+                l1_only: plan.l1_only,
+                update_replacement: plan.update_replacement,
+            };
+            match self
+                .mem
+                .request_traced(req, self.cycle, self.sink.as_deref_mut())
+            {
+                Some(id) => {
+                    let em = &mut self.lq[li];
+                    em.req = Some(id);
+                    em.state = LoadState::Issued;
+                    em.needs_touch = plan.l1_only; // cleared on non-hit outcomes
+                    self.req_owner.insert(id, (seq, ReqTag::Demand));
+                    load_ports -= 1;
+                    let pc = self.lq[li].pc;
+                    self.emit_stage(seq, pc, InstKind::Load, Stage::Memory, self.cycle);
+                }
+                None => mshr_blocked = true,
+            }
+        }
+        // 2. Doppelgangers fill the remaining slots (Figure 5 (D)).
+        if self.ap_enabled && !mshr_blocked {
+            for li in 0..self.lq.len() {
+                if load_ports == 0 || mshr_blocked {
+                    break;
+                }
+                let seq = self.lq[li].seq;
+                let e = &self.lq[li];
+                let issueable = e.dgl.is_predicted()
+                    && !e.dgl.is_issued()
+                    && e.dgl.verification() != Verification::Mispredicted
+                    && e.value.is_none()
+                    && e.req.is_none()
+                    && matches!(e.state, LoadState::WaitAddr | LoadState::WaitIssue);
+                if !issueable {
+                    continue;
+                }
+                let pred = e.dgl.predicted_addr().expect("predicted");
+                // Doppelgangers may access the full hierarchy under every
+                // scheme: the predicted address is secret-independent.
+                let req = MemRequest {
+                    addr: pred,
+                    kind: AccessKind::Load,
+                    l1_only: false,
+                    update_replacement: true,
+                };
+                match self
+                    .mem
+                    .request_traced(req, self.cycle, self.sink.as_deref_mut())
+                {
+                    Some(id) => {
+                        let em = &mut self.lq[li];
+                        em.dgl.mark_issued();
+                        em.dgl_req = Some(id);
+                        if em.state == LoadState::WaitIssue {
+                            // Verified-correct: this request *is* the load.
+                            em.state = LoadState::Issued;
+                        }
+                        self.req_owner.insert(id, (seq, ReqTag::Doppelganger));
+                        self.stats.dgl_issued += 1;
+                        load_ports -= 1;
+                        let pc = self.lq[li].pc;
+                        self.emit_stage(seq, pc, InstKind::Load, Stage::Memory, self.cycle);
+                        self.emit_dgl(seq, pc, DglEvent::Issued { predicted: pred });
+                    }
+                    None => mshr_blocked = true,
+                }
+            }
+        }
+        // 3. Store-buffer drain.
+        let mut store_ports = self.cfg.store_ports;
+        for sb in self.store_buffer.iter_mut() {
+            if store_ports == 0 {
+                break;
+            }
+            if sb.req.is_some() {
+                continue;
+            }
+            match self.mem.request_traced(
+                MemRequest::store(sb.addr),
+                self.cycle,
+                self.sink.as_deref_mut(),
+            ) {
+                Some(id) => {
+                    sb.req = Some(id);
+                    self.req_owner.insert(id, (0, ReqTag::StoreDrain));
+                    store_ports -= 1;
+                }
+                None => break,
+            }
+        }
+        // 4. Prefetches into whatever is left.
+        let mut pf_ports = self.cfg.prefetch_ports;
+        while pf_ports > 0 && !mshr_blocked {
+            let Some(addr) = self.prefetch_q.front().copied() else {
+                break;
+            };
+            if self.mem.contains(Level::L1, addr) {
+                self.prefetch_q.pop_front();
+                continue;
+            }
+            match self.mem.request_traced(
+                MemRequest::prefetch(addr),
+                self.cycle,
+                self.sink.as_deref_mut(),
+            ) {
+                Some(_) => {
+                    self.prefetch_q.pop_front();
+                    self.stats.prefetches += 1;
+                    pf_ports -= 1;
+                }
+                None => break,
+            }
+        }
+    }
+
+    pub(super) fn load_address_resolved(&mut self, seq: Seq, addr: u64) {
+        let li = self.lq_index(seq).expect("load in lq");
+        self.lq[li].addr = Some(addr);
+        let pc = self.lq[li].pc;
+        let sink = self.sink.as_deref_mut();
+        let verdict =
+            self.lq[li]
+                .dgl
+                .resolve_traced(addr, seq, Self::pc_addr(pc), self.cycle, sink);
+        if verdict == Verification::Mispredicted {
+            // Drop any in-flight doppelganger request; its response will
+            // be ignored (stale id). The fill it causes stays — that is
+            // the safe, secret-independent side effect (§4.2). No
+            // squash: the discard is the whole cost (§4.3).
+            self.lq[li].dgl_req = None;
+            self.lq[li].value = None;
+            self.stats.dgl_discard_mispredict += 1;
+            self.emit_dgl(
+                seq,
+                pc,
+                DglEvent::Discarded {
+                    reason: DiscardReason::AddressMismatch,
+                },
+            );
+        }
+        let width = self.lq[li].width;
+        match self.search_forward(seq, addr, width) {
+            ForwardResult::Covers { value, store_seq } => {
+                if verdict == Verification::Correct {
+                    // §4.4 case (1): the doppelganger already appears in
+                    // memory; the preloaded value becomes the store's.
+                    self.lq[li].dgl.on_store_forward();
+                }
+                self.lq[li].value = Some(value);
+                self.lq[li].forwarded = true;
+                self.lq[li].fwd_src = Some(store_seq);
+                self.lq[li].state = LoadState::Done;
+                self.try_propagate_load(seq);
+            }
+            ForwardResult::Partial { store_seq } => {
+                let was_predicted = self.lq[li].dgl.is_predicted();
+                self.lq[li].dgl.discard();
+                self.lq[li].dgl_req = None;
+                self.lq[li].value = None;
+                self.lq[li].state = LoadState::WaitStore(store_seq);
+                if was_predicted {
+                    self.stats.dgl_discard_unsafe += 1;
+                    self.emit_dgl(
+                        seq,
+                        pc,
+                        DglEvent::Discarded {
+                            reason: DiscardReason::StoreConflict,
+                        },
+                    );
+                }
+            }
+            ForwardResult::None => {
+                match verdict {
+                    Verification::Correct => {
+                        if self.lq[li].dgl.data_ready() {
+                            self.lq[li].state = LoadState::Done;
+                            self.try_propagate_load(seq);
+                        } else if self.lq[li].dgl_req.is_some() {
+                            // The doppelganger request is the load's
+                            // request; wait for it.
+                            self.lq[li].state = LoadState::Issued;
+                        } else {
+                            // Predicted but never issued: issue now (the
+                            // doppelganger path still applies — the
+                            // address is the safe predicted one).
+                            self.lq[li].state = LoadState::WaitIssue;
+                        }
+                    }
+                    Verification::Mispredicted | Verification::Pending => {
+                        self.lq[li].state = LoadState::WaitIssue;
+                    }
+                }
+            }
+        }
+    }
+
+    pub(super) fn store_address_resolved(&mut self, seq: Seq, addr: u64, data: Option<i64>) {
+        let si = self
+            .sq
+            .iter()
+            .position(|e| e.seq == seq)
+            .expect("store in sq");
+        self.sq[si].addr = Some(addr);
+        self.sq[si].data = data;
+        let width = self.sq[si].width;
+        if let Some(idx) = self.rob_index(seq) {
+            // The store completes once the data is captured too; with
+            // the data pending it stays Issued and the data-capture
+            // sweep finishes it.
+            let pc = self.rob[idx].pc;
+            self.rob[idx].state = if data.is_some() {
+                ExecState::Completed
+            } else {
+                ExecState::Issued
+            };
+            if data.is_some() {
+                self.emit_stage(seq, pc, InstKind::Store, Stage::Writeback, self.cycle);
+            }
+        }
+        // D-shadow released: the store's address is known.
+        self.shadows.resolve(seq);
+        self.store_violation_scan(seq, addr, data, width);
+    }
+
+    /// Captures store data for address-resolved entries whose data
+    /// register has since propagated, completing the store.
+    pub(super) fn capture_store_data(&mut self) {
+        for si in 0..self.sq.len() {
+            if self.sq[si].addr.is_none() || self.sq[si].data.is_some() {
+                continue;
+            }
+            let src = self.sq[si].data_src;
+            if !self.rf.is_propagated(src) {
+                continue;
+            }
+            let value = self.rf.read(src);
+            self.sq[si].data = Some(value);
+            let seq = self.sq[si].seq;
+            if let Some(idx) = self.rob_index(seq) {
+                self.rob[idx].state = ExecState::Completed;
+                let pc = self.rob[idx].pc;
+                self.emit_stage(seq, pc, InstKind::Store, Stage::Writeback, self.cycle);
+            }
+        }
+    }
+
+    /// When a store's address resolves, younger loads that overlap must
+    /// be repaired: conventional executed-and-propagated loads squash
+    /// (memory-order violation); unpropagated preloads are transparently
+    /// overridden (§4.4 — no squash for doppelgangers).
+    pub(super) fn store_violation_scan(
+        &mut self,
+        store_seq: Seq,
+        addr: u64,
+        data: Option<i64>,
+        width: Width,
+    ) {
+        let mut squash_load: Option<(Seq, usize)> = None;
+        for li in 0..self.lq.len() {
+            let e = &self.lq[li];
+            if e.seq <= store_seq {
+                continue;
+            }
+            // Check resolved addresses and (for unverified doppelgangers)
+            // predicted addresses.
+            let eff_addr = e.addr.or_else(|| {
+                if e.dgl.verification() == Verification::Pending {
+                    e.dgl.predicted_addr()
+                } else {
+                    None
+                }
+            });
+            let Some(load_addr) = eff_addr else { continue };
+            let ov = overlap(addr, width, load_addr, e.width);
+            if ov == Overlap::None {
+                continue;
+            }
+            // A newer forwarding source takes precedence.
+            if let Some(src) = e.fwd_src {
+                if src > store_seq {
+                    continue;
+                }
+            }
+            if e.propagated || e.eager_consumed {
+                // Dependents consumed a stale value (ordinary
+                // propagation, or an eager branch read of a locked
+                // value): squash from the load.
+                squash_load = match squash_load {
+                    Some((s, i)) if s <= e.seq => Some((s, i)),
+                    _ => Some((e.seq, self.lq[li].pc)),
+                };
+                continue;
+            }
+            if e.value.is_some() || e.dgl.is_issued() {
+                let mut dgl_conflict: Option<(Seq, usize)> = None;
+                let em = &mut self.lq[li];
+                match (ov, data) {
+                    (Overlap::Covers, Some(d)) => {
+                        em.value = Some(forward_value(addr, d, load_addr, em.width));
+                        em.forwarded = true;
+                        em.fwd_src = Some(store_seq);
+                        if em.dgl.is_predicted() {
+                            em.dgl.on_store_forward();
+                        }
+                    }
+                    // Covering store whose data is still pending, or a
+                    // partial overlap: the preloaded value is stale;
+                    // wait on the store.
+                    (Overlap::Covers, None) | (Overlap::Partial, _) => {
+                        em.value = None;
+                        if em.dgl.is_predicted() {
+                            dgl_conflict = Some((em.seq, em.pc));
+                        }
+                        em.dgl.discard();
+                        em.dgl_req = None;
+                        if em.addr.is_some() {
+                            em.state = LoadState::WaitStore(store_seq);
+                        }
+                    }
+                    (Overlap::None, _) => unreachable!(),
+                }
+                if let Some((lseq, lpc)) = dgl_conflict {
+                    self.stats.dgl_discard_unsafe += 1;
+                    self.emit_dgl(
+                        lseq,
+                        lpc,
+                        DglEvent::Discarded {
+                            reason: DiscardReason::StoreConflict,
+                        },
+                    );
+                }
+            }
+        }
+        if let Some((seq, pc)) = squash_load {
+            self.stats.memory_order_squashes += 1;
+            self.squash_to(seq - 1, pc, None, None);
+        }
+    }
+
+    /// Re-evaluates a load parked on an older store: forward once the
+    /// store's data lands, keep waiting on partial overlaps, or go to
+    /// memory once the store has drained.
+    pub(super) fn recheck_wait_store(&mut self, li: usize) {
+        let seq = self.lq[li].seq;
+        let addr = self.lq[li].addr.expect("WaitStore implies addr");
+        let width = self.lq[li].width;
+        match self.search_forward(seq, addr, width) {
+            ForwardResult::Covers { value, store_seq } => {
+                let em = &mut self.lq[li];
+                em.value = Some(value);
+                em.forwarded = true;
+                em.fwd_src = Some(store_seq);
+                if em.dgl.verification() == Verification::Correct {
+                    em.dgl.on_store_forward();
+                }
+                em.state = LoadState::Done;
+                self.try_propagate_load(seq);
+            }
+            ForwardResult::Partial { store_seq } => {
+                self.lq[li].state = LoadState::WaitStore(store_seq);
+            }
+            ForwardResult::None => {
+                self.lq[li].state = LoadState::WaitIssue;
+            }
+        }
+    }
+
+    pub(super) fn search_forward(&self, load_seq: Seq, addr: u64, width: Width) -> ForwardResult {
+        // Youngest older store with a resolved address that overlaps.
+        for st in self.sq.iter().rev() {
+            if st.seq >= load_seq {
+                continue;
+            }
+            let Some(st_addr) = st.addr else { continue };
+            match overlap(st_addr, st.width, addr, width) {
+                Overlap::None => continue,
+                Overlap::Covers => {
+                    // A covering store whose data has not arrived yet
+                    // behaves like a partial overlap: the load waits and
+                    // rechecks (it will forward once the data lands).
+                    return match st.data {
+                        Some(d) => ForwardResult::Covers {
+                            value: forward_value(st_addr, d, addr, width),
+                            store_seq: st.seq,
+                        },
+                        None => ForwardResult::Partial { store_seq: st.seq },
+                    };
+                }
+                Overlap::Partial => {
+                    return ForwardResult::Partial { store_seq: st.seq };
+                }
+            }
+        }
+        ForwardResult::None
+    }
+
+    /// Models an external (cross-core) invalidation: removes the line
+    /// from the hierarchy and snoops the load queue (§4.5). Exposed for
+    /// the memory-consistency security experiments.
+    pub fn external_invalidate(&mut self, addr: u64) {
+        self.mem.invalidate(addr);
+        let line = addr & !63;
+        let mut squash: Option<(Seq, usize)> = None;
+        for e in self.lq.iter_mut() {
+            let matches_resolved = e.addr.is_some_and(|a| a & !63 == line);
+            let matches_predicted = e.dgl.predicted_addr().is_some_and(|a| a & !63 == line);
+            if !matches_resolved && !matches_predicted {
+                continue;
+            }
+            if e.propagated || e.eager_consumed {
+                // Conventional consistency repair: squash the load. An
+                // eager branch read counts as consumption even though
+                // the value never propagated.
+                squash = match squash {
+                    Some((s, p)) if s <= e.seq => Some((s, p)),
+                    _ => Some((e.seq, e.pc)),
+                };
+            } else if e.dgl.is_issued() {
+                // §4.5: the doppelganger is not squashed; the note takes
+                // effect if/when the preload propagates.
+                e.dgl.on_invalidation();
+            } else if e.value.is_some() {
+                e.value = None;
+                e.state = LoadState::WaitIssue;
+            }
+        }
+        if let Some((seq, pc)) = squash {
+            self.stats.memory_order_squashes += 1;
+            self.squash_to(seq - 1, pc, None, None);
+        }
+    }
+}

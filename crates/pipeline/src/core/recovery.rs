@@ -1,0 +1,74 @@
+//! Recovery: the single squash routine — rolls rename/ROB/LQ/SQ/shadow
+//! state back past a mispredicted or violated instruction and redirects
+//! fetch.
+
+use super::*;
+
+impl Core {
+    /// Squashes every instruction with `seq > last_good` and redirects
+    /// fetch to `redirect_pc`.
+    ///
+    /// `history` carries the branch-predictor global-history repair for
+    /// mispredicted branches; `ras` a return-address-stack checkpoint
+    /// when the squashed region may contain calls or returns. Both are
+    /// `None` for non-branch squashes (memory-order violations, value
+    /// mispredictions, coherence replays).
+    pub(super) fn squash_to(
+        &mut self,
+        last_good: Seq,
+        redirect_pc: usize,
+        history: Option<(u64, bool)>,
+        ras: Option<crate::frontend::RasCheckpoint>,
+    ) {
+        while let Some(e) = self.rob.back() {
+            if e.seq <= last_good {
+                break;
+            }
+            let e = self.rob.pop_back().expect("non-empty");
+            self.stats.squashed += 1;
+            if self.sink.is_some() {
+                self.emit(TraceEvent::Squash {
+                    seq: e.seq,
+                    pc: Self::pc_addr(e.pc),
+                    cycle: self.cycle,
+                });
+            }
+            if e.in_iq {
+                self.iq_count -= 1;
+            }
+            if let Some((arch, new, old)) = e.dst {
+                self.rf.unrename(arch, new, old);
+            }
+        }
+        while matches!(self.lq.back(), Some(e) if e.seq > last_good) {
+            let e = self.lq.pop_back().expect("checked");
+            if e.dgl.is_predicted() {
+                // Mispredicted doppelgangers were already accounted at
+                // verification; only live ones die *by* the squash.
+                if e.dgl.verification() != Verification::Mispredicted {
+                    self.stats.dgl_discard_squash += 1;
+                }
+                self.emit_dgl(e.seq, e.pc, DglEvent::Squashed);
+            }
+            if self.ap_enabled {
+                // Keep the predictor's in-flight instance count honest.
+                self.ap.note_squash(Self::pc_addr(e.pc));
+            }
+            if let Some(vp) = &mut self.vp {
+                vp.note_squash(Self::pc_addr(e.pc));
+            }
+        }
+        while matches!(self.sq.back(), Some(e) if e.seq > last_good) {
+            self.sq.pop_back();
+        }
+        self.shadows.squash_younger_than(last_good);
+        self.taint.squash_roots_younger_than(last_good);
+        self.front.redirect_with_ras(
+            redirect_pc,
+            self.cycle,
+            self.cfg.squash_penalty,
+            history,
+            ras,
+        );
+    }
+}

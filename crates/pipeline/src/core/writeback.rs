@@ -1,0 +1,223 @@
+//! Writeback stage: result write/propagate/lock decisions, the
+//! per-cycle visibility-point maintenance sweep, and load-value
+//! propagation under the scheme and doppelganger rules.
+
+use super::*;
+
+impl Core {
+    /// ALU-style writeback: compute, write, propagate, taint.
+    pub(super) fn writeback(
+        &mut self,
+        seq: Seq,
+        dst: Option<(Reg, PhysReg, PhysReg)>,
+        value: i64,
+        srcs: &[PhysReg],
+    ) {
+        let idx = self.rob_index(seq).expect("live entry");
+        let (pc, op) = (self.rob[idx].pc, self.rob[idx].op);
+        self.emit_stage(seq, pc, inst_kind(op), Stage::Writeback, self.cycle);
+        if let Some((arch, preg, _)) = dst {
+            self.rf.write(preg, value);
+            if self.policy().tracks_taint() {
+                let root = self.taint.combine(srcs);
+                self.taint.set(preg, root);
+                self.rob[idx].out_taint = root;
+            }
+            // NDA-S: *no* speculative result propagates until the
+            // instruction is non-speculative — the strict variant's
+            // ILP-killing rule.
+            if self.policy().delays_all_propagation() && !arch.is_zero() && self.is_spec(seq) {
+                self.rob[idx].locked = true;
+                self.rob[idx].state = ExecState::Executed;
+                return;
+            }
+            self.rf.propagate(preg);
+        }
+        self.rob[idx].state = ExecState::Completed;
+    }
+
+    /// NDA-S: releases a locked non-load result once it reaches the
+    /// visibility point.
+    pub(super) fn try_unlock_result(&mut self, idx: usize) {
+        let e = &self.rob[idx];
+        if !e.locked || e.op.is_load() {
+            return;
+        }
+        if !self.shadows.is_nonspeculative(e.seq) {
+            return;
+        }
+        let (_, preg, _) = e.dst.expect("locked result has a destination");
+        self.rf.propagate(preg);
+        self.rob[idx].locked = false;
+        self.rob[idx].state = ExecState::Completed;
+    }
+
+    pub(super) fn visibility_maintenance(&mut self, program: &Program) {
+        // Everything with seq <= bound is non-speculative.
+        let bound = self.shadows.oldest().unwrap_or(Seq::MAX);
+        if self.policy().tracks_taint() {
+            // Roots <= bound reached the visibility point.
+            self.taint.retire_roots_older_than(bound.saturating_add(1));
+        }
+        // Unlock NDA results / propagate doppelganger preloads / reissue
+        // DoM-delayed loads. No LQ entry is added or removed inside this
+        // loop, so plain indexing is safe.
+        for li in 0..self.lq.len() {
+            let seq = self.lq[li].seq;
+            match self.lq[li].state {
+                LoadState::Done if !self.lq[li].propagated => {
+                    self.try_propagate_load(seq);
+                }
+                LoadState::DelayedDoM if self.shadows.is_nonspeculative(seq) => {
+                    self.lq[li].state = LoadState::WaitIssue;
+                }
+                LoadState::WaitStore(_) => {
+                    self.recheck_wait_store(li);
+                }
+                _ => {
+                    // A verified-correct doppelganger whose data arrived
+                    // while unresolved is promoted by dgl_response.
+                }
+            }
+        }
+        // NDA-S: unlock non-load results that reached the visibility
+        // point.
+        if self.policy().delays_all_propagation() {
+            for idx in 0..self.rob.len() {
+                self.try_unlock_result(idx);
+            }
+        }
+        // Delayed branch resolutions (STT untaint / DoM+AP in-order).
+        let branch_seqs: Vec<Seq> = self
+            .rob
+            .iter()
+            .filter(|e| e.state == ExecState::Executed && e.branch.is_some_and(|b| !b.resolved))
+            .map(|e| e.seq)
+            .collect();
+        for seq in branch_seqs {
+            self.try_resolve_branch(seq, program);
+        }
+    }
+
+    /// Attempts to make a finished load's value visible to dependents,
+    /// applying the scheme rules (and the doppelganger rules of §5.2/5.3
+    /// when the value came from a verified preload).
+    pub(super) fn try_propagate_load(&mut self, seq: Seq) {
+        let Some(li) = self.lq_index(seq) else { return };
+        let e = &self.lq[li];
+        if e.propagated || e.value.is_none() || e.state != LoadState::Done {
+            return;
+        }
+        // DoM+VP validation (§2.3 comparison mode): the predicted value
+        // already propagated at dispatch; when the real result arrives,
+        // a match costs nothing and a mismatch squashes every younger
+        // instruction — the rollback that address prediction avoids.
+        if let Some(predicted) = e.vp {
+            let actual = e.value.expect("checked");
+            let pc = e.pc;
+            let Some(idx) = self.rob_index(seq) else {
+                return;
+            };
+            let (_, preg, _) = self.rob[idx].dst.expect("vp loads have destinations");
+            self.lq[li].propagated = true;
+            self.load_latency
+                .record(self.cycle.saturating_sub(self.lq[li].dispatch_cycle));
+            self.rob[idx].state = ExecState::Completed;
+            self.rob[idx].locked = false;
+            self.emit_stage(seq, pc, InstKind::Load, Stage::Writeback, self.cycle);
+            if predicted != actual {
+                self.rf.write(preg, actual);
+                self.stats.vp_squashes += 1;
+                self.squash_to(seq, pc + 1, None, None);
+            }
+            return;
+        }
+        let nonspec = self.shadows.is_nonspeculative(seq);
+        // The doppelganger rules apply only when the value actually came
+        // through the doppelganger (memory preload or store override). A
+        // correct prediction whose data arrived via the load's own demand
+        // request follows the scheme's conventional rules.
+        let via_dgl = e.dgl.is_predicted()
+            && e.dgl.verification() == Verification::Correct
+            && e.dgl.data_ready();
+        let allowed = if via_dgl {
+            self.policy().may_propagate_doppelganger(&e.dgl, nonspec)
+        } else {
+            self.policy().may_propagate_load(nonspec)
+        };
+        let Some(idx) = self.rob_index(seq) else {
+            return;
+        };
+        let Some((_, preg, _)) = self.rob[idx].dst else {
+            // Load to r0: nothing to propagate.
+            self.lq[li].propagated = true;
+            self.load_latency
+                .record(self.cycle.saturating_sub(self.lq[li].dispatch_cycle));
+            self.rob[idx].state = ExecState::Completed;
+            self.rob[idx].locked = false;
+            let pc = self.lq[li].pc;
+            self.emit_stage(seq, pc, InstKind::Load, Stage::Writeback, self.cycle);
+            return;
+        };
+        let value = e.value.expect("checked");
+        // Memory-consistency note (§4.5): a snooped invalidation takes
+        // effect when the preload would propagate — replay the load
+        // instead of using possibly-stale data.
+        if via_dgl && e.dgl.invalidation_applies() {
+            let em = &mut self.lq[li];
+            em.dgl.discard();
+            em.dgl_req = None;
+            em.value = None;
+            em.state = LoadState::WaitIssue;
+            self.stats.dgl_discard_unsafe += 1;
+            let pc = self.lq[li].pc;
+            self.emit_dgl(
+                seq,
+                pc,
+                DglEvent::Discarded {
+                    reason: DiscardReason::Invalidation,
+                },
+            );
+            return;
+        }
+        self.rf.write(preg, value);
+        if allowed {
+            if self.policy().tracks_taint() {
+                let root = if self.is_spec(seq) {
+                    self.taint.add_root(seq);
+                    Some(seq)
+                } else {
+                    None
+                };
+                self.taint.set(preg, root);
+                self.rob[idx].out_taint = root;
+            }
+            self.rf.propagate(preg);
+            self.lq[li].propagated = true;
+            self.load_latency
+                .record(self.cycle.saturating_sub(self.lq[li].dispatch_cycle));
+            self.rob[idx].state = ExecState::Completed;
+            self.rob[idx].locked = false;
+            let pc = self.lq[li].pc;
+            self.emit_stage(seq, pc, InstKind::Load, Stage::Writeback, self.cycle);
+            if via_dgl {
+                self.stats.dgl_propagated += 1;
+                let addr = self.lq[li]
+                    .addr
+                    .or(self.lq[li].dgl.predicted_addr())
+                    .unwrap_or(0);
+                self.emit_dgl(seq, pc, DglEvent::Propagated { addr });
+            }
+        } else {
+            // Value ready but locked (NDA / DoM-miss / unverified).
+            if via_dgl && !self.rob[idx].locked {
+                // First time the scheme says "not yet": record the
+                // unsafe-at-propagate verdict once, not every cycle.
+                let pc = self.lq[li].pc;
+                self.emit_dgl(seq, pc, DglEvent::Deferred);
+            }
+            self.rob[idx].locked = true;
+            self.rob[idx].state = ExecState::Executed;
+        }
+    }
+}

@@ -66,6 +66,11 @@ pub struct LqEntry {
     pub speculative_at_complete: bool,
     /// Cycle the load was dispatched (for latency accounting).
     pub dispatch_cycle: u64,
+    /// Set when an eagerly-issued branch consumed this load's
+    /// ready-but-unpropagated value (NDA-P-eager). The §4.4 in-place
+    /// repair assumes no consumer has observed the old value; once this
+    /// is set, repair must squash instead of overriding.
+    pub eager_consumed: bool,
 }
 
 impl LqEntry {
@@ -89,6 +94,7 @@ impl LqEntry {
             needs_touch: false,
             speculative_at_complete: false,
             dispatch_cycle: 0,
+            eager_consumed: false,
         }
     }
 }

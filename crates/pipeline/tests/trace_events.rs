@@ -83,7 +83,10 @@ fn stride_memory() -> SparseMemory {
 fn correct_doppelganger_full_lifecycle_in_order() {
     let (rep, events) = record(SchemeKind::NdaP, |b| stride_kernel(b, 32), stride_memory());
     assert!(rep.halted);
-    assert!(rep.stats.dgl_propagated > 0, "kernel must use doppelgangers");
+    assert!(
+        rep.stats.dgl_propagated > 0,
+        "kernel must use doppelgangers"
+    );
 
     // At least one load must show the complete, exactly-ordered
     // lifecycle. `Deferred` is legitimate in the middle (NDA holds the

@@ -322,9 +322,7 @@ mod tests {
         assert!(rep.halted);
         let events = sink.drain();
         assert!(
-            events
-                .iter()
-                .any(|e| matches!(e, TraceEvent::Stage { .. })),
+            events.iter().any(|e| matches!(e, TraceEvent::Stage { .. })),
             "stage stamps recorded"
         );
         assert!(

@@ -9,36 +9,47 @@
 //! outliers are — should.
 
 use crate::builder::SimBuilder;
-use dgl_core::SchemeKind;
+use dgl_core::{SchemeKind, REGISTRY};
 use dgl_pipeline::RunError;
 use dgl_stats::{geomean, Align, Table};
-use dgl_workloads::{suite, Scale, Workload};
+use dgl_workloads::{catalog, Scale, Workload};
 use std::collections::BTreeMap;
 use std::fmt;
 
-/// One of the eight evaluated configurations.
+/// One evaluated configuration: a scheme from the policy registry, with
+/// doppelganger address prediction on or off.
+///
+/// The paper's eight configurations are provided as named constants
+/// ([`ConfigId::Baseline`], [`ConfigId::NdaAp`], ...);
+/// [`ConfigId::full_matrix`] enumerates every registered scheme — new
+/// schemes added to `dgl_core::policy::REGISTRY` appear there with no
+/// changes here.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub enum ConfigId {
-    /// Unsafe out-of-order baseline.
-    Baseline,
-    /// Baseline + address prediction (§7 "Unsafe Baseline + AP").
-    BaselineAp,
-    /// NDA-P (permissive propagation).
-    Nda,
-    /// NDA-P + doppelganger loads.
-    NdaAp,
-    /// Speculative Taint Tracking.
-    Stt,
-    /// STT + doppelganger loads.
-    SttAp,
-    /// Delay-on-Miss.
-    Dom,
-    /// DoM + doppelganger loads.
-    DomAp,
+pub struct ConfigId {
+    scheme: SchemeKind,
+    ap: bool,
 }
 
+#[allow(non_upper_case_globals)]
 impl ConfigId {
-    /// All eight configurations in presentation order.
+    /// Unsafe out-of-order baseline.
+    pub const Baseline: ConfigId = ConfigId::new(SchemeKind::Baseline, false);
+    /// Baseline + address prediction (§7 "Unsafe Baseline + AP").
+    pub const BaselineAp: ConfigId = ConfigId::new(SchemeKind::Baseline, true);
+    /// NDA-P (permissive propagation).
+    pub const Nda: ConfigId = ConfigId::new(SchemeKind::NdaP, false);
+    /// NDA-P + doppelganger loads.
+    pub const NdaAp: ConfigId = ConfigId::new(SchemeKind::NdaP, true);
+    /// Speculative Taint Tracking.
+    pub const Stt: ConfigId = ConfigId::new(SchemeKind::Stt, false);
+    /// STT + doppelganger loads.
+    pub const SttAp: ConfigId = ConfigId::new(SchemeKind::Stt, true);
+    /// Delay-on-Miss.
+    pub const Dom: ConfigId = ConfigId::new(SchemeKind::DoM, false);
+    /// DoM + doppelganger loads.
+    pub const DomAp: ConfigId = ConfigId::new(SchemeKind::DoM, true);
+
+    /// The paper's eight configurations in presentation order (§6).
     pub const ALL: [ConfigId; 8] = [
         ConfigId::Baseline,
         ConfigId::BaselineAp,
@@ -50,42 +61,44 @@ impl ConfigId {
         ConfigId::DomAp,
     ];
 
+    /// A configuration for any registered scheme.
+    pub const fn new(scheme: SchemeKind, ap: bool) -> Self {
+        Self { scheme, ap }
+    }
+
+    /// Every registered scheme × {AP off, AP on}, registry order. This
+    /// is how extra variants (NDA-S, NDA-P-eager) enter the evaluation
+    /// without touching the paper's [`ALL`](Self::ALL) matrix.
+    pub fn full_matrix() -> Vec<ConfigId> {
+        REGISTRY
+            .iter()
+            .flat_map(|e| [ConfigId::new(e.kind, false), ConfigId::new(e.kind, true)])
+            .collect()
+    }
+
     /// The underlying scheme.
     pub fn scheme(self) -> SchemeKind {
-        match self {
-            ConfigId::Baseline | ConfigId::BaselineAp => SchemeKind::Baseline,
-            ConfigId::Nda | ConfigId::NdaAp => SchemeKind::NdaP,
-            ConfigId::Stt | ConfigId::SttAp => SchemeKind::Stt,
-            ConfigId::Dom | ConfigId::DomAp => SchemeKind::DoM,
-        }
+        self.scheme
     }
 
     /// Whether doppelganger address prediction is on.
     pub fn ap(self) -> bool {
-        matches!(
-            self,
-            ConfigId::BaselineAp | ConfigId::NdaAp | ConfigId::SttAp | ConfigId::DomAp
-        )
+        self.ap
     }
 
     /// Display label (`nda-p+ap`, ...).
-    pub fn label(self) -> &'static str {
-        match self {
-            ConfigId::Baseline => "baseline",
-            ConfigId::BaselineAp => "baseline+ap",
-            ConfigId::Nda => "nda-p",
-            ConfigId::NdaAp => "nda-p+ap",
-            ConfigId::Stt => "stt",
-            ConfigId::SttAp => "stt+ap",
-            ConfigId::Dom => "dom",
-            ConfigId::DomAp => "dom+ap",
+    pub fn label(self) -> String {
+        if self.ap {
+            format!("{}+ap", self.scheme.name())
+        } else {
+            self.scheme.name().to_owned()
         }
     }
 }
 
 impl fmt::Display for ConfigId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(self.label())
+        f.write_str(&self.label())
     }
 }
 
@@ -131,11 +144,31 @@ impl MatrixRow {
     }
 }
 
+/// A workload row that could not be measured: the [`RunError`] (or
+/// converted worker panic) that sank it. The rest of the matrix is
+/// still collected.
+#[derive(Debug, Clone)]
+pub struct RowFailure {
+    /// Workload name.
+    pub workload: String,
+    /// What went wrong.
+    pub error: RunError,
+}
+
+impl fmt::Display for RowFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.workload, self.error)
+    }
+}
+
 /// The full evaluation matrix.
 #[derive(Debug, Clone)]
 pub struct Evaluation {
-    /// One row per workload, suite order.
+    /// One row per successfully measured workload, suite order.
     pub rows: Vec<MatrixRow>,
+    /// Workloads that failed (simulation error or worker panic). Empty
+    /// on a healthy run.
+    pub failures: Vec<RowFailure>,
     /// Scale the matrix was collected at.
     pub scale: Scale,
 }
@@ -157,46 +190,121 @@ fn run_one(w: &Workload, cfg: ConfigId) -> Result<RunCell, RunError> {
     })
 }
 
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked with a non-string payload".to_owned()
+    }
+}
+
 impl Evaluation {
     /// Runs `configs` over the whole suite at `scale`, in parallel
-    /// across workloads.
+    /// across workloads. Each workload is built **once** per matrix row
+    /// and shared across all of that row's configurations.
+    ///
+    /// A failing row — a simulation [`RunError`] or a worker panic
+    /// (converted to [`RunError::Internal`]) — lands in
+    /// [`failures`](Self::failures); the remaining rows are still
+    /// collected.
     ///
     /// # Errors
     ///
-    /// Propagates the first [`RunError`] from any simulation.
+    /// Only when *no* row could be measured at all; the first failure
+    /// is returned.
     pub fn run(scale: Scale, configs: &[ConfigId]) -> Result<Self, RunError> {
-        let workloads = suite(scale);
+        let specs = catalog();
         let threads = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(4)
-            .min(workloads.len());
-        let results: Vec<Result<MatrixRow, RunError>> = std::thread::scope(|scope| {
+            .min(specs.len());
+        let results: Vec<Result<MatrixRow, RowFailure>> = std::thread::scope(|scope| {
             let mut handles = Vec::new();
-            for chunk in workloads.chunks(workloads.len().div_ceil(threads)) {
-                handles.push(scope.spawn(move || {
-                    chunk
-                        .iter()
-                        .map(|w| {
-                            let mut cells = BTreeMap::new();
-                            for &cfg in configs {
-                                cells.insert(cfg, run_one(w, cfg)?);
-                            }
-                            Ok(MatrixRow {
-                                workload: w.name.to_owned(),
-                                suite: w.suite,
-                                cells,
+            for chunk in specs.chunks(specs.len().div_ceil(threads)) {
+                handles.push((
+                    chunk,
+                    scope.spawn(move || {
+                        chunk
+                            .iter()
+                            .map(|spec| {
+                                // A panicking simulator bug poisons only
+                                // this row, not the whole matrix.
+                                let row =
+                                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                        // Build once; every config of the
+                                        // row shares the same program.
+                                        let w = spec.build(scale);
+                                        let mut cells = BTreeMap::new();
+                                        for &cfg in configs {
+                                            cells.insert(cfg, run_one(&w, cfg)?);
+                                        }
+                                        Ok(MatrixRow {
+                                            workload: w.name.to_owned(),
+                                            suite: w.suite,
+                                            cells,
+                                        })
+                                    }));
+                                match row {
+                                    Ok(r) => r.map_err(|error| RowFailure {
+                                        workload: spec.name.to_owned(),
+                                        error,
+                                    }),
+                                    Err(payload) => Err(RowFailure {
+                                        workload: spec.name.to_owned(),
+                                        error: RunError::Internal {
+                                            message: panic_message(payload),
+                                        },
+                                    }),
+                                }
                             })
-                        })
-                        .collect::<Vec<_>>()
-                }));
+                            .collect::<Vec<_>>()
+                    }),
+                ));
             }
             handles
                 .into_iter()
-                .flat_map(|h| h.join().expect("worker thread"))
+                .flat_map(|(chunk, h)| match h.join() {
+                    Ok(rows) => rows,
+                    // The catch_unwind above should make this
+                    // unreachable; cover it anyway so one lost thread
+                    // cannot sink the matrix.
+                    Err(payload) => {
+                        let message = panic_message(payload);
+                        chunk
+                            .iter()
+                            .map(|spec| {
+                                Err(RowFailure {
+                                    workload: spec.name.to_owned(),
+                                    error: RunError::Internal {
+                                        message: message.clone(),
+                                    },
+                                })
+                            })
+                            .collect()
+                    }
+                })
                 .collect()
         });
-        let rows = results.into_iter().collect::<Result<Vec<_>, _>>()?;
-        Ok(Self { rows, scale })
+        let mut rows = Vec::new();
+        let mut failures = Vec::new();
+        for r in results {
+            match r {
+                Ok(row) => rows.push(row),
+                Err(f) => failures.push(f),
+            }
+        }
+        if rows.is_empty() {
+            if let Some(f) = failures.first() {
+                return Err(f.error.clone());
+            }
+        }
+        Ok(Self {
+            rows,
+            failures,
+            scale,
+        })
     }
 
     /// Geometric-mean normalized IPC of one configuration.
@@ -301,7 +409,7 @@ impl Figure1 {
         }
         for s in &self.schemes {
             t.row(vec![
-                s.base_cfg.label().into(),
+                s.base_cfg.label(),
                 format!("{:.3}", s.without_ap),
                 format!("{:.3}", s.with_ap),
                 format!("{:.0}%", 100.0 * s.slowdown_reduction()),
@@ -563,6 +671,34 @@ mod tests {
     }
 
     #[test]
+    fn full_matrix_enumerates_the_registry() {
+        let full = ConfigId::full_matrix();
+        assert_eq!(full.len(), dgl_core::REGISTRY.len() * 2);
+        // Every paper config is in the full matrix, plus the extra
+        // registered variants.
+        for cfg in ConfigId::ALL {
+            assert!(full.contains(&cfg), "{cfg} missing from full matrix");
+        }
+        let labels: Vec<String> = full.iter().map(|c| c.label()).collect();
+        assert!(labels.contains(&"nda-p-eager".to_owned()), "{labels:?}");
+        assert!(labels.contains(&"nda-p-eager+ap".to_owned()));
+    }
+
+    #[test]
+    fn row_failure_renders_workload_and_error() {
+        let f = RowFailure {
+            workload: "hmmer_like".to_owned(),
+            error: RunError::Internal {
+                message: "index out of bounds".to_owned(),
+            },
+        };
+        assert_eq!(
+            f.to_string(),
+            "hmmer_like: internal simulator failure: index out of bounds"
+        );
+    }
+
+    #[test]
     fn scheme_summary_slowdown_reduction() {
         let s = SchemeSummary {
             base_cfg: ConfigId::Nda,
@@ -602,6 +738,7 @@ mod tests {
         )
         .expect("matrix");
         assert_eq!(eval.rows.len(), dgl_workloads::suite(Scale::Quick).len());
+        assert!(eval.failures.is_empty(), "{:?}", eval.failures);
         for row in &eval.rows {
             assert!(row.cells[&ConfigId::Baseline].ipc > 0.0, "{}", row.workload);
             assert!(

@@ -34,4 +34,4 @@
 pub mod kernels;
 pub mod spec;
 
-pub use spec::{by_name, suite, Scale, Workload};
+pub use spec::{by_name, catalog, suite, Scale, Workload, WorkloadSpec};

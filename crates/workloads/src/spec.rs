@@ -1,4 +1,11 @@
 //! The named SPEC-like workload suite.
+//!
+//! The suite is declared as a [`catalog`] of [`WorkloadSpec`] entries —
+//! name, suite, description, and a build function. Listing and lookup
+//! are free; programs and memory images are only generated when a
+//! caller asks a spec to [`WorkloadSpec::build`]. `dgl-sim`'s
+//! evaluation matrix builds each workload once per row and shares it
+//! across every configuration of that row.
 
 use crate::kernels;
 use dgl_isa::{Program, SparseMemory};
@@ -47,32 +54,49 @@ pub struct Workload {
     pub warm_ranges: Vec<(u64, u64)>,
 }
 
+/// What a catalog builder produces: `(program + memory, warm ranges)`.
+type BuildOutput = ((Program, SparseMemory), Vec<(u64, u64)>);
+
+/// A catalog entry: workload metadata plus a deferred builder.
+///
+/// Holding a spec costs nothing; [`build`](Self::build) generates the
+/// program and memory image at the requested scale.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadSpec {
+    /// Suite name (`libquantum_like`, ...).
+    pub name: &'static str,
+    /// Which suite the imitated program belongs to.
+    pub suite: &'static str,
+    /// One-line behavioural description.
+    pub description: &'static str,
+    /// Generates `(program + memory, warm ranges)` at a scale.
+    build: fn(Scale) -> BuildOutput,
+}
+
+impl WorkloadSpec {
+    /// Builds the runnable workload at `scale`.
+    pub fn build(&self, scale: Scale) -> Workload {
+        let ((program, memory), warm_ranges) = (self.build)(scale);
+        Workload {
+            name: self.name,
+            suite: self.suite,
+            description: self.description,
+            program,
+            memory,
+            // DoM on a DRAM-bound chase can exceed CPI 30; stay generous.
+            max_cycles: scale.target_insts() * 60 + 200_000,
+            warm_ranges,
+        }
+    }
+}
+
 fn iters(scale: Scale, insts_per_iter: u64) -> i64 {
     (scale.target_insts() / insts_per_iter).max(64) as i64
 }
 
-fn wl(
-    name: &'static str,
-    suite: &'static str,
-    description: &'static str,
-    (program, memory): (Program, SparseMemory),
-    scale: Scale,
-) -> Workload {
-    Workload {
-        name,
-        suite,
-        description,
-        program,
-        memory,
-        // DoM on a DRAM-bound chase can exceed CPI 30; stay generous.
-        max_cycles: scale.target_insts() * 60 + 200_000,
-        warm_ranges: Vec::new(),
-    }
-}
-
-fn warmed(mut w: Workload, ranges: Vec<(u64, u64)>) -> Workload {
-    w.warm_ranges = ranges;
-    w
+/// Index/offset stream footprint of a kernel with `ipi` insts/iter.
+fn stream_bytes(s: Scale, ipi: u64) -> u64 {
+    iters(s, ipi) as u64 * 8
 }
 
 /// Chase-lane node ranges for warming (pointer structure hot, payloads
@@ -84,29 +108,31 @@ fn chase_warm(nodes: u64, node_stride: u64, lanes: u8) -> Vec<(u64, u64)> {
         .collect()
 }
 
-/// Builds the full suite at the given scale.
+const RA: u64 = kernels::REGION_A as u64;
+const RB: u64 = kernels::REGION_B as u64;
+const RC: u64 = kernels::REGION_C as u64;
+
+/// The full suite as metadata.
 ///
 /// The names follow the paper's Figure 6 benchmark list; each workload
 /// is a synthetic kernel reproducing that benchmark's dominant
 /// behaviour class (see crate docs and DESIGN.md §5). Hot data
 /// structures (tables, pointer graphs, grids, and the index streams the
-/// kernels walk) are declared in `warm_ranges`, standing in for the
+/// kernels walk) are declared in the warm ranges, standing in for the
 /// paper's simpoint warm-up; genuinely streaming regions (libquantum's
 /// arrays, chase payload mirrors) stay cold.
-pub fn suite(scale: Scale) -> Vec<Workload> {
-    let s = scale;
-    let ra = kernels::REGION_A as u64;
-    let rb = kernels::REGION_B as u64;
-    let rc = kernels::REGION_C as u64;
-    // Index/offset stream footprint of a kernel with `ipi` insts/iter.
-    let stream_bytes = |ipi: u64| iters(s, ipi) as u64 * 8;
-    vec![
-        // ---- SPEC CPU2006-like ----
-        warmed(
-            wl(
-                "bzip2_like",
-                "2006",
-                "indirect streaming over an L2-resident table; predictable dependent loads",
+pub fn catalog() -> &'static [WorkloadSpec] {
+    &CATALOG
+}
+
+static CATALOG: [WorkloadSpec; 27] = [
+    // ---- SPEC CPU2006-like ----
+    WorkloadSpec {
+        name: "bzip2_like",
+        suite: "2006",
+        description: "indirect streaming over an L2-resident table; predictable dependent loads",
+        build: |s| {
+            (
                 kernels::indirect_stream(
                     "bzip2_like",
                     iters(s, 38),
@@ -116,15 +142,16 @@ pub fn suite(scale: Scale) -> Vec<Workload> {
                     4,
                     0xB21,
                 ),
-                s,
-            ),
-            vec![(rb, 32 * 1024 * 8), (ra, stream_bytes(12))],
-        ),
-        warmed(
-            wl(
-                "gcc_like",
-                "2006",
-                "indirect streaming over an L3-resident table; predictable dependent loads",
+                vec![(RB, 32 * 1024 * 8), (RA, stream_bytes(s, 12))],
+            )
+        },
+    },
+    WorkloadSpec {
+        name: "gcc_like",
+        suite: "2006",
+        description: "indirect streaming over an L3-resident table; predictable dependent loads",
+        build: |s| {
+            (
                 kernels::indirect_stream(
                     "gcc_like",
                     iters(s, 38),
@@ -134,46 +161,53 @@ pub fn suite(scale: Scale) -> Vec<Workload> {
                     4,
                     0x6CC,
                 ),
-                s,
-            ),
-            vec![(rb, 512 * 1024 * 8), (ra, stream_bytes(12))],
-        ),
-        warmed(
-            wl(
-                "mcf_like",
-                "2006",
-                "pointer chase (hot graph, cold payloads) with data-dependent branches",
+                vec![(RB, 512 * 1024 * 8), (RA, stream_bytes(s, 12))],
+            )
+        },
+    },
+    WorkloadSpec {
+        name: "mcf_like",
+        suite: "2006",
+        description: "pointer chase (hot graph, cold payloads) with data-dependent branches",
+        build: |s| {
+            (
                 kernels::pointer_chase("mcf_like", iters(s, 33), 24_000, 0x140, 2, 6, 0x3CF),
-                s,
-            ),
-            {
-                let mut w = chase_warm(24_000, 0x140, 2);
-                w.push((rb, stream_bytes(34)));
-                w
-            },
-        ),
-        wl(
-            "gromacs_like",
-            "2006",
-            "compute-bound with a small hot table",
-            kernels::compute("gromacs_like", iters(s, 41), 6, 512, 0x6A0),
-            s,
-        ),
-        warmed(
-            wl(
-                "GemsFDTD_like",
-                "2006",
-                "multi-stream stencil over an L2-resident grid; DoM-antagonistic",
+                {
+                    let mut w = chase_warm(24_000, 0x140, 2);
+                    w.push((RB, stream_bytes(s, 34)));
+                    w
+                },
+            )
+        },
+    },
+    WorkloadSpec {
+        name: "gromacs_like",
+        suite: "2006",
+        description: "compute-bound with a small hot table",
+        build: |s| {
+            (
+                kernels::compute("gromacs_like", iters(s, 41), 6, 512, 0x6A0),
+                Vec::new(),
+            )
+        },
+    },
+    WorkloadSpec {
+        name: "GemsFDTD_like",
+        suite: "2006",
+        description: "multi-stream stencil over an L2-resident grid; DoM-antagonistic",
+        build: |s| {
+            (
                 kernels::stencil("GemsFDTD_like", iters(s, 28), 100_000, 4, 0x6E2),
-                s,
-            ),
-            vec![(ra, 100_000 * 8), (rb, 100_000 * 8), (rc, 100_000 * 8)],
-        ),
-        warmed(
-            wl(
-                "hmmer_like",
-                "2006",
-                "dense strided loads over an L1/L2-resident table; high coverage",
+                vec![(RA, 100_000 * 8), (RB, 100_000 * 8), (RC, 100_000 * 8)],
+            )
+        },
+    },
+    WorkloadSpec {
+        name: "hmmer_like",
+        suite: "2006",
+        description: "dense strided loads over an L1/L2-resident table; high coverage",
+        build: |s| {
+            (
                 kernels::indirect_stream_wrapped(
                     "hmmer_like",
                     iters(s, 41),
@@ -184,64 +218,76 @@ pub fn suite(scale: Scale) -> Vec<Workload> {
                     Some(16 * 1024),
                     0x423,
                 ),
-                s,
-            ),
-            vec![(rb, 2 * 1024 * 8), (ra, 16 * 1024)],
-        ),
-        wl(
-            "sjeng_like",
-            "2006",
-            "branchy compute with a small table",
-            kernels::compute("sjeng_like", iters(s, 29), 3, 4 * 1024, 0x51E),
-            s,
-        ),
-        wl(
-            "libquantum_like",
-            "2006",
-            "pure DRAM streaming; the standout address-prediction case",
-            kernels::streaming("libquantum_like", iters(s, 22), 8, 2, Some(1), 3),
-            s,
-        ),
-        warmed(
-            wl(
-                "omnetpp_like",
-                "2006",
-                "pointer chase with allocation churn; doppelganger pollution hazard",
+                vec![(RB, 2 * 1024 * 8), (RA, 16 * 1024)],
+            )
+        },
+    },
+    WorkloadSpec {
+        name: "sjeng_like",
+        suite: "2006",
+        description: "branchy compute with a small table",
+        build: |s| {
+            (
+                kernels::compute("sjeng_like", iters(s, 29), 3, 4 * 1024, 0x51E),
+                Vec::new(),
+            )
+        },
+    },
+    WorkloadSpec {
+        name: "libquantum_like",
+        suite: "2006",
+        description: "pure DRAM streaming; the standout address-prediction case",
+        build: |s| {
+            (
+                kernels::streaming("libquantum_like", iters(s, 22), 8, 2, Some(1), 3),
+                Vec::new(),
+            )
+        },
+    },
+    WorkloadSpec {
+        name: "omnetpp_like",
+        suite: "2006",
+        description: "pointer chase with allocation churn; doppelganger pollution hazard",
+        build: |s| {
+            (
                 kernels::chase_with_churn("omnetpp_like", iters(s, 14), 24_000, 48 * 1024, 0x0E7),
-                s,
-            ),
-            {
-                let mut w = chase_warm(24_000, 0x140, 1);
-                w.push((rc, 48 * 1024 * 8));
-                w
-            },
-        ),
-        warmed(
-            wl(
-                "astar_like",
-                "2006",
-                "tree descents with data-dependent direction; branch-bound",
+                {
+                    let mut w = chase_warm(24_000, 0x140, 1);
+                    w.push((RC, 48 * 1024 * 8));
+                    w
+                },
+            )
+        },
+    },
+    WorkloadSpec {
+        name: "astar_like",
+        suite: "2006",
+        description: "tree descents with data-dependent direction; branch-bound",
+        build: |s| {
+            (
                 kernels::tree_walk("astar_like", iters(s, 190), 15, 0xA57),
-                s,
-            ),
-            vec![(ra, ((1u64 << 16) - 1) * 32), (rc, 16 * 1024)],
-        ),
-        warmed(
-            wl(
-                "xalancbmk_like",
-                "2006",
-                "stride runs with frequent breaks; low predictor accuracy",
+                vec![(RA, ((1u64 << 16) - 1) * 32), (RC, 16 * 1024)],
+            )
+        },
+    },
+    WorkloadSpec {
+        name: "xalancbmk_like",
+        suite: "2006",
+        description: "stride runs with frequent breaks; low predictor accuracy",
+        build: |s| {
+            (
                 kernels::stride_runs("xalancbmk_like", iters(s, 8), 6, 512 * 1024, 0x8A1),
-                s,
-            ),
-            vec![(rb, 512 * 1024 * 8), (ra, stream_bytes(8))],
-        ),
-        // ---- SPEC CPU2017-like ----
-        warmed(
-            wl(
-                "gcc_s_like",
-                "2017",
-                "indirect streaming with dependent branches over an L3 table",
+                vec![(RB, 512 * 1024 * 8), (RA, stream_bytes(s, 8))],
+            )
+        },
+    },
+    // ---- SPEC CPU2017-like ----
+    WorkloadSpec {
+        name: "gcc_s_like",
+        suite: "2017",
+        description: "indirect streaming with dependent branches over an L3 table",
+        build: |s| {
+            (
                 kernels::indirect_stream(
                     "gcc_s_like",
                     iters(s, 36),
@@ -251,104 +297,123 @@ pub fn suite(scale: Scale) -> Vec<Workload> {
                     5,
                     0x6CD,
                 ),
-                s,
-            ),
-            vec![(rb, 256 * 1024 * 8), (ra, stream_bytes(12))],
-        ),
-        warmed(
-            wl(
-                "mcf_s_like",
-                "2017",
-                "denser pointer chase (hot graph, cold payloads)",
+                vec![(RB, 256 * 1024 * 8), (RA, stream_bytes(s, 12))],
+            )
+        },
+    },
+    WorkloadSpec {
+        name: "mcf_s_like",
+        suite: "2017",
+        description: "denser pointer chase (hot graph, cold payloads)",
+        build: |s| {
+            (
                 kernels::pointer_chase("mcf_s_like", iters(s, 36), 36_000, 0xC0, 3, 5, 0x3D0),
-                s,
-            ),
-            {
-                let mut w = chase_warm(36_000, 0xC0, 3);
-                w.push((rb, stream_bytes(34)));
-                w
-            },
-        ),
-        warmed(
-            wl(
-                "omnetpp_s_like",
-                "2017",
-                "chase plus heavier churn; slight AP penalty expected",
+                {
+                    let mut w = chase_warm(36_000, 0xC0, 3);
+                    w.push((RB, stream_bytes(s, 34)));
+                    w
+                },
+            )
+        },
+    },
+    WorkloadSpec {
+        name: "omnetpp_s_like",
+        suite: "2017",
+        description: "chase plus heavier churn; slight AP penalty expected",
+        build: |s| {
+            (
                 kernels::chase_with_churn("omnetpp_s_like", iters(s, 14), 32_000, 96 * 1024, 0x0E8),
-                s,
-            ),
-            {
-                let mut w = chase_warm(32_000, 0x140, 1);
-                w.push((rc, 96 * 1024 * 8));
-                w
-            },
-        ),
-        warmed(
-            wl(
-                "xalancbmk_s_like",
-                "2017",
-                "shorter stride runs; lowest predictor accuracy, floods L1 under AP",
+                {
+                    let mut w = chase_warm(32_000, 0x140, 1);
+                    w.push((RC, 96 * 1024 * 8));
+                    w
+                },
+            )
+        },
+    },
+    WorkloadSpec {
+        name: "xalancbmk_s_like",
+        suite: "2017",
+        description: "shorter stride runs; lowest predictor accuracy, floods L1 under AP",
+        build: |s| {
+            (
                 kernels::stride_runs("xalancbmk_s_like", iters(s, 8), 4, 1024 * 1024, 0x8A2),
-                s,
-            ),
-            vec![(rb, 1024 * 1024 * 8), (ra, stream_bytes(8))],
-        ),
-        wl(
-            "exchange2_s_like",
-            "2017",
-            "almost pure integer compute; tiny memory footprint",
-            kernels::compute("exchange2_s_like", iters(s, 49), 8, 128, 0xE2C),
-            s,
-        ),
-        warmed(
-            wl(
-                "deepsjeng_s_like",
-                "2017",
-                "tree descents over an L2-resident tree",
+                vec![(RB, 1024 * 1024 * 8), (RA, stream_bytes(s, 8))],
+            )
+        },
+    },
+    WorkloadSpec {
+        name: "exchange2_s_like",
+        suite: "2017",
+        description: "almost pure integer compute; tiny memory footprint",
+        build: |s| {
+            (
+                kernels::compute("exchange2_s_like", iters(s, 49), 8, 128, 0xE2C),
+                Vec::new(),
+            )
+        },
+    },
+    WorkloadSpec {
+        name: "deepsjeng_s_like",
+        suite: "2017",
+        description: "tree descents over an L2-resident tree",
+        build: |s| {
+            (
                 kernels::tree_walk("deepsjeng_s_like", iters(s, 140), 11, 0xD5E),
-                s,
-            ),
-            vec![(ra, ((1u64 << 12) - 1) * 32), (rc, 16 * 1024)],
-        ),
-        wl(
-            "lbm_s_like",
-            "2017",
-            "wide-stride DRAM streaming with more compute per element",
-            kernels::streaming("lbm_s_like", iters(s, 23), 16, 4, None, 3),
-            s,
-        ),
-        warmed(
-            wl(
-                "wrf_s_like",
-                "2017",
-                "stencil over a small L2-resident grid",
+                vec![(RA, ((1u64 << 12) - 1) * 32), (RC, 16 * 1024)],
+            )
+        },
+    },
+    WorkloadSpec {
+        name: "lbm_s_like",
+        suite: "2017",
+        description: "wide-stride DRAM streaming with more compute per element",
+        build: |s| {
+            (
+                kernels::streaming("lbm_s_like", iters(s, 23), 16, 4, None, 3),
+                Vec::new(),
+            )
+        },
+    },
+    WorkloadSpec {
+        name: "wrf_s_like",
+        suite: "2017",
+        description: "stencil over a small L2-resident grid",
+        build: |s| {
+            (
                 kernels::stencil("wrf_s_like", iters(s, 28), 24_000, 4, 0x36F),
-                s,
-            ),
-            vec![(ra, 24_000 * 8), (rb, 24_000 * 8), (rc, 24_000 * 8)],
-        ),
-        warmed(
-            wl(
-                "perlbench_like",
-                "2006",
-                "interpreter dispatch: memory jump table, indirect jumps, calls",
+                vec![(RA, 24_000 * 8), (RB, 24_000 * 8), (RC, 24_000 * 8)],
+            )
+        },
+    },
+    WorkloadSpec {
+        name: "perlbench_like",
+        suite: "2006",
+        description: "interpreter dispatch: memory jump table, indirect jumps, calls",
+        build: |s| {
+            (
                 kernels::interpreter("perlbench_like", iters(s, 17), 6, 8 * 1024, 0x9E1),
-                s,
-            ),
-            vec![(ra, stream_bytes(17)), (rb, 8 * 1024 * 8), (rc, 64)],
-        ),
-        wl(
-            "milc_like",
-            "2006",
-            "wide-stride DRAM streaming with light compute (lattice QCD sweep)",
-            kernels::streaming("milc_like", iters(s, 20), 24, 2, Some(1), 2),
-            s,
-        ),
-        warmed(
-            wl(
-                "soplex_like",
-                "2006",
-                "indirect streaming over an L3-resident matrix with dependent branches",
+                vec![(RA, stream_bytes(s, 17)), (RB, 8 * 1024 * 8), (RC, 64)],
+            )
+        },
+    },
+    WorkloadSpec {
+        name: "milc_like",
+        suite: "2006",
+        description: "wide-stride DRAM streaming with light compute (lattice QCD sweep)",
+        build: |s| {
+            (
+                kernels::streaming("milc_like", iters(s, 20), 24, 2, Some(1), 2),
+                Vec::new(),
+            )
+        },
+    },
+    WorkloadSpec {
+        name: "soplex_like",
+        suite: "2006",
+        description: "indirect streaming over an L3-resident matrix with dependent branches",
+        build: |s| {
+            (
                 kernels::indirect_stream(
                     "soplex_like",
                     iters(s, 37),
@@ -358,52 +423,60 @@ pub fn suite(scale: Scale) -> Vec<Workload> {
                     6,
                     0x50F,
                 ),
-                s,
-            ),
-            vec![(rb, 384 * 1024 * 8), (ra, stream_bytes(37))],
-        ),
-        wl(
-            "povray_like",
-            "2006",
-            "deep compute chains with a tiny hot table (ray bookkeeping)",
-            kernels::compute("povray_like", iters(s, 53), 9, 256, 0x907),
-            s,
-        ),
-        warmed(
-            wl(
-                "cactuBSSN_s_like",
-                "2017",
-                "stencil over a large L2/L3-resident grid",
+                vec![(RB, 384 * 1024 * 8), (RA, stream_bytes(s, 37))],
+            )
+        },
+    },
+    WorkloadSpec {
+        name: "povray_like",
+        suite: "2006",
+        description: "deep compute chains with a tiny hot table (ray bookkeeping)",
+        build: |s| {
+            (
+                kernels::compute("povray_like", iters(s, 53), 9, 256, 0x907),
+                Vec::new(),
+            )
+        },
+    },
+    WorkloadSpec {
+        name: "cactuBSSN_s_like",
+        suite: "2017",
+        description: "stencil over a large L2/L3-resident grid",
+        build: |s| {
+            (
                 kernels::stencil("cactuBSSN_s_like", iters(s, 28), 200_000, 4, 0xCAC),
-                s,
-            ),
-            vec![(ra, 200_000 * 8), (rb, 200_000 * 8), (rc, 200_000 * 8)],
-        ),
-        warmed(
-            wl(
-                "leela_s_like",
-                "2017",
-                "tree descents with a larger branching payload (MCTS playouts)",
+                vec![(RA, 200_000 * 8), (RB, 200_000 * 8), (RC, 200_000 * 8)],
+            )
+        },
+    },
+    WorkloadSpec {
+        name: "leela_s_like",
+        suite: "2017",
+        description: "tree descents with a larger branching payload (MCTS playouts)",
+        build: |s| {
+            (
                 kernels::tree_walk("leela_s_like", iters(s, 160), 13, 0x1EE),
-                s,
-            ),
-            vec![(ra, ((1u64 << 14) - 1) * 32), (rc, 16 * 1024)],
-        ),
-        warmed(
-            wl(
-                "nab_s_like",
-                "2017",
-                "short stride runs over an L2-resident table (neighbour lists)",
+                vec![(RA, ((1u64 << 14) - 1) * 32), (RC, 16 * 1024)],
+            )
+        },
+    },
+    WorkloadSpec {
+        name: "nab_s_like",
+        suite: "2017",
+        description: "short stride runs over an L2-resident table (neighbour lists)",
+        build: |s| {
+            (
                 kernels::stride_runs("nab_s_like", iters(s, 8), 8, 192 * 1024, 0x0AB),
-                s,
-            ),
-            vec![(rb, 192 * 1024 * 8), (ra, stream_bytes(8))],
-        ),
-        warmed(
-            wl(
-                "x264_s_like",
-                "2017",
-                "indirect streaming over an L1/L2-resident block table",
+                vec![(RB, 192 * 1024 * 8), (RA, stream_bytes(s, 8))],
+            )
+        },
+    },
+    WorkloadSpec {
+        name: "x264_s_like",
+        suite: "2017",
+        description: "indirect streaming over an L1/L2-resident block table",
+        build: |s| {
+            (
                 kernels::indirect_stream(
                     "x264_s_like",
                     iters(s, 44),
@@ -413,16 +486,25 @@ pub fn suite(scale: Scale) -> Vec<Workload> {
                     6,
                     0x264,
                 ),
-                s,
-            ),
-            vec![(rb, 8 * 1024 * 8), (ra, stream_bytes(12))],
-        ),
-    ]
+                vec![(RB, 8 * 1024 * 8), (RA, stream_bytes(s, 12))],
+            )
+        },
+    },
+];
+
+/// Builds the full suite at the given scale. See [`catalog`] for the
+/// cheap, metadata-only view.
+pub fn suite(scale: Scale) -> Vec<Workload> {
+    catalog().iter().map(|spec| spec.build(scale)).collect()
 }
 
 /// Builds one workload by suite name, or `None` for unknown names.
+/// Only the named workload is generated.
 pub fn by_name(name: &str, scale: Scale) -> Option<Workload> {
-    suite(scale).into_iter().find(|w| w.name == name)
+    catalog()
+        .iter()
+        .find(|spec| spec.name == name)
+        .map(|spec| spec.build(scale))
 }
 
 #[cfg(test)]
@@ -439,6 +521,17 @@ mod tests {
         assert!(names.contains("libquantum_like"));
         assert!(names.contains("mcf_like"));
         assert!(names.contains("xalancbmk_s_like"));
+    }
+
+    #[test]
+    fn catalog_metadata_matches_built_workloads() {
+        for spec in catalog() {
+            let w = spec.build(Scale::Quick);
+            assert_eq!(w.name, spec.name);
+            assert_eq!(w.suite, spec.suite);
+            assert_eq!(w.description, spec.description);
+            assert!(!w.program.is_empty(), "{}: empty program", spec.name);
+        }
     }
 
     #[test]

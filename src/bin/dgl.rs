@@ -2,13 +2,14 @@
 //!
 //! ```text
 //! dgl suite                          list the bundled workloads
+//! dgl schemes                        list the registered secure-speculation schemes
 //! dgl run <workload> [opts]          simulate one workload
 //! dgl asm <file.dasm> [opts]         assemble + simulate a program
 //! dgl attack [--secret BYTE]         run the Spectre laboratory
 //! dgl figures [--insts N]            print the Figure 1 summary
 //! dgl trace --workload NAME [opts]   record a structured pipeline trace
 //!
-//! options: --scheme baseline|nda-p|stt|dom   (default baseline)
+//! options: --scheme NAME                     (default baseline; see `dgl schemes`)
 //!          --ap                              enable doppelganger loads
 //!          --vp                              enable value prediction
 //!          --insts N                         instruction budget (default 25000)
@@ -20,7 +21,7 @@ use doppelganger_loads::isa::asm::assemble;
 use doppelganger_loads::sim::figure1;
 use doppelganger_loads::sim::security::{LeakOutcome, SpectreV1Lab};
 use doppelganger_loads::workloads::{by_name, suite, Scale};
-use doppelganger_loads::{SchemeKind, SimBuilder, SparseMemory};
+use doppelganger_loads::{SchemeKind, SimBuilder, SparseMemory, REGISTRY};
 use std::process::ExitCode;
 
 /// `println!` that ignores broken pipes (`dgl ... | head` must not
@@ -118,6 +119,14 @@ fn cmd_suite(o: &Opts) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_schemes() -> Result<(), String> {
+    out!("{:12} {:20} description", "name", "aliases");
+    for e in &REGISTRY {
+        out!("{:12} {:20} {}", e.name, e.aliases.join(", "), e.summary);
+    }
+    Ok(())
+}
+
 fn cmd_run(o: &Opts) -> Result<(), String> {
     let name = o.positional.first().ok_or("run needs a workload name")?;
     let w = by_name(name, Scale::Custom(o.insts))
@@ -164,11 +173,12 @@ fn cmd_attack(o: &Opts) -> Result<(), String> {
     }
     let lab = SpectreV1Lab::new(o.secret);
     out!("planted secret {:#04x}", o.secret);
-    for scheme in SchemeKind::ALL {
+    for entry in &REGISTRY {
+        let scheme = entry.kind;
         for ap in [false, true] {
             let (outcome, _) = lab.run(scheme, ap).map_err(|e| e.to_string())?;
             out!(
-                "  {:10}{}  {}",
+                "  {:12}{}  {}",
                 scheme.name(),
                 if ap { "+ap" } else { "   " },
                 match outcome {
@@ -230,11 +240,12 @@ fn cmd_figures(o: &Opts) -> Result<(), String> {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
-        eprintln!("usage: dgl <suite|run|asm|attack|figures|trace> [options]");
+        eprintln!("usage: dgl <suite|schemes|run|asm|attack|figures|trace> [options]");
         return ExitCode::FAILURE;
     };
     let result = parse_opts(rest).and_then(|o| match cmd.as_str() {
         "suite" => cmd_suite(&o),
+        "schemes" => cmd_schemes(),
         "run" => cmd_run(&o),
         "asm" => cmd_asm(&o),
         "attack" => cmd_attack(&o),

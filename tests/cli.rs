@@ -23,6 +23,17 @@ fn suite_lists_all_workloads() {
 }
 
 #[test]
+fn schemes_lists_the_registry() {
+    let out = dgl(&["schemes"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for e in &doppelganger_loads::REGISTRY {
+        assert!(text.contains(e.name), "missing {}", e.name);
+        assert!(text.contains(e.summary), "missing summary for {}", e.name);
+    }
+}
+
+#[test]
 fn run_reports_ipc_and_doppelgangers() {
     let out = dgl(&[
         "run",
@@ -60,6 +71,12 @@ fn attack_reports_the_leak_matrix() {
     );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("LEAKED 0x5a"), "baseline must leak: {text}");
+    // The matrix covers every registered scheme, including variants
+    // outside the paper's 8-config evaluation.
+    assert!(
+        text.contains("nda-p-eager"),
+        "registry drives attack: {text}"
+    );
     // Every secure line reports no leak.
     for line in text.lines() {
         if line.contains("nda") || line.contains("stt") || line.contains("dom") {

@@ -473,8 +473,8 @@ pub fn seed_for_test(name: &str) -> u64 {
 /// The common-use imports, mirroring `proptest::prelude`.
 pub mod prelude {
     pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Any,
-        BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError, Union,
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Any, BoxedStrategy,
+        Just, ProptestConfig, Strategy, TestCaseError, Union,
     };
 
     /// Namespaced strategy modules (`prop::collection::vec`, ...).
@@ -536,12 +536,7 @@ macro_rules! prop_assert_eq {
 macro_rules! prop_assert_ne {
     ($left:expr, $right:expr $(,)?) => {{
         let (left, right) = (&$left, &$right);
-        $crate::prop_assert!(
-            left != right,
-            "assertion failed: {:?} == {:?}",
-            left,
-            right
-        );
+        $crate::prop_assert!(left != right, "assertion failed: {:?} == {:?}", left, right);
     }};
 }
 
