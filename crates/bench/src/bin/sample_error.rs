@@ -1,0 +1,100 @@
+//! Validates the sampled-simulation methodology: runs every workload
+//! under the paper's eight configurations in both full-detail and
+//! sampled mode, and reports the per-cell IPC error plus the geomean
+//! absolute error and the wall-clock speedup.
+//!
+//! ```text
+//! cargo run --release -p dgl-bench --bin sample_error [insts] [workload]
+//! ```
+//!
+//! With a workload name, only that workload runs (the paper-matrix
+//! acceptance check uses this on the longest workload). The sampling
+//! interval scales with the run length so roughly 30 windows cover the
+//! program regardless of scale.
+
+use dgl_sim::{ConfigId, SamplingConfig, SimBuilder};
+use dgl_workloads::{suite, Scale};
+use std::time::Instant;
+
+fn main() {
+    let scale = dgl_bench::scale_from_args();
+    let only = std::env::args().nth(2);
+    let mut workloads = suite(scale);
+    if let Some(name) = &only {
+        workloads.retain(|w| w.name == name.as_str());
+        assert!(!workloads.is_empty(), "unknown workload {name}");
+    }
+    let target = match scale {
+        Scale::Custom(n) => n,
+        Scale::Full => 150_000,
+        Scale::Quick => 25_000,
+    };
+    let cfg = SamplingConfig {
+        interval_insts: (target / 30).max(5_000),
+        warmup_insts: 1_500,
+        window_insts: 500,
+        ..SamplingConfig::default()
+    };
+    eprintln!(
+        "sampled-vs-full IPC on {} workloads x {} configs at {:?} \
+         (interval {}, warmup {}, window {})...",
+        workloads.len(),
+        ConfigId::ALL.len(),
+        scale,
+        cfg.interval_insts,
+        cfg.warmup_insts,
+        cfg.window_insts
+    );
+
+    println!(
+        "{:18} {:12} {:>9} {:>9} {:>8} {:>9}",
+        "workload", "config", "full", "sampled", "err%", "speedup"
+    );
+    let mut log_err_sum = 0.0f64;
+    let mut cells = 0usize;
+    let (mut full_secs, mut sampled_secs) = (0.0f64, 0.0f64);
+    for w in &workloads {
+        for id in ConfigId::ALL {
+            let mut b = SimBuilder::new();
+            b.scheme(id.scheme()).address_prediction(id.ap());
+
+            let t0 = Instant::now();
+            let full = b.run_workload(w).expect("full run");
+            let t_full = t0.elapsed().as_secs_f64();
+
+            let t1 = Instant::now();
+            let sampled = b.run_sampled(w, &cfg).expect("sampled run");
+            let t_sampled = t1.elapsed().as_secs_f64();
+
+            let full_ipc = full.ipc();
+            let sampled_ipc = sampled.ipc();
+            let err = if full_ipc > 0.0 {
+                (sampled_ipc - full_ipc) / full_ipc * 100.0
+            } else {
+                0.0
+            };
+            if full_ipc > 0.0 && sampled_ipc > 0.0 {
+                log_err_sum += (sampled_ipc / full_ipc).ln().abs();
+                cells += 1;
+            }
+            full_secs += t_full;
+            sampled_secs += t_sampled;
+            println!(
+                "{:18} {:12} {:>9.4} {:>9.4} {:>+7.2}% {:>8.1}x",
+                w.name,
+                id.label(),
+                full_ipc,
+                sampled_ipc,
+                err,
+                t_full / t_sampled.max(1e-9)
+            );
+        }
+    }
+    let geomean_err = ((log_err_sum / cells.max(1) as f64).exp() - 1.0) * 100.0;
+    println!(
+        "\ngeomean |IPC error| {:.2}% over {} cells; aggregate wall-clock speedup {:.1}x",
+        geomean_err,
+        cells,
+        full_secs / sampled_secs.max(1e-9)
+    );
+}

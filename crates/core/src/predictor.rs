@@ -235,6 +235,15 @@ impl AddressPredictor {
         self.stats
     }
 
+    /// Zeroes the coverage/accuracy counters while keeping the trained
+    /// stride table and the in-flight compensation map. Sampled
+    /// simulation calls this at the warmup/measurement boundary so a
+    /// window's coverage reflects only its measured slice.
+    pub fn reset_stats(&mut self) {
+        self.stats = ApStats::default();
+        self.table.reset_stats();
+    }
+
     /// Occupancy of the underlying table.
     pub fn table_occupancy(&self) -> usize {
         self.table.occupancy()

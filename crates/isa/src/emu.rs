@@ -41,12 +41,94 @@ impl fmt::Display for EmuError {
 
 impl std::error::Error for EmuError {}
 
+/// An architectural event retired by [`Emulator::step_observed`].
+///
+/// This is the minimal stream a functional-warming model needs: the
+/// effective address of every memory access and the resolved outcome
+/// of every instruction the detailed pipeline treats as a branch
+/// (conditional branches plus the indirect `jumpreg`/`ret` forms).
+/// Direct `jump`/`call` instructions are not reported — the pipeline's
+/// front end resolves them at decode and never consults the branch
+/// predictor for them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArchEvent {
+    /// A load retired: `pc` is the instruction's program index, `addr`
+    /// the effective byte address it read.
+    Load {
+        /// Program index of the load.
+        pc: usize,
+        /// Effective byte address read.
+        addr: u64,
+    },
+    /// A store retired.
+    Store {
+        /// Program index of the store.
+        pc: usize,
+        /// Effective byte address written.
+        addr: u64,
+    },
+    /// A predicted control-flow instruction retired. Conditional
+    /// branches report their evaluated direction; indirect jumps
+    /// report `taken: true` with the resolved target.
+    Branch {
+        /// Program index of the branch.
+        pc: usize,
+        /// Whether the branch redirected the PC.
+        taken: bool,
+        /// The program index executed next.
+        next: usize,
+    },
+}
+
 /// Result of [`Emulator::run`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RunResult {
     /// Instructions retired (including the final `halt` if reached).
     pub instructions: u64,
     /// Whether the program reached `halt` within the step budget.
+    pub halted: bool,
+}
+
+/// A snapshot of architectural state at a retired-instruction boundary.
+///
+/// This is the hand-off format of sampled simulation: the functional
+/// emulator fast-forwards to a window start, captures a `Checkpoint`,
+/// and the detailed out-of-order core resumes from it. Because the
+/// emulator is the golden model, a checkpoint is *exactly* the
+/// architectural state every timing configuration must agree on —
+/// registers, next PC, and the memory image — plus enough bookkeeping
+/// (`retired`, `halted`) to place the snapshot within the program.
+///
+/// # Examples
+///
+/// ```
+/// use dgl_isa::{Emulator, ProgramBuilder, Reg, SparseMemory};
+///
+/// let r1 = Reg::new(1);
+/// let mut b = ProgramBuilder::new("p");
+/// b.imm(r1, 1).addi(r1, r1, 1).addi(r1, r1, 1).halt();
+/// let p = b.build()?;
+/// let mut emu = Emulator::new(&p, SparseMemory::new());
+/// emu.run(2)?;
+/// let cp = emu.checkpoint();
+/// assert_eq!(cp.retired, 2);
+/// // Resuming from the checkpoint reaches the same final state.
+/// let mut resumed = Emulator::from_checkpoint(&p, cp);
+/// resumed.run(100)?;
+/// assert_eq!(resumed.reg(r1), 3);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// Architectural register values (`r0` is always 0).
+    pub regs: [i64; NUM_REGS],
+    /// The next instruction to execute.
+    pub pc: usize,
+    /// The memory image at the snapshot point.
+    pub memory: SparseMemory,
+    /// Instructions retired before the snapshot.
+    pub retired: u64,
+    /// Whether `halt` had already retired.
     pub halted: bool,
 }
 
@@ -140,6 +222,42 @@ impl<'p> Emulator<'p> {
         self.retired
     }
 
+    /// Captures the current architectural state as a [`Checkpoint`].
+    ///
+    /// The snapshot sits at a retired-instruction boundary: everything
+    /// up to [`retired`](Self::retired) has fully executed, nothing
+    /// after it has started.
+    pub fn checkpoint(&self) -> Checkpoint {
+        Checkpoint {
+            regs: self.regs,
+            pc: self.pc,
+            memory: self.memory.clone(),
+            retired: self.retired,
+            halted: self.halted,
+        }
+    }
+
+    /// Rebuilds an emulator from a [`Checkpoint`], resuming at its PC.
+    ///
+    /// `retired` continues from the checkpoint so whole-run instruction
+    /// counts line up; the instruction-mix counters
+    /// ([`mix`](Self::mix)) restart at zero because the checkpoint does
+    /// not record them.
+    pub fn from_checkpoint(program: &'p Program, cp: Checkpoint) -> Self {
+        Self {
+            program,
+            memory: cp.memory,
+            regs: cp.regs,
+            pc: cp.pc,
+            retired: cp.retired,
+            halted: cp.halted,
+            loads: 0,
+            stores: 0,
+            branches: 0,
+            taken_branches: 0,
+        }
+    }
+
     /// `(loads, stores, branches, taken_branches)` retired so far.
     pub fn mix(&self) -> (u64, u64, u64, u64) {
         (self.loads, self.stores, self.branches, self.taken_branches)
@@ -155,6 +273,19 @@ impl<'p> Emulator<'p> {
     /// Returns [`EmuError`] on invalid indirect targets or running off the
     /// program end.
     pub fn step(&mut self) -> Result<bool, EmuError> {
+        self.step_observed(&mut |_| {})
+    }
+
+    /// Executes one instruction, reporting each [`ArchEvent`] it
+    /// retires to `observe`. [`step`](Self::step) is this with a no-op
+    /// observer; sampled simulation uses the event stream to warm
+    /// caches and predictors during functional fast-forward.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmuError`] on invalid indirect targets or running off the
+    /// program end.
+    pub fn step_observed(&mut self, observe: &mut impl FnMut(ArchEvent)) -> Result<bool, EmuError> {
         if self.halted {
             return Ok(false);
         }
@@ -186,6 +317,7 @@ impl<'p> Emulator<'p> {
                 let value = self.memory.read(addr, width) as i64;
                 self.set_reg(dst, value);
                 self.loads += 1;
+                observe(ArchEvent::Load { pc: self.pc, addr });
             }
             Op::Store {
                 width,
@@ -196,13 +328,20 @@ impl<'p> Emulator<'p> {
                 let addr = effective_addr(self.reg(base), offset);
                 self.memory.write(addr, self.reg(src) as u64, width);
                 self.stores += 1;
+                observe(ArchEvent::Store { pc: self.pc, addr });
             }
             Op::Branch { cond, a, b, target } => {
                 self.branches += 1;
-                if cond.eval(self.reg(a), self.reg(b)) {
+                let taken = cond.eval(self.reg(a), self.reg(b));
+                if taken {
                     self.taken_branches += 1;
                     next_pc = target;
                 }
+                observe(ArchEvent::Branch {
+                    pc: self.pc,
+                    taken,
+                    next: next_pc,
+                });
             }
             Op::Jump { target } => next_pc = target,
             Op::Call { target } => {
@@ -218,6 +357,11 @@ impl<'p> Emulator<'p> {
                     });
                 }
                 next_pc = target as usize;
+                observe(ArchEvent::Branch {
+                    pc: self.pc,
+                    taken: true,
+                    next: next_pc,
+                });
             }
             Op::JumpReg { base } => {
                 let target = self.reg(base) as u64;
@@ -228,6 +372,11 @@ impl<'p> Emulator<'p> {
                     });
                 }
                 next_pc = target as usize;
+                observe(ArchEvent::Branch {
+                    pc: self.pc,
+                    taken: true,
+                    next: next_pc,
+                });
             }
         }
         self.retired += 1;
@@ -373,6 +522,52 @@ mod tests {
     fn effective_addr_wraps() {
         assert_eq!(effective_addr(-8, 4), u64::MAX - 3);
         assert_eq!(effective_addr(0x1000, -16), 0xff0);
+    }
+
+    #[test]
+    fn checkpoint_resume_matches_uninterrupted_run() {
+        let r1 = Reg::new(1);
+        let r2 = Reg::new(2);
+        let mut b = ProgramBuilder::new("cp");
+        b.imm(r1, 0x1000)
+            .imm(r2, 20)
+            .label("loop")
+            .load(Reg::new(3), r1, 0)
+            .addi(Reg::new(3), Reg::new(3), 1)
+            .store(Reg::new(3), r1, 0)
+            .addi(r1, r1, 8)
+            .subi(r2, r2, 1)
+            .bne(r2, Reg::ZERO, "loop")
+            .halt();
+        let p = b.build().unwrap();
+
+        let mut straight = Emulator::new(&p, SparseMemory::new());
+        straight.run(10_000).unwrap();
+
+        let mut front = Emulator::new(&p, SparseMemory::new());
+        front.run(37).unwrap();
+        let cp = front.checkpoint();
+        assert_eq!(cp.retired, 37);
+        assert!(!cp.halted);
+        let mut resumed = Emulator::from_checkpoint(&p, cp);
+        resumed.run(10_000).unwrap();
+
+        assert_eq!(resumed.retired(), straight.retired());
+        assert_eq!(resumed.regs(), straight.regs());
+        assert_eq!(resumed.memory(), straight.memory());
+        assert!(resumed.halted());
+    }
+
+    #[test]
+    fn checkpoint_of_halted_machine_stays_halted() {
+        let p = Program::new("h", vec![Op::Halt]).unwrap();
+        let mut emu = Emulator::new(&p, SparseMemory::new());
+        emu.run(10).unwrap();
+        let cp = emu.checkpoint();
+        assert!(cp.halted);
+        let mut resumed = Emulator::from_checkpoint(&p, cp);
+        assert!(!resumed.step().unwrap());
+        assert_eq!(resumed.retired(), 1);
     }
 
     #[test]

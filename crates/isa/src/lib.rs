@@ -53,7 +53,7 @@ pub mod program;
 pub mod reg;
 
 pub use builder::{BuildError, ProgramBuilder};
-pub use emu::{EmuError, Emulator, RunResult};
+pub use emu::{ArchEvent, Checkpoint, EmuError, Emulator, RunResult};
 pub use inst::{AluOp, Cond, Inst, Op, Src, Width};
 pub use memory::SparseMemory;
 pub use program::Program;

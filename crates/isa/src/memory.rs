@@ -2,6 +2,7 @@
 
 use crate::inst::Width;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 const PAGE_SHIFT: u32 = 12;
 const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
@@ -15,6 +16,12 @@ const OFFSET_MASK: u64 = (PAGE_SIZE - 1) as u64;
 /// arbitrary address simply returns data, exactly the behaviour Spectre
 /// gadgets rely on.
 ///
+/// Pages are reference-counted and copied on write, so [`Clone`] is
+/// O(mapped pages) refcount bumps rather than a deep copy. Sampled
+/// simulation leans on this: every architectural checkpoint and every
+/// window's seeded core share the same physical pages until one of them
+/// stores.
+///
 /// # Examples
 ///
 /// ```
@@ -27,7 +34,7 @@ const OFFSET_MASK: u64 = (PAGE_SIZE - 1) as u64;
 /// ```
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SparseMemory {
-    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+    pages: HashMap<u64, Arc<[u8; PAGE_SIZE]>>,
 }
 
 impl SparseMemory {
@@ -49,13 +56,14 @@ impl SparseMemory {
         }
     }
 
-    /// Writes one byte, mapping the page if needed.
+    /// Writes one byte, mapping the page if needed. A page shared with
+    /// a clone (checkpoint) is copied first, so writes never alias.
     pub fn write_u8(&mut self, addr: u64, value: u8) {
         let page = self
             .pages
             .entry(addr >> PAGE_SHIFT)
-            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
-        page[(addr & OFFSET_MASK) as usize] = value;
+            .or_insert_with(|| Arc::new([0u8; PAGE_SIZE]));
+        Arc::make_mut(page)[(addr & OFFSET_MASK) as usize] = value;
     }
 
     /// Reads `width` bytes little-endian, zero-extended to u64.
@@ -151,6 +159,20 @@ mod tests {
         mem.write_words(0x100, &[1, 2, 3]);
         assert_eq!(mem.read_words(0x100, 3), vec![1, 2, 3]);
         assert_eq!(mem.read_u64(0x108), 2);
+    }
+
+    #[test]
+    fn clone_is_copy_on_write() {
+        let mut a = SparseMemory::new();
+        a.write_u64(0x1000, 1);
+        let mut b = a.clone();
+        b.write_u64(0x1000, 2); // shared page must be copied, not aliased
+        b.write_u64(0x9000, 3); // fresh page must not appear in the original
+        assert_eq!(a.read_u64(0x1000), 1);
+        assert_eq!(b.read_u64(0x1000), 2);
+        assert_eq!(a.read_u64(0x9000), 0);
+        assert_eq!(a.mapped_pages(), 1);
+        assert_eq!(b.mapped_pages(), 2);
     }
 
     #[test]

@@ -60,8 +60,28 @@ pub struct Cache {
 
 impl Cache {
     /// Creates an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `line_bytes` or the resulting set count is not a
+    /// power of two: the line mask and set index are computed by bit
+    /// selection, so such geometries would silently mis-index.
     pub fn new(cfg: CacheConfig) -> Self {
-        let sets = vec![Vec::with_capacity(cfg.ways); cfg.sets()];
+        assert!(
+            cfg.line_bytes.is_power_of_two(),
+            "cache line_bytes must be a power of two, got {}",
+            cfg.line_bytes
+        );
+        let set_count = cfg.sets();
+        assert!(
+            set_count.is_power_of_two(),
+            "cache set count must be a power of two, got {set_count} \
+             ({} B / ({} ways × {} B lines))",
+            cfg.size_bytes,
+            cfg.ways,
+            cfg.line_bytes
+        );
+        let sets = vec![Vec::with_capacity(cfg.ways); set_count];
         Self {
             cfg,
             sets,
@@ -198,6 +218,14 @@ impl Cache {
     /// Statistics so far.
     pub fn stats(&self) -> CacheStats {
         self.stats
+    }
+
+    /// Zeroes the access counters while keeping contents and
+    /// replacement state. Sampled simulation calls this at the
+    /// warmup/measurement boundary so measured statistics cover only
+    /// the measurement slice of a warmed cache.
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
     }
 
     /// Number of resident lines.
@@ -354,6 +382,43 @@ mod tests {
             assert!(a.occupancy() <= 2 * 2);
         }
         assert!(!evictions.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "line_bytes must be a power of two")]
+    fn non_pow2_line_size_rejected() {
+        let _ = Cache::new(CacheConfig {
+            size_bytes: 2 * 48 * 2,
+            ways: 2,
+            line_bytes: 48,
+            replacement: Default::default(),
+            latency: 5,
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "set count must be a power of two")]
+    fn non_pow2_set_count_rejected() {
+        // 3 sets of 2 ways × 64 B: the modulo index would "work" but a
+        // hardware bit-selected index cannot, so the shape is rejected.
+        let _ = Cache::new(CacheConfig {
+            size_bytes: 3 * 64 * 2,
+            ways: 2,
+            line_bytes: 64,
+            replacement: Default::default(),
+            latency: 5,
+        });
+    }
+
+    #[test]
+    fn reset_stats_keeps_contents() {
+        let mut c = small();
+        c.fill(0x40);
+        c.lookup(0x40, true);
+        c.lookup(0x80, true);
+        c.reset_stats();
+        assert_eq!(c.stats(), CacheStats::default());
+        assert!(c.contains(0x40), "contents survive a stats reset");
     }
 
     #[test]

@@ -601,6 +601,16 @@ impl MemorySystem {
         self.mshrs.stats()
     }
 
+    /// Zeroes every level's access counters and the MSHR counters while
+    /// keeping cache contents, replacement state, and in-flight
+    /// requests. Sampled simulation calls this at the warmup boundary.
+    pub fn reset_stats(&mut self) {
+        self.l1.reset_stats();
+        self.l2.reset_stats();
+        self.l3.reset_stats();
+        self.mshrs.reset_stats();
+    }
+
     /// Outstanding misses right now.
     pub fn in_flight(&self) -> usize {
         self.mshrs.in_flight()

@@ -89,6 +89,15 @@ impl MshrFile {
     pub fn stats(&self) -> (usize, u64, u64) {
         (self.peak, self.merges, self.rejects)
     }
+
+    /// Zeroes the counters while keeping in-flight entries; the peak
+    /// restarts from the current occupancy (sampled-simulation warmup
+    /// boundary).
+    pub fn reset_stats(&mut self) {
+        self.peak = self.outstanding.len();
+        self.merges = 0;
+        self.rejects = 0;
+    }
 }
 
 #[cfg(test)]

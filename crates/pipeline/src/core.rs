@@ -17,7 +17,7 @@ use dgl_isa::{emu::effective_addr, Op, Program, Reg, SparseMemory, Src, Width};
 use dgl_mem::{
     AccessKind, CacheStats, Level, MemReqId, MemRequest, MemResponse, MemorySystem, ResponsePayload,
 };
-use dgl_predictor::{ValuePredictor, ValuePredictorConfig, VpStats};
+use dgl_predictor::{BranchPredictor, ValuePredictor, ValuePredictorConfig, VpStats};
 use dgl_stats::Histogram;
 use dgl_trace::{DglEvent, DiscardReason, InstKind, Stage, TraceEvent, TraceSink};
 use std::cmp::Reverse;
@@ -77,6 +77,27 @@ impl fmt::Display for RunError {
 
 impl std::error::Error for RunError {}
 
+/// How a [`RunReport`]'s numbers were produced: a whole-program
+/// detailed run, or one sampled measurement window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Provenance {
+    /// Whole-program detailed simulation (the default).
+    #[default]
+    Full,
+    /// One sampled measurement window
+    /// ([`Core::run_window`]): the statistics cover only the measured
+    /// slice, after a stats-frozen warmup that started from a
+    /// golden-model checkpoint.
+    SampledWindow {
+        /// Retired-instruction index where the detailed core took over
+        /// from the functional emulator.
+        checkpoint_inst: u64,
+        /// Instructions committed during the warmup slice (whose
+        /// statistics were discarded).
+        warmup_committed: u64,
+    },
+}
+
 /// Final state and statistics of a finished run.
 #[derive(Debug)]
 pub struct RunReport {
@@ -112,6 +133,9 @@ pub struct RunReport {
     /// [`Core::set_trace_sink`], handed back so the caller can drain
     /// and export it. `None` when tracing was off.
     pub trace_sink: Option<Box<dyn TraceSink>>,
+    /// Whether this report covers a whole program or one sampled
+    /// measurement window.
+    pub provenance: Provenance,
 }
 
 impl RunReport {
@@ -287,6 +311,63 @@ impl Core {
         self.mem.warm(addr);
     }
 
+    /// The memory hierarchy as currently conditioned (cache contents,
+    /// replacement state, MSHRs). Sampled simulation snapshots a
+    /// hierarchy warmed via [`warm_line`](Self::warm_line) and clones
+    /// it into every window's core, which is much cheaper than
+    /// replaying thousands of per-line fills per window.
+    pub fn memory_system(&self) -> &MemorySystem {
+        &self.mem
+    }
+
+    /// Replaces the memory hierarchy with a previously captured
+    /// snapshot (see [`memory_system`](Self::memory_system)). Only
+    /// meaningful before the core starts running.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the snapshot's geometry differs from this core's
+    /// configured hierarchy — timing would silently change otherwise.
+    pub fn install_memory_system(&mut self, mem: MemorySystem) {
+        assert!(
+            mem.config() == self.cfg.hierarchy,
+            "memory-system snapshot geometry does not match the core's hierarchy config"
+        );
+        self.mem = mem;
+    }
+
+    /// Replaces the branch predictor with a previously trained one
+    /// (functional warming during sampled fast-forward). Only
+    /// meaningful before the core starts running.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the predictor's geometry differs from this core's
+    /// configured branch predictor.
+    pub fn install_branch_predictor(&mut self, bp: BranchPredictor) {
+        assert!(
+            bp.config() == self.cfg.branch,
+            "branch-predictor snapshot geometry does not match the core's config"
+        );
+        *self.front.bpred_mut() = bp;
+    }
+
+    /// Replaces the address predictor (stride table) with a previously
+    /// trained one (functional warming during sampled fast-forward).
+    /// Only meaningful before the core starts running.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the predictor's configuration differs from this
+    /// core's (including the address-prediction enable flag).
+    pub fn install_address_predictor(&mut self, ap: AddressPredictor) {
+        assert!(
+            ap.config() == self.ap.config(),
+            "address-predictor snapshot config does not match the core's"
+        );
+        self.ap = ap;
+    }
+
     /// Runs `program` on `memory` until `halt` commits or `max_cycles`
     /// elapse, consuming the core.
     ///
@@ -303,7 +384,94 @@ impl Core {
         max_cycles: u64,
     ) -> Result<RunReport, RunError> {
         self.data = memory;
-        while !self.halted && self.cycle < max_cycles {
+        self.run_until(program, max_cycles, None)?;
+        Ok(self.into_report(0, Provenance::Full))
+    }
+
+    /// Runs one sampled measurement window from a golden-model
+    /// [`Checkpoint`](dgl_isa::Checkpoint), consuming the core.
+    ///
+    /// The architectural state (registers, memory, PC) is injected
+    /// first. The core then commits up to `warmup_insts` instructions
+    /// with every microarchitectural structure live — caches fill, the
+    /// stride table and branch predictor train at commit as always —
+    /// after which all statistics are discarded. The following
+    /// *measurement* slice runs until `measure_insts` further commits,
+    /// `halt`, or `max_cycles` total cycles; the returned report's
+    /// statistics (and [`RunReport::cycles`]) cover only that slice,
+    /// with [`RunReport::provenance`] recording the window's origin.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`run`](Self::run).
+    pub fn run_window(
+        mut self,
+        program: &Program,
+        checkpoint: &dgl_isa::Checkpoint,
+        warmup_insts: u64,
+        measure_insts: u64,
+        max_cycles: u64,
+    ) -> Result<RunReport, RunError> {
+        self.seed_from_checkpoint(checkpoint);
+        let provenance = |warmup_committed| Provenance::SampledWindow {
+            checkpoint_inst: checkpoint.retired,
+            warmup_committed,
+        };
+        if checkpoint.halted {
+            return Ok(self.into_report(0, provenance(0)));
+        }
+        self.run_until(program, max_cycles, Some(warmup_insts))?;
+        let warmup_committed = self.stats.committed;
+        let measure_base = self.cycle;
+        self.reset_measurement_stats();
+        if !self.halted {
+            self.run_until(program, max_cycles, Some(measure_insts))?;
+        }
+        Ok(self.into_report(measure_base, provenance(warmup_committed)))
+    }
+
+    /// Injects a golden-model checkpoint's architectural state:
+    /// registers through the RAT, the memory image, and the fetch PC.
+    fn seed_from_checkpoint(&mut self, cp: &dgl_isa::Checkpoint) {
+        for r in Reg::all() {
+            self.rf.set_arch_value(r, cp.regs[r.index()]);
+        }
+        self.data = cp.memory.clone();
+        self.halted = cp.halted;
+        // Redirect fetch to the checkpoint PC with no penalty: the
+        // front-end starts clean, exactly as it would at cycle 0.
+        self.front.redirect(cp.pc, 0, 0, None);
+    }
+
+    /// Discards statistics at the warmup/measurement boundary while
+    /// keeping all trained microarchitectural state (cache contents,
+    /// stride table, branch predictor, value predictor, in-flight
+    /// requests).
+    fn reset_measurement_stats(&mut self) {
+        self.stats = CoreStats::default();
+        self.ap.reset_stats();
+        self.front.bpred_mut().reset_stats();
+        self.mem.reset_stats();
+        if let Some(vp) = self.vp.as_mut() {
+            vp.reset_stats();
+        }
+        self.load_latency = Histogram::new();
+    }
+
+    /// Ticks until `halt` commits, `max_cycles` elapse, or — when
+    /// `commit_target` is set — that many instructions have committed
+    /// (counted from [`CoreStats::committed`], so callers reset stats
+    /// to restart the count).
+    fn run_until(
+        &mut self,
+        program: &Program,
+        max_cycles: u64,
+        commit_target: Option<u64>,
+    ) -> Result<(), RunError> {
+        while !self.halted
+            && self.cycle < max_cycles
+            && commit_target.is_none_or(|t| self.stats.committed < t)
+        {
             self.tick(program)?;
             if let Some((pc, target)) = self.bad_indirect {
                 return Err(RunError::BadIndirectTarget { pc, target });
@@ -336,15 +504,22 @@ impl Core {
                 });
             }
         }
-        self.stats.cycles = self.cycle;
+        Ok(())
+    }
+
+    /// Assembles the final report. `cycle_base` is subtracted from the
+    /// cycle counter so a sampled window reports only its measured
+    /// cycles.
+    fn into_report(mut self, cycle_base: u64, provenance: Provenance) -> RunReport {
+        self.stats.cycles = self.cycle - cycle_base;
         let mut regs = [0i64; dgl_isa::reg::NUM_REGS];
         for r in Reg::all() {
             regs[r.index()] = self.rf.arch_value(r);
         }
-        Ok(RunReport {
+        RunReport {
             halted: self.halted,
             committed: self.stats.committed,
-            cycles: self.cycle,
+            cycles: self.cycle - cycle_base,
             stats: self.stats,
             ap: self.ap.stats(),
             caches: self.mem.stats(),
@@ -359,7 +534,8 @@ impl Core {
             memory: self.data,
             mem_system: self.mem,
             trace_sink: self.sink,
-        })
+            provenance,
+        }
     }
 
     fn tick(&mut self, program: &Program) -> Result<(), RunError> {
@@ -409,7 +585,11 @@ impl Core {
         self.shadows.is_speculative(seq)
     }
 
-    fn pc_addr(pc: usize) -> u64 {
+    /// Maps a program instruction index to the byte-address-like key
+    /// the core's predictors are trained and queried with. Functional
+    /// warming must use the same mapping or its training would land on
+    /// different table entries than the detailed core's.
+    pub fn pc_addr(pc: usize) -> u64 {
         (pc as u64) << 2
     }
 

@@ -562,11 +562,12 @@ impl Core {
     /// the memory-consistency security experiments.
     pub fn external_invalidate(&mut self, addr: u64) {
         self.mem.invalidate(addr);
-        let line = addr & !63;
+        let mask = self.cfg.hierarchy.l1.line_mask();
+        let line = addr & mask;
         let mut squash: Option<(Seq, usize)> = None;
         for e in self.lq.iter_mut() {
-            let matches_resolved = e.addr.is_some_and(|a| a & !63 == line);
-            let matches_predicted = e.dgl.predicted_addr().is_some_and(|a| a & !63 == line);
+            let matches_resolved = e.addr.is_some_and(|a| a & mask == line);
+            let matches_predicted = e.dgl.predicted_addr().is_some_and(|a| a & mask == line);
             if !matches_resolved && !matches_predicted {
                 continue;
             }

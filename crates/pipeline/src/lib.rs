@@ -60,6 +60,6 @@ pub mod shadow;
 pub mod stats;
 pub mod taint;
 
-pub use crate::core::{Core, RunError, RunReport};
+pub use crate::core::{Core, Provenance, RunError, RunReport};
 pub use config::CoreConfig;
 pub use stats::CoreStats;

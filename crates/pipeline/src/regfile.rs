@@ -157,6 +157,16 @@ impl RegFile {
             self.value[self.rat[r.index()].0 as usize]
         }
     }
+
+    /// Seeds the architectural value of `r` through the RAT. Writes to
+    /// `r0` are discarded. Only meaningful before execution starts
+    /// (e.g. injecting a golden-model checkpoint for a sampled window),
+    /// while every pre-mapped register is still ready and propagated.
+    pub fn set_arch_value(&mut self, r: Reg, v: i64) {
+        if !r.is_zero() {
+            self.value[self.rat[r.index()].0 as usize] = v;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -233,6 +243,17 @@ mod tests {
                          // Note: `old` here was a premapped register (p1), so the count
                          // nets out to free_before - 1 + 1.
         assert_eq!(rf.free_count(), free_before);
+    }
+
+    #[test]
+    fn set_arch_value_seeds_initial_state() {
+        let mut rf = RegFile::new(64);
+        let r7 = Reg::new(7);
+        rf.set_arch_value(r7, -42);
+        assert_eq!(rf.arch_value(r7), -42);
+        assert!(rf.is_ready(rf.map(r7)), "premapped registers stay ready");
+        rf.set_arch_value(Reg::ZERO, 99);
+        assert_eq!(rf.arch_value(Reg::ZERO), 0);
     }
 
     #[test]

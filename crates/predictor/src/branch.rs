@@ -163,6 +163,14 @@ impl BranchPredictor {
         (self.predictions, self.mispredictions)
     }
 
+    /// Zeroes the prediction counters while keeping the trained
+    /// counters, BTB, and history registers (sampled-simulation warmup
+    /// boundary).
+    pub fn reset_stats(&mut self) {
+        self.predictions = 0;
+        self.mispredictions = 0;
+    }
+
     /// The configuration this predictor was built with.
     pub fn config(&self) -> BranchPredictorConfig {
         self.cfg

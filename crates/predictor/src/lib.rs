@@ -16,7 +16,10 @@
 //!   conventional prefetcher ("prefetching mode": predict *future*
 //!   instances) and the doppelganger address predictor ("address
 //!   prediction mode": predict the *current* instance). Table 1 configures
-//!   it as 1024 entries, 8-way, 13.5 KiB.
+//!   it as 1024 entries, 8-way, 13.5 KiB
+//!   ([`StrideTableConfig::paper`](stride::StrideTableConfig::paper); the
+//!   simulator default keeps a slightly deeper confidence counter and
+//!   its storage accounting reports the difference honestly).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -58,19 +58,53 @@ impl Default for StrideTableConfig {
 }
 
 impl StrideTableConfig {
+    /// Hardware width of the full-PC tag (paper §5.1).
+    pub const TAG_BITS: usize = 48;
+    /// Hardware width of the last-address field.
+    pub const ADDR_BITS: usize = 48;
+    /// Hardware width of a stride field.
+    pub const STRIDE_BITS: usize = 10;
+
     /// Number of sets.
     pub fn sets(&self) -> usize {
         (self.entries / self.ways).max(1)
     }
 
-    /// Storage in bits using the paper's accounting: per entry a 48-bit
-    /// full-PC tag, 48-bit last address, 10-bit stride, and 2 bits of
-    /// confidence/LRU — 108 bits/entry, i.e. 13.5 KiB at the default
-    /// 1024 entries, matching Table 1. (The simulator itself stores
-    /// wider fields for convenience; the hardware budget is what the
-    /// cost argument needs.)
+    /// The configuration whose hardware budget Table 1 quotes: the
+    /// default table with confidence saturating at 3, so the counter
+    /// fits the table's 2 bits of confidence/LRU — 108 bits/entry,
+    /// 13.5 KiB at 1024 entries. The simulator's [`Default`] keeps a
+    /// deeper 3-bit counter (`max_confidence: 7`), which
+    /// [`storage_bits`](Self::storage_bits) accounts honestly.
+    pub fn paper() -> Self {
+        Self {
+            max_confidence: 3,
+            ..Self::default()
+        }
+    }
+
+    /// Bits needed for the saturating confidence counter. Per the
+    /// paper's joint "confidence/LRU" budget, replacement state shares
+    /// these bits (the simulator's 64-bit LRU tick is a convenience,
+    /// not a hardware cost).
+    pub fn confidence_bits(&self) -> usize {
+        (u8::BITS - self.max_confidence.leading_zeros()).max(1) as usize
+    }
+
+    /// Storage bits per entry, derived from the configured fields: a
+    /// 48-bit full-PC tag, 48-bit last address, 10-bit stride, the
+    /// confidence/LRU counter sized by
+    /// [`confidence_bits`](Self::confidence_bits), and — in two-delta
+    /// mode — a second 10-bit field for the pending stride.
+    pub fn entry_bits(&self) -> usize {
+        let pending = if self.two_delta { Self::STRIDE_BITS } else { 0 };
+        Self::TAG_BITS + Self::ADDR_BITS + Self::STRIDE_BITS + self.confidence_bits() + pending
+    }
+
+    /// Total storage in bits: `entries × entry_bits()`. For
+    /// [`paper`](Self::paper) this is the 13.5 KiB of Table 1.
     pub fn storage_bits(&self) -> usize {
-        self.entries * (48 + 48 + 10 + 2)
+        self.entries * self.entry_bits()
     }
 }
 
@@ -234,6 +268,13 @@ impl StrideTable {
         (self.trains, self.hits)
     }
 
+    /// Zeroes the event counters while keeping every trained entry
+    /// (sampled-simulation warmup boundary).
+    pub fn reset_stats(&mut self) {
+        self.trains = 0;
+        self.hits = 0;
+    }
+
     /// Number of live entries across all sets.
     pub fn occupancy(&self) -> usize {
         self.sets.iter().map(Vec::len).sum()
@@ -262,9 +303,29 @@ mod tests {
 
     #[test]
     fn storage_matches_table1() {
-        let bits = StrideTableConfig::default().storage_bits();
+        let bits = StrideTableConfig::paper().storage_bits();
         let kib = bits as f64 / 8.0 / 1024.0;
         assert!((kib - 13.5).abs() < 1e-9, "storage = {kib} KiB");
+    }
+
+    #[test]
+    fn storage_accounting_derives_from_config() {
+        // The simulator default keeps a 3-bit confidence counter, and
+        // the accounting must say so (109 bits/entry, not the paper's
+        // 108).
+        let default = StrideTableConfig::default();
+        assert_eq!(default.confidence_bits(), 3);
+        assert_eq!(default.entry_bits(), 48 + 48 + 10 + 3);
+        // Two-delta mode stores the pending stride too.
+        let two_delta = StrideTableConfig {
+            two_delta: true,
+            ..StrideTableConfig::paper()
+        };
+        assert_eq!(two_delta.entry_bits(), 48 + 48 + 10 + 2 + 10);
+        assert_eq!(
+            two_delta.storage_bits(),
+            two_delta.entries * two_delta.entry_bits()
+        );
     }
 
     #[test]

@@ -208,6 +208,12 @@ impl ValuePredictor {
     pub fn stats(&self) -> VpStats {
         self.stats
     }
+
+    /// Zeroes the statistics while keeping every trained entry
+    /// (sampled-simulation warmup boundary).
+    pub fn reset_stats(&mut self) {
+        self.stats = VpStats::default();
+    }
 }
 
 impl fmt::Display for ValuePredictor {

@@ -27,9 +27,9 @@ use dgl_workloads::Workload;
 #[derive(Debug, Clone)]
 pub struct SimBuilder {
     scheme: SchemeKind,
-    address_prediction: bool,
+    pub(crate) address_prediction: bool,
     value_prediction: bool,
-    config: CoreConfig,
+    pub(crate) config: CoreConfig,
     trace: bool,
     trace_sink: Option<SharedSink>,
 }
@@ -149,14 +149,21 @@ impl SimBuilder {
     /// Propagates [`RunError`] from the core.
     pub fn run_workload(&self, w: &Workload) -> Result<RunReport, RunError> {
         let mut core = self.build_core();
+        self.warm_core(&mut core, w);
+        core.run(&w.program, w.memory.clone(), w.max_cycles)
+    }
+
+    /// Pre-warms a workload's declared hot ranges, walking them at the
+    /// configured L1 line size.
+    pub(crate) fn warm_core(&self, core: &mut Core, w: &Workload) {
+        let l1 = self.config.hierarchy.l1;
         for &(start, bytes) in &w.warm_ranges {
-            let mut addr = start & !63;
+            let mut addr = start & l1.line_mask();
             while addr < start + bytes {
                 core.warm_line(addr);
-                addr += 64;
+                addr += l1.line_bytes as u64;
             }
         }
-        core.run(&w.program, w.memory.clone(), w.max_cycles)
     }
 }
 

@@ -3,6 +3,8 @@
 //! * [`SimBuilder`] — configure and run one simulation;
 //! * [`experiments`] — regenerate every figure of the paper's
 //!   evaluation (Figures 1, 6, 7, 8 and the baseline+AP result);
+//! * [`sampling`] — simpoint-style sampled simulation: functional
+//!   fast-forward, detailed warmup, measurement windows, stitched IPC;
 //! * [`security`] — the attack laboratory: Spectre-v1 gadgets, the
 //!   implicit-channel scenarios of Figures 2–4, and observation-trace
 //!   noninterference checks.
@@ -29,6 +31,7 @@
 pub mod builder;
 pub mod experiments;
 pub mod report;
+pub mod sampling;
 pub mod security;
 
 pub use builder::{SimBuilder, VerifyError};
@@ -36,3 +39,4 @@ pub use experiments::{
     figure1, figure6, figure7, figure8, ConfigId, Figure1, Figure6, Figure7, Figure8,
 };
 pub use report::render_report;
+pub use sampling::{SampledRun, SamplingConfig, WindowReport};

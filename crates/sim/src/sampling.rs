@@ -1,0 +1,506 @@
+//! Sampled simulation: fast-forward, warmup, measurement windows.
+//!
+//! The paper evaluates on SPEC **simpoints** — short detailed windows
+//! reached by fast-forwarding — rather than whole-program detailed
+//! runs. This module reproduces that methodology for the synthetic
+//! suite:
+//!
+//! 1. **Fast-forward with functional warming**: the golden-model
+//!    emulator ([`dgl_isa::Emulator`]) executes functionally to each
+//!    window's warmup start and captures an architectural
+//!    [`Checkpoint`] (registers, memory, PC). While it runs, its
+//!    [`ArchEvent`] stream continuously warms a shadow memory
+//!    hierarchy, branch predictor, and stride table through the same
+//!    commit-time training APIs the detailed core uses — so each
+//!    window inherits the *whole-history* microarchitectural state a
+//!    full detailed run would have built, not just what a short
+//!    detailed warmup can reconstruct.
+//! 2. **Detailed warmup**: a fresh out-of-order core is seeded from
+//!    the checkpoint and the warmed structures, then commits a short
+//!    slice in full detail to settle pipeline, queue, and MSHR
+//!    transients — after which all statistics are discarded.
+//! 3. **Measurement**: the next [`SamplingConfig::window_insts`]
+//!    commits run in full detail; their statistics become the window's
+//!    [`RunReport`] (with [`Provenance::SampledWindow`] recording the
+//!    origin).
+//! 4. **Stitching**: whole-program IPC is estimated as the ratio of
+//!    *integer* sums, Σ measured instructions / Σ measured cycles, so
+//!    the estimate is byte-identical regardless of how many worker
+//!    threads simulated the (independent) windows.
+//!
+//! Windows run in parallel on the same scoped-thread pattern the
+//! experiment matrix uses; a panicking window poisons only itself and
+//! surfaces as [`RunError::Internal`].
+
+use crate::experiments::panic_message;
+use crate::SimBuilder;
+use dgl_core::AddressPredictor;
+use dgl_isa::{ArchEvent, Checkpoint, EmuError, Emulator};
+use dgl_mem::MemorySystem;
+use dgl_pipeline::{Core, Provenance, RunError, RunReport};
+use dgl_predictor::BranchPredictor;
+use dgl_workloads::Workload;
+
+/// Parameters of the sampling regime.
+///
+/// The defaults measure 1 000 of every 10 000 instructions after a
+/// 2 000-instruction detailed warmup — a 10 % detailed-simulation duty
+/// cycle (30 % counting warmup).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SamplingConfig {
+    /// Distance between successive measurement-window starts, in
+    /// retired instructions (the sampling period).
+    pub interval_insts: u64,
+    /// Detailed-warmup commits before each measurement window. Caches
+    /// and predictors arrive already trained by functional warming, so
+    /// this slice only needs to settle pipeline, queue, and MSHR
+    /// transients; its statistics are discarded.
+    pub warmup_insts: u64,
+    /// Measured commits per window.
+    pub window_insts: u64,
+    /// Upper bound on the number of windows.
+    pub max_windows: usize,
+    /// Worker threads simulating windows (0 = one per available core).
+    /// The result is identical for every value.
+    pub threads: usize,
+}
+
+impl Default for SamplingConfig {
+    fn default() -> Self {
+        Self {
+            interval_insts: 10_000,
+            warmup_insts: 2_000,
+            window_insts: 1_000,
+            max_windows: 256,
+            threads: 0,
+        }
+    }
+}
+
+impl SamplingConfig {
+    fn validate(&self) {
+        assert!(self.interval_insts > 0, "sampling interval must be > 0");
+        assert!(self.window_insts > 0, "measurement window must be > 0");
+        assert!(self.max_windows > 0, "need at least one window");
+    }
+}
+
+/// One simulated measurement window.
+#[derive(Debug)]
+pub struct WindowReport {
+    /// Window index in program order.
+    pub index: usize,
+    /// Retired-instruction count at which the detailed core took over
+    /// (the warmup start).
+    pub checkpoint_inst: u64,
+    /// The detailed report of the measurement slice (statistics cover
+    /// the measured instructions only).
+    pub report: RunReport,
+}
+
+/// The stitched result of a sampled run.
+#[derive(Debug)]
+pub struct SampledRun {
+    /// Per-window measurements, in program order.
+    pub windows: Vec<WindowReport>,
+    /// Instructions the golden model retired over the whole program.
+    pub total_insts: u64,
+    /// Whether the golden model reached `halt` within its step budget.
+    pub halted: bool,
+    /// The sampling parameters used.
+    pub config: SamplingConfig,
+}
+
+impl SampledRun {
+    /// Instructions measured in detail across all windows.
+    pub fn measured_insts(&self) -> u64 {
+        self.windows.iter().map(|w| w.report.committed).sum()
+    }
+
+    /// Cycles spent in measurement slices across all windows.
+    pub fn measured_cycles(&self) -> u64 {
+        self.windows.iter().map(|w| w.report.cycles).sum()
+    }
+
+    /// IPC of the measured slices alone: Σ measured instructions /
+    /// Σ measured cycles (a diagnostic; [`ipc`](Self::ipc) is the
+    /// whole-program estimate).
+    pub fn measured_ipc(&self) -> f64 {
+        let cycles = self.measured_cycles();
+        if cycles == 0 {
+            0.0
+        } else {
+            self.measured_insts() as f64 / cycles as f64
+        }
+    }
+
+    /// Estimated whole-program cycle count.
+    ///
+    /// Each measured slice contributes its exact cycle count; the
+    /// fast-forwarded instructions between slices are costed at the
+    /// measured cycles-per-instruction of the *following* window (the
+    /// window they lead into, whose detailed measurement best reflects
+    /// the local behavior), and the tail after the last slice at the
+    /// last measured window's CPI. Window 0 measures the true cold
+    /// start, so the startup transient enters with its exact cost
+    /// rather than being extrapolated over its whole interval.
+    ///
+    /// All inputs are per-window integers combined in window order, so
+    /// the result is byte-identical for every worker-thread count.
+    pub fn estimated_cycles(&self) -> f64 {
+        let mut est = 0.0f64;
+        let mut prev_end = 0u64;
+        for win in &self.windows {
+            if win.report.committed == 0 {
+                // Halted during warmup: its instructions fold into the
+                // next gap (or the tail).
+                continue;
+            }
+            let start = match win.report.provenance {
+                Provenance::SampledWindow {
+                    checkpoint_inst,
+                    warmup_committed,
+                } => checkpoint_inst + warmup_committed,
+                Provenance::Full => 0,
+            };
+            let cpi = win.report.cycles as f64 / win.report.committed as f64;
+            let gap = start.saturating_sub(prev_end);
+            est += gap as f64 * cpi + win.report.cycles as f64;
+            prev_end = start + win.report.committed;
+        }
+        let tail = self.total_insts.saturating_sub(prev_end);
+        if tail > 0 {
+            if let Some(last) = self.windows.iter().rev().find(|w| w.report.committed > 0) {
+                est += tail as f64 * last.report.cycles as f64 / last.report.committed as f64;
+            }
+        }
+        est
+    }
+
+    /// The stitched whole-program IPC estimate:
+    /// `total_insts / estimated_cycles`. Byte-identical for every
+    /// worker-thread count (see [`estimated_cycles`](Self::estimated_cycles)).
+    pub fn ipc(&self) -> f64 {
+        let est = self.estimated_cycles();
+        if est == 0.0 {
+            0.0
+        } else {
+            self.total_insts as f64 / est
+        }
+    }
+}
+
+fn emu_error(e: EmuError) -> RunError {
+    match e {
+        EmuError::BadIndirectTarget { pc, target } => RunError::BadIndirectTarget { pc, target },
+        EmuError::RanOffEnd { pc } => RunError::Internal {
+            message: format!("golden model ran off program end at pc {pc}"),
+        },
+    }
+}
+
+/// Microarchitectural state trained during functional fast-forward
+/// (SMARTS-style functional warming): the cache hierarchy, branch
+/// predictor, and stride table as a full run would have left them at
+/// a given retired-instruction boundary.
+///
+/// The warmer consumes the emulator's [`ArchEvent`] stream and feeds
+/// it through the *same* training entry points the detailed core uses
+/// at commit — [`MemorySystem::warm`],
+/// [`AddressPredictor::train_at_commit`] (the only mutation path into
+/// the stride table), and [`BranchPredictor::train`] keyed by
+/// [`Core::pc_addr`] — so the security invariant (predictors train on
+/// committed instructions only) and table indexing are preserved
+/// exactly. Cloning is cheap: tag arrays plus small tables.
+#[derive(Clone)]
+struct FunctionalWarmer {
+    mem: MemorySystem,
+    bpred: BranchPredictor,
+    ap: AddressPredictor,
+}
+
+impl FunctionalWarmer {
+    /// Builds a warmer matching `b`'s core configuration, seeded with
+    /// `mem` (the workload's pre-warmed resident ranges).
+    fn new(b: &SimBuilder, mem: MemorySystem) -> Self {
+        let mut dgl_cfg = b.config.doppelganger;
+        dgl_cfg.address_prediction = b.address_prediction;
+        Self {
+            mem,
+            bpred: BranchPredictor::new(b.config.branch),
+            ap: AddressPredictor::new(dgl_cfg),
+        }
+    }
+
+    /// Applies one retired architectural event, mirroring the order of
+    /// the detailed core's commit stage (train, then prefetch).
+    fn observe(&mut self, ev: ArchEvent) {
+        match ev {
+            ArchEvent::Load { pc, addr } => {
+                self.mem.warm(addr);
+                let pc = Core::pc_addr(pc);
+                self.ap.train_at_commit(pc, addr);
+                if let Some(cand) = self.ap.prefetch_candidate(pc, addr) {
+                    self.mem.warm(cand);
+                }
+            }
+            ArchEvent::Store { addr, .. } => self.mem.warm(addr),
+            ArchEvent::Branch { pc, taken, next } => {
+                self.bpred.train(Core::pc_addr(pc), taken, Some(next));
+            }
+        }
+    }
+
+    /// Installs the warmed state into a freshly built window core.
+    fn install_into(&self, core: &mut Core) {
+        core.install_memory_system(self.mem.clone());
+        core.install_branch_predictor(self.bpred.clone());
+        core.install_address_predictor(self.ap.clone());
+    }
+}
+
+/// One window's work order: index, warmup length (window 0 may get a
+/// truncated warmup), the checkpoint to start from, and the
+/// functionally warmed state at the checkpoint.
+struct WindowPlan {
+    index: usize,
+    warmup_insts: u64,
+    checkpoint: Checkpoint,
+    warmed: FunctionalWarmer,
+}
+
+impl SimBuilder {
+    /// Runs `w` in sampled mode: functional fast-forward to each
+    /// window, detailed warmup + measurement per window (in parallel),
+    /// and a stitched whole-program IPC estimate.
+    ///
+    /// Each window's core inherits functionally warmed state — caches,
+    /// branch predictor, and stride table trained on every instruction
+    /// the golden model fast-forwarded through, starting from the
+    /// workload's declared `warm_ranges` exactly as
+    /// [`SimBuilder::run_workload`] pre-warms them — and then runs its
+    /// own short detailed warmup slice to settle pipeline and MSHR
+    /// transients.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first window's [`RunError`] (by window order),
+    /// or a golden-model fault translated to one.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cfg` is degenerate (zero interval or window).
+    pub fn run_sampled(&self, w: &Workload, cfg: &SamplingConfig) -> Result<SampledRun, RunError> {
+        cfg.validate();
+        // Functional pass: walk the golden model once, capturing a
+        // checkpoint where each window's warmup begins.
+        let mut emu = Emulator::new(&w.program, w.memory.clone());
+        // The functional pass gets the same generous budget the
+        // verified-run cross-check uses; a non-halting program stops
+        // here rather than spinning forever.
+        let step_budget = w.max_cycles.saturating_mul(16).max(1_000_000);
+        // The warmer starts from the workload's declared hot ranges
+        // (resident data, exactly as `run_workload` pre-warms them) and
+        // then trains continuously on the fast-forwarded instruction
+        // stream.
+        let mut warmer = FunctionalWarmer::new(self, {
+            let mut template = self.build_core();
+            self.warm_core(&mut template, w);
+            template.memory_system().clone()
+        });
+        let mut plans: Vec<WindowPlan> = Vec::new();
+        for index in 0..cfg.max_windows {
+            let measure_start = index as u64 * cfg.interval_insts;
+            let warmup_start = measure_start.saturating_sub(cfg.warmup_insts);
+            while emu.retired() < warmup_start && !emu.halted() && emu.retired() < step_budget {
+                emu.step_observed(&mut |ev| warmer.observe(ev))
+                    .map_err(emu_error)?;
+            }
+            if emu.halted() || emu.retired() >= step_budget {
+                break;
+            }
+            plans.push(WindowPlan {
+                index,
+                warmup_insts: measure_start - warmup_start,
+                checkpoint: emu.checkpoint(),
+                warmed: warmer.clone(),
+            });
+        }
+        // Finish the functional run for the whole-program totals.
+        while !emu.halted() && emu.retired() < step_budget {
+            emu.step().map_err(emu_error)?;
+        }
+        let total_insts = emu.retired();
+        let halted = emu.halted();
+
+        let windows = self.simulate_windows(w, cfg, &plans)?;
+        Ok(SampledRun {
+            windows,
+            total_insts,
+            halted,
+            config: *cfg,
+        })
+    }
+
+    /// Simulates every planned window, `cfg.threads` at a time, and
+    /// returns the reports in window order.
+    fn simulate_windows(
+        &self,
+        w: &Workload,
+        cfg: &SamplingConfig,
+        plans: &[WindowPlan],
+    ) -> Result<Vec<WindowReport>, RunError> {
+        if plans.is_empty() {
+            return Ok(Vec::new());
+        }
+        let threads = if cfg.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        } else {
+            cfg.threads
+        }
+        .min(plans.len())
+        .max(1);
+        // Cycle budget per window, scaled the way workload budgets are.
+        let max_cycles = (cfg.warmup_insts + cfg.window_insts).saturating_mul(60) + 200_000;
+        let mut slots: Vec<Option<Result<WindowReport, RunError>>> = Vec::new();
+        slots.resize_with(plans.len(), || None);
+        let results: Vec<(usize, Result<WindowReport, RunError>)> = std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for chunk in plans.chunks(plans.len().div_ceil(threads)) {
+                handles.push(scope.spawn(move || {
+                    chunk
+                        .iter()
+                        .map(|plan| {
+                            let run =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    let mut core = self.build_core();
+                                    plan.warmed.install_into(&mut core);
+                                    core.run_window(
+                                        &w.program,
+                                        &plan.checkpoint,
+                                        plan.warmup_insts,
+                                        cfg.window_insts,
+                                        max_cycles,
+                                    )
+                                }));
+                            let result = match run {
+                                Ok(Ok(report)) => Ok(WindowReport {
+                                    index: plan.index,
+                                    checkpoint_inst: plan.checkpoint.retired,
+                                    report,
+                                }),
+                                Ok(Err(e)) => Err(e),
+                                Err(payload) => Err(RunError::Internal {
+                                    message: panic_message(payload),
+                                }),
+                            };
+                            (plan.index, result)
+                        })
+                        .collect::<Vec<_>>()
+                }));
+            }
+            handles
+                .into_iter()
+                .flat_map(|h| match h.join() {
+                    Ok(v) => v,
+                    // catch_unwind above makes this unreachable;
+                    // losing a thread must not lose the run.
+                    Err(payload) => vec![(
+                        usize::MAX,
+                        Err(RunError::Internal {
+                            message: panic_message(payload),
+                        }),
+                    )],
+                })
+                .collect()
+        });
+        for (index, result) in results {
+            match slots.get_mut(index) {
+                Some(slot) => *slot = Some(result),
+                None => {
+                    return Err(result.err().unwrap_or(RunError::Internal {
+                        message: "window result for unknown index".to_owned(),
+                    }))
+                }
+            }
+        }
+        // Collect in window order so the first failure is deterministic.
+        let mut windows = Vec::with_capacity(plans.len());
+        for (index, slot) in slots.into_iter().enumerate() {
+            match slot {
+                Some(Ok(win)) => windows.push(win),
+                Some(Err(e)) => return Err(e),
+                None => {
+                    return Err(RunError::Internal {
+                        message: format!("window {index} produced no result"),
+                    })
+                }
+            }
+        }
+        Ok(windows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgl_core::SchemeKind;
+    use dgl_pipeline::Provenance;
+    use dgl_workloads::{by_name, Scale};
+
+    fn sampled(threads: usize) -> SampledRun {
+        let w = by_name("hmmer_like", Scale::Custom(12_000)).unwrap();
+        let cfg = SamplingConfig {
+            interval_insts: 3_000,
+            warmup_insts: 800,
+            window_insts: 400,
+            threads,
+            ..SamplingConfig::default()
+        };
+        let mut b = SimBuilder::new();
+        b.scheme(SchemeKind::DoM).address_prediction(true);
+        b.run_sampled(&w, &cfg).expect("sampled run")
+    }
+
+    #[test]
+    fn windows_carry_sampled_provenance() {
+        let run = sampled(0);
+        assert!(!run.windows.is_empty());
+        assert!(run.halted);
+        // Scale::Custom is an approximate target; accept the same 0.5×
+        // slack the workload crate's own scale test allows.
+        assert!(run.total_insts >= 6_000, "total = {}", run.total_insts);
+        for win in &run.windows {
+            match win.report.provenance {
+                Provenance::SampledWindow {
+                    checkpoint_inst, ..
+                } => assert_eq!(checkpoint_inst, win.checkpoint_inst),
+                Provenance::Full => panic!("window reported full provenance"),
+            }
+        }
+        assert!(run.ipc() > 0.0);
+        assert!(run.estimated_cycles() > 0.0);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_estimate() {
+        let one = sampled(1);
+        let four = sampled(4);
+        assert_eq!(one.ipc().to_bits(), four.ipc().to_bits());
+        assert_eq!(one.measured_insts(), four.measured_insts());
+        assert_eq!(one.measured_cycles(), four.measured_cycles());
+    }
+
+    #[test]
+    #[should_panic(expected = "interval must be > 0")]
+    fn zero_interval_rejected() {
+        let w = by_name("hmmer_like", Scale::Custom(1_000)).unwrap();
+        let cfg = SamplingConfig {
+            interval_insts: 0,
+            ..SamplingConfig::default()
+        };
+        let _ = SimBuilder::new().run_sampled(&w, &cfg);
+    }
+}

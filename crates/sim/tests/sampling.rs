@@ -1,0 +1,110 @@
+//! Golden accuracy and determinism tests for sampled simulation.
+//!
+//! The sampled estimator's job is to predict the full detailed run's
+//! IPC from a small measured fraction. These tests pin that accuracy on
+//! two kernels with different memory behaviour, and pin the
+//! determinism contract: the stitched estimate is byte-identical no
+//! matter how many worker threads simulate the windows.
+
+use dgl_core::SchemeKind;
+use dgl_sim::{SamplingConfig, SimBuilder};
+use dgl_workloads::{by_name, Scale};
+
+/// ~12 windows over a 40k-instruction run: long enough for the
+/// estimator to amortize the cold start, short enough for CI.
+const SCALE: Scale = Scale::Custom(40_000);
+
+fn sampling() -> SamplingConfig {
+    SamplingConfig {
+        interval_insts: 3_000,
+        warmup_insts: 1_000,
+        window_insts: 500,
+        ..SamplingConfig::default()
+    }
+}
+
+/// Asserts the sampled IPC estimate lands within `tol_pct` percent of
+/// the full detailed run for `kernel` under `scheme`.
+fn assert_sampled_close(kernel: &str, scheme: SchemeKind, ap: bool, tol_pct: f64) {
+    let w = by_name(kernel, SCALE).unwrap();
+    let mut b = SimBuilder::new();
+    b.scheme(scheme).address_prediction(ap);
+    let full = b.run_workload(&w).expect("full run").ipc();
+    let sampled = b.run_sampled(&w, &sampling()).expect("sampled run").ipc();
+    assert!(full > 0.0, "{kernel}: full IPC must be positive");
+    let err_pct = (sampled - full) / full * 100.0;
+    assert!(
+        err_pct.abs() <= tol_pct,
+        "{kernel} ({scheme:?}, ap={ap}): sampled {sampled:.4} vs full {full:.4} \
+         = {err_pct:+.2}% (tolerance {tol_pct}%)"
+    );
+}
+
+#[test]
+fn sampled_ipc_tracks_full_run_on_hmmer_like() {
+    // Streaming compute kernel, high IPC.
+    assert_sampled_close("hmmer_like", SchemeKind::Baseline, false, 6.0);
+    assert_sampled_close("hmmer_like", SchemeKind::DoM, true, 6.0);
+}
+
+#[test]
+fn sampled_ipc_tracks_full_run_on_mcf_like() {
+    // Pointer-chasing kernel, memory-bound, low IPC.
+    assert_sampled_close("mcf_like", SchemeKind::Baseline, false, 6.0);
+    assert_sampled_close("mcf_like", SchemeKind::DoM, true, 6.0);
+}
+
+#[test]
+fn sampled_estimate_is_byte_identical_across_thread_counts() {
+    let w = by_name("libquantum_like", SCALE).unwrap();
+    let cfg = sampling();
+    let mut b = SimBuilder::new();
+    b.scheme(SchemeKind::DoM).address_prediction(true);
+
+    let runs: Vec<_> = [1usize, 2, 8]
+        .iter()
+        .map(|&threads| {
+            let cfg = SamplingConfig { threads, ..cfg };
+            b.run_sampled(&w, &cfg).expect("sampled run")
+        })
+        .collect();
+
+    let reference = &runs[0];
+    for run in &runs[1..] {
+        // Bitwise equality, not approximate: windows are independent,
+        // so scheduling must not leak into the estimate.
+        assert_eq!(
+            reference.ipc().to_bits(),
+            run.ipc().to_bits(),
+            "stitched IPC differs across thread counts"
+        );
+        assert_eq!(
+            reference.estimated_cycles().to_bits(),
+            run.estimated_cycles().to_bits()
+        );
+        assert_eq!(reference.measured_insts(), run.measured_insts());
+        assert_eq!(reference.measured_cycles(), run.measured_cycles());
+        assert_eq!(reference.total_insts, run.total_insts);
+        assert_eq!(reference.windows.len(), run.windows.len());
+        for (a, b) in reference.windows.iter().zip(&run.windows) {
+            assert_eq!(a.index, b.index);
+            assert_eq!(a.checkpoint_inst, b.checkpoint_inst);
+            assert_eq!(a.report.committed, b.report.committed);
+            assert_eq!(a.report.cycles, b.report.cycles);
+        }
+    }
+}
+
+#[test]
+fn sampled_run_reports_whole_program_provenance() {
+    let w = by_name("gcc_like", Scale::Custom(20_000)).unwrap();
+    let mut b = SimBuilder::new();
+    b.scheme(SchemeKind::Baseline).address_prediction(false);
+    let run = b.run_sampled(&w, &sampling()).expect("sampled run");
+    assert!(run.halted, "golden model must reach halt");
+    assert!(run.total_insts > 0);
+    // The measured fraction is a strict subset of the program.
+    assert!(run.measured_insts() > 0);
+    assert!(run.measured_insts() < run.total_insts);
+    assert!(run.estimated_cycles() > run.measured_cycles() as f64);
+}

@@ -110,7 +110,13 @@ impl fmt::Display for Histogram {
             self.mean(),
             self.max
         )?;
-        let peak = self.buckets.iter().copied().max().unwrap_or(1).max(1);
+        let peak = self.buckets.iter().copied().max().unwrap_or(0);
+        if peak == 0 {
+            // No bucket holds a sample (defensive: a histogram whose
+            // counters disagree must not divide by zero below and render
+            // NaN-width bars).
+            return Ok(());
+        }
         for (lo, c) in self.iter() {
             let bar = "#".repeat(((c as f64 / peak as f64) * 40.0).round() as usize);
             writeln!(f, "{lo:>8}+ |{bar} {c}")?;
@@ -174,6 +180,21 @@ mod tests {
         let s = h.to_string();
         assert!(s.contains("n=1"));
         assert!(Histogram::new().to_string().contains("empty"));
+    }
+
+    #[test]
+    fn display_never_renders_nan_bars() {
+        // Empty histograms (and merges of empty histograms) must not
+        // divide by a zero peak when rendering bars.
+        let empty = Histogram::new();
+        assert_eq!(empty.to_string(), "(empty histogram)");
+        let mut merged = Histogram::new();
+        merged.merge(&Histogram::new());
+        let s = merged.to_string();
+        assert!(!s.contains("NaN"), "rendered: {s}");
+        let mut h = Histogram::new();
+        h.record(7);
+        assert!(!h.to_string().contains("NaN"));
     }
 
     #[test]

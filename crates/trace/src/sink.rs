@@ -1,10 +1,9 @@
 //! Sinks: where producers put events and consumers get them back.
 
 use crate::event::TraceEvent;
-use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::fmt::Debug;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// Receiver for trace events.
 ///
@@ -12,7 +11,11 @@ use std::rc::Rc;
 /// per producer (cycles never decrease within one producer, though two
 /// producers may interleave). A sink must not panic on any event
 /// sequence — producers treat it as write-only infrastructure.
-pub trait TraceSink: Debug {
+///
+/// Sinks are `Send` so that a finished core's report (which carries the
+/// installed sink back to the caller) can cross thread boundaries, e.g.
+/// when sampled-simulation windows run on a worker pool.
+pub trait TraceSink: Debug + Send {
     /// Record one event.
     fn emit(&mut self, event: &TraceEvent);
 
@@ -114,18 +117,18 @@ impl TraceSink for RingBufferSink {
 /// `Core::run` consumes the core (and with it any sink installed on
 /// it), so a caller who wants the events back keeps one clone of a
 /// `SharedSink` and installs another. It also keeps `SimBuilder`
-/// clonable. Not thread-safe by design — the simulator is
-/// single-threaded per core.
+/// clonable. Each core remains single-threaded; the mutex only covers
+/// handing the buffer between the simulation and the caller.
 #[derive(Clone, Debug)]
 pub struct SharedSink {
-    inner: Rc<RefCell<Box<dyn TraceSink>>>,
+    inner: Arc<Mutex<Box<dyn TraceSink>>>,
 }
 
 impl SharedSink {
     /// Wrap `sink` in a shared handle.
     pub fn new(sink: impl TraceSink + 'static) -> Self {
         Self {
-            inner: Rc::new(RefCell::new(Box::new(sink))),
+            inner: Arc::new(Mutex::new(Box::new(sink))),
         }
     }
 
@@ -142,15 +145,15 @@ impl SharedSink {
 
 impl TraceSink for SharedSink {
     fn emit(&mut self, event: &TraceEvent) {
-        self.inner.borrow_mut().emit(event);
+        self.inner.lock().expect("sink poisoned").emit(event);
     }
 
     fn drain(&mut self) -> Vec<TraceEvent> {
-        self.inner.borrow_mut().drain()
+        self.inner.lock().expect("sink poisoned").drain()
     }
 
     fn len(&self) -> usize {
-        self.inner.borrow().len()
+        self.inner.lock().expect("sink poisoned").len()
     }
 }
 

@@ -15,11 +15,18 @@
 //!          --insts N                         instruction budget (default 25000)
 //!          --format chrome|konata|jsonl      trace export format (default chrome)
 //!          --out FILE                        write the trace to FILE (default stdout)
+//!          --sample                          sampled simulation (fast-forward + windows)
+//!          --sample-interval N               instructions between window starts (default 10000)
+//!          --sample-warmup N                 detailed warmup commits per window (default 2000)
+//!          --sample-window N                 measured commits per window (default 1000)
+//!          --sample-max-windows N            window cap (default 256)
+//!          --sample-threads N                worker threads (default 0 = all cores)
 //! ```
 
 use doppelganger_loads::isa::asm::assemble;
 use doppelganger_loads::sim::figure1;
 use doppelganger_loads::sim::security::{LeakOutcome, SpectreV1Lab};
+use doppelganger_loads::sim::SamplingConfig;
 use doppelganger_loads::workloads::{by_name, suite, Scale};
 use doppelganger_loads::{SchemeKind, SimBuilder, SparseMemory, REGISTRY};
 use std::process::ExitCode;
@@ -42,6 +49,8 @@ struct Opts {
     workload: Option<String>,
     format: String,
     out: Option<String>,
+    sample: bool,
+    sampling: SamplingConfig,
     positional: Vec<String>,
 }
 
@@ -55,8 +64,17 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         workload: None,
         format: "chrome".to_owned(),
         out: None,
+        sample: false,
+        sampling: SamplingConfig::default(),
         positional: Vec::new(),
     };
+    fn num<T: std::str::FromStr>(
+        it: &mut std::slice::Iter<String>,
+        flag: &str,
+    ) -> Result<T, String> {
+        let v = it.next().ok_or(format!("{flag} needs a value"))?;
+        v.parse().map_err(|_| format!("bad count `{v}`"))
+    }
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -95,6 +113,12 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                 let v = it.next().ok_or("--out needs a value")?;
                 o.out = Some(v.clone());
             }
+            "--sample" => o.sample = true,
+            "--sample-interval" => o.sampling.interval_insts = num(&mut it, a)?,
+            "--sample-warmup" => o.sampling.warmup_insts = num(&mut it, a)?,
+            "--sample-window" => o.sampling.window_insts = num(&mut it, a)?,
+            "--sample-max-windows" => o.sampling.max_windows = num(&mut it, a)?,
+            "--sample-threads" => o.sampling.threads = num(&mut it, a)?,
             other if other.starts_with("--") => return Err(format!("unknown flag `{other}`")),
             other => o.positional.push(other.to_owned()),
         }
@@ -135,16 +159,38 @@ fn cmd_run(o: &Opts) -> Result<(), String> {
     b.scheme(o.scheme)
         .address_prediction(o.ap)
         .value_prediction(o.vp);
-    let report = b.run_workload(&w).map_err(|e| e.to_string())?;
-    print_report(
-        &format!(
-            "{name} under {}{}{}",
-            o.scheme,
-            if o.ap { "+ap" } else { "" },
-            if o.vp { "+vp" } else { "" }
-        ),
-        &report,
+    let label = format!(
+        "{name} under {}{}{}",
+        o.scheme,
+        if o.ap { "+ap" } else { "" },
+        if o.vp { "+vp" } else { "" }
     );
+    if o.sample {
+        let cfg = &o.sampling;
+        if cfg.interval_insts == 0 || cfg.window_insts == 0 || cfg.max_windows == 0 {
+            return Err("sampling interval, window, and max-windows must be > 0".into());
+        }
+        let run = b.run_sampled(&w, cfg).map_err(|e| e.to_string())?;
+        out!("{label} (sampled)");
+        out!(
+            "  windows          {:>12}  (interval {}, warmup {}, window {})",
+            run.windows.len(),
+            cfg.interval_insts,
+            cfg.warmup_insts,
+            cfg.window_insts
+        );
+        out!("  measured insts   {:>12}", run.measured_insts());
+        out!("  measured cycles  {:>12}", run.measured_cycles());
+        out!("  total insts      {:>12}  (functional)", run.total_insts);
+        out!("  estimated cycles {:>12.0}", run.estimated_cycles());
+        out!("  sampled IPC      {:>12.4}", run.ipc());
+        if !run.halted {
+            out!("  warning: the functional run hit its step budget before `halt`");
+        }
+        return Ok(());
+    }
+    let report = b.run_workload(&w).map_err(|e| e.to_string())?;
+    print_report(&label, &report);
     Ok(())
 }
 
