@@ -61,6 +61,19 @@ impl ApStats {
             self.correct_predictions as f64 / self.predicted_loads as f64
         }
     }
+
+    /// Publishes the counters (plus the derived coverage/accuracy
+    /// gauges) into `reg` under `ap.*` names. One-way copy taken after
+    /// a run; never read back by the simulator.
+    pub fn publish(&self, reg: &mut dgl_stats::MetricsRegistry) {
+        reg.counter("ap.committed_loads", self.committed_loads);
+        reg.counter("ap.predicted_loads", self.predicted_loads);
+        reg.counter("ap.correct_predictions", self.correct_predictions);
+        reg.counter("ap.predictions_issued", self.predictions_issued);
+        reg.counter("ap.prefetches_proposed", self.prefetches_proposed);
+        reg.gauge("ap.coverage", self.coverage());
+        reg.gauge("ap.accuracy", self.accuracy());
+    }
 }
 
 impl fmt::Display for ApStats {

@@ -24,6 +24,30 @@ pub struct CacheStats {
     pub invalidations: u64,
 }
 
+impl CacheStats {
+    /// Hit rate in [0, 1] (0 when the level was never accessed).
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+
+    /// Publishes the counters (plus the derived hit-rate gauge) into
+    /// `reg` under `cache.<level>.*` names, e.g. `cache.l1.misses`.
+    /// One-way copy taken after a run; never read back by the
+    /// simulator.
+    pub fn publish(&self, reg: &mut dgl_stats::MetricsRegistry, level: &str) {
+        reg.counter(&format!("cache.{level}.accesses"), self.accesses);
+        reg.counter(&format!("cache.{level}.hits"), self.hits);
+        reg.counter(&format!("cache.{level}.misses"), self.misses);
+        reg.counter(&format!("cache.{level}.fills"), self.fills);
+        reg.counter(&format!("cache.{level}.invalidations"), self.invalidations);
+        reg.gauge(&format!("cache.{level}.hit_rate"), self.hit_rate());
+    }
+}
+
 /// A tag-only set-associative cache with true-LRU replacement.
 ///
 /// Data is never stored: correctness comes from the functional memory

@@ -1,11 +1,13 @@
 //! The cycle loop: fetch → rename → issue → execute → memory → commit,
 //! with scheme-specific gating and doppelganger integration.
 
+use crate::attribution::LoadSiteTable;
 use crate::config::CoreConfig;
 use crate::frontend::Frontend;
 use crate::lsq::{forward_value, overlap, LoadState, LqEntry, Overlap, SqEntry};
 use crate::regfile::{PhysReg, RegFile};
 use crate::rob::{BranchInfo, ExecState, RobEntry};
+use crate::sampler::{OccupancySample, OccupancySampler, OccupancySeries};
 use crate::shadow::{Seq, ShadowTracker};
 use crate::stats::CoreStats;
 use crate::taint::TaintTracker;
@@ -18,7 +20,7 @@ use dgl_mem::{
     AccessKind, CacheStats, Level, MemReqId, MemRequest, MemResponse, MemorySystem, ResponsePayload,
 };
 use dgl_predictor::{BranchPredictor, ValuePredictor, ValuePredictorConfig, VpStats};
-use dgl_stats::Histogram;
+use dgl_stats::{Histogram, MetricsRegistry};
 use dgl_trace::{DglEvent, DiscardReason, InstKind, Stage, TraceEvent, TraceSink};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
@@ -122,6 +124,18 @@ pub struct RunReport {
     /// cycles: the schemes' delays made visible (DoM's blocked misses
     /// appear as a heavy tail; doppelgangers move it back).
     pub load_latency: Histogram,
+    /// Per-static-load doppelganger attribution: which PCs issued,
+    /// propagated, and discarded doppelgangers, and their observed
+    /// latencies. Column sums equal the aggregate [`CoreStats`]
+    /// counters exactly.
+    pub load_sites: LoadSiteTable,
+    /// Occupancy time series, present when
+    /// [`Core::enable_occupancy_sampling`] was called.
+    pub occupancy: Option<OccupancySeries>,
+    /// Host wall-clock time the simulation took (the measured slice
+    /// only, for sampled windows). Host-side observability — never
+    /// serialized into manifests, which must be machine-independent.
+    pub host_wall: std::time::Duration,
     /// Final architectural register values.
     pub regs: [i64; dgl_isa::reg::NUM_REGS],
     /// Final data memory image (compare against the golden model).
@@ -147,6 +161,39 @@ impl RunReport {
     /// Architectural value of `r` at the end of the run.
     pub fn reg(&self, r: Reg) -> i64 {
         self.regs[r.index()]
+    }
+
+    /// Assembles the full metric set — core counters, predictor and
+    /// cache statistics, the branch predictor, and the load-latency
+    /// distribution — into one [`MetricsRegistry`]. Pure observation
+    /// of finished-run state; nothing host-dependent is included, so
+    /// the export is deterministic for a given simulation.
+    pub fn metrics(&self) -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new();
+        self.stats.publish(&mut reg);
+        self.ap.publish(&mut reg);
+        let (l1, l2, l3) = self.caches;
+        l1.publish(&mut reg, "l1");
+        l2.publish(&mut reg, "l2");
+        l3.publish(&mut reg, "l3");
+        reg.counter("bpred.predictions", self.bpred.0);
+        reg.counter("bpred.mispredictions", self.bpred.1);
+        self.vp.publish(&mut reg);
+        reg.histogram("core.load_latency", self.load_latency.clone());
+        reg
+    }
+
+    /// Simulated kilo-instructions committed per host second, from
+    /// [`host_wall`](Self::host_wall). Zero when the wall time was not
+    /// measured (e.g. a report assembled outside `run`). Host-side
+    /// only — excluded from [`metrics`](Self::metrics) and manifests.
+    pub fn kips(&self) -> f64 {
+        let secs = self.host_wall.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.committed as f64 / 1000.0 / secs
+        }
     }
 }
 
@@ -214,6 +261,12 @@ pub struct Core {
     /// Dispatch-to-propagation latency of every load (how the schemes'
     /// delays actually look).
     load_latency: Histogram,
+    /// Per-PC doppelganger attribution, incremented in lockstep with
+    /// the aggregate counters in `stats`.
+    sites: LoadSiteTable,
+    /// Cycle-domain occupancy sampler; `None` (the default) keeps the
+    /// hot path free of sampling work.
+    sampler: Option<OccupancySampler>,
     /// Structured event sink. `None` (the default) makes every `emit`
     /// a single never-taken branch, keeping the tracing-off hot path
     /// free.
@@ -256,8 +309,23 @@ impl Core {
             pending_invalidations: Vec::new(),
             vp: None,
             load_latency: Histogram::new(),
+            sites: LoadSiteTable::new(),
+            sampler: None,
             sink: None,
         }
+    }
+
+    /// Enables occupancy sampling: every `interval_cycles` the core
+    /// records ROB/IQ/LSQ occupancy, MSHR in-flight count, the DoM
+    /// delayed-load backlog, and the window's IPC into
+    /// [`RunReport::occupancy`]. Sampling is read-only and cannot
+    /// change any simulated result.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `interval_cycles` is zero.
+    pub fn enable_occupancy_sampling(&mut self, interval_cycles: u64) {
+        self.sampler = Some(OccupancySampler::new(interval_cycles));
     }
 
     /// Enables load **value** prediction — the prior approach the paper
@@ -384,8 +452,11 @@ impl Core {
         max_cycles: u64,
     ) -> Result<RunReport, RunError> {
         self.data = memory;
+        let t0 = std::time::Instant::now();
         self.run_until(program, max_cycles, None)?;
-        Ok(self.into_report(0, Provenance::Full))
+        let mut report = self.into_report(0, Provenance::Full);
+        report.host_wall = t0.elapsed();
+        Ok(report)
     }
 
     /// Runs one sampled measurement window from a golden-model
@@ -424,10 +495,13 @@ impl Core {
         let warmup_committed = self.stats.committed;
         let measure_base = self.cycle;
         self.reset_measurement_stats();
+        let t0 = std::time::Instant::now();
         if !self.halted {
             self.run_until(program, max_cycles, Some(measure_insts))?;
         }
-        Ok(self.into_report(measure_base, provenance(warmup_committed)))
+        let mut report = self.into_report(measure_base, provenance(warmup_committed));
+        report.host_wall = t0.elapsed();
+        Ok(report)
     }
 
     /// Injects a golden-model checkpoint's architectural state:
@@ -456,6 +530,12 @@ impl Core {
             vp.reset_stats();
         }
         self.load_latency = Histogram::new();
+        self.sites = LoadSiteTable::new();
+        if let Some(s) = self.sampler.as_mut() {
+            // The commit counter just restarted from zero; the IPC
+            // window must restart with it.
+            s.reset(0);
+        }
     }
 
     /// Ticks until `halt` commits, `max_cycles` elapse, or — when
@@ -530,6 +610,9 @@ impl Core {
                 .map(ValuePredictor::stats)
                 .unwrap_or_default(),
             load_latency: self.load_latency,
+            load_sites: self.sites,
+            occupancy: self.sampler.map(OccupancySampler::into_series),
+            host_wall: std::time::Duration::ZERO,
             regs,
             memory: self.data,
             mem_system: self.mem,
@@ -556,7 +639,40 @@ impl Core {
         self.dispatch_stage(program);
         self.fetch_decode_stage(program);
         self.commit_stage(program);
+        self.sample_occupancy();
         Ok(())
+    }
+
+    /// Takes an occupancy sample at the end of the cycle when one is
+    /// due. Pure observation: reads queue depths, writes nothing the
+    /// simulation reads back.
+    fn sample_occupancy(&mut self) {
+        let interval = match self.sampler.as_ref() {
+            Some(s) => s.interval(),
+            None => return,
+        };
+        if !self.cycle.is_multiple_of(interval) {
+            return;
+        }
+        let sample = OccupancySample {
+            cycle: self.cycle,
+            rob: self.rob.len() as u32,
+            iq: self.iq_count as u32,
+            lq: self.lq.len() as u32,
+            sq: self.sq.len() as u32,
+            mshr: self.mem.in_flight() as u32,
+            delayed_loads: self
+                .lq
+                .iter()
+                .filter(|e| e.state == LoadState::DelayedDoM)
+                .count() as u32,
+            window_ipc: 0.0, // derived by the sampler from commit deltas
+        };
+        let committed = self.stats.committed;
+        self.sampler
+            .as_mut()
+            .expect("checked above")
+            .record(sample, committed);
     }
 
     // ---- helpers -------------------------------------------------------

@@ -74,6 +74,7 @@ impl Core {
                     }
                 }
                 self.stats.committed_loads += 1;
+                self.sites.record_committed(pc_a);
             }
             if let Some(b) = self.rob.front().and_then(|e| e.branch) {
                 let taken = b.actual_taken.expect("resolved");

@@ -104,6 +104,7 @@ impl Core {
                     self.lq[li].dgl.discard();
                     self.stats.dgl_discard_unsafe += 1;
                     let pc = self.lq[li].pc;
+                    self.sites.record_discard_unsafe(Self::pc_addr(pc));
                     self.emit_dgl(
                         seq,
                         pc,
@@ -222,6 +223,7 @@ impl Core {
                         self.stats.dgl_issued += 1;
                         load_ports -= 1;
                         let pc = self.lq[li].pc;
+                        self.sites.record_issued(Self::pc_addr(pc));
                         self.emit_stage(seq, pc, InstKind::Load, Stage::Memory, self.cycle);
                         self.emit_dgl(seq, pc, DglEvent::Issued { predicted: pred });
                     }
@@ -293,6 +295,7 @@ impl Core {
             self.lq[li].dgl_req = None;
             self.lq[li].value = None;
             self.stats.dgl_discard_mispredict += 1;
+            self.sites.record_discard_mispredict(Self::pc_addr(pc));
             self.emit_dgl(
                 seq,
                 pc,
@@ -323,6 +326,7 @@ impl Core {
                 self.lq[li].state = LoadState::WaitStore(store_seq);
                 if was_predicted {
                     self.stats.dgl_discard_unsafe += 1;
+                    self.sites.record_discard_unsafe(Self::pc_addr(pc));
                     self.emit_dgl(
                         seq,
                         pc,
@@ -484,6 +488,7 @@ impl Core {
                 }
                 if let Some((lseq, lpc)) = dgl_conflict {
                     self.stats.dgl_discard_unsafe += 1;
+                    self.sites.record_discard_unsafe(Self::pc_addr(lpc));
                     self.emit_dgl(
                         lseq,
                         lpc,

@@ -47,6 +47,7 @@ impl Core {
                 // verification; only live ones die *by* the squash.
                 if e.dgl.verification() != Verification::Mispredicted {
                     self.stats.dgl_discard_squash += 1;
+                    self.sites.record_discard_squash(Self::pc_addr(e.pc));
                 }
                 self.emit_dgl(e.seq, e.pc, DglEvent::Squashed);
             }

@@ -120,8 +120,9 @@ impl Core {
             };
             let (_, preg, _) = self.rob[idx].dst.expect("vp loads have destinations");
             self.lq[li].propagated = true;
-            self.load_latency
-                .record(self.cycle.saturating_sub(self.lq[li].dispatch_cycle));
+            let lat = self.cycle.saturating_sub(self.lq[li].dispatch_cycle);
+            self.load_latency.record(lat);
+            self.sites.record_latency(Self::pc_addr(pc), lat);
             self.rob[idx].state = ExecState::Completed;
             self.rob[idx].locked = false;
             self.emit_stage(seq, pc, InstKind::Load, Stage::Writeback, self.cycle);
@@ -151,11 +152,12 @@ impl Core {
         let Some((_, preg, _)) = self.rob[idx].dst else {
             // Load to r0: nothing to propagate.
             self.lq[li].propagated = true;
-            self.load_latency
-                .record(self.cycle.saturating_sub(self.lq[li].dispatch_cycle));
+            let lat = self.cycle.saturating_sub(self.lq[li].dispatch_cycle);
+            self.load_latency.record(lat);
+            let pc = self.lq[li].pc;
+            self.sites.record_latency(Self::pc_addr(pc), lat);
             self.rob[idx].state = ExecState::Completed;
             self.rob[idx].locked = false;
-            let pc = self.lq[li].pc;
             self.emit_stage(seq, pc, InstKind::Load, Stage::Writeback, self.cycle);
             return;
         };
@@ -171,6 +173,7 @@ impl Core {
             em.state = LoadState::WaitIssue;
             self.stats.dgl_discard_unsafe += 1;
             let pc = self.lq[li].pc;
+            self.sites.record_discard_unsafe(Self::pc_addr(pc));
             self.emit_dgl(
                 seq,
                 pc,
@@ -194,14 +197,16 @@ impl Core {
             }
             self.rf.propagate(preg);
             self.lq[li].propagated = true;
-            self.load_latency
-                .record(self.cycle.saturating_sub(self.lq[li].dispatch_cycle));
+            let lat = self.cycle.saturating_sub(self.lq[li].dispatch_cycle);
+            self.load_latency.record(lat);
+            let pc = self.lq[li].pc;
+            self.sites.record_latency(Self::pc_addr(pc), lat);
             self.rob[idx].state = ExecState::Completed;
             self.rob[idx].locked = false;
-            let pc = self.lq[li].pc;
             self.emit_stage(seq, pc, InstKind::Load, Stage::Writeback, self.cycle);
             if via_dgl {
                 self.stats.dgl_propagated += 1;
+                self.sites.record_propagated(Self::pc_addr(pc));
                 let addr = self.lq[li]
                     .addr
                     .or(self.lq[li].dgl.predicted_addr())

@@ -50,16 +50,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod attribution;
 pub mod config;
 pub mod core;
 pub mod frontend;
 pub mod lsq;
 pub mod regfile;
 pub mod rob;
+pub mod sampler;
 pub mod shadow;
 pub mod stats;
 pub mod taint;
 
 pub use crate::core::{Core, Provenance, RunError, RunReport};
+pub use attribution::{LoadSiteStats, LoadSiteTable};
 pub use config::CoreConfig;
+pub use sampler::{OccupancySample, OccupancySeries};
 pub use stats::CoreStats;

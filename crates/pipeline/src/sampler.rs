@@ -1,0 +1,273 @@
+//! Cycle-domain occupancy sampling.
+//!
+//! Every `interval` cycles the core records how full its queueing
+//! structures are (ROB, IQ, LQ, SQ), how many misses are in flight in
+//! the MSHRs, how many loads DoM is currently delaying, and the IPC of
+//! the window just ended. The series makes a scheme's stalls *visible
+//! over time* — DoM's delayed-load backlog growing under a pointer
+//! chase reads very differently from a steady half-full ROB — where
+//! end-of-run averages flatten both into one number.
+//!
+//! Sampling is read-only: the sampler observes core state after the
+//! stages of a cycle have run and never feeds anything back, so
+//! enabling it cannot change a single simulated result.
+
+use dgl_stats::Json;
+
+/// One occupancy observation.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OccupancySample {
+    /// Simulated cycle at which the sample was taken.
+    pub cycle: u64,
+    /// ROB entries live.
+    pub rob: u32,
+    /// Issue-queue entries live.
+    pub iq: u32,
+    /// Load-queue entries live.
+    pub lq: u32,
+    /// Store-queue entries live.
+    pub sq: u32,
+    /// Memory requests in flight in the MSHRs.
+    pub mshr: u32,
+    /// Loads currently parked by DoM (speculative L1 misses).
+    pub delayed_loads: u32,
+    /// Instructions per cycle over the window that ended at `cycle`.
+    pub window_ipc: f64,
+}
+
+/// A fixed-interval series of [`OccupancySample`]s.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OccupancySeries {
+    interval: u64,
+    samples: Vec<OccupancySample>,
+}
+
+impl OccupancySeries {
+    /// An empty series sampling every `interval` cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `interval` is zero.
+    pub fn new(interval: u64) -> Self {
+        assert!(interval > 0, "sampling interval must be non-zero");
+        Self {
+            interval,
+            samples: Vec::new(),
+        }
+    }
+
+    /// The sampling interval in cycles.
+    pub fn interval(&self) -> u64 {
+        self.interval
+    }
+
+    /// The recorded samples, oldest first.
+    pub fn samples(&self) -> &[OccupancySample] {
+        &self.samples
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether nothing has been sampled yet.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Appends a sample.
+    pub fn push(&mut self, sample: OccupancySample) {
+        self.samples.push(sample);
+    }
+
+    /// Discards all samples (warmup/measurement boundary) while keeping
+    /// the interval.
+    pub fn clear(&mut self) {
+        self.samples.clear();
+    }
+
+    /// One named column of the series, for sparkline rendering.
+    pub fn column(&self, f: impl Fn(&OccupancySample) -> f64) -> Vec<f64> {
+        self.samples.iter().map(f).collect()
+    }
+
+    /// Exports the series as CSV with a header row.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("cycle,rob,iq,lq,sq,mshr,delayed_loads,window_ipc\n");
+        for s in &self.samples {
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{:.4}\n",
+                s.cycle, s.rob, s.iq, s.lq, s.sq, s.mshr, s.delayed_loads, s.window_ipc
+            ));
+        }
+        out
+    }
+
+    /// Exports the series as a JSON object with the interval and one
+    /// array per column (columnar: compact and easy to plot).
+    pub fn to_json(&self) -> Json {
+        let col_u = |f: &dyn Fn(&OccupancySample) -> u64| {
+            let mut a = Json::array();
+            for s in &self.samples {
+                a = a.push(Json::uint(f(s)));
+            }
+            a
+        };
+        let mut ipc = Json::array();
+        for s in &self.samples {
+            ipc = ipc.push(Json::num(s.window_ipc));
+        }
+        Json::object()
+            .field("interval", Json::uint(self.interval))
+            .field("cycle", col_u(&|s| s.cycle))
+            .field("rob", col_u(&|s| s.rob as u64))
+            .field("iq", col_u(&|s| s.iq as u64))
+            .field("lq", col_u(&|s| s.lq as u64))
+            .field("sq", col_u(&|s| s.sq as u64))
+            .field("mshr", col_u(&|s| s.mshr as u64))
+            .field("delayed_loads", col_u(&|s| s.delayed_loads as u64))
+            .field("window_ipc", ipc)
+    }
+}
+
+/// The core-side sampling state: the series plus the committed-count
+/// baseline used to derive each window's IPC.
+#[derive(Debug, Clone)]
+pub struct OccupancySampler {
+    series: OccupancySeries,
+    last_committed: u64,
+}
+
+impl OccupancySampler {
+    /// A sampler recording every `interval` cycles.
+    pub fn new(interval: u64) -> Self {
+        Self {
+            series: OccupancySeries::new(interval),
+            last_committed: 0,
+        }
+    }
+
+    /// The sampling interval in cycles.
+    pub fn interval(&self) -> u64 {
+        self.series.interval()
+    }
+
+    /// Records a sample; `committed` is the core's cumulative commit
+    /// count, from which the window IPC is derived.
+    pub fn record(&mut self, mut sample: OccupancySample, committed: u64) {
+        let delta = committed.saturating_sub(self.last_committed);
+        sample.window_ipc = delta as f64 / self.series.interval() as f64;
+        self.last_committed = committed;
+        self.series.push(sample);
+    }
+
+    /// Drops recorded samples and re-baselines the IPC window (called at
+    /// the warmup/measurement boundary of a sampled run, where the
+    /// commit counter restarts from zero).
+    pub fn reset(&mut self, committed: u64) {
+        self.series.clear();
+        self.last_committed = committed;
+    }
+
+    /// Consumes the sampler, yielding the series.
+    pub fn into_series(self) -> OccupancySeries {
+        self.series
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_ipc_derives_from_commit_deltas() {
+        let mut s = OccupancySampler::new(100);
+        s.record(
+            OccupancySample {
+                cycle: 100,
+                ..Default::default()
+            },
+            250,
+        );
+        s.record(
+            OccupancySample {
+                cycle: 200,
+                ..Default::default()
+            },
+            300,
+        );
+        let series = s.into_series();
+        assert_eq!(series.len(), 2);
+        assert!((series.samples()[0].window_ipc - 2.5).abs() < 1e-12);
+        assert!((series.samples()[1].window_ipc - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_rebaselines() {
+        let mut s = OccupancySampler::new(10);
+        s.record(OccupancySample::default(), 100);
+        s.reset(0);
+        s.record(OccupancySample::default(), 20);
+        let series = s.into_series();
+        assert_eq!(series.len(), 1, "warmup samples discarded");
+        assert!((series.samples()[0].window_ipc - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let mut s = OccupancySampler::new(10);
+        s.record(
+            OccupancySample {
+                cycle: 10,
+                rob: 5,
+                ..Default::default()
+            },
+            10,
+        );
+        let csv = s.into_series().to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next(),
+            Some("cycle,rob,iq,lq,sq,mshr,delayed_loads,window_ipc")
+        );
+        assert!(lines.next().unwrap().starts_with("10,5,"));
+    }
+
+    #[test]
+    fn json_is_columnar_and_parses() {
+        let mut s = OccupancySampler::new(10);
+        s.record(
+            OccupancySample {
+                cycle: 10,
+                mshr: 3,
+                ..Default::default()
+            },
+            7,
+        );
+        let doc = s.into_series().to_json();
+        assert_eq!(doc.get("interval").and_then(Json::as_u64), Some(10));
+        assert_eq!(
+            doc.get("mshr").and_then(Json::as_array).map(|a| a.len()),
+            Some(1)
+        );
+        let text = doc.to_string_pretty();
+        assert_eq!(Json::parse(&text).unwrap(), doc);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_interval_panics() {
+        OccupancySeries::new(0);
+    }
+
+    #[test]
+    fn column_extracts_values() {
+        let mut s = OccupancySeries::new(5);
+        s.push(OccupancySample {
+            rob: 7,
+            ..Default::default()
+        });
+        assert_eq!(s.column(|x| x.rob as f64), vec![7.0]);
+    }
+}

@@ -2,6 +2,7 @@
 
 use dgl_core::ApStats;
 use dgl_mem::CacheStats;
+use dgl_stats::MetricsRegistry;
 
 /// Counters accumulated by one simulation run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -70,6 +71,56 @@ impl CoreStats {
             self.branch_mispredicts as f64 / self.committed_branches as f64
         }
     }
+
+    /// Fraction of committed loads that issued a doppelganger — the
+    /// core-counter analogue of the predictor-side coverage in
+    /// [`ApStats::coverage`] (Figure 7), counted at the memory port
+    /// rather than in the stride table. Zero when no load committed.
+    pub fn dgl_coverage(&self) -> f64 {
+        if self.committed_loads == 0 {
+            0.0
+        } else {
+            self.dgl_issued as f64 / self.committed_loads as f64
+        }
+    }
+
+    /// Fraction of issued doppelgangers that went on to propagate —
+    /// the preloads that actually did a load's work. Zero when none
+    /// issued.
+    pub fn dgl_accuracy(&self) -> f64 {
+        if self.dgl_issued == 0 {
+            0.0
+        } else {
+            self.dgl_propagated as f64 / self.dgl_issued as f64
+        }
+    }
+
+    /// Publishes every counter (plus the derived IPC/coverage/accuracy
+    /// gauges) into `reg` under `core.*` names. One-way copy: the
+    /// registry never feeds back into simulation.
+    pub fn publish(&self, reg: &mut MetricsRegistry) {
+        reg.counter("core.cycles", self.cycles);
+        reg.counter("core.committed", self.committed);
+        reg.counter("core.committed_loads", self.committed_loads);
+        reg.counter("core.committed_stores", self.committed_stores);
+        reg.counter("core.committed_branches", self.committed_branches);
+        reg.counter("core.branch_mispredicts", self.branch_mispredicts);
+        reg.counter("core.memory_order_squashes", self.memory_order_squashes);
+        reg.counter("core.squashed", self.squashed);
+        reg.counter("core.dgl.issued", self.dgl_issued);
+        reg.counter("core.dgl.propagated", self.dgl_propagated);
+        reg.counter("core.dgl.discard_mispredict", self.dgl_discard_mispredict);
+        reg.counter("core.dgl.discard_squash", self.dgl_discard_squash);
+        reg.counter("core.dgl.discard_unsafe", self.dgl_discard_unsafe);
+        reg.counter("core.dom_delayed", self.dom_delayed);
+        reg.counter("core.prefetches", self.prefetches);
+        reg.counter("core.commit_idle_cycles", self.commit_idle_cycles);
+        reg.counter("core.vp.predicted", self.vp_predicted);
+        reg.counter("core.vp.squashes", self.vp_squashes);
+        reg.gauge("core.ipc", self.ipc());
+        reg.gauge("core.dgl.coverage", self.dgl_coverage());
+        reg.gauge("core.dgl.accuracy", self.dgl_accuracy());
+    }
 }
 
 /// Everything a finished run reports.
@@ -101,6 +152,44 @@ mod tests {
             ..CoreStats::default()
         };
         assert!((s.ipc() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dgl_coverage_and_accuracy_guard_zero() {
+        assert_eq!(CoreStats::default().dgl_coverage(), 0.0);
+        assert_eq!(CoreStats::default().dgl_accuracy(), 0.0);
+        let s = CoreStats {
+            committed_loads: 200,
+            dgl_issued: 100,
+            dgl_propagated: 80,
+            ..CoreStats::default()
+        };
+        assert!((s.dgl_coverage() - 0.5).abs() < 1e-12);
+        assert!((s.dgl_accuracy() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn publish_copies_counters_and_gauges() {
+        let s = CoreStats {
+            cycles: 100,
+            committed: 250,
+            committed_loads: 10,
+            dgl_issued: 4,
+            dgl_propagated: 3,
+            ..CoreStats::default()
+        };
+        let mut reg = MetricsRegistry::new();
+        s.publish(&mut reg);
+        assert_eq!(reg.counter_value("core.cycles"), Some(100));
+        assert_eq!(reg.counter_value("core.dgl.issued"), Some(4));
+        match reg.get("core.ipc") {
+            Some(dgl_stats::Metric::Gauge(g)) => assert!((g - 2.5).abs() < 1e-12),
+            other => panic!("ipc gauge: {other:?}"),
+        }
+        match reg.get("core.dgl.accuracy") {
+            Some(dgl_stats::Metric::Gauge(g)) => assert!((g - 0.75).abs() < 1e-12),
+            other => panic!("accuracy gauge: {other:?}"),
+        }
     }
 
     #[test]

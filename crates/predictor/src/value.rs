@@ -78,6 +78,17 @@ impl VpStats {
             self.correct_predictions as f64 / self.predicted_loads as f64
         }
     }
+
+    /// Publishes the counters (plus the derived coverage/accuracy
+    /// gauges) into `reg` under `vp.*` names. One-way copy taken after
+    /// a run; never read back by the simulator.
+    pub fn publish(&self, reg: &mut dgl_stats::MetricsRegistry) {
+        reg.counter("vp.committed_loads", self.committed_loads);
+        reg.counter("vp.predicted_loads", self.predicted_loads);
+        reg.counter("vp.correct_predictions", self.correct_predictions);
+        reg.gauge("vp.coverage", self.coverage());
+        reg.gauge("vp.accuracy", self.accuracy());
+    }
 }
 
 /// Last-value + value-stride hybrid predictor.

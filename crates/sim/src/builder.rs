@@ -32,6 +32,7 @@ pub struct SimBuilder {
     pub(crate) config: CoreConfig,
     trace: bool,
     trace_sink: Option<SharedSink>,
+    occupancy_interval: Option<u64>,
 }
 
 impl Default for SimBuilder {
@@ -50,6 +51,7 @@ impl SimBuilder {
             config: CoreConfig::default(),
             trace: false,
             trace_sink: None,
+            occupancy_interval: None,
         }
     }
 
@@ -83,6 +85,16 @@ impl SimBuilder {
     /// Enables observation-trace recording (security experiments).
     pub fn trace(&mut self, enabled: bool) -> &mut Self {
         self.trace = enabled;
+        self
+    }
+
+    /// Enables cycle-domain occupancy sampling every `interval_cycles`
+    /// (ROB/IQ/LSQ occupancy, MSHR in-flight count, DoM delayed-load
+    /// backlog, windowed IPC), reported in
+    /// [`RunReport::occupancy`](dgl_pipeline::RunReport::occupancy).
+    /// Sampling is read-only and cannot change simulated results.
+    pub fn occupancy_sampling(&mut self, interval_cycles: u64) -> &mut Self {
+        self.occupancy_interval = Some(interval_cycles);
         self
     }
 
@@ -122,6 +134,9 @@ impl SimBuilder {
         }
         if let Some(sink) = &self.trace_sink {
             core.set_trace_sink(Box::new(sink.clone()));
+        }
+        if let Some(interval) = self.occupancy_interval {
+            core.enable_occupancy_sampling(interval);
         }
         core
     }

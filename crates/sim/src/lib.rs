@@ -30,6 +30,7 @@
 
 pub mod builder;
 pub mod experiments;
+pub mod manifest;
 pub mod report;
 pub mod sampling;
 pub mod security;
@@ -38,5 +39,8 @@ pub use builder::{SimBuilder, VerifyError};
 pub use experiments::{
     figure1, figure6, figure7, figure8, ConfigId, Figure1, Figure6, Figure7, Figure8,
 };
-pub use report::render_report;
+pub use manifest::{
+    run_manifest, sampled_manifest, workload_fingerprint, MANIFEST_SCHEMA, MANIFEST_VERSION,
+};
+pub use report::{render_occupancy, render_report};
 pub use sampling::{SampledRun, SamplingConfig, WindowReport};

@@ -1,6 +1,6 @@
 //! Human-readable rendering of a [`RunReport`].
 
-use dgl_pipeline::RunReport;
+use dgl_pipeline::{OccupancySeries, RunReport};
 use std::fmt::Write as _;
 
 /// Renders a run report as the multi-line summary used by the `dgl`
@@ -32,12 +32,13 @@ pub fn render_report(label: &str, report: &RunReport) -> String {
     let (l1, l2, l3) = report.caches;
     let _ = writeln!(
         out,
-        "  memory: L1 {} accesses ({} misses), L2 {}, L3 {}; load latency mean {:.1} cy, {} loads ≥64 cy",
+        "  memory: L1 {} accesses ({} misses), L2 {}, L3 {}; load latency mean {:.1} cy, p95 {} cy, {} loads ≥64 cy",
         l1.accesses,
         l1.misses,
         l2.accesses,
         l3.accesses,
         report.load_latency.mean(),
+        report.load_latency.quantile(0.95).unwrap_or(0),
         report.load_latency.tail_at_least(64),
     );
     let _ = writeln!(
@@ -58,9 +59,11 @@ pub fn render_report(label: &str, report: &RunReport) -> String {
     if report.stats.dgl_issued > 0 || report.ap.predictions_issued > 0 {
         let _ = writeln!(
             out,
-            "  doppelgangers: {} issued, {} propagated; coverage {:.1}%, accuracy {:.1}%",
+            "  doppelgangers: {} issued, {} propagated; coverage {:.1}%, accuracy {:.1}% (predictor: {:.1}%/{:.1}%)",
             report.stats.dgl_issued,
             report.stats.dgl_propagated,
+            100.0 * report.stats.dgl_coverage(),
+            100.0 * report.stats.dgl_accuracy(),
             100.0 * report.ap.coverage(),
             100.0 * report.ap.accuracy(),
         );
@@ -89,6 +92,52 @@ pub fn render_report(label: &str, report: &RunReport) -> String {
     }
     if report.stats.prefetches > 0 {
         let _ = writeln!(out, "  prefetches issued: {}", report.stats.prefetches);
+    }
+    if !report.host_wall.is_zero() {
+        let _ = writeln!(
+            out,
+            "  host: {:.1} ms wall ({:.0} simulated KIPS)",
+            report.host_wall.as_secs_f64() * 1e3,
+            report.kips(),
+        );
+    }
+    out
+}
+
+/// Renders an occupancy time series as labelled sparklines — one row
+/// per structure (ROB, IQ, load/store queues, MSHRs, DoM delayed-load
+/// backlog) plus the windowed IPC, each scaled to its own peak.
+///
+/// Returns the empty string when the series holds no samples (e.g. the
+/// run finished before the first sampling point).
+pub fn render_occupancy(series: &OccupancySeries) -> String {
+    const WIDTH: usize = 48;
+    let mut out = String::new();
+    if series.is_empty() {
+        return out;
+    }
+    let rows: [(&str, Vec<f64>); 7] = [
+        ("rob", series.column(|s| f64::from(s.rob))),
+        ("iq", series.column(|s| f64::from(s.iq))),
+        ("lq", series.column(|s| f64::from(s.lq))),
+        ("sq", series.column(|s| f64::from(s.sq))),
+        ("mshr", series.column(|s| f64::from(s.mshr))),
+        ("delayed", series.column(|s| f64::from(s.delayed_loads))),
+        ("ipc", series.column(|s| s.window_ipc)),
+    ];
+    let _ = writeln!(
+        out,
+        "  occupancy ({} samples, every {} cycles):",
+        series.len(),
+        series.interval()
+    );
+    for (label, values) in rows {
+        let peak = values.iter().copied().fold(0.0_f64, f64::max);
+        let _ = writeln!(
+            out,
+            "    {label:<8} {:<WIDTH$}  peak {peak:.1}",
+            dgl_stats::chart::sparkline(&values, peak, WIDTH),
+        );
     }
     out
 }
@@ -164,6 +213,68 @@ mod tests {
         let text = render_report("x", &rep);
         assert!(text.contains("dgl discards:"), "text: {text}");
         assert!(text.contains("address-mismatch"), "text: {text}");
+    }
+
+    #[test]
+    fn renders_p95_latency_and_host_kips() {
+        let rep = demo_report(SchemeKind::Baseline, false);
+        let text = render_report("x", &rep);
+        assert!(text.contains("p95"), "text: {text}");
+        // run_program measures wall time, so the host line must appear.
+        assert!(!rep.host_wall.is_zero());
+        assert!(text.contains("simulated KIPS"), "text: {text}");
+    }
+
+    #[test]
+    fn renders_value_prediction_line_with_squash_count() {
+        // Constant-value loads train the last-value predictor quickly;
+        // once confident it predicts at dispatch and vp_predicted rises.
+        let mut b = ProgramBuilder::new("p");
+        b.imm(Reg::new(1), 0x4000)
+            .imm(Reg::new(2), 64)
+            .label("top")
+            .load(Reg::new(3), Reg::new(1), 0)
+            .subi(Reg::new(2), Reg::new(2), 1)
+            .bne(Reg::new(2), Reg::ZERO, "top")
+            .halt();
+        let mut builder = SimBuilder::new();
+        builder.scheme(SchemeKind::DoM).value_prediction(true);
+        let rep = builder
+            .run_program(&b.build().unwrap(), SparseMemory::new(), 200_000)
+            .unwrap();
+        assert!(rep.stats.vp_predicted > 0, "VP must engage on this loop");
+        let text = render_report("x", &rep);
+        assert!(text.contains("value prediction:"), "text: {text}");
+        assert!(
+            text.contains(&format!("{} squashes", rep.stats.vp_squashes)),
+            "squash count rendered: {text}"
+        );
+    }
+
+    #[test]
+    fn renders_occupancy_sparklines() {
+        let mut b = ProgramBuilder::new("p");
+        b.imm(Reg::new(1), 0x4000)
+            .imm(Reg::new(2), 256)
+            .label("top")
+            .load(Reg::new(3), Reg::new(1), 0)
+            .addi(Reg::new(1), Reg::new(1), 8)
+            .subi(Reg::new(2), Reg::new(2), 1)
+            .bne(Reg::new(2), Reg::ZERO, "top")
+            .halt();
+        let mut builder = SimBuilder::new();
+        builder.occupancy_sampling(16);
+        let rep = builder
+            .run_program(&b.build().unwrap(), SparseMemory::new(), 100_000)
+            .unwrap();
+        let series = rep.occupancy.as_ref().expect("sampling was enabled");
+        assert!(!series.is_empty(), "long run must collect samples");
+        let text = render_occupancy(series);
+        for label in ["occupancy (", "rob", "iq", "mshr", "delayed", "ipc"] {
+            assert!(text.contains(label), "missing `{label}`: {text}");
+        }
+        // Series with no samples render as nothing at all.
+        assert_eq!(render_occupancy(&OccupancySeries::new(1)), "");
     }
 
     #[test]

@@ -98,6 +98,15 @@ pub struct WindowReport {
     pub report: RunReport,
 }
 
+impl WindowReport {
+    /// Simulated kilo-instructions per host second for this window's
+    /// measurement slice (host-side observability; never serialized
+    /// into manifests).
+    pub fn kips(&self) -> f64 {
+        self.report.kips()
+    }
+}
+
 /// The stitched result of a sampled run.
 #[derive(Debug)]
 pub struct SampledRun {

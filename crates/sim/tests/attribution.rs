@@ -1,0 +1,75 @@
+//! The per-PC attribution invariant, checked across the whole
+//! evaluation matrix.
+//!
+//! The [`dgl_pipeline::LoadSiteTable`] is built by incrementing a
+//! per-site counter at *exactly* the program points that bump the
+//! aggregate [`CoreStats`](dgl_pipeline::CoreStats) doppelganger
+//! counters, so its column sums must equal the aggregates — not
+//! approximately, exactly, for every workload under every
+//! configuration. A drift here means an increment site gained or lost
+//! its attribution twin and the "top load sites" table is lying.
+
+use dgl_sim::{ConfigId, SimBuilder};
+use dgl_workloads::{suite, Scale};
+
+/// Small enough for CI (8 configs × full suite), large enough that
+/// every discard class actually fires somewhere in the matrix.
+const SCALE: Scale = Scale::Custom(4_000);
+
+#[test]
+fn column_sums_equal_aggregate_counters_across_the_matrix() {
+    let mut seen_discards = 0u64;
+    for w in suite(SCALE) {
+        for config in ConfigId::ALL {
+            let mut b = SimBuilder::new();
+            b.scheme(config.scheme()).address_prediction(config.ap());
+            let report = b.run_workload(&w).expect("run");
+            let t = report.load_sites.totals();
+            let s = &report.stats;
+            let ctx = format!("{} under {}", w.name, config.label());
+            assert_eq!(t.issued, s.dgl_issued, "{ctx}: issued");
+            assert_eq!(t.propagated, s.dgl_propagated, "{ctx}: propagated");
+            assert_eq!(
+                t.discard_mispredict, s.dgl_discard_mispredict,
+                "{ctx}: discard-mispredict"
+            );
+            assert_eq!(
+                t.discard_squash, s.dgl_discard_squash,
+                "{ctx}: discard-squash"
+            );
+            assert_eq!(
+                t.discard_unsafe, s.dgl_discard_unsafe,
+                "{ctx}: discard-unsafe"
+            );
+            assert_eq!(t.committed, s.committed_loads, "{ctx}: committed loads");
+            // Per-site latency samples are the same population the
+            // aggregate load-latency histogram records.
+            assert_eq!(
+                t.latency.count(),
+                report.load_latency.count(),
+                "{ctx}: latency samples"
+            );
+            seen_discards += t.discard_mispredict + t.discard_squash + t.discard_unsafe;
+        }
+    }
+    // The matrix must actually exercise the discard paths, otherwise
+    // the equalities above are vacuous for three columns.
+    assert!(seen_discards > 0, "no discard fired anywhere in the matrix");
+}
+
+#[test]
+fn attribution_is_empty_without_address_prediction_except_commits() {
+    let w = dgl_workloads::by_name("mcf_like", SCALE).unwrap();
+    let mut b = SimBuilder::new();
+    b.scheme(dgl_core::SchemeKind::Stt)
+        .address_prediction(false);
+    let report = b.run_workload(&w).expect("run");
+    let t = report.load_sites.totals();
+    assert_eq!(t.issued, 0);
+    assert_eq!(t.propagated, 0);
+    assert_eq!(t.discarded(), 0);
+    // Commit attribution and latency tracking work regardless of AP.
+    assert_eq!(t.committed, report.stats.committed_loads);
+    assert!(t.committed > 0);
+    assert_eq!(t.latency.count(), report.load_latency.count());
+}

@@ -7,7 +7,7 @@
 //! matter how many worker threads simulate the windows.
 
 use dgl_core::SchemeKind;
-use dgl_sim::{SamplingConfig, SimBuilder};
+use dgl_sim::{sampled_manifest, ConfigId, SamplingConfig, SimBuilder};
 use dgl_workloads::{by_name, Scale};
 
 /// ~12 windows over a 40k-instruction run: long enough for the
@@ -93,6 +93,46 @@ fn sampled_estimate_is_byte_identical_across_thread_counts() {
             assert_eq!(a.report.cycles, b.report.cycles);
         }
     }
+}
+
+#[test]
+fn sampled_manifest_is_byte_identical_across_thread_counts() {
+    // Stronger than the IPC check above: the *entire* stitched
+    // manifest — every per-window metric snapshot, attribution table,
+    // and occupancy series — must serialize to the same bytes no
+    // matter how the windows were scheduled onto worker threads.
+    let w = by_name("hmmer_like", SCALE).unwrap();
+    let mut b = SimBuilder::new();
+    b.scheme(SchemeKind::DoM)
+        .address_prediction(true)
+        .occupancy_sampling(64);
+
+    let manifests: Vec<String> = [1usize, 2, 8]
+        .iter()
+        .map(|&threads| {
+            let cfg = SamplingConfig {
+                threads,
+                ..sampling()
+            };
+            let run = b.run_sampled(&w, &cfg).expect("sampled run");
+            sampled_manifest(&w, ConfigId::DomAp, false, &run).to_string_pretty()
+        })
+        .collect();
+
+    assert!(
+        manifests[0].contains("\"windows\""),
+        "manifest carries per-window snapshots"
+    );
+    assert!(
+        manifests[0].contains("\"core.dgl.issued\""),
+        "window snapshots carry the full metric set"
+    );
+    assert!(
+        !manifests[0].contains("thread"),
+        "worker-thread count must not be serialized"
+    );
+    assert_eq!(manifests[0], manifests[1], "1 vs 2 threads");
+    assert_eq!(manifests[0], manifests[2], "1 vs 8 threads");
 }
 
 #[test]

@@ -1,6 +1,58 @@
-//! ASCII bar charts used to render the paper's figures in a terminal.
+//! ASCII bar charts used to render the paper's figures in a terminal,
+//! plus compact sparklines for cycle-domain time series.
 
 use std::fmt;
+
+/// Block characters from empty to full, used by [`sparkline`].
+const SPARK_LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Renders a time series as a one-line sparkline, scaled to `max`
+/// (values above `max` clamp to the full block; a non-positive `max`
+/// is treated as the series' own maximum).
+///
+/// Long series are downsampled to at most `width` points by averaging
+/// equal-width spans, so a 100 000-sample occupancy series still reads
+/// as one terminal line.
+///
+/// # Examples
+///
+/// ```
+/// use dgl_stats::chart::sparkline;
+///
+/// let s = sparkline(&[0.0, 1.0, 2.0, 3.0], 3.0, 80);
+/// assert_eq!(s.chars().count(), 4);
+/// assert!(s.starts_with('▁') && s.ends_with('█'));
+/// ```
+pub fn sparkline(values: &[f64], max: f64, width: usize) -> String {
+    if values.is_empty() || width == 0 {
+        return String::new();
+    }
+    let max = if max > 0.0 {
+        max
+    } else {
+        values.iter().copied().fold(0.0f64, f64::max).max(1e-12)
+    };
+    let points: Vec<f64> = if values.len() <= width {
+        values.to_vec()
+    } else {
+        // Average each of `width` equal spans.
+        (0..width)
+            .map(|i| {
+                let lo = i * values.len() / width;
+                let hi = (((i + 1) * values.len()) / width).max(lo + 1);
+                values[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
+            })
+            .collect()
+    };
+    points
+        .iter()
+        .map(|&v| {
+            let frac = (v / max).clamp(0.0, 1.0);
+            let idx = (frac * (SPARK_LEVELS.len() - 1) as f64).round() as usize;
+            SPARK_LEVELS[idx]
+        })
+        .collect()
+}
 
 /// A horizontal ASCII bar chart.
 ///
@@ -114,5 +166,36 @@ mod tests {
         let mut c = BarChart::new("t", 0.0);
         c.bar("x", 0.3);
         let _ = c.to_string();
+    }
+
+    #[test]
+    fn sparkline_scales_and_clamps() {
+        let s = sparkline(&[0.0, 5.0, 10.0, 20.0], 10.0, 80);
+        let chars: Vec<char> = s.chars().collect();
+        assert_eq!(chars.len(), 4);
+        assert_eq!(chars[0], '▁');
+        assert_eq!(chars[2], '█');
+        assert_eq!(chars[3], '█', "over-max clamps to full");
+    }
+
+    #[test]
+    fn sparkline_downsamples_long_series() {
+        let values: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let s = sparkline(&values, 1000.0, 40);
+        assert_eq!(s.chars().count(), 40);
+        let chars: Vec<char> = s.chars().collect();
+        assert!(chars.first() < chars.last(), "monotone series keeps shape");
+    }
+
+    #[test]
+    fn sparkline_edge_cases() {
+        assert_eq!(sparkline(&[], 1.0, 40), "");
+        assert_eq!(sparkline(&[1.0], 1.0, 0), "");
+        // max <= 0 falls back to the series' own max.
+        let s = sparkline(&[0.0, 2.0], 0.0, 10);
+        assert!(s.ends_with('█'));
+        // All-zero series with zero max must not divide by zero.
+        let z = sparkline(&[0.0, 0.0], 0.0, 10);
+        assert_eq!(z.chars().count(), 2);
     }
 }

@@ -84,6 +84,72 @@ impl Histogram {
             .map(|(k, &c)| (if k == 0 { 0 } else { 1u64 << k }, c))
     }
 
+    /// An approximate quantile: the smallest value `v` such that at
+    /// least `q` of the samples are ≤ `v`, interpolated linearly
+    /// inside the log2 bucket that crosses the rank. `None` when the
+    /// histogram is empty; `q` is clamped to `[0, 1]`.
+    ///
+    /// Bucketing bounds the error to one bucket width (< 2× the true
+    /// value), which is the right fidelity for latency reporting:
+    /// p95 = 512 vs 600 cycles is the same story, p95 = 512 vs 8 is
+    /// not.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dgl_stats::Histogram;
+    ///
+    /// let mut h = Histogram::new();
+    /// for _ in 0..99 { h.record(4); }
+    /// h.record(1000);
+    /// assert!(h.quantile(0.5).unwrap() < 8);
+    /// assert!(h.quantile(0.999).unwrap() >= 512);
+    /// assert_eq!(Histogram::new().quantile(0.5), None);
+    /// ```
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // 1-based rank of the sample the quantile lands on.
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (k, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if seen + c >= rank {
+                let lo = if k == 0 { 0u64 } else { 1u64 << k };
+                let width = if k == 0 { 2 } else { 1u64 << k };
+                // Position of the rank inside this bucket, in (0, 1].
+                let frac = (rank - seen) as f64 / c as f64;
+                let interpolated = lo as f64 + frac * (width.saturating_sub(1)) as f64;
+                // Never report beyond the observed maximum (the top
+                // bucket is mostly empty space above `max`).
+                return Some((interpolated.round() as u64).min(self.max));
+            }
+            seen += c;
+        }
+        Some(self.max)
+    }
+
+    /// Bucket-wise saturating difference `self - earlier`: the samples
+    /// recorded since `earlier` was snapshotted. `max` keeps this
+    /// histogram's value (a maximum cannot be un-observed).
+    pub fn saturating_sub(&self, earlier: &Histogram) -> Histogram {
+        let mut out = Histogram {
+            buckets: vec![0; self.buckets.len()],
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum.saturating_sub(earlier.sum),
+            max: self.max,
+        };
+        for (k, &c) in self.buckets.iter().enumerate() {
+            let then = earlier.buckets.get(k).copied().unwrap_or(0);
+            out.buckets[k] = c.saturating_sub(then);
+        }
+        out
+    }
+
     /// Merges another histogram into this one.
     pub fn merge(&mut self, other: &Histogram) {
         if self.buckets.len() < other.buckets.len() {
@@ -195,6 +261,88 @@ mod tests {
         let mut h = Histogram::new();
         h.record(7);
         assert!(!h.to_string().contains("NaN"));
+    }
+
+    #[test]
+    fn quantile_of_empty_is_none() {
+        assert_eq!(Histogram::new().quantile(0.5), None);
+        assert_eq!(Histogram::new().quantile(0.0), None);
+        assert_eq!(Histogram::new().quantile(1.0), None);
+    }
+
+    #[test]
+    fn quantile_single_bucket() {
+        let mut h = Histogram::new();
+        for _ in 0..10 {
+            h.record(5); // all in bucket [4, 8)
+        }
+        for q in [0.0, 0.5, 0.95, 1.0] {
+            let v = h.quantile(q).unwrap();
+            assert!((4..8).contains(&v), "q={q} -> {v}");
+        }
+        // Interpolation never exceeds the observed max.
+        assert!(h.quantile(1.0).unwrap() <= h.max());
+    }
+
+    #[test]
+    fn quantile_splits_bimodal_distribution() {
+        let mut h = Histogram::new();
+        for _ in 0..95 {
+            h.record(3);
+        }
+        for _ in 0..5 {
+            h.record(700);
+        }
+        assert!(h.quantile(0.5).unwrap() < 8, "median in the fast mode");
+        assert!(h.quantile(0.99).unwrap() >= 512, "tail in the slow mode");
+        assert_eq!(h.quantile(1.0).unwrap(), 700, "p100 is the max");
+    }
+
+    #[test]
+    fn quantile_of_merged_matches_combined_samples() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut combined = Histogram::new();
+        for v in [1, 2, 3, 4] {
+            a.record(v);
+            combined.record(v);
+        }
+        for v in [100, 200, 300, 400] {
+            b.record(v);
+            combined.record(v);
+        }
+        a.merge(&b);
+        for q in [0.25, 0.5, 0.75, 0.95] {
+            assert_eq!(a.quantile(q), combined.quantile(q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn quantile_clamps_q() {
+        let mut h = Histogram::new();
+        h.record(10);
+        assert_eq!(h.quantile(-3.0), h.quantile(0.0));
+        assert_eq!(h.quantile(42.0), h.quantile(1.0));
+    }
+
+    #[test]
+    fn saturating_sub_isolates_new_samples() {
+        let mut h = Histogram::new();
+        h.record(4);
+        let snap = h.clone();
+        h.record(100);
+        h.record(100);
+        let d = h.saturating_sub(&snap);
+        assert_eq!(d.count(), 2);
+        assert_eq!(d.tail_at_least(64), 2);
+        assert_eq!(
+            d.tail_at_least(1) - d.tail_at_least(64),
+            0,
+            "old sample removed"
+        );
+        // Subtracting from an equal snapshot yields an all-zero histogram.
+        let z = snap.saturating_sub(&snap.clone());
+        assert_eq!(z.count(), 0);
     }
 
     #[test]

@@ -5,11 +5,16 @@
 //! plain numbers. It provides
 //!
 //! * [`Counter`] — a named, saturating event counter,
+//! * [`MetricsRegistry`] — named counters/gauges/histograms that
+//!   components publish for snapshot/delta/merge and JSON export,
+//! * [`Json`] — the dependency-free JSON value (writer + parser) the
+//!   machine-readable exports are built on,
 //! * [`geomean`] / [`normalize`] — the aggregations the paper uses for its
 //!   figures (normalized IPC, geometric-mean slowdowns),
 //! * [`Table`] — ASCII table rendering for experiment reports,
-//! * [`BarChart`] — ASCII horizontal bar charts that stand in for the
-//!   paper's figures in terminal output.
+//! * [`BarChart`] / [`chart::sparkline`] — ASCII charts that stand in
+//!   for the paper's figures (and occupancy time series) in terminal
+//!   output.
 //!
 //! # Examples
 //!
@@ -30,11 +35,15 @@
 pub mod chart;
 pub mod counter;
 pub mod histogram;
+pub mod json;
+pub mod registry;
 pub mod summary;
 pub mod table;
 
 pub use chart::BarChart;
 pub use counter::{Counter, CounterSet};
 pub use histogram::Histogram;
+pub use json::Json;
+pub use registry::{Metric, MetricsRegistry};
 pub use summary::{geomean, harmonic_mean, mean, normalize, percent_change, Summary};
 pub use table::{Align, Table};

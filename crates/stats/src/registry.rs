@@ -1,0 +1,281 @@
+//! A named-metric registry: the aggregation point between simulator
+//! components and machine-readable output.
+//!
+//! Components *publish* their counters into a [`MetricsRegistry`]
+//! under stable dotted names (`core.cycles`, `cache.l1.misses`, ...);
+//! consumers snapshot, diff, merge, and export the registry without
+//! knowing which structs produced which numbers. The existing stat
+//! structs (`CoreStats`, `ApStats`, `CacheStats`) keep their fields —
+//! publication is a one-way copy taken after a run, so the registry
+//! can never perturb simulated state.
+//!
+//! # Examples
+//!
+//! ```
+//! use dgl_stats::{Metric, MetricsRegistry};
+//!
+//! let mut reg = MetricsRegistry::new();
+//! reg.counter("core.cycles", 100);
+//! reg.gauge("core.ipc", 2.5);
+//! let snap = reg.snapshot();
+//! reg.counter("core.cycles", 150); // republish a later value
+//! let delta = reg.delta(&snap);
+//! assert_eq!(delta.get("core.cycles"), Some(&Metric::Counter(50)));
+//! ```
+
+use crate::histogram::Histogram;
+use crate::json::Json;
+use std::collections::BTreeMap;
+
+/// One published metric value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Metric {
+    /// A monotonically published event count.
+    Counter(u64),
+    /// An instantaneous or derived value (IPC, coverage, ...).
+    Gauge(f64),
+    /// A full distribution.
+    Histogram(Histogram),
+}
+
+/// A registry of named metrics, ordered by name.
+///
+/// Names are dotted paths (`component.sub.metric`); the name ordering
+/// of [`BTreeMap`] makes every export deterministic.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    metrics: BTreeMap<String, Metric>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Publishes a counter (replacing any previous value under the
+    /// name — publication copies a finished total, it does not
+    /// accumulate).
+    pub fn counter(&mut self, name: &str, value: u64) {
+        self.metrics.insert(name.to_owned(), Metric::Counter(value));
+    }
+
+    /// Publishes a gauge.
+    pub fn gauge(&mut self, name: &str, value: f64) {
+        self.metrics.insert(name.to_owned(), Metric::Gauge(value));
+    }
+
+    /// Publishes a histogram.
+    pub fn histogram(&mut self, name: &str, value: Histogram) {
+        self.metrics
+            .insert(name.to_owned(), Metric::Histogram(value));
+    }
+
+    /// Looks a metric up by name.
+    pub fn get(&self, name: &str) -> Option<&Metric> {
+        self.metrics.get(name)
+    }
+
+    /// The value of a counter (`None` for absent names or other kinds).
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        match self.metrics.get(name) {
+            Some(Metric::Counter(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Number of published metrics.
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// Whether nothing has been published.
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    /// Iterates `(name, metric)` in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Metric)> {
+        self.metrics.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// A point-in-time copy.
+    pub fn snapshot(&self) -> MetricsRegistry {
+        self.clone()
+    }
+
+    /// The change since `earlier`: counters subtract (saturating),
+    /// gauges report the numeric difference, histograms subtract
+    /// bucket-wise. Metrics absent from `earlier` pass through whole.
+    pub fn delta(&self, earlier: &MetricsRegistry) -> MetricsRegistry {
+        let mut out = MetricsRegistry::new();
+        for (name, metric) in &self.metrics {
+            let diffed = match (metric, earlier.metrics.get(name)) {
+                (Metric::Counter(now), Some(Metric::Counter(then))) => {
+                    Metric::Counter(now.saturating_sub(*then))
+                }
+                (Metric::Gauge(now), Some(Metric::Gauge(then))) => Metric::Gauge(now - then),
+                (Metric::Histogram(now), Some(Metric::Histogram(then))) => {
+                    Metric::Histogram(now.saturating_sub(then))
+                }
+                (m, _) => m.clone(),
+            };
+            out.metrics.insert(name.clone(), diffed);
+        }
+        out
+    }
+
+    /// Merges another registry into this one: counters add, histograms
+    /// merge, gauges take the other side's value (a merged gauge has no
+    /// meaningful sum; recompute derived gauges after merging).
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (name, metric) in &other.metrics {
+            match (self.metrics.get_mut(name), metric) {
+                (Some(Metric::Counter(mine)), Metric::Counter(theirs)) => {
+                    *mine = mine.saturating_add(*theirs);
+                }
+                (Some(Metric::Histogram(mine)), Metric::Histogram(theirs)) => {
+                    mine.merge(theirs);
+                }
+                (slot, m) => {
+                    let m = m.clone();
+                    match slot {
+                        Some(existing) => *existing = m,
+                        None => {
+                            self.metrics.insert(name.clone(), m);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Exports the registry as a JSON object: counters as integers,
+    /// gauges as floats, histograms as `{count, mean, max, p50, p95,
+    /// p99, buckets: [[lower_bound, count], ...]}`.
+    pub fn to_json(&self) -> Json {
+        let mut obj = Json::object();
+        for (name, metric) in &self.metrics {
+            let value = match metric {
+                Metric::Counter(v) => Json::uint(*v),
+                Metric::Gauge(v) => Json::num(*v),
+                Metric::Histogram(h) => {
+                    let mut buckets = Json::array();
+                    for (lo, c) in h.iter() {
+                        buckets =
+                            buckets.push(Json::array().push(Json::uint(lo)).push(Json::uint(c)));
+                    }
+                    Json::object()
+                        .field("count", Json::uint(h.count()))
+                        .field("mean", Json::num(h.mean()))
+                        .field("max", Json::uint(h.max()))
+                        .field("p50", Json::uint(h.quantile(0.50).unwrap_or(0)))
+                        .field("p95", Json::uint(h.quantile(0.95).unwrap_or(0)))
+                        .field("p99", Json::uint(h.quantile(0.99).unwrap_or(0)))
+                        .field("buckets", buckets)
+                }
+            };
+            obj = obj.field(name, value);
+        }
+        obj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new();
+        reg.counter("core.cycles", 1000);
+        reg.counter("core.committed", 2500);
+        reg.gauge("core.ipc", 2.5);
+        let mut h = Histogram::new();
+        h.record(4);
+        h.record(80);
+        reg.histogram("core.load_latency", h);
+        reg
+    }
+
+    #[test]
+    fn publish_and_lookup() {
+        let reg = sample();
+        assert_eq!(reg.counter_value("core.cycles"), Some(1000));
+        assert_eq!(
+            reg.counter_value("core.ipc"),
+            None,
+            "gauge is not a counter"
+        );
+        assert_eq!(reg.len(), 4);
+        assert!(!reg.is_empty());
+        let names: Vec<&str> = reg.iter().map(|(n, _)| n).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted, "iteration is name-ordered");
+    }
+
+    #[test]
+    fn republish_replaces() {
+        let mut reg = sample();
+        reg.counter("core.cycles", 1100);
+        assert_eq!(reg.counter_value("core.cycles"), Some(1100));
+        assert_eq!(reg.len(), 4);
+    }
+
+    #[test]
+    fn delta_subtracts_counters_and_histograms() {
+        let snap = sample();
+        let mut later = sample();
+        later.counter("core.cycles", 1500);
+        later.gauge("core.ipc", 2.0);
+        let mut h = Histogram::new();
+        h.record(4);
+        h.record(80);
+        h.record(80);
+        later.histogram("core.load_latency", h);
+        later.counter("new.counter", 7);
+        let d = later.delta(&snap);
+        assert_eq!(d.counter_value("core.cycles"), Some(500));
+        assert_eq!(d.counter_value("core.committed"), Some(0));
+        assert_eq!(
+            d.counter_value("new.counter"),
+            Some(7),
+            "new metrics pass through"
+        );
+        match d.get("core.ipc") {
+            Some(Metric::Gauge(g)) => assert!((g + 0.5).abs() < 1e-12),
+            other => panic!("gauge delta: {other:?}"),
+        }
+        match d.get("core.load_latency") {
+            Some(Metric::Histogram(h)) => assert_eq!(h.count(), 1),
+            other => panic!("histogram delta: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn merge_adds_counters_and_histograms() {
+        let mut a = sample();
+        let b = sample();
+        a.merge(&b);
+        assert_eq!(a.counter_value("core.cycles"), Some(2000));
+        match a.get("core.load_latency") {
+            Some(Metric::Histogram(h)) => assert_eq!(h.count(), 4),
+            other => panic!("merged histogram: {other:?}"),
+        }
+        // Gauges take the incoming value.
+        assert_eq!(a.get("core.ipc"), Some(&Metric::Gauge(2.5)));
+    }
+
+    #[test]
+    fn json_export_round_trips() {
+        let reg = sample();
+        let doc = reg.to_json();
+        let text = doc.to_string_pretty();
+        let back = Json::parse(&text).expect("export parses");
+        assert_eq!(back, doc);
+        assert_eq!(back.get("core.cycles").and_then(Json::as_u64), Some(1000));
+        let h = back.get("core.load_latency").expect("histogram");
+        assert_eq!(h.get("count").and_then(Json::as_u64), Some(2));
+        assert!(h.get("p95").and_then(Json::as_u64).unwrap() >= 64);
+    }
+}

@@ -4,6 +4,7 @@
 //! dgl suite                          list the bundled workloads
 //! dgl schemes                        list the registered secure-speculation schemes
 //! dgl run <workload> [opts]          simulate one workload
+//! dgl explain <workload> [opts]      attribution + occupancy for a scheme pair
 //! dgl asm <file.dasm> [opts]         assemble + simulate a program
 //! dgl attack [--secret BYTE]         run the Spectre laboratory
 //! dgl figures [--insts N]            print the Figure 1 summary
@@ -13,6 +14,9 @@
 //!          --ap                              enable doppelganger loads
 //!          --vp                              enable value prediction
 //!          --insts N                         instruction budget (default 25000)
+//!          --stats-json FILE                 write a versioned run manifest (run)
+//!          --occupancy N                     sample occupancy every N cycles (run/explain)
+//!          --top N                           load sites shown by `explain` (default 10)
 //!          --format chrome|konata|jsonl      trace export format (default chrome)
 //!          --out FILE                        write the trace to FILE (default stdout)
 //!          --sample                          sampled simulation (fast-forward + windows)
@@ -51,6 +55,9 @@ struct Opts {
     out: Option<String>,
     sample: bool,
     sampling: SamplingConfig,
+    stats_json: Option<String>,
+    occupancy: u64,
+    top: usize,
     positional: Vec<String>,
 }
 
@@ -66,6 +73,9 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         out: None,
         sample: false,
         sampling: SamplingConfig::default(),
+        stats_json: None,
+        occupancy: 0,
+        top: 10,
         positional: Vec::new(),
     };
     fn num<T: std::str::FromStr>(
@@ -113,6 +123,17 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                 let v = it.next().ok_or("--out needs a value")?;
                 o.out = Some(v.clone());
             }
+            "--stats-json" => {
+                let v = it.next().ok_or("--stats-json needs a file path")?;
+                o.stats_json = Some(v.clone());
+            }
+            "--occupancy" => {
+                o.occupancy = num(&mut it, a)?;
+                if o.occupancy == 0 {
+                    return Err("--occupancy interval must be > 0 cycles".into());
+                }
+            }
+            "--top" => o.top = num(&mut it, a)?,
             "--sample" => o.sample = true,
             "--sample-interval" => o.sampling.interval_insts = num(&mut it, a)?,
             "--sample-warmup" => o.sampling.warmup_insts = num(&mut it, a)?,
@@ -151,14 +172,27 @@ fn cmd_schemes() -> Result<(), String> {
     Ok(())
 }
 
+/// Writes a manifest document to `path` and confirms on stdout.
+fn write_manifest(path: &str, doc: &doppelganger_loads::stats::Json) -> Result<(), String> {
+    let mut text = doc.to_string_pretty();
+    text.push('\n');
+    std::fs::write(path, text).map_err(|e| format!("{path}: {e}"))?;
+    out!("  manifest: {path}");
+    Ok(())
+}
+
 fn cmd_run(o: &Opts) -> Result<(), String> {
     let name = o.positional.first().ok_or("run needs a workload name")?;
     let w = by_name(name, Scale::Custom(o.insts))
         .ok_or_else(|| format!("unknown workload `{name}` (try `dgl suite`)"))?;
+    let config = doppelganger_loads::sim::ConfigId::new(o.scheme, o.ap);
     let mut b = SimBuilder::new();
     b.scheme(o.scheme)
         .address_prediction(o.ap)
         .value_prediction(o.vp);
+    if o.occupancy > 0 {
+        b.occupancy_sampling(o.occupancy);
+    }
     let label = format!(
         "{name} under {}{}{}",
         o.scheme,
@@ -187,10 +221,90 @@ fn cmd_run(o: &Opts) -> Result<(), String> {
         if !run.halted {
             out!("  warning: the functional run hit its step budget before `halt`");
         }
+        if let Some(path) = &o.stats_json {
+            let doc = doppelganger_loads::sim::sampled_manifest(&w, config, o.vp, &run);
+            write_manifest(path, &doc)?;
+        }
         return Ok(());
     }
     let report = b.run_workload(&w).map_err(|e| e.to_string())?;
     print_report(&label, &report);
+    if let Some(path) = &o.stats_json {
+        let doc = doppelganger_loads::sim::run_manifest(&w, config, o.vp, &report);
+        write_manifest(path, &doc)?;
+    }
+    Ok(())
+}
+
+/// `dgl explain <workload>`: run the chosen scheme with doppelganger
+/// loads off and on, then show where the doppelgangers came from (the
+/// per-PC attribution table) and how the machine filled up over time
+/// (occupancy sparklines).
+fn cmd_explain(o: &Opts) -> Result<(), String> {
+    use doppelganger_loads::sim::render_occupancy;
+    let name = o
+        .positional
+        .first()
+        .ok_or("explain needs a workload name")?;
+    let w = by_name(name, Scale::Custom(o.insts))
+        .ok_or_else(|| format!("unknown workload `{name}` (try `dgl suite`)"))?;
+    // Value prediction is mutually exclusive with address prediction,
+    // so `explain` — which is about doppelgangers — ignores `--vp`.
+    let interval = if o.occupancy > 0 { o.occupancy } else { 256 };
+    let mut reports = Vec::new();
+    for ap in [false, true] {
+        let mut b = SimBuilder::new();
+        b.scheme(o.scheme)
+            .address_prediction(ap)
+            .occupancy_sampling(interval);
+        let report = b.run_workload(&w).map_err(|e| e.to_string())?;
+        reports.push(report);
+    }
+    let (base, with_ap) = (&reports[0], &reports[1]);
+    let scheme = o.scheme.name();
+    out!("{name}: {scheme} vs {scheme}+ap");
+    out!(
+        "  {:12} IPC {:.3}  ({} instructions, {} cycles)",
+        scheme,
+        base.ipc(),
+        base.committed,
+        base.cycles
+    );
+    out!(
+        "  {:12} IPC {:.3}  ({} instructions, {} cycles)",
+        format!("{scheme}+ap"),
+        with_ap.ipc(),
+        with_ap.committed,
+        with_ap.cycles
+    );
+    if base.ipc() > 0.0 {
+        out!("  doppelganger speedup {:.3}x", with_ap.ipc() / base.ipc());
+    }
+    out!(
+        "  doppelgangers: {} issued, {} propagated; coverage {:.1}%, accuracy {:.1}%",
+        with_ap.stats.dgl_issued,
+        with_ap.stats.dgl_propagated,
+        100.0 * with_ap.stats.dgl_coverage(),
+        100.0 * with_ap.stats.dgl_accuracy(),
+    );
+    out!("");
+    out!(
+        "top {} load sites under {scheme}+ap:",
+        o.top.min(with_ap.load_sites.len())
+    );
+    out!("{}", with_ap.load_sites.render_top(o.top));
+    for (label, report) in [(scheme.to_owned(), base), (format!("{scheme}+ap"), with_ap)] {
+        let series = report
+            .occupancy
+            .as_ref()
+            .expect("explain always enables sampling");
+        if series.is_empty() {
+            out!("{label}: run too short for occupancy samples (interval {interval} cycles)");
+        } else {
+            out!("{label}:");
+            out!("{}", render_occupancy(series));
+        }
+    }
     Ok(())
 }
 
@@ -286,13 +400,14 @@ fn cmd_figures(o: &Opts) -> Result<(), String> {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
-        eprintln!("usage: dgl <suite|schemes|run|asm|attack|figures|trace> [options]");
+        eprintln!("usage: dgl <suite|schemes|run|explain|asm|attack|figures|trace> [options]");
         return ExitCode::FAILURE;
     };
     let result = parse_opts(rest).and_then(|o| match cmd.as_str() {
         "suite" => cmd_suite(&o),
         "schemes" => cmd_schemes(),
         "run" => cmd_run(&o),
+        "explain" => cmd_explain(&o),
         "asm" => cmd_asm(&o),
         "attack" => cmd_attack(&o),
         "figures" => cmd_figures(&o),

@@ -250,6 +250,116 @@ fn trace_konata_and_jsonl_write_to_stdout() {
 }
 
 #[test]
+fn run_stats_json_writes_a_parseable_versioned_manifest() {
+    use doppelganger_loads::stats::Json;
+    let dir = std::env::temp_dir().join("dgl-cli-manifest-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("run.json");
+    let out = dgl(&[
+        "run",
+        "hmmer_like",
+        "--scheme",
+        "dom",
+        "--ap",
+        "--insts",
+        "3000",
+        "--occupancy",
+        "64",
+        "--stats-json",
+        path.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("manifest: "));
+    let text = std::fs::read_to_string(&path).unwrap();
+    let doc = Json::parse(&text).expect("manifest parses");
+    assert_eq!(
+        doc.get("schema").and_then(Json::as_str),
+        Some(doppelganger_loads::sim::MANIFEST_SCHEMA)
+    );
+    assert_eq!(
+        doc.get("version").and_then(Json::as_u64),
+        Some(doppelganger_loads::sim::MANIFEST_VERSION)
+    );
+    assert!(doc.get("cycles").and_then(Json::as_u64).unwrap() > 0);
+    assert_eq!(doc.get("mode").and_then(Json::as_str), Some("full"));
+    assert!(
+        doc.get("occupancy").and_then(|o| o.get("cycle")).is_some(),
+        "--occupancy puts the series in the manifest"
+    );
+    let _ = std::fs::remove_file(&path);
+
+    // The sampled path writes a stitched manifest with windows.
+    let path = dir.join("sampled.json");
+    let out = dgl(&[
+        "run",
+        "hmmer_like",
+        "--scheme",
+        "dom",
+        "--ap",
+        "--insts",
+        "20000",
+        "--sample",
+        "--sample-interval",
+        "3000",
+        "--sample-warmup",
+        "800",
+        "--sample-window",
+        "400",
+        "--stats-json",
+        path.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&path).unwrap();
+    let doc = Json::parse(&text).expect("sampled manifest parses");
+    assert_eq!(doc.get("mode").and_then(Json::as_str), Some("sampled"));
+    assert!(!doc
+        .get("windows")
+        .and_then(Json::as_array)
+        .unwrap()
+        .is_empty());
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn explain_prints_attribution_table_and_occupancy() {
+    let out = dgl(&[
+        "explain",
+        "hmmer_like",
+        "--scheme",
+        "dom",
+        "--insts",
+        "8000",
+        "--top",
+        "5",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("dom vs dom+ap"), "{text}");
+    assert!(text.contains("doppelganger speedup"), "{text}");
+    assert!(text.contains("top 5 load sites"), "{text}");
+    for header in ["pc", "issued", "useful", "lat p95"] {
+        assert!(text.contains(header), "table header `{header}`: {text}");
+    }
+    assert!(text.contains("occupancy ("), "{text}");
+    assert!(text.contains("rob"), "{text}");
+    let out = dgl(&["explain"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("needs a workload"));
+}
+
+#[test]
 fn asm_runs_recursive_fibonacci() {
     let path = concat!(
         env!("CARGO_MANIFEST_DIR"),
