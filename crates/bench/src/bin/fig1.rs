@@ -1,12 +1,21 @@
 //! Reproduces Figure 1: headline geomean normalized IPC of NDA-P, STT,
 //! and DoM with and without doppelganger loads, plus the unsafe
-//! baseline + AP sanity result (§7).
+//! baseline + AP sanity result (§7). Pass `--json` for the
+//! machine-readable form.
 
+use dgl_bench::BenchArgs;
 use dgl_sim::figure1;
 
 fn main() {
-    let scale = dgl_bench::scale_from_args();
-    eprintln!("running 8 configurations x 20 workloads at {:?}...", scale);
-    let fig = figure1(scale).expect("simulation");
-    println!("{}", fig.render());
+    let args = BenchArgs::parse_env();
+    eprintln!(
+        "running 8 configurations x 20 workloads at {:?}...",
+        args.scale
+    );
+    let fig = figure1(args.scale).expect("simulation");
+    if args.json {
+        println!("{}", fig.to_json().to_string_pretty());
+    } else {
+        println!("{}", fig.render());
+    }
 }

@@ -1,11 +1,20 @@
 //! Reproduces Figure 6: per-benchmark normalized IPC of the six secure
-//! configurations, with the GMEAN row.
+//! configurations, with the GMEAN row. Pass `--json` for the
+//! machine-readable form.
 
+use dgl_bench::BenchArgs;
 use dgl_sim::figure6;
 
 fn main() {
-    let scale = dgl_bench::scale_from_args();
-    eprintln!("running 8 configurations x 20 workloads at {:?}...", scale);
-    let fig = figure6(scale).expect("simulation");
-    println!("{}", fig.render());
+    let args = BenchArgs::parse_env();
+    eprintln!(
+        "running 8 configurations x 20 workloads at {:?}...",
+        args.scale
+    );
+    let fig = figure6(args.scale).expect("simulation");
+    if args.json {
+        println!("{}", fig.to_json().to_string_pretty());
+    } else {
+        println!("{}", fig.render());
+    }
 }

@@ -1,11 +1,17 @@
 //! Reproduces Figure 7: address-predictor coverage and accuracy under
-//! DoM+AP (the representative configuration, as in the paper).
+//! DoM+AP (the representative configuration, as in the paper). Pass
+//! `--json` for the machine-readable form.
 
+use dgl_bench::BenchArgs;
 use dgl_sim::figure7;
 
 fn main() {
-    let scale = dgl_bench::scale_from_args();
-    eprintln!("running DoM+AP x 20 workloads at {:?}...", scale);
-    let fig = figure7(scale).expect("simulation");
-    println!("{}", fig.render());
+    let args = BenchArgs::parse_env();
+    eprintln!("running DoM+AP x 20 workloads at {:?}...", args.scale);
+    let fig = figure7(args.scale).expect("simulation");
+    if args.json {
+        println!("{}", fig.to_json().to_string_pretty());
+    } else {
+        println!("{}", fig.render());
+    }
 }

@@ -3,9 +3,11 @@
 use crate::cache::{Cache, CacheStats};
 use crate::config::HierarchyConfig;
 use crate::mshr::MshrFile;
+use dgl_stats::{ProfId, ProfRegistry, ProfScope};
 use dgl_trace::TraceSink;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 /// A hierarchy level (or DRAM).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -235,6 +237,10 @@ pub struct MemorySystem {
     /// Earliest cycle the next DRAM line transfer may start (bandwidth
     /// model; see [`HierarchyConfig::dram_service_interval`]).
     next_dram_slot: u64,
+    /// Host-time accumulator for hierarchy work ([`set_prof`]
+    /// (Self::set_prof)); `None` keeps the hot path to one branch.
+    /// Host-side only: never read by the timing model.
+    prof: Option<(Arc<ProfRegistry>, ProfId)>,
 }
 
 impl MemorySystem {
@@ -251,7 +257,16 @@ impl MemorySystem {
             seq: 0,
             trace: None,
             next_dram_slot: 0,
+            prof: None,
         }
+    }
+
+    /// Attaches a host-profiling slot: [`request`](Self::request) and
+    /// [`advance`](Self::advance) time is accumulated into `slot` of
+    /// `reg`. Host-side observability only — simulated timing and cache
+    /// state are byte-identical with profiling on or off.
+    pub fn set_prof(&mut self, prof: Option<(Arc<ProfRegistry>, ProfId)>) {
+        self.prof = prof;
     }
 
     /// The configuration.
@@ -306,6 +321,8 @@ impl MemorySystem {
         now: u64,
         mut sink: Option<&mut (dyn TraceSink + '_)>,
     ) -> Option<MemReqId> {
+        let prof = self.prof.clone();
+        let _prof = ProfScope::enter(prof.as_ref().map(|(r, id)| (r.as_ref(), *id)));
         let line = self.line(req.addr);
         // Hit path: no MSHR required.
         if self.l1.contains(req.addr) {
@@ -514,6 +531,8 @@ impl MemorySystem {
         now: u64,
         mut sink: Option<&mut (dyn TraceSink + '_)>,
     ) -> Vec<MemResponse> {
+        let prof = self.prof.clone();
+        let _prof = ProfScope::enter(prof.as_ref().map(|(r, id)| (r.as_ref(), *id)));
         let mut out = Vec::new();
         while let Some(Reverse(head)) = self.pending.peek() {
             if head.ready_at > now {

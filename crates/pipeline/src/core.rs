@@ -20,11 +20,12 @@ use dgl_mem::{
     AccessKind, CacheStats, Level, MemReqId, MemRequest, MemResponse, MemorySystem, ResponsePayload,
 };
 use dgl_predictor::{BranchPredictor, ValuePredictor, ValuePredictorConfig, VpStats};
-use dgl_stats::{Histogram, MetricsRegistry};
+use dgl_stats::{Histogram, MetricsRegistry, ProfId, ProfLap, ProfRegistry, ProfReport};
 use dgl_trace::{DglEvent, DiscardReason, InstKind, Stage, TraceEvent, TraceSink};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::fmt;
+use std::sync::Arc;
 
 /// Error produced by [`Core::run`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -136,6 +137,12 @@ pub struct RunReport {
     /// only, for sampled windows). Host-side observability — never
     /// serialized into manifests, which must be machine-independent.
     pub host_wall: std::time::Duration,
+    /// Host-time-by-stage profile, present when
+    /// [`Core::enable_profiling`] was called. A snapshot of the
+    /// registry at report time — when the registry is shared across a
+    /// matrix, it covers every core's accumulated time so far. Like
+    /// `host_wall`: host-side only, never serialized into manifests.
+    pub prof: Option<ProfReport>,
     /// Final architectural register values.
     pub regs: [i64; dgl_isa::reg::NUM_REGS],
     /// Final data memory image (compare against the golden model).
@@ -185,15 +192,74 @@ impl RunReport {
 
     /// Simulated kilo-instructions committed per host second, from
     /// [`host_wall`](Self::host_wall). Zero when the wall time was not
-    /// measured (e.g. a report assembled outside `run`). Host-side
+    /// measured (e.g. a report assembled outside `run`). Sub-millisecond
+    /// walls (tiny quick runs, coarse clocks) are clamped to 1 ms so a
+    /// near-zero denominator cannot report absurd throughput. Host-side
     /// only — excluded from [`metrics`](Self::metrics) and manifests.
     pub fn kips(&self) -> f64 {
-        let secs = self.host_wall.as_secs_f64();
-        if secs <= 0.0 {
-            0.0
-        } else {
-            self.committed as f64 / 1000.0 / secs
+        if self.host_wall.is_zero() {
+            return 0.0;
         }
+        let secs = self.host_wall.as_secs_f64().max(1e-3);
+        self.committed as f64 / 1000.0 / secs
+    }
+}
+
+/// Builds a [`ProfRegistry`] carrying the slots
+/// [`Core::enable_profiling`] requires: one top-level slot per tick
+/// segment (the segments partition the tick, so their sum tracks the
+/// run's wall-clock) plus two nested regions (`recovery` runs inside
+/// whichever stage squashes; `mem.hierarchy` inside the stages that
+/// drive the memory system).
+///
+/// Build one, wrap it in an `Arc`, and hand clones to every core whose
+/// host time should accumulate together (the atomic slots make one
+/// registry safe to share across an experiment matrix's worker
+/// threads).
+pub fn core_prof_registry() -> ProfRegistry {
+    let mut reg = ProfRegistry::new();
+    for name in [
+        "fetch_decode",
+        "dispatch",
+        "issue",
+        "execute",
+        "memory",
+        "writeback",
+        "commit",
+    ] {
+        reg.slot(name);
+    }
+    reg.slot_nested("recovery");
+    reg.slot_nested("mem.hierarchy");
+    reg
+}
+
+/// Resolved slot indices for the tick-loop lap timer (copied out of the
+/// registry once at [`Core::enable_profiling`], cheap to carry).
+#[derive(Debug, Clone, Copy)]
+struct CoreProfIds {
+    fetch_decode: ProfId,
+    dispatch: ProfId,
+    issue: ProfId,
+    execute: ProfId,
+    memory: ProfId,
+    writeback: ProfId,
+    commit: ProfId,
+    recovery: ProfId,
+}
+
+/// The core's handle on an enabled profiling registry.
+#[derive(Debug, Clone)]
+pub(crate) struct CoreProf {
+    reg: Arc<ProfRegistry>,
+    ids: CoreProfIds,
+}
+
+impl CoreProf {
+    /// The `(registry, recovery-slot)` pair for a nested recovery
+    /// scope.
+    pub(crate) fn recovery(&self) -> (&ProfRegistry, ProfId) {
+        (self.reg.as_ref(), self.ids.recovery)
     }
 }
 
@@ -271,6 +337,12 @@ pub struct Core {
     /// a single never-taken branch, keeping the tracing-off hot path
     /// free.
     sink: Option<Box<dyn TraceSink>>,
+    /// Host-side self-profiling handle
+    /// ([`enable_profiling`](Self::enable_profiling)); `None` (the
+    /// default) keeps the tick loop free of clock reads. Host-only:
+    /// the simulation never reads it back, so results are
+    /// byte-identical with profiling off and on.
+    prof: Option<CoreProf>,
 }
 
 impl Core {
@@ -312,7 +384,39 @@ impl Core {
             sites: LoadSiteTable::new(),
             sampler: None,
             sink: None,
+            prof: None,
         }
+    }
+
+    /// Enables host-side self-profiling into `reg`, which must carry
+    /// the slots of [`core_prof_registry`] (build it there). The tick
+    /// loop then partitions its wall time across per-stage slots, with
+    /// `recovery` and `mem.hierarchy` measured as nested regions, and
+    /// [`RunReport::prof`] carries a snapshot. Pure host-side
+    /// observation: simulated results are byte-identical with
+    /// profiling off and on.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `reg` lacks any of the expected slots.
+    pub fn enable_profiling(&mut self, reg: Arc<ProfRegistry>) {
+        let slot = |name: &str| -> ProfId {
+            reg.index_of(name)
+                .unwrap_or_else(|| panic!("profiling registry lacks slot `{name}`"))
+        };
+        let ids = CoreProfIds {
+            fetch_decode: slot("fetch_decode"),
+            dispatch: slot("dispatch"),
+            issue: slot("issue"),
+            execute: slot("execute"),
+            memory: slot("memory"),
+            writeback: slot("writeback"),
+            commit: slot("commit"),
+            recovery: slot("recovery"),
+        };
+        let hierarchy = slot("mem.hierarchy");
+        self.mem.set_prof(Some((Arc::clone(&reg), hierarchy)));
+        self.prof = Some(CoreProf { reg, ids });
     }
 
     /// Enables occupancy sampling: every `interval_cycles` the core
@@ -402,6 +506,15 @@ impl Core {
             "memory-system snapshot geometry does not match the core's hierarchy config"
         );
         self.mem = mem;
+        // A snapshot from an unprofiled warming run must not silently
+        // detach this core's hierarchy accounting.
+        if let Some(p) = &self.prof {
+            let id = p
+                .reg
+                .index_of("mem.hierarchy")
+                .expect("profiling registry lacks slot `mem.hierarchy`");
+            self.mem.set_prof(Some((Arc::clone(&p.reg), id)));
+        }
     }
 
     /// Replaces the branch predictor with a previously trained one
@@ -613,6 +726,7 @@ impl Core {
             load_sites: self.sites,
             occupancy: self.sampler.map(OccupancySampler::into_series),
             host_wall: std::time::Duration::ZERO,
+            prof: self.prof.as_ref().map(|p| p.reg.snapshot()),
             regs,
             memory: self.data,
             mem_system: self.mem,
@@ -622,6 +736,20 @@ impl Core {
     }
 
     fn tick(&mut self, program: &Program) -> Result<(), RunError> {
+        // The lap timer partitions the tick into consecutive segments
+        // (one clock read per boundary), so the per-stage host times
+        // sum to the tick loop's wall time with no instrumentation
+        // gaps. Cloned into a local so the borrow does not overlap the
+        // `&mut self` stage calls.
+        let prof = self.prof.clone();
+        let mut lap = prof.as_ref().map(|p| (ProfLap::start(&p.reg), p.ids));
+        macro_rules! mark {
+            ($stage:ident) => {
+                if let Some((lap, ids)) = lap.as_mut() {
+                    lap.mark(ids.$stage);
+                }
+            };
+        }
         self.cycle += 1;
         while let Some(&(c, addr)) = self.pending_invalidations.first() {
             if c > self.cycle {
@@ -631,15 +759,22 @@ impl Core {
             self.external_invalidate(addr);
         }
         self.handle_mem_responses();
+        mark!(writeback);
         self.handle_events(program);
+        mark!(execute);
         self.capture_store_data();
         self.visibility_maintenance(program);
         self.memory_issue();
+        mark!(memory);
         self.issue_stage();
+        mark!(issue);
         self.dispatch_stage(program);
+        mark!(dispatch);
         self.fetch_decode_stage(program);
+        mark!(fetch_decode);
         self.commit_stage(program);
         self.sample_occupancy();
+        mark!(commit);
         Ok(())
     }
 

@@ -20,6 +20,12 @@ impl Core {
         history: Option<(u64, bool)>,
         ras: Option<crate::frontend::RasCheckpoint>,
     ) {
+        // Nested host-profiling region: squashes run inside whichever
+        // stage detected the misprediction, so the slot is excluded
+        // from the tick partition sum. Cloned to a local so the guard's
+        // borrow does not overlap the `&mut self` work below.
+        let prof = self.prof.clone();
+        let _recovery = dgl_stats::ProfScope::enter(prof.as_ref().map(CoreProf::recovery));
         while let Some(e) = self.rob.back() {
             if e.seq <= last_good {
                 break;

@@ -62,7 +62,7 @@ pub mod shadow;
 pub mod stats;
 pub mod taint;
 
-pub use crate::core::{Core, Provenance, RunError, RunReport};
+pub use crate::core::{core_prof_registry, Core, Provenance, RunError, RunReport};
 pub use attribution::{LoadSiteStats, LoadSiteTable};
 pub use config::CoreConfig;
 pub use sampler::{OccupancySample, OccupancySeries};

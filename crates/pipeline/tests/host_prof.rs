@@ -1,0 +1,104 @@
+//! Host-side observability invariants: KIPS stays sane for degenerate
+//! wall-clock durations, and enabling self-profiling changes *nothing*
+//! about the simulated run while producing a non-empty stage profile.
+
+use dgl_core::SchemeKind;
+use dgl_isa::{Program, ProgramBuilder, Reg, SparseMemory};
+use dgl_pipeline::{core_prof_registry, Core, CoreConfig, RunReport};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn r(i: u8) -> Reg {
+    Reg::new(i)
+}
+
+/// A small strided-load loop with a data-dependent branch: enough work
+/// to exercise every pipeline stage, squashes included.
+fn kernel(n: i64) -> (Program, SparseMemory) {
+    let mut b = ProgramBuilder::new("prof_kernel");
+    b.imm(r(1), 0x10000)
+        .imm(r(2), n)
+        .imm(r(3), 0)
+        .label("top")
+        .load(r(4), r(1), 0)
+        .andi(r(5), r(4), 1)
+        .beq(r(5), Reg::ZERO, "skip")
+        .add(r(3), r(3), r(4))
+        .label("skip")
+        .addi(r(1), r(1), 8)
+        .subi(r(2), r(2), 1)
+        .bne(r(2), Reg::ZERO, "top")
+        .halt();
+    let mut mem = SparseMemory::new();
+    for i in 0..n as u64 {
+        mem.write_u64(0x10000 + 8 * i, i.wrapping_mul(0x9e3779b9));
+    }
+    (b.build().unwrap(), mem)
+}
+
+fn run(prof: bool) -> RunReport {
+    let (program, mem) = kernel(400);
+    let mut core = Core::new(CoreConfig::default(), SchemeKind::DoM, true);
+    if prof {
+        core.enable_profiling(Arc::new(core_prof_registry()));
+    }
+    core.run(&program, mem, 1_000_000).expect("run completes")
+}
+
+#[test]
+fn kips_is_clamped_against_degenerate_wall_clocks() {
+    let mut report = run(false);
+    assert!(report.committed > 0);
+
+    report.host_wall = Duration::ZERO;
+    assert_eq!(report.kips(), 0.0, "unmeasured wall must report 0 KIPS");
+
+    // A 1 ns wall would naively claim committed * 1e6 KIPS; the clamp
+    // caps the figure at what a 1 ms run would report.
+    report.host_wall = Duration::from_nanos(1);
+    let clamped = report.kips();
+    let at_one_ms = report.committed as f64 / 1000.0 / 1e-3;
+    assert_eq!(clamped, at_one_ms, "sub-ms walls must clamp to 1 ms");
+    assert!(clamped.is_finite());
+
+    // Above the clamp the division is untouched.
+    report.host_wall = Duration::from_millis(100);
+    let normal = report.kips();
+    assert!((normal - report.committed as f64 / 1000.0 / 0.1).abs() < 1e-9);
+}
+
+#[test]
+fn profiling_leaves_simulated_results_byte_identical() {
+    let base = run(false);
+    let profiled = run(true);
+    assert_eq!(base.prof, None);
+    assert_eq!(
+        base.metrics().to_json().to_string(),
+        profiled.metrics().to_json().to_string(),
+        "profiling must not perturb any simulated metric"
+    );
+    assert_eq!(base.cycles, profiled.cycles);
+    assert_eq!(base.committed, profiled.committed);
+
+    let prof = profiled.prof.expect("profile requested");
+    assert!(!prof.is_empty(), "stages must have accumulated time");
+    assert!(prof.stage_total() > Duration::ZERO);
+    // Every tick segment ran at least once per cycle.
+    for stage in ["fetch_decode", "dispatch", "issue", "commit"] {
+        let e = prof
+            .entries
+            .iter()
+            .find(|e| e.name == stage)
+            .unwrap_or_else(|| panic!("missing stage `{stage}`"));
+        assert_eq!(e.calls, profiled.cycles, "one `{stage}` segment per tick");
+    }
+    // The kernel squashes (data-dependent branches), so the nested
+    // recovery slot must have fired and must stay out of the partition.
+    let recovery = prof
+        .entries
+        .iter()
+        .find(|e| e.name == "recovery")
+        .expect("recovery slot");
+    assert!(recovery.nested);
+    assert!(recovery.calls > 0, "branchy kernel must squash");
+}

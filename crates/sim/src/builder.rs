@@ -3,8 +3,10 @@
 use dgl_core::SchemeKind;
 use dgl_isa::{Program, SparseMemory};
 use dgl_pipeline::{Core, CoreConfig, RunError, RunReport};
+use dgl_stats::ProfRegistry;
 use dgl_trace::SharedSink;
 use dgl_workloads::Workload;
+use std::sync::Arc;
 
 /// Configures and launches simulations (non-consuming builder).
 ///
@@ -33,6 +35,7 @@ pub struct SimBuilder {
     trace: bool,
     trace_sink: Option<SharedSink>,
     occupancy_interval: Option<u64>,
+    prof: Option<Arc<ProfRegistry>>,
 }
 
 impl Default for SimBuilder {
@@ -52,6 +55,7 @@ impl SimBuilder {
             trace: false,
             trace_sink: None,
             occupancy_interval: None,
+            prof: None,
         }
     }
 
@@ -122,6 +126,18 @@ impl SimBuilder {
         self
     }
 
+    /// Enables host-side self-profiling into `reg`, which must carry
+    /// the slots of [`dgl_pipeline::core_prof_registry`] (build it
+    /// there and keep a clone to snapshot after the run, or read the
+    /// snapshot from [`RunReport::prof`](dgl_pipeline::RunReport)).
+    /// One registry may be shared by many builders/cores to profile a
+    /// whole experiment matrix. Host-side observability only: the
+    /// simulated results are byte-identical with profiling off and on.
+    pub fn profiling(&mut self, reg: Arc<ProfRegistry>) -> &mut Self {
+        self.prof = Some(reg);
+        self
+    }
+
     /// Builds the underlying [`Core`] without running it (advanced use:
     /// warming lines, issuing invalidations mid-run in tests).
     pub fn build_core(&self) -> Core {
@@ -137,6 +153,9 @@ impl SimBuilder {
         }
         if let Some(interval) = self.occupancy_interval {
             core.enable_occupancy_sampling(interval);
+        }
+        if let Some(reg) = &self.prof {
+            core.enable_profiling(Arc::clone(reg));
         }
         core
     }

@@ -11,10 +11,11 @@
 use crate::builder::SimBuilder;
 use dgl_core::{SchemeKind, REGISTRY};
 use dgl_pipeline::RunError;
-use dgl_stats::{geomean, Align, Table};
+use dgl_stats::{geomean, Align, Json, ProfRegistry, Table};
 use dgl_workloads::{catalog, Scale, Workload};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// One evaluated configuration: a scheme from the policy registry, with
 /// doppelganger address prediction on or off.
@@ -173,11 +174,17 @@ pub struct Evaluation {
     pub scale: Scale,
 }
 
-fn run_one(w: &Workload, cfg: ConfigId) -> Result<RunCell, RunError> {
-    let report = SimBuilder::new()
-        .scheme(cfg.scheme())
-        .address_prediction(cfg.ap())
-        .run_workload(w)?;
+fn run_one(
+    w: &Workload,
+    cfg: ConfigId,
+    prof: Option<&Arc<ProfRegistry>>,
+) -> Result<RunCell, RunError> {
+    let mut builder = SimBuilder::new();
+    builder.scheme(cfg.scheme()).address_prediction(cfg.ap());
+    if let Some(reg) = prof {
+        builder.profiling(Arc::clone(reg));
+    }
+    let report = builder.run_workload(w)?;
     let (l1, l2, _) = report.caches;
     Ok(RunCell {
         ipc: report.ipc(),
@@ -215,6 +222,24 @@ impl Evaluation {
     /// Only when *no* row could be measured at all; the first failure
     /// is returned.
     pub fn run(scale: Scale, configs: &[ConfigId]) -> Result<Self, RunError> {
+        Self::run_with_prof(scale, configs, None)
+    }
+
+    /// [`run`](Self::run) with optional host-side self-profiling: when
+    /// `prof` carries a registry (built by
+    /// [`dgl_pipeline::core_prof_registry`]), every core of the matrix
+    /// accumulates its host time into the shared atomic slots, so one
+    /// snapshot after the call profiles the whole matrix. Simulated
+    /// results are byte-identical with and without profiling.
+    ///
+    /// # Errors
+    ///
+    /// As [`run`](Self::run).
+    pub fn run_with_prof(
+        scale: Scale,
+        configs: &[ConfigId],
+        prof: Option<Arc<ProfRegistry>>,
+    ) -> Result<Self, RunError> {
         let specs = catalog();
         let threads = std::thread::available_parallelism()
             .map(|n| n.get())
@@ -223,9 +248,11 @@ impl Evaluation {
         let results: Vec<Result<MatrixRow, RowFailure>> = std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for chunk in specs.chunks(specs.len().div_ceil(threads)) {
+                let prof = prof.clone();
                 handles.push((
                     chunk,
                     scope.spawn(move || {
+                        let prof = prof.as_ref();
                         chunk
                             .iter()
                             .map(|spec| {
@@ -238,7 +265,7 @@ impl Evaluation {
                                         let w = spec.build(scale);
                                         let mut cells = BTreeMap::new();
                                         for &cfg in configs {
-                                            cells.insert(cfg, run_one(&w, cfg)?);
+                                            cells.insert(cfg, run_one(&w, cfg, prof)?);
                                         }
                                         Ok(MatrixRow {
                                             workload: w.name.to_owned(),
@@ -344,6 +371,50 @@ impl Evaluation {
         }
         out
     }
+
+    /// Exports the full matrix as JSON: one object per workload with
+    /// per-configuration cells (IPC, normalized IPC, predictor
+    /// coverage/accuracy, cache accesses, cycles, committed), plus the
+    /// failures list. Pure simulated data in fixed order, so the
+    /// document is byte-identical across hosts and thread counts.
+    pub fn to_json(&self) -> Json {
+        let mut rows = Json::array();
+        for row in &self.rows {
+            let mut cells = Json::object();
+            for (cfg, cell) in &row.cells {
+                cells = cells.field(
+                    &cfg.label(),
+                    Json::object()
+                        .field("ipc", Json::num(cell.ipc))
+                        .field("normalized_ipc", Json::num(row.normalized_ipc(*cfg)))
+                        .field("coverage", Json::num(cell.coverage))
+                        .field("accuracy", Json::num(cell.accuracy))
+                        .field("l1_accesses", Json::uint(cell.l1_accesses))
+                        .field("l2_accesses", Json::uint(cell.l2_accesses))
+                        .field("cycles", Json::uint(cell.cycles))
+                        .field("committed", Json::uint(cell.committed)),
+                );
+            }
+            rows = rows.push(
+                Json::object()
+                    .field("workload", Json::str(row.workload.as_str()))
+                    .field("suite", Json::str(row.suite))
+                    .field("configs", cells),
+            );
+        }
+        let mut failures = Json::array();
+        for f in &self.failures {
+            failures = failures.push(
+                Json::object()
+                    .field("workload", Json::str(f.workload.as_str()))
+                    .field("error", Json::str(f.error.to_string())),
+            );
+        }
+        Json::object()
+            .field("scale_insts", Json::uint(self.scale.target_insts()))
+            .field("rows", rows)
+            .field("failures", failures)
+    }
 }
 
 /// A single line of Figure 1 / the headline claim.
@@ -423,6 +494,30 @@ impl Figure1 {
             t, self.baseline_ap
         )
     }
+
+    /// Exports the figure through the shared [`Json`] builder: one
+    /// object per scheme pair with measured/paper geomeans and the
+    /// slowdown reduction, plus the baseline+AP sanity value. Same
+    /// emitter for the fig1 bench bin's `--json` flag and the
+    /// trajectory record.
+    pub fn to_json(&self) -> Json {
+        let mut schemes = Json::array();
+        for s in &self.schemes {
+            schemes = schemes.push(
+                Json::object()
+                    .field("scheme", Json::str(s.base_cfg.label()))
+                    .field("without_ap", Json::num(s.without_ap))
+                    .field("with_ap", Json::num(s.with_ap))
+                    .field("slowdown_reduction", Json::num(s.slowdown_reduction()))
+                    .field("paper_without", Json::num(s.paper_without))
+                    .field("paper_with", Json::num(s.paper_with)),
+            );
+        }
+        Json::object()
+            .field("figure", Json::str("figure1"))
+            .field("schemes", schemes)
+            .field("baseline_ap", Json::num(self.baseline_ap))
+    }
 }
 
 /// Runs the Figure 1 experiment.
@@ -499,6 +594,39 @@ impl Figure6 {
         t.row_f64("GMEAN", &gmeans, 3);
         format!("Figure 6 — normalized IPC per benchmark (baseline = 1.0)\n{t}")
     }
+
+    /// Exports the figure through the shared [`Json`] builder: the
+    /// per-benchmark normalized-IPC matrix for the six secure configs
+    /// plus the GMEAN row. Same emitter for the fig6 bench bin's
+    /// `--json` flag and the trajectory record.
+    pub fn to_json(&self) -> Json {
+        let mut rows = Json::array();
+        for row in &self.eval.rows {
+            let mut configs = Json::object();
+            for &c in &Self::CONFIGS {
+                configs = configs.field(&c.label(), Json::num(row.normalized_ipc(c)));
+            }
+            rows = rows.push(
+                Json::object()
+                    .field("workload", Json::str(row.workload.as_str()))
+                    .field("normalized_ipc", configs),
+            );
+        }
+        let mut gmean = Json::object();
+        for &c in &Self::CONFIGS {
+            gmean = gmean.field(&c.label(), Json::num(self.eval.gmean_normalized(c)));
+        }
+        Json::object()
+            .field("figure", Json::str("figure6"))
+            .field("rows", rows)
+            .field("gmean", gmean)
+    }
+}
+
+/// Derives Figure 6 from an existing evaluation matrix (which must
+/// contain every config in [`Figure6::CONFIGS`] plus the baseline).
+pub fn figure6_from(eval: &Evaluation) -> Figure6 {
+    Figure6 { eval: eval.clone() }
 }
 
 /// Runs the Figure 6 experiment.
@@ -554,6 +682,27 @@ impl Figure7 {
             "Figure 7 — address prediction under DoM+AP (paper gmean: coverage ~35%, accuracy ~90%)\n{t}"
         )
     }
+
+    /// Exports the figure through the shared [`Json`] builder: one
+    /// object per workload with predictor coverage/accuracy, plus the
+    /// geomeans. Same emitter for the fig7 bench bin's `--json` flag
+    /// and the trajectory record.
+    pub fn to_json(&self) -> Json {
+        let mut rows = Json::array();
+        for (name, cov, acc) in &self.rows {
+            rows = rows.push(
+                Json::object()
+                    .field("workload", Json::str(name.as_str()))
+                    .field("coverage", Json::num(*cov))
+                    .field("accuracy", Json::num(*acc)),
+            );
+        }
+        Json::object()
+            .field("figure", Json::str("figure7"))
+            .field("rows", rows)
+            .field("gmean_coverage", Json::num(self.gmean_coverage()))
+            .field("gmean_accuracy", Json::num(self.gmean_accuracy()))
+    }
 }
 
 /// Runs the Figure 7 experiment (only needs DoM+AP).
@@ -563,7 +712,13 @@ impl Figure7 {
 /// Propagates simulation errors.
 pub fn figure7(scale: Scale) -> Result<Figure7, RunError> {
     let eval = Evaluation::run(scale, &[ConfigId::Baseline, ConfigId::DomAp])?;
-    Ok(Figure7 {
+    Ok(figure7_from(&eval))
+}
+
+/// Derives Figure 7 from an existing evaluation matrix (which must
+/// contain [`ConfigId::DomAp`]).
+pub fn figure7_from(eval: &Evaluation) -> Figure7 {
+    Figure7 {
         rows: eval
             .rows
             .iter()
@@ -572,7 +727,7 @@ pub fn figure7(scale: Scale) -> Result<Figure7, RunError> {
                 (r.workload.clone(), c.coverage, c.accuracy)
             })
             .collect(),
-    })
+    }
 }
 
 /// Figure 8: L1 and L2 access counts of each +AP configuration,

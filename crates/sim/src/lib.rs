@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 
 pub mod builder;
+pub mod compare;
 pub mod experiments;
 pub mod manifest;
 pub mod report;
@@ -36,8 +37,10 @@ pub mod sampling;
 pub mod security;
 
 pub use builder::{SimBuilder, VerifyError};
+pub use compare::{compare, CompareOptions, Comparison, MetricDelta};
 pub use experiments::{
-    figure1, figure6, figure7, figure8, ConfigId, Figure1, Figure6, Figure7, Figure8,
+    figure1, figure1_from, figure6, figure6_from, figure7, figure7_from, figure8, ConfigId,
+    Evaluation, Figure1, Figure6, Figure7, Figure8,
 };
 pub use manifest::{
     run_manifest, sampled_manifest, workload_fingerprint, MANIFEST_SCHEMA, MANIFEST_VERSION,

@@ -441,7 +441,16 @@ impl Parser<'_> {
         }
         loop {
             self.skip_ws();
+            let key_at = self.pos;
             let key = self.string()?;
+            if fields.iter().any(|(k, _)| *k == key) {
+                // Duplicate keys are legal JSON but always a bug in the
+                // deterministic exports this parser consumes: the
+                // writer emits each field once, and silently keeping
+                // either copy would make `compare` lie about one of
+                // them.
+                return Err(format!("duplicate key `{key}` at byte {key_at}"));
+            }
             self.skip_ws();
             self.expect(b':')?;
             self.skip_ws();

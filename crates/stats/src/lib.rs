@@ -9,6 +9,8 @@
 //!   components publish for snapshot/delta/merge and JSON export,
 //! * [`Json`] — the dependency-free JSON value (writer + parser) the
 //!   machine-readable exports are built on,
+//! * [`prof`] — host-side self-profiling (scoped wall-time
+//!   accumulators) for finding the simulator's own hot paths,
 //! * [`geomean`] / [`normalize`] — the aggregations the paper uses for its
 //!   figures (normalized IPC, geometric-mean slowdowns),
 //! * [`Table`] — ASCII table rendering for experiment reports,
@@ -36,6 +38,7 @@ pub mod chart;
 pub mod counter;
 pub mod histogram;
 pub mod json;
+pub mod prof;
 pub mod registry;
 pub mod summary;
 pub mod table;
@@ -44,6 +47,7 @@ pub use chart::BarChart;
 pub use counter::{Counter, CounterSet};
 pub use histogram::Histogram;
 pub use json::Json;
+pub use prof::{ProfId, ProfLap, ProfRegistry, ProfReport, ProfScope};
 pub use registry::{Metric, MetricsRegistry};
 pub use summary::{geomean, harmonic_mean, mean, normalize, percent_change, Summary};
 pub use table::{Align, Table};

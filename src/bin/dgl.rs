@@ -9,16 +9,22 @@
 //! dgl attack [--secret BYTE]         run the Spectre laboratory
 //! dgl figures [--insts N]            print the Figure 1 summary
 //! dgl trace --workload NAME [opts]   record a structured pipeline trace
+//! dgl bench [--quick|--insts N]      run the quick figure matrix, write BENCH_<seq>.json
+//! dgl compare <a.json> <b.json>      diff two manifests / trajectory records
 //!
 //! options: --scheme NAME                     (default baseline; see `dgl schemes`)
 //!          --ap                              enable doppelganger loads
 //!          --vp                              enable value prediction
 //!          --insts N                         instruction budget (default 25000)
+//!          --prof                            host time by pipeline stage (explain)
+//!          --quick                           the default quick budget (bench)
+//!          --out FILE|DIR                    write trace to FILE / record to DIR (trace/bench)
+//!          --max-ipc-delta X                 allowed relative drift (compare, default 0)
+//!          --json                            machine-readable output (compare)
 //!          --stats-json FILE                 write a versioned run manifest (run)
 //!          --occupancy N                     sample occupancy every N cycles (run/explain)
 //!          --top N                           load sites shown by `explain` (default 10)
 //!          --format chrome|konata|jsonl      trace export format (default chrome)
-//!          --out FILE                        write the trace to FILE (default stdout)
 //!          --sample                          sampled simulation (fast-forward + windows)
 //!          --sample-interval N               instructions between window starts (default 10000)
 //!          --sample-warmup N                 detailed warmup commits per window (default 2000)
@@ -58,6 +64,10 @@ struct Opts {
     stats_json: Option<String>,
     occupancy: u64,
     top: usize,
+    prof: bool,
+    quick: bool,
+    json: bool,
+    max_ipc_delta: f64,
     positional: Vec<String>,
 }
 
@@ -76,6 +86,10 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         stats_json: None,
         occupancy: 0,
         top: 10,
+        prof: false,
+        quick: false,
+        json: false,
+        max_ipc_delta: 0.0,
         positional: Vec::new(),
     };
     fn num<T: std::str::FromStr>(
@@ -134,6 +148,15 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                 }
             }
             "--top" => o.top = num(&mut it, a)?,
+            "--prof" => o.prof = true,
+            "--quick" => o.quick = true,
+            "--json" => o.json = true,
+            "--max-ipc-delta" => {
+                o.max_ipc_delta = num(&mut it, a)?;
+                if !o.max_ipc_delta.is_finite() || o.max_ipc_delta < 0.0 {
+                    return Err("--max-ipc-delta must be a finite non-negative number".into());
+                }
+            }
             "--sample" => o.sample = true,
             "--sample-interval" => o.sampling.interval_insts = num(&mut it, a)?,
             "--sample-warmup" => o.sampling.warmup_insts = num(&mut it, a)?,
@@ -251,15 +274,23 @@ fn cmd_explain(o: &Opts) -> Result<(), String> {
     // Value prediction is mutually exclusive with address prediction,
     // so `explain` — which is about doppelgangers — ignores `--vp`.
     let interval = if o.occupancy > 0 { o.occupancy } else { 256 };
+    let prof_reg = o
+        .prof
+        .then(|| std::sync::Arc::new(doppelganger_loads::pipeline::core_prof_registry()));
+    let started = std::time::Instant::now();
     let mut reports = Vec::new();
     for ap in [false, true] {
         let mut b = SimBuilder::new();
         b.scheme(o.scheme)
             .address_prediction(ap)
             .occupancy_sampling(interval);
+        if let Some(reg) = &prof_reg {
+            b.profiling(std::sync::Arc::clone(reg));
+        }
         let report = b.run_workload(&w).map_err(|e| e.to_string())?;
         reports.push(report);
     }
+    let wall = started.elapsed();
     let (base, with_ap) = (&reports[0], &reports[1]);
     let scheme = o.scheme.name();
     out!("{name}: {scheme} vs {scheme}+ap");
@@ -304,6 +335,11 @@ fn cmd_explain(o: &Opts) -> Result<(), String> {
             out!("{label}:");
             out!("{}", render_occupancy(series));
         }
+    }
+    if let Some(reg) = &prof_reg {
+        out!("");
+        out!("host time by stage (both runs):");
+        out!("{}", reg.snapshot().render(wall));
     }
     Ok(())
 }
@@ -397,25 +433,112 @@ fn cmd_figures(o: &Opts) -> Result<(), String> {
     Ok(())
 }
 
+/// `dgl bench`: run the quick figure matrix once with self-profiling
+/// on, print the headline summaries, and append the next
+/// `BENCH_<seq>.json` trajectory record.
+fn cmd_bench(o: &Opts) -> Result<(), String> {
+    use doppelganger_loads::bench::trajectory;
+    let scale = if o.quick {
+        Scale::Quick
+    } else {
+        Scale::Custom(o.insts)
+    };
+    eprintln!("dgl bench: 8 configurations x 20 workloads at {scale:?}...");
+    let traj = trajectory::Trajectory::collect(scale).map_err(|e| e.to_string())?;
+    for failure in &traj.eval.failures {
+        eprintln!("dgl bench: warning: {failure}");
+    }
+    out!("{}", traj.figure1.render());
+    out!(
+        "predictor gmeans: coverage {:.1}%, accuracy {:.1}%",
+        100.0 * traj.figure7.gmean_coverage(),
+        100.0 * traj.figure7.gmean_accuracy()
+    );
+    out!(
+        "host: {:.1} KIPS over {:.2} s wall",
+        traj.kips(),
+        traj.wall.as_secs_f64()
+    );
+    out!("");
+    out!("host time by stage:");
+    out!("{}", traj.prof.render(traj.wall));
+    let doc = traj.to_json(&trajectory::git_head_sha());
+    let dir = std::path::Path::new(o.out.as_deref().unwrap_or("."));
+    let path =
+        trajectory::write_record(dir, &doc).map_err(|e| format!("{}: {e}", dir.display()))?;
+    out!("trajectory record: {}", path.display());
+    if traj.eval.failures.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "{} workload(s) failed to measure",
+            traj.eval.failures.len()
+        ))
+    }
+}
+
+/// `dgl compare <a.json> <b.json>`: per-metric deltas between two run
+/// manifests or trajectory records. Simulated drift beyond
+/// `--max-ipc-delta` exits 1; unreadable or mismatched documents exit 2.
+fn cmd_compare(o: &Opts) -> Result<ExitCode, String> {
+    use doppelganger_loads::sim::{compare, CompareOptions};
+    use doppelganger_loads::stats::Json;
+    let [path_a, path_b] = o.positional.as_slice() else {
+        return Err("compare needs exactly two result files".into());
+    };
+    let load = |path: &str| -> Result<Json, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        Json::parse(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let a = load(path_a)?;
+    let b = load(path_b)?;
+    let options = CompareOptions {
+        max_rel_delta: o.max_ipc_delta,
+    };
+    let cmp = match compare(&a, &b, options) {
+        Ok(cmp) => cmp,
+        Err(e) => {
+            // Mismatched schemas/versions are a usage error, not drift.
+            eprintln!("dgl: {e}");
+            return Ok(ExitCode::from(2));
+        }
+    };
+    if o.json {
+        out!("{}", cmp.to_json().to_string_pretty());
+    } else {
+        out!("{}", cmp.render());
+    }
+    Ok(if cmp.has_drift() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
-        eprintln!("usage: dgl <suite|schemes|run|explain|asm|attack|figures|trace> [options]");
+        eprintln!(
+            "usage: dgl <suite|schemes|run|explain|asm|attack|figures|trace|bench|compare> \
+             [options]"
+        );
         return ExitCode::FAILURE;
     };
     let result = parse_opts(rest).and_then(|o| match cmd.as_str() {
-        "suite" => cmd_suite(&o),
-        "schemes" => cmd_schemes(),
-        "run" => cmd_run(&o),
-        "explain" => cmd_explain(&o),
-        "asm" => cmd_asm(&o),
-        "attack" => cmd_attack(&o),
-        "figures" => cmd_figures(&o),
-        "trace" => cmd_trace(&o),
+        "suite" => cmd_suite(&o).map(|()| ExitCode::SUCCESS),
+        "schemes" => cmd_schemes().map(|()| ExitCode::SUCCESS),
+        "run" => cmd_run(&o).map(|()| ExitCode::SUCCESS),
+        "explain" => cmd_explain(&o).map(|()| ExitCode::SUCCESS),
+        "asm" => cmd_asm(&o).map(|()| ExitCode::SUCCESS),
+        "attack" => cmd_attack(&o).map(|()| ExitCode::SUCCESS),
+        "figures" => cmd_figures(&o).map(|()| ExitCode::SUCCESS),
+        "trace" => cmd_trace(&o).map(|()| ExitCode::SUCCESS),
+        "bench" => cmd_bench(&o).map(|()| ExitCode::SUCCESS),
+        "compare" => cmd_compare(&o),
         other => Err(format!("unknown command `{other}`")),
     });
     match result {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(e) => {
             eprintln!("dgl: {e}");
             ExitCode::FAILURE

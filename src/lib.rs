@@ -27,7 +27,8 @@
 //! | [`workloads`] | the synthetic SPEC-like benchmark suite |
 //! | [`stats`] | counters, geomeans, tables, charts |
 //! | [`trace`] | structured event tracing, Chrome-trace / Konata / JSONL export |
-//! | [`sim`] | [`SimBuilder`], figure reproduction, the security laboratory |
+//! | [`sim`] | [`SimBuilder`], figure reproduction, run diffing, the security laboratory |
+//! | [`bench`](mod@bench) | figure/table bins and `dgl bench` trajectory records |
 //!
 //! # Quickstart
 //!
@@ -57,6 +58,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use dgl_bench as bench;
 pub use dgl_core as core;
 pub use dgl_isa as isa;
 pub use dgl_mem as mem;

@@ -360,6 +360,173 @@ fn explain_prints_attribution_table_and_occupancy() {
 }
 
 #[test]
+fn explain_prof_prints_host_time_by_stage() {
+    let out = dgl(&[
+        "explain",
+        "hmmer_like",
+        "--scheme",
+        "dom",
+        "--insts",
+        "3000",
+        "--prof",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("host time by stage"), "{text}");
+    for stage in ["fetch_decode", "issue", "commit", "mem.hierarchy"] {
+        assert!(text.contains(stage), "stage `{stage}` missing: {text}");
+    }
+    assert!(text.contains("stages sum"), "{text}");
+    // Without --prof the table must not appear.
+    let out = dgl(&[
+        "explain",
+        "hmmer_like",
+        "--scheme",
+        "dom",
+        "--insts",
+        "3000",
+    ]);
+    assert!(out.status.success());
+    assert!(!String::from_utf8_lossy(&out.stdout).contains("host time by stage"));
+}
+
+/// `dgl bench` writes sequential schema-versioned trajectory records,
+/// and `dgl compare` finds two records of the same commit identical in
+/// every simulated metric (host metrics are report-only).
+#[test]
+fn bench_writes_trajectory_records_that_compare_clean() {
+    use doppelganger_loads::bench::trajectory;
+    use doppelganger_loads::stats::Json;
+    let dir = std::env::temp_dir().join("dgl-cli-bench-test");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let bench = |expect: &str| {
+        let out = dgl(&["bench", "--insts", "800", "--out", dir.to_str().unwrap()]);
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert!(text.contains("host time by stage"), "{text}");
+        assert!(
+            text.contains(&format!(
+                "trajectory record: {}",
+                dir.join(expect).display()
+            )),
+            "{text}"
+        );
+    };
+    bench("BENCH_1.json");
+    bench("BENCH_2.json");
+
+    let one = dir.join("BENCH_1.json");
+    let two = dir.join("BENCH_2.json");
+    let doc = Json::parse(&std::fs::read_to_string(&one).unwrap()).expect("record parses");
+    trajectory::validate(&doc).expect("record validates against the v1 schema");
+    assert!(doc.get("matrix").is_some());
+    assert!(doc.get("host").and_then(|h| h.get("kips")).is_some());
+
+    // Two runs of the same build simulate identically; only host
+    // metrics move, so the gate stays green and the exit code is 0.
+    let out = dgl(&["compare", one.to_str().unwrap(), two.to_str().unwrap()]);
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "identical runs must compare clean: {text}{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        text.contains("OK") || text.contains("IDENTICAL"),
+        "verdict: {text}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn compare_gates_on_simulated_drift_but_not_host_metrics() {
+    use std::os::unix::process::ExitStatusExt as _;
+    let dir = std::env::temp_dir().join("dgl-cli-compare-test");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let write = |name: &str, text: &str| {
+        let path = dir.join(name);
+        std::fs::write(&path, text).unwrap();
+        path
+    };
+    let a = write(
+        "a.json",
+        r#"{"schema": "dgl-run-manifest", "version": 1, "ipc": 0.5, "host": {"kips": 100.0}}"#,
+    );
+    let b = write(
+        "b.json",
+        r#"{"schema": "dgl-run-manifest", "version": 1, "ipc": 0.6, "host": {"kips": 900.0}}"#,
+    );
+    let host_only = write(
+        "c.json",
+        r#"{"schema": "dgl-run-manifest", "version": 1, "ipc": 0.5, "host": {"kips": 900.0}}"#,
+    );
+    let other_schema = write(
+        "d.json",
+        r#"{"schema": "dgl-bench-trajectory", "version": 1, "ipc": 0.5}"#,
+    );
+
+    // Simulated drift: nonzero exit, delta table names the metric.
+    let out = dgl(&["compare", a.to_str().unwrap(), b.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1), "drift must exit 1");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("DRIFT"), "{text}");
+    assert!(text.contains("ipc"), "{text}");
+
+    // A loose gate admits the same move.
+    let out = dgl(&[
+        "compare",
+        a.to_str().unwrap(),
+        b.to_str().unwrap(),
+        "--max-ipc-delta",
+        "0.25",
+    ]);
+    assert!(out.status.success(), "20% move under a 25% gate passes");
+
+    // Host metrics report but never gate.
+    let out = dgl(&["compare", a.to_str().unwrap(), host_only.to_str().unwrap()]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("report-only"), "{text}");
+
+    // --json emits a parseable document with the same verdict.
+    let out = dgl(&[
+        "compare",
+        a.to_str().unwrap(),
+        b.to_str().unwrap(),
+        "--json",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    let doc = doppelganger_loads::stats::Json::parse(&String::from_utf8_lossy(&out.stdout))
+        .expect("--json output parses");
+    assert_eq!(
+        doc.get("drift"),
+        Some(&doppelganger_loads::stats::Json::Bool(true))
+    );
+
+    // Mismatched schemas are a usage error (exit 2), not drift.
+    let out = dgl(&[
+        "compare",
+        a.to_str().unwrap(),
+        other_schema.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(2), "schema mismatch exits 2");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("schema"));
+    assert_eq!(out.status.signal(), None);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn asm_runs_recursive_fibonacci() {
     let path = concat!(
         env!("CARGO_MANIFEST_DIR"),
