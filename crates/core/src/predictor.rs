@@ -261,6 +261,63 @@ impl AddressPredictor {
     pub fn table_occupancy(&self) -> usize {
         self.table.occupancy()
     }
+
+    /// Appends a canonical flat-word dump of the predictor state —
+    /// statistics, the in-flight compensation map (sorted by PC so the
+    /// stream is deterministic), and the underlying stride table — to
+    /// `out`. Restoring via [`restore_state`](Self::restore_state) into
+    /// a predictor of the same configuration reproduces the trained
+    /// state exactly.
+    pub fn dump_state(&self, out: &mut Vec<u64>) {
+        out.push(self.stats.committed_loads);
+        out.push(self.stats.predicted_loads);
+        out.push(self.stats.correct_predictions);
+        out.push(self.stats.predictions_issued);
+        out.push(self.stats.prefetches_proposed);
+        let mut inflight: Vec<(u64, u32)> = self.inflight.iter().map(|(&k, &v)| (k, v)).collect();
+        inflight.sort_unstable();
+        out.push(inflight.len() as u64);
+        for (pc, n) in inflight {
+            out.push(pc);
+            out.push(n as u64);
+        }
+        self.table.dump_state(out);
+    }
+
+    /// Restores state dumped by [`dump_state`](Self::dump_state) into
+    /// this predictor, consuming exactly the words the dump produced.
+    /// Returns `None` when the stream is truncated or malformed —
+    /// corrupted serialized checkpoints must surface as a clean miss,
+    /// not a panic.
+    pub fn restore_state(&mut self, words: &mut &[u64]) -> Option<()> {
+        if words.len() < 6 {
+            return None;
+        }
+        let stats = ApStats {
+            committed_loads: words[0],
+            predicted_loads: words[1],
+            correct_predictions: words[2],
+            predictions_issued: words[3],
+            prefetches_proposed: words[4],
+        };
+        let n_inflight = words[5];
+        *words = &words[6..];
+        if words.len() < 2 * n_inflight as usize {
+            return None;
+        }
+        let mut inflight = HashMap::new();
+        for chunk in words[..2 * n_inflight as usize].chunks_exact(2) {
+            let count = u32::try_from(chunk[1]).ok()?;
+            if count == 0 || inflight.insert(chunk[0], count).is_some() {
+                return None; // zero counts and duplicate PCs never occur
+            }
+        }
+        *words = &words[2 * n_inflight as usize..];
+        self.table.restore_state(words)?;
+        self.stats = stats;
+        self.inflight = inflight;
+        Some(())
+    }
 }
 
 #[cfg(test)]

@@ -132,6 +132,63 @@ pub struct Checkpoint {
     pub halted: bool,
 }
 
+impl Checkpoint {
+    /// Appends a canonical flat-word dump of the snapshot to `out`:
+    /// every register (as raw `u64` bits), the PC, the retired count,
+    /// the halted flag, then the memory image via
+    /// [`SparseMemory::dump_state`].
+    ///
+    /// This is the serialization hand-off for checkpoint stores: the
+    /// word stream is deterministic, [`restore_state`] of a dump
+    /// compares equal (`==`) to the original, and a fingerprint over
+    /// the words identifies the architectural state exactly.
+    ///
+    /// [`restore_state`]: Self::restore_state
+    pub fn dump_state(&self, out: &mut Vec<u64>) {
+        for &r in &self.regs {
+            out.push(r as u64);
+        }
+        out.push(self.pc as u64);
+        out.push(self.retired);
+        out.push(u64::from(self.halted));
+        self.memory.dump_state(out);
+    }
+
+    /// Rebuilds a checkpoint from a [`dump_state`](Self::dump_state)
+    /// word stream, consuming exactly the words the dump produced.
+    /// Returns `None` on a truncated or malformed stream — corrupted
+    /// serialized checkpoints must surface as a clean miss, not a
+    /// panic.
+    pub fn restore_state(words: &mut &[u64]) -> Option<Checkpoint> {
+        if words.len() < NUM_REGS + 3 {
+            return None;
+        }
+        let mut regs = [0i64; NUM_REGS];
+        for (slot, &w) in regs.iter_mut().zip(words.iter()) {
+            *slot = w as i64;
+        }
+        if regs[0] != 0 {
+            return None; // r0 is architecturally zero
+        }
+        let pc = words[NUM_REGS] as usize;
+        let retired = words[NUM_REGS + 1];
+        let halted = match words[NUM_REGS + 2] {
+            0 => false,
+            1 => true,
+            _ => return None,
+        };
+        *words = &words[NUM_REGS + 3..];
+        let memory = SparseMemory::restore_state(words)?;
+        Some(Checkpoint {
+            regs,
+            pc,
+            memory,
+            retired,
+            halted,
+        })
+    }
+}
+
 /// In-order functional emulator.
 ///
 /// # Examples

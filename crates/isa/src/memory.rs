@@ -106,6 +106,55 @@ impl SparseMemory {
             .map(|i| self.read_u64(addr.wrapping_add(8 * i as u64)))
             .collect()
     }
+
+    /// Appends a canonical flat-word dump of the memory image to `out`:
+    /// the mapped page count, then each page (sorted by page index) as
+    /// its index followed by `PAGE_SIZE`/8 little-endian data words.
+    ///
+    /// The layout is the serialization hand-off for checkpoint stores:
+    /// [`restore_state`](Self::restore_state) of a dump reproduces an
+    /// image equal (`==`) to the original, and the word stream is
+    /// deterministic (pages sorted), so a fingerprint over it
+    /// identifies the image exactly.
+    pub fn dump_state(&self, out: &mut Vec<u64>) {
+        let mut indices: Vec<u64> = self.pages.keys().copied().collect();
+        indices.sort_unstable();
+        out.push(indices.len() as u64);
+        for idx in indices {
+            out.push(idx);
+            let page = &self.pages[&idx];
+            for chunk in page.chunks_exact(8) {
+                out.push(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+            }
+        }
+    }
+
+    /// Rebuilds a memory image from a [`dump_state`](Self::dump_state)
+    /// word stream, consuming exactly the words the dump produced.
+    /// Returns `None` (leaving `words` in an unspecified position) when
+    /// the stream is truncated or malformed — corrupted serialized
+    /// checkpoints must surface as a clean miss, not a panic.
+    pub fn restore_state(words: &mut &[u64]) -> Option<SparseMemory> {
+        const PAGE_WORDS: usize = PAGE_SIZE / 8;
+        let (&n_pages, rest) = words.split_first()?;
+        *words = rest;
+        let mut mem = SparseMemory::new();
+        for _ in 0..n_pages {
+            let (&idx, rest) = words.split_first()?;
+            if rest.len() < PAGE_WORDS {
+                return None;
+            }
+            let mut page = [0u8; PAGE_SIZE];
+            for (i, &w) in rest[..PAGE_WORDS].iter().enumerate() {
+                page[8 * i..8 * (i + 1)].copy_from_slice(&w.to_le_bytes());
+            }
+            *words = &rest[PAGE_WORDS..];
+            if mem.pages.insert(idx, Arc::new(page)).is_some() {
+                return None; // duplicate page index: malformed stream
+            }
+        }
+        Some(mem)
+    }
 }
 
 #[cfg(test)]

@@ -252,6 +252,78 @@ impl Cache {
         self.stats = CacheStats::default();
     }
 
+    /// Appends a canonical flat-word dump of the full cache state
+    /// (tick, rng, stats, then every set's resident lines in way order)
+    /// to `out`. Restoring with [`restore_state`](Self::restore_state)
+    /// into a cache of the same geometry reproduces the replacement
+    /// state exactly, so subsequent accesses evict identically.
+    pub fn dump_state(&self, out: &mut Vec<u64>) {
+        out.push(self.tick);
+        out.push(self.rng);
+        out.push(self.stats.accesses);
+        out.push(self.stats.hits);
+        out.push(self.stats.misses);
+        out.push(self.stats.fills);
+        out.push(self.stats.invalidations);
+        out.push(self.sets.len() as u64);
+        for set in &self.sets {
+            out.push(set.len() as u64);
+            for line in set {
+                out.push(line.tag);
+                out.push(line.lru);
+                out.push(line.inserted);
+            }
+        }
+    }
+
+    /// Restores state dumped by [`dump_state`](Self::dump_state) into
+    /// this cache, consuming exactly the words the dump produced.
+    /// Returns `None` when the stream is truncated, the set count does
+    /// not match this cache's geometry, or a set holds more lines than
+    /// the configured associativity — a corrupted serialized checkpoint
+    /// must surface as a clean miss, not a panic.
+    pub fn restore_state(&mut self, words: &mut &[u64]) -> Option<()> {
+        if words.len() < 8 {
+            return None;
+        }
+        let (head, rest) = words.split_at(8);
+        *words = rest;
+        let [tick, rng, accesses, hits, misses, fills, invalidations, n_sets] =
+            <[u64; 8]>::try_from(head).expect("8-word header");
+        if n_sets as usize != self.sets.len() {
+            return None;
+        }
+        let mut sets = Vec::with_capacity(self.sets.len());
+        for _ in 0..n_sets {
+            let (&len, rest) = words.split_first()?;
+            *words = rest;
+            if len as usize > self.cfg.ways || words.len() < 3 * len as usize {
+                return None;
+            }
+            let mut set = Vec::with_capacity(self.cfg.ways);
+            for chunk in words[..3 * len as usize].chunks_exact(3) {
+                set.push(Line {
+                    tag: chunk[0],
+                    lru: chunk[1],
+                    inserted: chunk[2],
+                });
+            }
+            *words = &words[3 * len as usize..];
+            sets.push(set);
+        }
+        self.tick = tick;
+        self.rng = rng;
+        self.stats = CacheStats {
+            accesses,
+            hits,
+            misses,
+            fills,
+            invalidations,
+        };
+        self.sets = sets;
+        Some(())
+    }
+
     /// Number of resident lines.
     pub fn occupancy(&self) -> usize {
         self.sets.iter().map(Vec::len).sum()
@@ -443,6 +515,42 @@ mod tests {
         c.reset_stats();
         assert_eq!(c.stats(), CacheStats::default());
         assert!(c.contains(0x40), "contents survive a stats reset");
+    }
+
+    #[test]
+    fn dump_restore_round_trips_replacement_state() {
+        let mut a = small();
+        a.fill(0x000);
+        a.fill(0x080);
+        a.lookup(0x000, true);
+        let mut words = Vec::new();
+        a.dump_state(&mut words);
+        let mut b = small();
+        let mut slice = words.as_slice();
+        b.restore_state(&mut slice).expect("geometry matches");
+        assert!(slice.is_empty(), "restore consumes exactly the dump");
+        assert_eq!(b.stats(), a.stats());
+        // Identical replacement state: both evict the same victim.
+        assert_eq!(a.fill(0x100), b.fill(0x100));
+    }
+
+    #[test]
+    fn restore_rejects_truncation_and_geometry_mismatch() {
+        let mut a = small();
+        a.fill(0x000);
+        let mut words = Vec::new();
+        a.dump_state(&mut words);
+        let mut truncated = &words[..words.len() - 1];
+        assert!(small().restore_state(&mut truncated).is_none());
+        let mut other = Cache::new(CacheConfig {
+            size_bytes: 4 * 64 * 2, // 4 sets instead of 2
+            ways: 2,
+            line_bytes: 64,
+            replacement: Default::default(),
+            latency: 5,
+        });
+        let mut slice = words.as_slice();
+        assert!(other.restore_state(&mut slice).is_none());
     }
 
     #[test]

@@ -642,6 +642,51 @@ impl MemorySystem {
         self.l2.fill(addr);
         self.l3.fill(addr);
     }
+
+    /// Appends a canonical flat-word dump of the *warm* hierarchy state
+    /// — all three cache levels plus the id/sequence allocators — to
+    /// `out`. Only valid for a quiescent hierarchy (no in-flight
+    /// requests), i.e. one conditioned purely through
+    /// [`warm`](Self::warm) like the functional warmer's; in-flight
+    /// timing state is deliberately not serialized.
+    ///
+    /// # Panics
+    ///
+    /// Panics when requests are still in flight.
+    pub fn dump_warm_state(&self, out: &mut Vec<u64>) {
+        assert!(
+            self.in_flight() == 0 && self.pending.is_empty(),
+            "dump_warm_state requires a quiescent hierarchy"
+        );
+        out.push(self.next_id);
+        out.push(self.seq);
+        out.push(self.next_dram_slot);
+        self.l1.dump_state(out);
+        self.l2.dump_state(out);
+        self.l3.dump_state(out);
+    }
+
+    /// Restores warm state dumped by
+    /// [`dump_warm_state`](Self::dump_warm_state) into this hierarchy,
+    /// which must share the dumped geometry. Returns `None` on a
+    /// truncated or mismatched stream — corrupted serialized
+    /// checkpoints must surface as a clean miss, not a panic.
+    pub fn restore_warm_state(&mut self, words: &mut &[u64]) -> Option<()> {
+        if words.len() < 3 {
+            return None;
+        }
+        let next_id = words[0];
+        let seq = words[1];
+        let next_dram_slot = words[2];
+        *words = &words[3..];
+        self.l1.restore_state(words)?;
+        self.l2.restore_state(words)?;
+        self.l3.restore_state(words)?;
+        self.next_id = next_id;
+        self.seq = seq;
+        self.next_dram_slot = next_dram_slot;
+        Some(())
+    }
 }
 
 #[cfg(test)]

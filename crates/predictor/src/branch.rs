@@ -175,6 +175,92 @@ impl BranchPredictor {
     pub fn config(&self) -> BranchPredictorConfig {
         self.cfg
     }
+
+    /// Appends a canonical flat-word dump of the predictor state —
+    /// history registers, statistics, the 2-bit counter table packed
+    /// eight counters per word, and each BTB slot — to `out`. Restoring
+    /// via [`restore_state`](Self::restore_state) into a predictor of
+    /// the same geometry reproduces the trained state exactly.
+    pub fn dump_state(&self, out: &mut Vec<u64>) {
+        out.push(self.spec_history);
+        out.push(self.commit_history);
+        out.push(self.predictions);
+        out.push(self.mispredictions);
+        for chunk in self.counters.chunks(8) {
+            let mut word = 0u64;
+            for (i, &c) in chunk.iter().enumerate() {
+                word |= (c as u64) << (8 * i);
+            }
+            out.push(word);
+        }
+        for slot in &self.btb {
+            match slot {
+                Some((pc, target)) => {
+                    out.push(1);
+                    out.push(*pc);
+                    out.push(*target as u64);
+                }
+                None => out.push(0),
+            }
+        }
+    }
+
+    /// Restores state dumped by [`dump_state`](Self::dump_state) into
+    /// this predictor, consuming exactly the words the dump produced.
+    /// Returns `None` when the stream is truncated or holds an invalid
+    /// counter or BTB slot encoding — corrupted serialized checkpoints
+    /// must surface as a clean miss, not a panic.
+    pub fn restore_state(&mut self, words: &mut &[u64]) -> Option<()> {
+        let counter_words = self.counters.len().div_ceil(8);
+        if words.len() < 4 + counter_words {
+            return None;
+        }
+        let spec_history = words[0];
+        let commit_history = words[1];
+        let predictions = words[2];
+        let mispredictions = words[3];
+        *words = &words[4..];
+        let mut counters = Vec::with_capacity(self.counters.len());
+        for &word in &words[..counter_words] {
+            for i in 0..8 {
+                if counters.len() == self.counters.len() {
+                    if (word >> (8 * i)) != 0 {
+                        return None; // padding lanes must be zero
+                    }
+                    continue;
+                }
+                let c = (word >> (8 * i)) as u8;
+                if c > 3 {
+                    return None; // 2-bit saturating counter range
+                }
+                counters.push(c);
+            }
+        }
+        *words = &words[counter_words..];
+        let mut btb = Vec::with_capacity(self.btb.len());
+        for _ in 0..self.btb.len() {
+            let (&present, rest) = words.split_first()?;
+            *words = rest;
+            match present {
+                0 => btb.push(None),
+                1 => {
+                    if words.len() < 2 {
+                        return None;
+                    }
+                    btb.push(Some((words[0], words[1] as usize)));
+                    *words = &words[2..];
+                }
+                _ => return None,
+            }
+        }
+        self.spec_history = spec_history;
+        self.commit_history = commit_history;
+        self.predictions = predictions;
+        self.mispredictions = mispredictions;
+        self.counters = counters;
+        self.btb = btb;
+        Some(())
+    }
 }
 
 impl fmt::Display for BranchPredictor {
@@ -285,5 +371,39 @@ mod tests {
     fn display_is_nonempty() {
         let bp = predictor();
         assert!(!bp.to_string().is_empty());
+    }
+
+    #[test]
+    fn dump_restore_round_trips_trained_state() {
+        let mut a = predictor();
+        for i in 0..64u64 {
+            a.train(i * 4, i % 3 == 0, (i % 3 == 0).then_some(i as usize));
+        }
+        a.predict(0x40);
+        a.note_mispredict();
+        let mut words = Vec::new();
+        a.dump_state(&mut words);
+        let mut b = predictor();
+        let mut slice = words.as_slice();
+        b.restore_state(&mut slice).expect("geometry matches");
+        assert!(slice.is_empty(), "restore consumes exactly the dump");
+        assert_eq!(b.stats(), a.stats());
+        // Same trained state: identical predictions afterwards.
+        for pc in (0..256).step_by(4) {
+            assert_eq!(a.predict(pc), b.predict(pc));
+        }
+    }
+
+    #[test]
+    fn restore_rejects_bad_counter_and_truncation() {
+        let mut a = predictor();
+        a.train(0x10, true, None);
+        let mut words = Vec::new();
+        a.dump_state(&mut words);
+        let mut truncated = &words[..words.len() - 1];
+        assert!(predictor().restore_state(&mut truncated).is_none());
+        words[4] = 0xff; // counter lane out of 2-bit range
+        let mut slice = words.as_slice();
+        assert!(predictor().restore_state(&mut slice).is_none());
     }
 }

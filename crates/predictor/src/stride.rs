@@ -279,6 +279,80 @@ impl StrideTable {
     pub fn occupancy(&self) -> usize {
         self.sets.iter().map(Vec::len).sum()
     }
+
+    /// Appends a canonical flat-word dump of the table state — tick,
+    /// event counters, and every live entry in set/way order — to
+    /// `out`. Signed strides are stored as raw u64 bit patterns so the
+    /// round trip is bit-exact. Restoring with
+    /// [`restore_state`](Self::restore_state) into a table of the same
+    /// geometry reproduces training and replacement state exactly.
+    pub fn dump_state(&self, out: &mut Vec<u64>) {
+        out.push(self.tick);
+        out.push(self.trains);
+        out.push(self.hits);
+        out.push(self.sets.len() as u64);
+        for set in &self.sets {
+            out.push(set.len() as u64);
+            for e in set {
+                out.push(e.tag);
+                out.push(e.last_addr);
+                out.push(e.stride as u64);
+                out.push(e.confidence as u64);
+                out.push(e.pending_stride as u64);
+                out.push(e.lru);
+            }
+        }
+    }
+
+    /// Restores state dumped by [`dump_state`](Self::dump_state) into
+    /// this table, consuming exactly the words the dump produced.
+    /// Returns `None` when the stream is truncated, the set count does
+    /// not match this table's geometry, a set exceeds the configured
+    /// associativity, or a confidence value exceeds the saturation
+    /// ceiling — corrupted serialized checkpoints must surface as a
+    /// clean miss, not a panic.
+    pub fn restore_state(&mut self, words: &mut &[u64]) -> Option<()> {
+        if words.len() < 4 {
+            return None;
+        }
+        let tick = words[0];
+        let trains = words[1];
+        let hits = words[2];
+        let n_sets = words[3];
+        *words = &words[4..];
+        if n_sets as usize != self.sets.len() {
+            return None;
+        }
+        let mut sets = Vec::with_capacity(self.sets.len());
+        for _ in 0..n_sets {
+            let (&len, rest) = words.split_first()?;
+            *words = rest;
+            if len as usize > self.cfg.ways || words.len() < 6 * len as usize {
+                return None;
+            }
+            let mut set = Vec::with_capacity(self.cfg.ways);
+            for chunk in words[..6 * len as usize].chunks_exact(6) {
+                if chunk[3] > self.cfg.max_confidence as u64 {
+                    return None;
+                }
+                set.push(StrideEntry {
+                    tag: chunk[0],
+                    last_addr: chunk[1],
+                    stride: chunk[2] as i64,
+                    confidence: chunk[3] as u8,
+                    pending_stride: chunk[4] as i64,
+                    lru: chunk[5],
+                });
+            }
+            *words = &words[6 * len as usize..];
+            sets.push(set);
+        }
+        self.tick = tick;
+        self.trains = trains;
+        self.hits = hits;
+        self.sets = sets;
+        Some(())
+    }
 }
 
 impl fmt::Display for StrideTable {
@@ -474,6 +548,48 @@ mod tests {
         t.train(0x10, 2064);
         t.train(0x10, 2128);
         assert_eq!(t.peek(0x10).unwrap().stride, 64);
+    }
+
+    #[test]
+    fn dump_restore_round_trips_trained_state() {
+        let mut a = table();
+        for i in 0..12u64 {
+            a.train(0x10 + (i % 3) * 4, 1000 + i * 8);
+        }
+        let _ = a.predict_current(0x10);
+        let mut words = Vec::new();
+        a.dump_state(&mut words);
+        let mut b = table();
+        let mut slice = words.as_slice();
+        b.restore_state(&mut slice).expect("geometry matches");
+        assert!(slice.is_empty(), "restore consumes exactly the dump");
+        assert_eq!(b.stats(), a.stats());
+        assert_eq!(b.occupancy(), a.occupancy());
+        for pc in [0x10, 0x14, 0x18] {
+            assert_eq!(a.predict_current(pc), b.predict_current(pc));
+            assert_eq!(a.peek(pc), b.peek(pc));
+        }
+    }
+
+    #[test]
+    fn restore_rejects_bad_confidence_and_truncation() {
+        let mut a = table();
+        for i in 0..4 {
+            a.train(0x10, 1000 + i * 8);
+        }
+        let mut words = Vec::new();
+        a.dump_state(&mut words);
+        let mut truncated = &words[..words.len() - 1];
+        assert!(table().restore_state(&mut truncated).is_none());
+        // Word layout: 4-word header, set lengths, then entries; the
+        // confidence of the single live entry is the 4th entry word.
+        let pos = words
+            .iter()
+            .position(|&w| w == a.peek(0x10).unwrap().confidence as u64)
+            .unwrap();
+        words[pos] = u64::from(a.config().max_confidence) + 1;
+        let mut slice = words.as_slice();
+        assert!(table().restore_state(&mut slice).is_none());
     }
 
     #[test]

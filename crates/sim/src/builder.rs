@@ -32,7 +32,7 @@ pub struct SimBuilder {
     pub(crate) address_prediction: bool,
     value_prediction: bool,
     pub(crate) config: CoreConfig,
-    trace: bool,
+    pub(crate) trace: bool,
     trace_sink: Option<SharedSink>,
     occupancy_interval: Option<u64>,
     prof: Option<Arc<ProfRegistry>>,
@@ -185,6 +185,32 @@ impl SimBuilder {
         let mut core = self.build_core();
         self.warm_core(&mut core, w);
         core.run(&w.program, w.memory.clone(), w.max_cycles)
+    }
+
+    /// A deterministic FNV-1a fingerprint of everything that shapes
+    /// functionally-warmed state: the cache-hierarchy geometry, the
+    /// branch-predictor geometry, and the doppelganger configuration
+    /// with the builder's address-prediction override applied — exactly
+    /// the inputs the sampling warmer is built from. Two builders with
+    /// equal fingerprints produce bit-identical warmed checkpoints for
+    /// the same workload, so checkpoint-store entries may be shared
+    /// across schemes (warming is scheme-independent) but never across
+    /// configurations that would warm differently.
+    pub fn warm_fingerprint(&self) -> u64 {
+        let mut dgl_cfg = self.config.doppelganger;
+        dgl_cfg.address_prediction = self.address_prediction;
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for text in [
+            format!("{:?}", self.config.hierarchy),
+            format!("{:?}", self.config.branch),
+            format!("{dgl_cfg:?}"),
+        ] {
+            for &b in text.as_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1_0000_01b3);
+            }
+        }
+        h
     }
 
     /// Pre-warms a workload's declared hot ranges, walking them at the

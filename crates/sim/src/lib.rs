@@ -29,14 +29,17 @@
 #![warn(missing_docs)]
 
 pub mod builder;
+pub mod ckptstore;
 pub mod compare;
 pub mod experiments;
 pub mod manifest;
 pub mod report;
 pub mod sampling;
 pub mod security;
+pub mod serve;
 
 pub use builder::{SimBuilder, VerifyError};
+pub use ckptstore::{CheckpointKey, CheckpointStore, ProgramTotals, StoreCounters};
 pub use compare::{compare, CompareOptions, Comparison, MetricDelta};
 pub use experiments::{
     figure1, figure1_from, figure6, figure6_from, figure7, figure7_from, figure8, ConfigId,

@@ -8,7 +8,8 @@
 //! 1. **Fast-forward with functional warming**: the golden-model
 //!    emulator ([`dgl_isa::Emulator`]) executes functionally to each
 //!    window's warmup start and captures an architectural
-//!    [`Checkpoint`] (registers, memory, PC). While it runs, its
+//!    [`Checkpoint`](dgl_isa::Checkpoint) (registers, memory, PC).
+//!    While it runs, its
 //!    [`ArchEvent`] stream continuously warms a shadow memory
 //!    hierarchy, branch predictor, and stride table through the same
 //!    commit-time training APIs the detailed core uses — so each
@@ -32,14 +33,16 @@
 //! experiment matrix uses; a panicking window poisons only itself and
 //! surfaces as [`RunError::Internal`].
 
+use crate::ckptstore::{CheckpointKey, CheckpointStore, ProgramTotals, StoredWindow};
 use crate::experiments::panic_message;
 use crate::SimBuilder;
 use dgl_core::AddressPredictor;
-use dgl_isa::{ArchEvent, Checkpoint, EmuError, Emulator};
+use dgl_isa::{ArchEvent, EmuError, Emulator};
 use dgl_mem::MemorySystem;
 use dgl_pipeline::{Core, Provenance, RunError, RunReport};
 use dgl_predictor::BranchPredictor;
 use dgl_workloads::Workload;
+use std::sync::Arc;
 
 /// Parameters of the sampling regime.
 ///
@@ -222,7 +225,7 @@ fn emu_error(e: EmuError) -> RunError {
 /// committed instructions only) and table indexing are preserved
 /// exactly. Cloning is cheap: tag arrays plus small tables.
 #[derive(Clone)]
-struct FunctionalWarmer {
+pub(crate) struct FunctionalWarmer {
     mem: MemorySystem,
     bpred: BranchPredictor,
     ap: AddressPredictor,
@@ -231,7 +234,7 @@ struct FunctionalWarmer {
 impl FunctionalWarmer {
     /// Builds a warmer matching `b`'s core configuration, seeded with
     /// `mem` (the workload's pre-warmed resident ranges).
-    fn new(b: &SimBuilder, mem: MemorySystem) -> Self {
+    pub(crate) fn new(b: &SimBuilder, mem: MemorySystem) -> Self {
         let mut dgl_cfg = b.config.doppelganger;
         dgl_cfg.address_prediction = b.address_prediction;
         Self {
@@ -243,7 +246,7 @@ impl FunctionalWarmer {
 
     /// Applies one retired architectural event, mirroring the order of
     /// the detailed core's commit stage (train, then prefetch).
-    fn observe(&mut self, ev: ArchEvent) {
+    pub(crate) fn observe(&mut self, ev: ArchEvent) {
         match ev {
             ArchEvent::Load { pc, addr } => {
                 self.mem.warm(addr);
@@ -266,16 +269,44 @@ impl FunctionalWarmer {
         core.install_branch_predictor(self.bpred.clone());
         core.install_address_predictor(self.ap.clone());
     }
+
+    /// Appends a canonical flat-word dump of the warmed state — the
+    /// quiescent memory hierarchy, branch predictor, and address
+    /// predictor — to `out` (checkpoint-store disk tier).
+    pub(crate) fn dump_state(&self, out: &mut Vec<u64>) {
+        self.mem.dump_warm_state(out);
+        self.bpred.dump_state(out);
+        self.ap.dump_state(out);
+    }
+
+    /// Rebuilds a warmer from a [`dump_state`](Self::dump_state) word
+    /// stream for builder `b`, which must carry the configuration the
+    /// dump was produced under. Returns `None` on a truncated or
+    /// malformed stream — a corrupted serialized checkpoint must
+    /// surface as a clean store miss, not a panic.
+    pub(crate) fn restore_state(b: &SimBuilder, words: &mut &[u64]) -> Option<Self> {
+        let mut warmer = Self::new(b, MemorySystem::new(b.config.hierarchy));
+        warmer.mem.restore_warm_state(words)?;
+        warmer.bpred.restore_state(words)?;
+        warmer.ap.restore_state(words)?;
+        // Trace wiring is host-side and never serialized; mirror the
+        // builder's setting so a disk-restored warmer installs exactly
+        // the state an in-memory one would.
+        warmer.mem.set_trace(b.trace);
+        Some(warmer)
+    }
 }
 
 /// One window's work order: index, warmup length (window 0 may get a
-/// truncated warmup), the checkpoint to start from, and the
-/// functionally warmed state at the checkpoint.
+/// truncated warmup), and the snapshot — checkpoint plus functionally
+/// warmed state — the window starts from. The snapshot is shared
+/// (`Arc`) between the plan and the checkpoint store, so a store hit
+/// costs no state copies at planning time; each window clones state
+/// only when it seeds its own core.
 struct WindowPlan {
     index: usize,
     warmup_insts: u64,
-    checkpoint: Checkpoint,
-    warmed: FunctionalWarmer,
+    window: Arc<StoredWindow>,
 }
 
 impl SimBuilder {
@@ -300,7 +331,41 @@ impl SimBuilder {
     ///
     /// Panics when `cfg` is degenerate (zero interval or window).
     pub fn run_sampled(&self, w: &Workload, cfg: &SamplingConfig) -> Result<SampledRun, RunError> {
+        self.run_sampled_with_store(w, cfg, None)
+    }
+
+    /// [`run_sampled`](Self::run_sampled) backed by a shared
+    /// [`CheckpointStore`]: each window's warmup-start checkpoint (and
+    /// the functionally warmed state that goes with it) is looked up in
+    /// the store before the golden model walks there, and inserted on a
+    /// miss. A hit replaces the fast-forward for that window with a
+    /// clone of the stored snapshot; because the golden model is
+    /// deterministic and stored snapshots are bit-identical clones of
+    /// what the miss path would have produced, the returned
+    /// [`SampledRun`] — and any manifest built from it — is
+    /// byte-identical with or without the store.
+    ///
+    /// # Errors
+    ///
+    /// As [`run_sampled`](Self::run_sampled).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cfg` is degenerate (zero interval or window).
+    pub fn run_sampled_with_store(
+        &self,
+        w: &Workload,
+        cfg: &SamplingConfig,
+        store: Option<&CheckpointStore>,
+    ) -> Result<SampledRun, RunError> {
         cfg.validate();
+        let workload_fp = store.map(|_| crate::manifest::workload_fingerprint(w));
+        let warm_fp = store.map(|_| self.warm_fingerprint());
+        let key_at = |retired: u64| CheckpointKey {
+            workload: workload_fp.unwrap_or(0),
+            warm: warm_fp.unwrap_or(0),
+            retired,
+        };
         // Functional pass: walk the golden model once, capturing a
         // checkpoint where each window's warmup begins.
         let mut emu = Emulator::new(&w.program, w.memory.clone());
@@ -318,9 +383,40 @@ impl SimBuilder {
             template.memory_system().clone()
         });
         let mut plans: Vec<WindowPlan> = Vec::new();
+        // On a store hit the golden model is NOT advanced; `cursor`
+        // remembers the latest hit snapshot so a later miss (or the
+        // totals tail walk) materializes the emulator and warmer from
+        // it lazily. A run whose windows all hit therefore copies no
+        // state at all during planning.
+        let mut cursor: Option<Arc<StoredWindow>> = None;
         for index in 0..cfg.max_windows {
             let measure_start = index as u64 * cfg.interval_insts;
             let warmup_start = measure_start.saturating_sub(cfg.warmup_insts);
+            if let Some(s) = store {
+                if let Some(entry) = s.get(self, key_at(warmup_start)) {
+                    // Store hit: the snapshot was captured at exactly
+                    // this boundary (`checkpoint.retired ==
+                    // warmup_start`), so the window — and every later
+                    // one — proceeds bit-identically to the miss path.
+                    cursor = Some(Arc::clone(&entry));
+                    plans.push(WindowPlan {
+                        index,
+                        warmup_insts: measure_start - warmup_start,
+                        window: entry,
+                    });
+                    continue;
+                }
+                // Miss: jump to the furthest snapshot strictly before
+                // this boundary — the last hit (`cursor`) or any
+                // resident waypoint past it — before walking the rest.
+                let jump = cursor.take().filter(|c| c.retired() > emu.retired());
+                let pos = jump.as_ref().map_or(emu.retired(), |c| c.retired());
+                let jump = s.nearest_below(key_at(warmup_start), pos).or(jump);
+                if let Some(entry) = jump {
+                    emu = Emulator::from_checkpoint(&w.program, entry.checkpoint.clone());
+                    warmer = entry.warmed.clone();
+                }
+            }
             while emu.retired() < warmup_start && !emu.halted() && emu.retired() < step_budget {
                 emu.step_observed(&mut |ev| warmer.observe(ev))
                     .map_err(emu_error)?;
@@ -328,19 +424,46 @@ impl SimBuilder {
             if emu.halted() || emu.retired() >= step_budget {
                 break;
             }
-            plans.push(WindowPlan {
-                index,
-                warmup_insts: measure_start - warmup_start,
+            let window = Arc::new(StoredWindow {
                 checkpoint: emu.checkpoint(),
                 warmed: warmer.clone(),
             });
+            if let Some(s) = store {
+                s.insert(key_at(warmup_start), Arc::clone(&window));
+            }
+            plans.push(WindowPlan {
+                index,
+                warmup_insts: measure_start - warmup_start,
+                window,
+            });
         }
-        // Finish the functional run for the whole-program totals.
-        while !emu.halted() && emu.retired() < step_budget {
-            emu.step().map_err(emu_error)?;
-        }
-        let total_insts = emu.retired();
-        let halted = emu.halted();
+        // Finish the functional run for the whole-program totals, or
+        // take them from the store's totals cache (they are a pure
+        // function of the program and its step budget).
+        let totals = store.and_then(|s| s.totals(workload_fp.unwrap_or(0)));
+        let (total_insts, halted) = match totals {
+            Some(t) => (t.total_insts, t.halted),
+            None => {
+                // Resume the tail walk from the last hit snapshot when
+                // it is ahead of the live emulator.
+                if let Some(c) = cursor.take().filter(|c| c.retired() > emu.retired()) {
+                    emu = Emulator::from_checkpoint(&w.program, c.checkpoint.clone());
+                }
+                while !emu.halted() && emu.retired() < step_budget {
+                    emu.step().map_err(emu_error)?;
+                }
+                if let Some(s) = store {
+                    s.set_totals(
+                        workload_fp.unwrap_or(0),
+                        ProgramTotals {
+                            total_insts: emu.retired(),
+                            halted: emu.halted(),
+                        },
+                    );
+                }
+                (emu.retired(), emu.halted())
+            }
+        };
 
         let windows = self.simulate_windows(w, cfg, &plans)?;
         Ok(SampledRun {
@@ -385,10 +508,10 @@ impl SimBuilder {
                             let run =
                                 std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                                     let mut core = self.build_core();
-                                    plan.warmed.install_into(&mut core);
+                                    plan.window.warmed.install_into(&mut core);
                                     core.run_window(
                                         &w.program,
-                                        &plan.checkpoint,
+                                        &plan.window.checkpoint,
                                         plan.warmup_insts,
                                         cfg.window_insts,
                                         max_cycles,
@@ -397,7 +520,7 @@ impl SimBuilder {
                             let result = match run {
                                 Ok(Ok(report)) => Ok(WindowReport {
                                     index: plan.index,
-                                    checkpoint_inst: plan.checkpoint.retired,
+                                    checkpoint_inst: plan.window.checkpoint.retired,
                                     report,
                                 }),
                                 Ok(Err(e)) => Err(e),

@@ -1,0 +1,634 @@
+//! `dgl serve`: a batch simulation service over JSON-lines.
+//!
+//! The service reads one job per line (`dgl-serve-job` v1), schedules
+//! jobs on a bounded worker pool — the bounded queue gives natural
+//! backpressure: the reader blocks instead of buffering an unbounded
+//! batch — and streams back one result per completed job
+//! (`dgl-serve-result` v1) in completion order. All workers share one
+//! [`CheckpointStore`], so a sweep over the same workload windows
+//! fast-forwards once and every later job starts from stored
+//! snapshots.
+//!
+//! ## Protocol
+//!
+//! A job line (unknown keys are rejected by the strict parser; every
+//! field except `workload` is optional):
+//!
+//! ```json
+//! {"schema":"dgl-serve-job","version":1,"id":"j1","workload":"hmmer_like",
+//!  "insts":12000,"scheme":"dom","ap":true,"vp":false,
+//!  "sample":{"interval":3000,"warmup":800,"window":400,"max_windows":256,"threads":1}}
+//! ```
+//!
+//! A result line wraps the **byte-identical** manifest the one-shot
+//! CLI would have produced (`dgl run ... --stats-json`) in a `host`
+//! envelope carrying queue/run wall times — host-side quantities stay
+//! outside the manifest so the manifest remains a pure function of the
+//! simulated run:
+//!
+//! ```json
+//! {"schema":"dgl-serve-result","version":1,"id":"j1","ok":true,
+//!  "host":{"queue_us":12,"run_us":90210},"manifest":{...}}
+//! ```
+//!
+//! A failed job reports `"ok":false` and an `error` string instead of
+//! a manifest; a malformed line gets an error result echoing its line
+//! number. The control line `{"control":"stats"}` (and the `--stats`
+//! flag, at end of input) emits a `dgl-serve-stats` v1 document whose
+//! counters all live under a top-level `host` object, so `dgl compare`
+//! treats them as report-only — never gating.
+
+use crate::ckptstore::CheckpointStore;
+use crate::experiments::{panic_message, ConfigId};
+use crate::sampling::SamplingConfig;
+use crate::SimBuilder;
+use dgl_stats::{Histogram, Json, MetricsRegistry};
+use dgl_workloads::{by_name, Scale};
+use std::io::{BufRead, BufReader, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Mutex};
+use std::time::Instant;
+
+/// Schema identifier of a job line.
+pub const SERVE_JOB_SCHEMA: &str = "dgl-serve-job";
+/// Schema identifier of a result line.
+pub const SERVE_RESULT_SCHEMA: &str = "dgl-serve-result";
+/// Schema identifier of a stats document.
+pub const SERVE_STATS_SCHEMA: &str = "dgl-serve-stats";
+/// Current protocol version (job, result, and stats schemas move
+/// together).
+pub const SERVE_VERSION: u64 = 1;
+
+/// Service configuration (CLI flags).
+pub struct ServeOptions {
+    /// Worker threads simulating jobs.
+    pub workers: usize,
+    /// Bounded job-queue depth (backpressure threshold).
+    pub queue: usize,
+    /// When set, each completed job's manifest is also written to
+    /// `<dir>/<id>.json`, byte-identical to `dgl run --stats-json`.
+    pub manifest_dir: Option<PathBuf>,
+    /// Emit a `dgl-serve-stats` document after the input is drained.
+    pub stats: bool,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            queue: 4,
+            manifest_dir: None,
+            stats: false,
+        }
+    }
+}
+
+/// What a completed `serve` session did (exit reporting).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Jobs that completed with a manifest.
+    pub jobs: u64,
+    /// Jobs or lines that produced an error result.
+    pub errors: u64,
+}
+
+/// One parsed simulation job.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Caller-chosen identifier echoed into the result line (defaults
+    /// to `job-<line index>`).
+    pub id: String,
+    /// Workload name (see `dgl suite`).
+    pub workload: String,
+    /// Instruction budget, as `dgl run --insts`.
+    pub insts: u64,
+    /// Secure-speculation scheme.
+    pub scheme: dgl_core::SchemeKind,
+    /// Doppelganger address prediction.
+    pub ap: bool,
+    /// Value prediction.
+    pub vp: bool,
+    /// Sampled-mode parameters; `None` runs the whole program in
+    /// detail.
+    pub sample: Option<SamplingConfig>,
+}
+
+fn as_bool(node: &Json) -> Option<bool> {
+    match node {
+        Json::Bool(b) => Some(*b),
+        _ => None,
+    }
+}
+
+fn opt_u64(doc: &Json, key: &str, default: u64) -> Result<u64, String> {
+    match doc.get(key) {
+        None => Ok(default),
+        Some(node) => node
+            .as_u64()
+            .ok_or_else(|| format!("field `{key}` must be a non-negative integer")),
+    }
+}
+
+fn opt_bool(doc: &Json, key: &str) -> Result<bool, String> {
+    match doc.get(key) {
+        None => Ok(false),
+        Some(node) => as_bool(node).ok_or_else(|| format!("field `{key}` must be a boolean")),
+    }
+}
+
+impl JobSpec {
+    /// Parses one job line (already JSON-parsed into `doc`); `index`
+    /// names anonymous jobs. Errors name the offending field or value.
+    pub fn parse(doc: &Json, index: usize) -> Result<JobSpec, String> {
+        let schema = doc
+            .get("schema")
+            .and_then(Json::as_str)
+            .ok_or("job line lacks a `schema` field")?;
+        if schema != SERVE_JOB_SCHEMA {
+            return Err(format!(
+                "unsupported schema `{schema}` (expected {SERVE_JOB_SCHEMA})"
+            ));
+        }
+        let version = doc
+            .get("version")
+            .and_then(Json::as_u64)
+            .ok_or("job line lacks a `version` field")?;
+        if version != SERVE_VERSION {
+            return Err(format!(
+                "unsupported version {version} (expected {SERVE_VERSION})"
+            ));
+        }
+        let id = match doc.get("id") {
+            None => format!("job-{index}"),
+            Some(node) => {
+                let id = node.as_str().ok_or("field `id` must be a string")?;
+                if id.is_empty()
+                    || !id
+                        .chars()
+                        .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'))
+                {
+                    return Err(format!(
+                        "bad job id `{id}` (use ASCII letters, digits, `-`, `_`, `.`)"
+                    ));
+                }
+                id.to_owned()
+            }
+        };
+        let workload = doc
+            .get("workload")
+            .and_then(Json::as_str)
+            .ok_or("job line lacks a `workload` field")?
+            .to_owned();
+        let scheme = match doc.get("scheme") {
+            None => dgl_core::SchemeKind::Baseline,
+            Some(node) => {
+                let name = node.as_str().ok_or("field `scheme` must be a string")?;
+                name.parse().map_err(|e| format!("{e}"))?
+            }
+        };
+        let sample = match doc.get("sample") {
+            None => None,
+            Some(node) => {
+                if node.entries().is_none() {
+                    return Err("field `sample` must be an object".into());
+                }
+                let d = SamplingConfig::default();
+                let cfg = SamplingConfig {
+                    interval_insts: opt_u64(node, "interval", d.interval_insts)?,
+                    warmup_insts: opt_u64(node, "warmup", d.warmup_insts)?,
+                    window_insts: opt_u64(node, "window", d.window_insts)?,
+                    max_windows: opt_u64(node, "max_windows", d.max_windows as u64)? as usize,
+                    // Window parallelism defaults to 1 under serve: the
+                    // worker pool is the parallel axis. Results are
+                    // identical for every value.
+                    threads: opt_u64(node, "threads", 1)? as usize,
+                };
+                if cfg.interval_insts == 0 || cfg.window_insts == 0 || cfg.max_windows == 0 {
+                    return Err("sampling interval, window, and max-windows must be > 0".into());
+                }
+                Some(cfg)
+            }
+        };
+        Ok(JobSpec {
+            id,
+            workload,
+            insts: opt_u64(doc, "insts", 25_000)?,
+            scheme,
+            ap: opt_bool(doc, "ap")?,
+            vp: opt_bool(doc, "vp")?,
+            sample,
+        })
+    }
+
+    /// Serializes the job back into its line form (round-trip tests,
+    /// batch generators).
+    pub fn to_json(&self) -> Json {
+        let doc = Json::object()
+            .field("schema", Json::str(SERVE_JOB_SCHEMA))
+            .field("version", Json::uint(SERVE_VERSION))
+            .field("id", Json::str(self.id.clone()))
+            .field("workload", Json::str(self.workload.clone()))
+            .field("insts", Json::uint(self.insts))
+            .field("scheme", Json::str(self.scheme.name()))
+            .field("ap", Json::Bool(self.ap))
+            .field("vp", Json::Bool(self.vp));
+        match &self.sample {
+            None => doc,
+            Some(cfg) => doc.field(
+                "sample",
+                Json::object()
+                    .field("interval", Json::uint(cfg.interval_insts))
+                    .field("warmup", Json::uint(cfg.warmup_insts))
+                    .field("window", Json::uint(cfg.window_insts))
+                    .field("max_windows", Json::uint(cfg.max_windows as u64))
+                    .field("threads", Json::uint(cfg.threads as u64)),
+            ),
+        }
+    }
+
+    /// Runs the job and builds its manifest — through exactly the same
+    /// [`crate::run_manifest`]/[`crate::sampled_manifest`] calls the
+    /// one-shot CLI uses, so the document is byte-identical to `dgl
+    /// run` with the same parameters. Sampled jobs consult `store`.
+    pub fn run(&self, store: &CheckpointStore) -> Result<Json, String> {
+        let w = by_name(&self.workload, Scale::Custom(self.insts))
+            .ok_or_else(|| format!("unknown workload `{}` (try `dgl suite`)", self.workload))?;
+        let config = ConfigId::new(self.scheme, self.ap);
+        let mut b = SimBuilder::new();
+        b.scheme(self.scheme)
+            .address_prediction(self.ap)
+            .value_prediction(self.vp);
+        match &self.sample {
+            Some(cfg) => {
+                let run = b
+                    .run_sampled_with_store(&w, cfg, Some(store))
+                    .map_err(|e| e.to_string())?;
+                Ok(crate::sampled_manifest(&w, config, self.vp, &run))
+            }
+            None => {
+                let report = b.run_workload(&w).map_err(|e| e.to_string())?;
+                Ok(crate::run_manifest(&w, config, self.vp, &report))
+            }
+        }
+    }
+}
+
+fn result_doc(id: &str, queue_us: u64, run_us: u64, outcome: Result<Json, String>) -> Json {
+    let doc = Json::object()
+        .field("schema", Json::str(SERVE_RESULT_SCHEMA))
+        .field("version", Json::uint(SERVE_VERSION))
+        .field("id", Json::str(id))
+        .field("ok", Json::Bool(outcome.is_ok()))
+        .field(
+            "host",
+            Json::object()
+                .field("queue_us", Json::uint(queue_us))
+                .field("run_us", Json::uint(run_us)),
+        );
+    match outcome {
+        Ok(manifest) => doc.field("manifest", manifest),
+        Err(e) => doc.field("error", Json::str(e)),
+    }
+}
+
+/// Builds the `dgl-serve-stats` v1 document: store counters, residency,
+/// job totals, and the queue-latency histogram, all under a top-level
+/// `host` object so `dgl compare` reports them without ever gating.
+pub fn stats_doc(store: &CheckpointStore, queue_us: &Histogram, summary: ServeSummary) -> Json {
+    let mut reg = MetricsRegistry::new();
+    store.publish(&mut reg);
+    reg.counter("serve.jobs", summary.jobs);
+    reg.counter("serve.errors", summary.errors);
+    reg.histogram("serve.queue_us", queue_us.clone());
+    Json::object()
+        .field("schema", Json::str(SERVE_STATS_SCHEMA))
+        .field("version", Json::uint(SERVE_VERSION))
+        .field("host", reg.to_json())
+}
+
+/// `dgl explain`-style rendering of a stats document (the `--stats`
+/// flag prints this next to the JSON line).
+pub fn render_stats(
+    store: &CheckpointStore,
+    queue_us: &Histogram,
+    summary: ServeSummary,
+) -> String {
+    use std::fmt::Write as _;
+    let c = store.counters();
+    let mut out = String::new();
+    let _ = writeln!(out, "checkpoint store:");
+    for (name, value) in [
+        ("hits", c.hits),
+        ("misses", c.misses),
+        ("partial hits", c.partial_hits),
+        ("inserts", c.inserts),
+        ("evictions", c.evictions),
+        ("disk hits", c.disk_hits),
+        ("disk writes", c.disk_writes),
+        ("disk rejects", c.disk_rejects),
+        ("totals hits", c.totals_hits),
+        ("resident", store.resident() as u64),
+    ] {
+        let _ = writeln!(out, "  {name:13} {value:>10}");
+    }
+    let _ = writeln!(
+        out,
+        "jobs: {} completed, {} errors",
+        summary.jobs, summary.errors
+    );
+    if queue_us.count() > 0 {
+        let _ = writeln!(
+            out,
+            "queue latency: mean {:.0} us, p95 {} us, max {} us over {} jobs",
+            queue_us.mean(),
+            queue_us.quantile(0.95).unwrap_or(0),
+            queue_us.max(),
+            queue_us.count()
+        );
+    }
+    out
+}
+
+/// Writes `doc` as one compact JSON line (the protocol framing).
+fn emit_line<W: Write>(output: &Mutex<W>, doc: &Json) {
+    let mut out = output.lock().unwrap_or_else(|e| e.into_inner());
+    let _ = writeln!(out, "{doc}");
+    let _ = out.flush();
+}
+
+/// Reads job lines from `input`, runs them on `opts.workers` worker
+/// threads sharing `store`, and writes result lines to `output` in
+/// completion order. Returns when the input is exhausted and every
+/// accepted job has been answered.
+///
+/// # Errors
+///
+/// Propagates the first read error from `input`; job failures are
+/// reported in-band as error results, never as an `Err`.
+pub fn serve_lines<R: BufRead, W: Write + Send>(
+    input: R,
+    output: W,
+    store: &CheckpointStore,
+    opts: &ServeOptions,
+) -> std::io::Result<ServeSummary> {
+    let output = Mutex::new(output);
+    let queue_hist = Mutex::new(Histogram::new());
+    let jobs_done = AtomicU64::new(0);
+    let errors = AtomicU64::new(0);
+    let (tx, rx) = mpsc::sync_channel::<(JobSpec, Instant)>(opts.queue.max(1));
+    let rx = Mutex::new(rx);
+    let mut read_error = None;
+    std::thread::scope(|scope| {
+        for _ in 0..opts.workers.max(1) {
+            scope.spawn(|| loop {
+                // Take one job; release the receiver lock before
+                // simulating so other workers can pick up jobs.
+                let job = rx.lock().unwrap_or_else(|e| e.into_inner()).recv();
+                let Ok((spec, enqueued)) = job else { break };
+                let queue_us = enqueued.elapsed().as_micros() as u64;
+                queue_hist
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .record(queue_us);
+                let started = Instant::now();
+                let outcome =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| spec.run(store)))
+                        .unwrap_or_else(|payload| Err(panic_message(payload)));
+                let run_us = started.elapsed().as_micros() as u64;
+                match &outcome {
+                    Ok(manifest) => {
+                        jobs_done.fetch_add(1, Ordering::Relaxed);
+                        if let Some(dir) = &opts.manifest_dir {
+                            // Same bytes `write_manifest` in the CLI
+                            // produces for `dgl run --stats-json`.
+                            let mut text = manifest.to_string_pretty();
+                            text.push('\n');
+                            let _ = std::fs::create_dir_all(dir);
+                            let _ = std::fs::write(dir.join(format!("{}.json", spec.id)), text);
+                        }
+                    }
+                    Err(_) => {
+                        errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                emit_line(&output, &result_doc(&spec.id, queue_us, run_us, outcome));
+            });
+        }
+        for (index, line) in input.lines().enumerate() {
+            let line = match line {
+                Ok(line) => line,
+                Err(e) => {
+                    read_error = Some(e);
+                    break;
+                }
+            };
+            if line.trim().is_empty() {
+                continue;
+            }
+            let parsed = Json::parse(&line).map_err(|e| format!("line {}: {e}", index + 1));
+            let doc = match parsed {
+                Ok(doc) => doc,
+                Err(e) => {
+                    errors.fetch_add(1, Ordering::Relaxed);
+                    emit_line(
+                        &output,
+                        &result_doc(&format!("line-{}", index + 1), 0, 0, Err(e)),
+                    );
+                    continue;
+                }
+            };
+            if doc.get("control").and_then(Json::as_str) == Some("stats") {
+                // A point-in-time snapshot: jobs still in flight are
+                // not yet counted.
+                let summary = ServeSummary {
+                    jobs: jobs_done.load(Ordering::Relaxed),
+                    errors: errors.load(Ordering::Relaxed),
+                };
+                let hist = queue_hist.lock().unwrap_or_else(|e| e.into_inner()).clone();
+                emit_line(&output, &stats_doc(store, &hist, summary));
+                continue;
+            }
+            match JobSpec::parse(&doc, index + 1) {
+                Ok(spec) => {
+                    // Blocks when the queue is full: backpressure.
+                    if tx.send((spec, Instant::now())).is_err() {
+                        break;
+                    }
+                }
+                Err(e) => {
+                    errors.fetch_add(1, Ordering::Relaxed);
+                    emit_line(
+                        &output,
+                        &result_doc(
+                            &format!("line-{}", index + 1),
+                            0,
+                            0,
+                            Err(format!("line {}: {e}", index + 1)),
+                        ),
+                    );
+                }
+            }
+        }
+        drop(tx);
+    });
+    let summary = ServeSummary {
+        jobs: jobs_done.load(Ordering::Relaxed),
+        errors: errors.load(Ordering::Relaxed),
+    };
+    if opts.stats {
+        let hist = queue_hist.lock().unwrap_or_else(|e| e.into_inner()).clone();
+        emit_line(&output, &stats_doc(store, &hist, summary));
+        eprint!("{}", render_stats(store, &hist, summary));
+    }
+    match read_error {
+        Some(e) => Err(e),
+        None => Ok(summary),
+    }
+}
+
+/// Binds `addr` and serves connections sequentially, each speaking the
+/// same JSON-lines protocol as stdin mode; the checkpoint store (and
+/// its warmed snapshots) persists across connections. `max_conns`
+/// bounds the number of accepted connections (tests; `None` serves
+/// forever).
+///
+/// # Errors
+///
+/// Propagates bind/accept errors; per-connection I/O errors end that
+/// connection only.
+pub fn serve_tcp(
+    addr: &str,
+    store: &CheckpointStore,
+    opts: &ServeOptions,
+    max_conns: Option<usize>,
+) -> std::io::Result<ServeSummary> {
+    let listener = std::net::TcpListener::bind(addr)?;
+    eprintln!("dgl serve: listening on {}", listener.local_addr()?);
+    let mut total = ServeSummary::default();
+    for (accepted, conn) in listener.incoming().enumerate() {
+        let stream = conn?;
+        let reader = BufReader::new(stream.try_clone()?);
+        match serve_lines(reader, stream, store, opts) {
+            Ok(summary) => {
+                total.jobs += summary.jobs;
+                total.errors += summary.errors;
+            }
+            Err(e) => eprintln!("dgl serve: connection error: {e}"),
+        }
+        if max_conns.is_some_and(|n| accepted + 1 >= n) {
+            break;
+        }
+    }
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sampled_job(id: &str, scheme: &str, ap: bool) -> String {
+        format!(
+            "{{\"schema\":\"dgl-serve-job\",\"version\":1,\"id\":\"{id}\",\
+             \"workload\":\"hmmer_like\",\"insts\":6000,\"scheme\":\"{scheme}\",\
+             \"ap\":{ap},\"sample\":{{\"interval\":2000,\"warmup\":500,\"window\":300}}}}"
+        )
+    }
+
+    #[test]
+    fn job_round_trips_through_json() {
+        let doc = Json::parse(&sampled_job("a", "dom", true)).unwrap();
+        let spec = JobSpec::parse(&doc, 1).unwrap();
+        assert_eq!(spec.id, "a");
+        assert_eq!(spec.insts, 6000);
+        assert!(spec.ap && !spec.vp);
+        let reparsed = JobSpec::parse(&spec.to_json(), 2).unwrap();
+        assert_eq!(reparsed.id, spec.id);
+        assert_eq!(reparsed.sample.unwrap(), spec.sample.unwrap());
+    }
+
+    #[test]
+    fn parse_rejects_bad_fields_by_name() {
+        let doc = Json::parse(r#"{"schema":"dgl-serve-job","version":1}"#).unwrap();
+        assert!(JobSpec::parse(&doc, 1).unwrap_err().contains("workload"));
+        let doc = Json::parse(r#"{"schema":"nope","version":1,"workload":"x"}"#).unwrap();
+        assert!(JobSpec::parse(&doc, 1).unwrap_err().contains("nope"));
+        let doc =
+            Json::parse(r#"{"schema":"dgl-serve-job","version":1,"workload":"x","id":"../evil"}"#)
+                .unwrap();
+        assert!(JobSpec::parse(&doc, 1).unwrap_err().contains("../evil"));
+        let doc =
+            Json::parse(r#"{"schema":"dgl-serve-job","version":1,"workload":"x","insts":"many"}"#)
+                .unwrap();
+        assert!(JobSpec::parse(&doc, 1).unwrap_err().contains("insts"));
+    }
+
+    #[test]
+    fn batch_shares_the_store_and_results_match_one_shot() {
+        // Four sampled jobs over one workload: the first fast-forwards,
+        // the rest hit the shared store; every manifest must equal the
+        // one-shot run's.
+        let batch: String = ["baseline", "dom", "stt", "nda-p"]
+            .iter()
+            .enumerate()
+            .map(|(i, s)| sampled_job(&format!("j{i}"), s, true) + "\n")
+            .collect();
+        let store = CheckpointStore::new(16);
+        let mut out = Vec::new();
+        let summary = serve_lines(
+            batch.as_bytes(),
+            &mut out,
+            &store,
+            &ServeOptions {
+                workers: 2,
+                ..ServeOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(summary, ServeSummary { jobs: 4, errors: 0 });
+        let c = store.counters();
+        assert!(c.hits > 0, "batch must reuse stored windows: {c:?}");
+        let text = String::from_utf8(out).unwrap();
+        assert_eq!(text.lines().count(), 4);
+        for line in text.lines() {
+            let doc = Json::parse(line).unwrap();
+            assert_eq!(doc.get("ok"), Some(&Json::Bool(true)));
+            let id = doc.get("id").and_then(Json::as_str).unwrap();
+            let spec_line = match id {
+                "j0" => sampled_job("j0", "baseline", true),
+                "j1" => sampled_job("j1", "dom", true),
+                "j2" => sampled_job("j2", "stt", true),
+                _ => sampled_job("j3", "nda-p", true),
+            };
+            let spec = JobSpec::parse(&Json::parse(&spec_line).unwrap(), 0).unwrap();
+            // One-shot, storeless manifest: must be byte-identical.
+            let solo = spec.run(&CheckpointStore::new(1)).unwrap();
+            let served = doc.get("manifest").expect("result carries manifest");
+            assert_eq!(
+                served.to_string_pretty(),
+                solo.to_string_pretty(),
+                "served manifest for {id} differs from one-shot"
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_lines_get_error_results_not_crashes() {
+        let batch = "this is not json\n\
+                     {\"schema\":\"dgl-serve-job\",\"version\":1,\"workload\":\"no_such\"}\n\
+                     {\"control\":\"stats\"}\n";
+        let store = CheckpointStore::new(4);
+        let mut out = Vec::new();
+        let summary =
+            serve_lines(batch.as_bytes(), &mut out, &store, &ServeOptions::default()).unwrap();
+        assert_eq!(summary.jobs, 0);
+        assert_eq!(summary.errors, 2);
+        let text = String::from_utf8(out).unwrap();
+        let docs: Vec<Json> = text.lines().map(|l| Json::parse(l).unwrap()).collect();
+        assert_eq!(docs.len(), 3);
+        assert_eq!(docs[0].get("ok"), Some(&Json::Bool(false)));
+        assert!(docs
+            .iter()
+            .any(|d| d.get("schema").and_then(Json::as_str) == Some(SERVE_STATS_SCHEMA)));
+    }
+}

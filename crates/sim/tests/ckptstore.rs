@@ -1,0 +1,215 @@
+//! Integration tests for the content-addressed checkpoint store:
+//! determinism, byte-identical manifests with and without the store,
+//! concurrent reuse, and corrupted on-disk entries degrading to clean
+//! misses.
+
+use dgl_sim::{sampled_manifest, CheckpointStore, ConfigId, SamplingConfig, SimBuilder};
+use dgl_workloads::{by_name, Scale, Workload};
+
+fn workload() -> Workload {
+    by_name("hmmer_like", Scale::Custom(8_000)).expect("bundled workload")
+}
+
+fn cfg() -> SamplingConfig {
+    SamplingConfig {
+        interval_insts: 2_000,
+        warmup_insts: 500,
+        window_insts: 300,
+        max_windows: 64,
+        threads: 1,
+    }
+}
+
+fn builder(scheme: dgl_core::SchemeKind, ap: bool) -> SimBuilder {
+    let mut b = SimBuilder::new();
+    b.scheme(scheme).address_prediction(ap);
+    b
+}
+
+/// Unique-but-deterministic scratch directory per test.
+fn scratch(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "dgl-ckpt-it-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn same_key_stores_bit_identical_state() {
+    // Two independent runs over the same workload and warm config must
+    // store byte-identical snapshots at every window offset.
+    let w = workload();
+    let fingerprints = |store: &CheckpointStore| {
+        let mut keys = store.resident_keys();
+        keys.sort_by_key(|k| k.retired);
+        keys.iter()
+            .map(|&k| (k.retired, store.entry_fingerprint(k).unwrap()))
+            .collect::<Vec<_>>()
+    };
+    let store_a = CheckpointStore::new(64);
+    builder(dgl_core::SchemeKind::DoM, true)
+        .run_sampled_with_store(&w, &cfg(), Some(&store_a))
+        .expect("first run");
+    let store_b = CheckpointStore::new(64);
+    builder(dgl_core::SchemeKind::DoM, true)
+        .run_sampled_with_store(&w, &cfg(), Some(&store_b))
+        .expect("second run");
+    let (a, b) = (fingerprints(&store_a), fingerprints(&store_b));
+    assert!(!a.is_empty(), "sampled run must populate the store");
+    assert_eq!(a, b, "same key must map to bit-identical stored state");
+}
+
+#[test]
+fn store_reuse_yields_byte_identical_manifests() {
+    let w = workload();
+    let store = CheckpointStore::new(64);
+    let schemes = [
+        (dgl_core::SchemeKind::Baseline, true),
+        (dgl_core::SchemeKind::DoM, true),
+        (dgl_core::SchemeKind::Stt, true),
+    ];
+    for (scheme, ap) in schemes {
+        let plain = builder(scheme, ap)
+            .run_sampled(&w, &cfg())
+            .expect("storeless run");
+        let stored = builder(scheme, ap)
+            .run_sampled_with_store(&w, &cfg(), Some(&store))
+            .expect("stored run");
+        let config = ConfigId::new(scheme, ap);
+        assert_eq!(
+            sampled_manifest(&w, config, false, &plain).to_string_pretty(),
+            sampled_manifest(&w, config, false, &stored).to_string_pretty(),
+            "store must never change the manifest ({scheme:?} ap={ap})"
+        );
+    }
+    let c = store.counters();
+    // dom+ap and stt+ap share a warm fingerprint, so the second and
+    // third configurations hit windows the earlier ones inserted.
+    assert!(c.hits > 0, "sweep must reuse stored windows: {c:?}");
+    assert!(c.totals_hits > 0, "program totals must be reused: {c:?}");
+}
+
+#[test]
+fn concurrent_workers_share_one_store() {
+    let w = workload();
+    let store = CheckpointStore::new(64);
+    // Warm the store once, then hammer it from scoped threads.
+    let reference = builder(dgl_core::SchemeKind::DoM, true)
+        .run_sampled_with_store(&w, &cfg(), Some(&store))
+        .expect("warming run");
+    let before = store.counters();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let (w, store) = (&w, &store);
+                scope.spawn(move || {
+                    builder(dgl_core::SchemeKind::DoM, true)
+                        .run_sampled_with_store(w, &cfg(), Some(store))
+                        .expect("concurrent run")
+                        .ipc()
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().expect("worker"), reference.ipc());
+        }
+    });
+    let after = store.counters();
+    assert!(
+        after.hits >= before.hits + 4,
+        "every concurrent run must hit the warmed store: {after:?}"
+    );
+    assert_eq!(after.inserts, before.inserts, "no new inserts expected");
+}
+
+#[test]
+fn corrupted_disk_entry_is_a_clean_miss() {
+    let w = workload();
+    let dir = scratch("corrupt");
+    let reference = {
+        let store = CheckpointStore::with_disk(4, &dir);
+        let run = builder(dgl_core::SchemeKind::DoM, true)
+            .run_sampled_with_store(&w, &cfg(), Some(&store))
+            .expect("seeding run");
+        assert!(
+            store.counters().disk_writes > 0,
+            "disk tier must be written"
+        );
+        sampled_manifest(
+            &w,
+            ConfigId::new(dgl_core::SchemeKind::DoM, true),
+            false,
+            &run,
+        )
+        .to_string_pretty()
+    };
+    // Flip one digit inside every stored word stream.
+    let mut corrupted = 0;
+    for entry in std::fs::read_dir(&dir).expect("checkpoint dir") {
+        let path = entry.expect("dir entry").path();
+        let text = std::fs::read_to_string(&path).expect("checkpoint file");
+        let marker = text.find("\"checkpoint\"").expect("checkpoint field");
+        let digit = text[marker..]
+            .char_indices()
+            .find(|(_, c)| c.is_ascii_digit())
+            .map(|(i, _)| marker + i)
+            .expect("digit after checkpoint field");
+        let mut bytes = text.into_bytes();
+        bytes[digit] = if bytes[digit] == b'9' {
+            b'0'
+        } else {
+            bytes[digit] + 1
+        };
+        std::fs::write(&path, bytes).expect("rewrite checkpoint");
+        corrupted += 1;
+    }
+    assert!(corrupted > 0);
+    // A fresh store over the corrupted directory must reject every
+    // entry (no panic, no wrong state) and still produce the same
+    // manifest by re-deriving the windows.
+    let store = CheckpointStore::with_disk(4, &dir);
+    let run = builder(dgl_core::SchemeKind::DoM, true)
+        .run_sampled_with_store(&w, &cfg(), Some(&store))
+        .expect("run over corrupted disk tier");
+    let c = store.counters();
+    assert!(c.disk_rejects > 0, "corruption must be detected: {c:?}");
+    assert_eq!(c.disk_hits, 0, "no corrupted entry may be served: {c:?}");
+    assert_eq!(
+        sampled_manifest(
+            &w,
+            ConfigId::new(dgl_core::SchemeKind::DoM, true),
+            false,
+            &run
+        )
+        .to_string_pretty(),
+        reference,
+        "recovery from corruption must reproduce the manifest"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn store_metrics_appear_in_registry_snapshots() {
+    let w = workload();
+    let store = CheckpointStore::new(64);
+    builder(dgl_core::SchemeKind::DoM, true)
+        .run_sampled_with_store(&w, &cfg(), Some(&store))
+        .expect("run");
+    let mut reg = dgl_stats::MetricsRegistry::new();
+    store.publish(&mut reg);
+    let doc = reg.to_json();
+    for metric in [
+        "ckptstore.misses",
+        "ckptstore.inserts",
+        "ckptstore.resident",
+    ] {
+        assert!(
+            doc.get(metric).is_some(),
+            "{metric} missing from registry snapshot: {}",
+            doc.to_string_pretty()
+        );
+    }
+}

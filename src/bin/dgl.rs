@@ -11,6 +11,7 @@
 //! dgl trace --workload NAME [opts]   record a structured pipeline trace
 //! dgl bench [--quick|--insts N]      run the quick figure matrix, write BENCH_<seq>.json
 //! dgl compare <a.json> <b.json>      diff two manifests / trajectory records
+//! dgl serve [--stdin|--listen ADDR]  batch simulation service (JSON-lines jobs)
 //!
 //! options: --scheme NAME                     (default baseline; see `dgl schemes`)
 //!          --ap                              enable doppelganger loads
@@ -31,6 +32,18 @@
 //!          --sample-window N                 measured commits per window (default 1000)
 //!          --sample-max-windows N            window cap (default 256)
 //!          --sample-threads N                worker threads (default 0 = all cores)
+//!          --ckpt-dir DIR                    on-disk checkpoint store (run --sample/serve)
+//!          --store-cap N                     in-memory checkpoint entries (default 64)
+//!          --stdin                           serve jobs from stdin (the default)
+//!          --listen ADDR                     serve jobs over TCP (e.g. 127.0.0.1:9310)
+//!          --workers N                       serve worker threads (default 2)
+//!          --queue N                         serve queue depth = backpressure (default 4)
+//!          --manifest-dir DIR                also write each job's manifest (serve)
+//!          --stats                           emit a dgl-serve-stats document at end (serve)
+//!          --max-conns N                     stop after N connections (serve --listen)
+//!
+//! Malformed flag values and unknown commands/flags exit 2 with a
+//! message naming the offending value; runtime failures exit 1.
 //! ```
 
 use doppelganger_loads::isa::asm::assemble;
@@ -68,6 +81,15 @@ struct Opts {
     quick: bool,
     json: bool,
     max_ipc_delta: f64,
+    ckpt_dir: Option<String>,
+    store_cap: usize,
+    stdin: bool,
+    listen: Option<String>,
+    workers: usize,
+    queue: usize,
+    manifest_dir: Option<String>,
+    stats: bool,
+    max_conns: Option<usize>,
     positional: Vec<String>,
 }
 
@@ -90,6 +112,15 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         quick: false,
         json: false,
         max_ipc_delta: 0.0,
+        ckpt_dir: None,
+        store_cap: 64,
+        stdin: false,
+        listen: None,
+        workers: 2,
+        queue: 4,
+        manifest_dir: None,
+        stats: false,
+        max_conns: None,
         positional: Vec::new(),
     };
     fn num<T: std::str::FromStr>(
@@ -97,7 +128,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         flag: &str,
     ) -> Result<T, String> {
         let v = it.next().ok_or(format!("{flag} needs a value"))?;
-        v.parse().map_err(|_| format!("bad count `{v}`"))
+        v.parse().map_err(|_| format!("bad value `{v}` for {flag}"))
     }
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -108,10 +139,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             }
             "--ap" => o.ap = true,
             "--vp" => o.vp = true,
-            "--insts" => {
-                let v = it.next().ok_or("--insts needs a value")?;
-                o.insts = v.parse().map_err(|_| format!("bad count `{v}`"))?;
-            }
+            "--insts" => o.insts = num(&mut it, a)?,
             "--secret" => {
                 let v = it.next().ok_or("--secret needs a value")?;
                 // `0x`-prefixed values are hex, everything else decimal
@@ -120,7 +148,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                     Some(hex) => u8::from_str_radix(hex, 16),
                     None => v.parse(),
                 }
-                .map_err(|_| format!("bad secret `{v}`"))?;
+                .map_err(|_| format!("bad value `{v}` for --secret"))?;
             }
             "--workload" => {
                 let v = it.next().ok_or("--workload needs a value")?;
@@ -163,6 +191,49 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--sample-window" => o.sampling.window_insts = num(&mut it, a)?,
             "--sample-max-windows" => o.sampling.max_windows = num(&mut it, a)?,
             "--sample-threads" => o.sampling.threads = num(&mut it, a)?,
+            "--ckpt-dir" => {
+                let v = it.next().ok_or("--ckpt-dir needs a directory")?;
+                o.ckpt_dir = Some(v.clone());
+            }
+            "--store-cap" => {
+                o.store_cap = num(&mut it, a)?;
+                if o.store_cap == 0 {
+                    return Err("--store-cap must be > 0 entries".into());
+                }
+            }
+            "--stdin" => {
+                // Stdin is the default transport; the flag documents
+                // intent in scripts and forbids mixing with --listen.
+                if o.listen.is_some() {
+                    return Err("--stdin and --listen are mutually exclusive".into());
+                }
+                o.stdin = true;
+            }
+            "--listen" => {
+                if o.stdin {
+                    return Err("--stdin and --listen are mutually exclusive".into());
+                }
+                let v = it.next().ok_or("--listen needs an address (host:port)")?;
+                o.listen = Some(v.clone());
+            }
+            "--workers" => {
+                o.workers = num(&mut it, a)?;
+                if o.workers == 0 {
+                    return Err("--workers must be > 0 threads".into());
+                }
+            }
+            "--queue" => {
+                o.queue = num(&mut it, a)?;
+                if o.queue == 0 {
+                    return Err("--queue must be > 0 jobs".into());
+                }
+            }
+            "--manifest-dir" => {
+                let v = it.next().ok_or("--manifest-dir needs a directory")?;
+                o.manifest_dir = Some(v.clone());
+            }
+            "--stats" => o.stats = true,
+            "--max-conns" => o.max_conns = Some(num(&mut it, a)?),
             other if other.starts_with("--") => return Err(format!("unknown flag `{other}`")),
             other => o.positional.push(other.to_owned()),
         }
@@ -227,7 +298,19 @@ fn cmd_run(o: &Opts) -> Result<(), String> {
         if cfg.interval_insts == 0 || cfg.window_insts == 0 || cfg.max_windows == 0 {
             return Err("sampling interval, window, and max-windows must be > 0".into());
         }
-        let run = b.run_sampled(&w, cfg).map_err(|e| e.to_string())?;
+        // With `--ckpt-dir`, fast-forward snapshots persist on disk:
+        // repeat runs (other schemes, other flags) skip the functional
+        // walk. The store never changes the result — the manifest is
+        // byte-identical with or without it.
+        let store = o.ckpt_dir.as_ref().map(|dir| {
+            doppelganger_loads::sim::CheckpointStore::with_disk(
+                o.store_cap,
+                std::path::PathBuf::from(dir),
+            )
+        });
+        let run = b
+            .run_sampled_with_store(&w, cfg, store.as_ref())
+            .map_err(|e| e.to_string())?;
         out!("{label} (sampled)");
         out!(
             "  windows          {:>12}  (interval {}, warmup {}, window {})",
@@ -243,6 +326,17 @@ fn cmd_run(o: &Opts) -> Result<(), String> {
         out!("  sampled IPC      {:>12.4}", run.ipc());
         if !run.halted {
             out!("  warning: the functional run hit its step budget before `halt`");
+        }
+        if let Some(store) = &store {
+            let c = store.counters();
+            out!(
+                "  checkpoint store {:>12}  ({} hits, {} misses, {} disk hits, {} writes)",
+                format!("{} resident", store.resident()),
+                c.hits,
+                c.misses,
+                c.disk_hits,
+                c.disk_writes
+            );
         }
         if let Some(path) = &o.stats_json {
             let doc = doppelganger_loads::sim::sampled_manifest(&w, config, o.vp, &run);
@@ -515,16 +609,55 @@ fn cmd_compare(o: &Opts) -> Result<ExitCode, String> {
     })
 }
 
+/// `dgl serve`: run the batch simulation service over stdin (default)
+/// or a TCP socket, sharing one checkpoint store across every worker
+/// and connection.
+fn cmd_serve(o: &Opts) -> Result<(), String> {
+    use doppelganger_loads::sim::serve::{serve_lines, serve_tcp, ServeOptions};
+    use doppelganger_loads::sim::CheckpointStore;
+    let store = match &o.ckpt_dir {
+        Some(dir) => CheckpointStore::with_disk(o.store_cap, std::path::PathBuf::from(dir)),
+        None => CheckpointStore::new(o.store_cap),
+    };
+    let opts = ServeOptions {
+        workers: o.workers,
+        queue: o.queue,
+        manifest_dir: o.manifest_dir.as_ref().map(std::path::PathBuf::from),
+        stats: o.stats,
+    };
+    let summary = match &o.listen {
+        Some(addr) => serve_tcp(addr, &store, &opts, o.max_conns),
+        None => serve_lines(std::io::stdin().lock(), std::io::stdout(), &store, &opts),
+    }
+    .map_err(|e| e.to_string())?;
+    eprintln!(
+        "dgl serve: {} job(s) completed, {} error(s)",
+        summary.jobs, summary.errors
+    );
+    Ok(())
+}
+
 fn main() -> ExitCode {
+    // Exit-code convention: malformed flag values, unknown flags, and
+    // unknown commands are usage errors and exit 2; runtime failures
+    // (simulation errors, unreadable files) exit 1.
+    const USAGE: u8 = 2;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
         eprintln!(
-            "usage: dgl <suite|schemes|run|explain|asm|attack|figures|trace|bench|compare> \
+            "usage: dgl <suite|schemes|run|explain|asm|attack|figures|trace|bench|compare|serve> \
              [options]"
         );
-        return ExitCode::FAILURE;
+        return ExitCode::from(USAGE);
     };
-    let result = parse_opts(rest).and_then(|o| match cmd.as_str() {
+    let o = match parse_opts(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("dgl: {e}");
+            return ExitCode::from(USAGE);
+        }
+    };
+    let result = match cmd.as_str() {
         "suite" => cmd_suite(&o).map(|()| ExitCode::SUCCESS),
         "schemes" => cmd_schemes().map(|()| ExitCode::SUCCESS),
         "run" => cmd_run(&o).map(|()| ExitCode::SUCCESS),
@@ -535,8 +668,12 @@ fn main() -> ExitCode {
         "trace" => cmd_trace(&o).map(|()| ExitCode::SUCCESS),
         "bench" => cmd_bench(&o).map(|()| ExitCode::SUCCESS),
         "compare" => cmd_compare(&o),
-        other => Err(format!("unknown command `{other}`")),
-    });
+        "serve" => cmd_serve(&o).map(|()| ExitCode::SUCCESS),
+        other => {
+            eprintln!("dgl: unknown command `{other}`");
+            return ExitCode::from(USAGE);
+        }
+    };
     match result {
         Ok(code) => code,
         Err(e) => {

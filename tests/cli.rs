@@ -543,3 +543,132 @@ fn asm_runs_recursive_fibonacci() {
         "fib(12) = 144"
     );
 }
+
+#[test]
+fn usage_errors_exit_2_and_name_the_value() {
+    // Malformed flag values are usage errors: exit 2, message names
+    // both the value and the flag. Runtime failures stay at exit 1.
+    let cases: &[&[&str]] = &[
+        &["run", "hmmer_like", "--insts", "notanumber"],
+        &["run", "hmmer_like", "--sample", "--sample-interval", "x"],
+        &["explain", "hmmer_like", "--top", "many"],
+        &["compare", "a.json", "b.json", "--max-ipc-delta", "wat"],
+        &["serve", "--workers", "several"],
+    ];
+    for args in cases {
+        let out = dgl(args);
+        assert_eq!(out.status.code(), Some(2), "{args:?} must exit 2");
+        let err = String::from_utf8_lossy(&out.stderr);
+        let (flag, value) = (args[args.len() - 2], args[args.len() - 1]);
+        assert!(
+            err.contains(value) && err.contains(flag),
+            "{args:?} stderr must name `{value}` and {flag}: {err}"
+        );
+    }
+    let out = dgl(&["frobnicate"]);
+    assert_eq!(out.status.code(), Some(2), "unknown command exits 2");
+    let out = dgl(&["run", "hmmer_like", "--frobnicate"]);
+    assert_eq!(out.status.code(), Some(2), "unknown flag exits 2");
+    let out = dgl(&["serve", "--stdin", "--listen", "127.0.0.1:0"]);
+    assert_eq!(out.status.code(), Some(2), "conflicting transports exit 2");
+    let out = dgl(&["run", "doom_like"]);
+    assert_eq!(out.status.code(), Some(1), "runtime errors exit 1");
+}
+
+#[test]
+fn serve_batch_matches_one_shot_manifests() {
+    use std::io::Write as _;
+    let dir = std::env::temp_dir().join("dgl-cli-serve-test");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let manifests = dir.join("manifests");
+    let sample = r#""sample":{"interval":2000,"warmup":500,"window":300}"#;
+    let batch = format!(
+        "{}\n{}\n{}\nnot json at all\n",
+        format_args!(
+            r#"{{"schema":"dgl-serve-job","version":1,"id":"dom","workload":"hmmer_like","insts":8000,"scheme":"dom","ap":true,{sample}}}"#
+        ),
+        format_args!(
+            r#"{{"schema":"dgl-serve-job","version":1,"id":"stt","workload":"hmmer_like","insts":8000,"scheme":"stt","ap":true,{sample}}}"#
+        ),
+        format_args!(
+            r#"{{"schema":"dgl-serve-job","version":1,"id":"base","workload":"hmmer_like","insts":8000,{sample}}}"#
+        ),
+    );
+    let mut child = Command::new(env!("CARGO_BIN_EXE_dgl"))
+        .args([
+            "serve",
+            "--stdin",
+            "--workers",
+            "2",
+            "--manifest-dir",
+            manifests.to_str().unwrap(),
+            "--stats",
+        ])
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn dgl serve");
+    child
+        .stdin
+        .take()
+        .expect("child stdin")
+        .write_all(batch.as_bytes())
+        .expect("write batch");
+    let out = child.wait_with_output().expect("serve exits");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    let docs: Vec<doppelganger_loads::stats::Json> = text
+        .lines()
+        .map(|l| doppelganger_loads::stats::Json::parse(l).expect("result line parses"))
+        .collect();
+    // 3 job results + 1 parse-error result + 1 stats document.
+    assert_eq!(docs.len(), 5, "{text}");
+    let oks = docs
+        .iter()
+        .filter(|d| d.get("ok") == Some(&doppelganger_loads::stats::Json::Bool(true)))
+        .count();
+    assert_eq!(oks, 3, "{text}");
+    let stats = docs
+        .iter()
+        .find(|d| d.get("schema").and_then(|s| s.as_str()) == Some("dgl-serve-stats"))
+        .expect("stats document");
+    let host = stats.get("host").expect("stats live under host");
+    assert_eq!(host.get("serve.jobs").and_then(|j| j.as_u64()), Some(3));
+    assert_eq!(host.get("serve.errors").and_then(|j| j.as_u64()), Some(1));
+    assert!(host.get("ckptstore.hits").is_some(), "{text}");
+    // The served manifest must be byte-identical to the one-shot CLI's.
+    let oneshot = dir.join("oneshot.json");
+    let run = dgl(&[
+        "run",
+        "hmmer_like",
+        "--scheme",
+        "dom",
+        "--ap",
+        "--insts",
+        "8000",
+        "--sample",
+        "--sample-interval",
+        "2000",
+        "--sample-warmup",
+        "500",
+        "--sample-window",
+        "300",
+        "--stats-json",
+        oneshot.to_str().unwrap(),
+    ]);
+    assert!(
+        run.status.success(),
+        "{}",
+        String::from_utf8_lossy(&run.stderr)
+    );
+    let served = std::fs::read(manifests.join("dom.json")).expect("served manifest");
+    let solo = std::fs::read(&oneshot).expect("one-shot manifest");
+    assert_eq!(served, solo, "served manifest must be byte-identical");
+    let _ = std::fs::remove_dir_all(&dir);
+}
