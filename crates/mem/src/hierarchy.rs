@@ -3,11 +3,12 @@
 use crate::cache::{Cache, CacheStats};
 use crate::config::HierarchyConfig;
 use crate::mshr::MshrFile;
-use dgl_stats::{ProfId, ProfRegistry, ProfScope};
+use dgl_stats::{ProfId, ProfRegistry};
 use dgl_trace::TraceSink;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// A hierarchy level (or DRAM).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -240,7 +241,19 @@ pub struct MemorySystem {
     /// Host-time accumulator for hierarchy work ([`set_prof`]
     /// (Self::set_prof)); `None` keeps the hot path to one branch.
     /// Host-side only: never read by the timing model.
-    prof: Option<(Arc<ProfRegistry>, ProfId)>,
+    prof: Option<MemProf>,
+}
+
+/// Local host-profiling state: measurements accumulate in plain
+/// counters and reach the shared registry only on
+/// [`MemorySystem::flush_prof`], so the per-access hot path touches no
+/// shared atomics.
+#[derive(Debug, Clone)]
+struct MemProf {
+    reg: Arc<ProfRegistry>,
+    id: ProfId,
+    ns: u64,
+    calls: u64,
 }
 
 impl MemorySystem {
@@ -263,10 +276,30 @@ impl MemorySystem {
 
     /// Attaches a host-profiling slot: [`request`](Self::request) and
     /// [`advance`](Self::advance) time is accumulated into `slot` of
-    /// `reg`. Host-side observability only — simulated timing and cache
-    /// state are byte-identical with profiling on or off.
+    /// `reg`. Measurements batch locally and land in the registry on
+    /// [`flush_prof`](Self::flush_prof). Host-side observability only —
+    /// simulated timing and cache state are byte-identical with
+    /// profiling on or off.
     pub fn set_prof(&mut self, prof: Option<(Arc<ProfRegistry>, ProfId)>) {
-        self.prof = prof;
+        self.prof = prof.map(|(reg, id)| MemProf {
+            reg,
+            id,
+            ns: 0,
+            calls: 0,
+        });
+    }
+
+    /// Flushes locally batched profiling measurements into the shared
+    /// registry (call at end-of-run; also safe any time). No-op with
+    /// profiling off or nothing pending.
+    pub fn flush_prof(&mut self) {
+        if let Some(p) = &mut self.prof {
+            if p.calls > 0 {
+                p.reg.add_many(p.id, p.ns, p.calls);
+                p.ns = 0;
+                p.calls = 0;
+            }
+        }
     }
 
     /// The configuration.
@@ -319,10 +352,26 @@ impl MemorySystem {
         &mut self,
         req: MemRequest,
         now: u64,
+        sink: Option<&mut (dyn TraceSink + '_)>,
+    ) -> Option<MemReqId> {
+        if self.prof.is_none() {
+            return self.request_inner(req, now, sink);
+        }
+        let t0 = Instant::now();
+        let out = self.request_inner(req, now, sink);
+        let ns = t0.elapsed().as_nanos() as u64;
+        let p = self.prof.as_mut().expect("checked above");
+        p.ns += ns;
+        p.calls += 1;
+        out
+    }
+
+    fn request_inner(
+        &mut self,
+        req: MemRequest,
+        now: u64,
         mut sink: Option<&mut (dyn TraceSink + '_)>,
     ) -> Option<MemReqId> {
-        let prof = self.prof.clone();
-        let _prof = ProfScope::enter(prof.as_ref().map(|(r, id)| (r.as_ref(), *id)));
         let line = self.line(req.addr);
         // Hit path: no MSHR required.
         if self.l1.contains(req.addr) {
@@ -529,11 +578,47 @@ impl MemorySystem {
     pub fn advance_traced(
         &mut self,
         now: u64,
-        mut sink: Option<&mut (dyn TraceSink + '_)>,
+        sink: Option<&mut (dyn TraceSink + '_)>,
     ) -> Vec<MemResponse> {
-        let prof = self.prof.clone();
-        let _prof = ProfScope::enter(prof.as_ref().map(|(r, id)| (r.as_ref(), *id)));
         let mut out = Vec::new();
+        self.advance_into(now, sink, &mut out);
+        out
+    }
+
+    /// The completion cycle of the earliest outstanding request, or
+    /// `None` when nothing is in flight. This is the memory system's
+    /// contribution to the skip-ahead wake calendar: no memory-side
+    /// state changes before this cycle.
+    pub fn next_ready(&self) -> Option<u64> {
+        self.pending.peek().map(|Reverse(p)| p.ready_at)
+    }
+
+    /// [`advance_traced`](Self::advance_traced) into a caller-owned
+    /// buffer (cleared first), so the per-cycle path allocates nothing.
+    pub fn advance_into(
+        &mut self,
+        now: u64,
+        sink: Option<&mut (dyn TraceSink + '_)>,
+        out: &mut Vec<MemResponse>,
+    ) {
+        if self.prof.is_none() {
+            return self.advance_inner(now, sink, out);
+        }
+        let t0 = Instant::now();
+        self.advance_inner(now, sink, out);
+        let ns = t0.elapsed().as_nanos() as u64;
+        let p = self.prof.as_mut().expect("checked above");
+        p.ns += ns;
+        p.calls += 1;
+    }
+
+    fn advance_inner(
+        &mut self,
+        now: u64,
+        mut sink: Option<&mut (dyn TraceSink + '_)>,
+        out: &mut Vec<MemResponse>,
+    ) {
+        out.clear();
         while let Some(Reverse(head)) = self.pending.peek() {
             if head.ready_at > now {
                 break;
@@ -582,7 +667,6 @@ impl MemorySystem {
                 });
             }
         }
-        out
     }
 
     /// Retroactively applies a delayed L1 replacement update (DoM).

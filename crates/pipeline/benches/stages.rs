@@ -1,0 +1,159 @@
+//! Stage-level microbenchmarks for the pipeline crate's hot paths:
+//! the cycle kernel itself (tick, with the skip-ahead elision on and
+//! off), issue selection under a full instruction queue, LSQ search
+//! (the SoA binary search that replaced the linear scan), and raw
+//! cache-hierarchy access. Run with `cargo bench -p dgl-pipeline`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dgl_core::SchemeKind;
+use dgl_isa::{Program, ProgramBuilder, Reg, SparseMemory, Width};
+use dgl_mem::{AccessKind, HierarchyConfig, MemRequest, MemorySystem};
+use dgl_pipeline::lsq::{Lq, LqEntry};
+use dgl_pipeline::{Core, CoreConfig};
+
+const INSTS: u64 = 2_000;
+
+/// A pointer-chase-flavoured loop: loads feed addresses and a
+/// hard-to-predict branch, so the run exercises every stage (and, under
+/// DoM, produces the long idle stalls the skip-ahead kernel elides).
+fn chase_program(rounds: i64) -> Program {
+    let r = Reg::new;
+    let mut b = ProgramBuilder::new("bench_chase");
+    b.imm(r(10), 0x8000).imm(r(1), 1).imm(r(12), rounds);
+    b.label("top")
+        .andi(r(11), r(1), 0x1F8)
+        .add(r(11), r(11), r(10))
+        .store(r(1), r(11), 0)
+        .load(r(2), r(11), 0)
+        .add(r(1), r(1), r(2))
+        .andi(r(3), r(1), 0x7)
+        .beq(r(3), Reg::ZERO, "skip")
+        .add(r(1), r(1), r(3))
+        .label("skip")
+        .subi(r(12), r(12), 1)
+        .bne(r(12), Reg::ZERO, "top")
+        .halt();
+    b.build().expect("valid bench program")
+}
+
+/// Full-run tick cost under the scheme with the most idle time (DoM),
+/// elision off (every cycle ticks) vs on (idle gaps fast-forwarded).
+fn bench_tick(c: &mut Criterion) {
+    let p = chase_program(200);
+    let mut g = c.benchmark_group("pipeline/tick");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(INSTS));
+    for elide in [false, true] {
+        let label = if elide { "elision_on" } else { "elision_off" };
+        g.bench_with_input(BenchmarkId::from_parameter(label), &elide, |b, &elide| {
+            b.iter(|| {
+                let mut core = Core::new(CoreConfig::default(), SchemeKind::DoM, false);
+                core.set_elision(elide);
+                let report = core
+                    .run(&p, SparseMemory::new(), 10_000_000)
+                    .expect("bench run");
+                std::hint::black_box(report.cycles)
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Issue selection with a saturated instruction queue: a long chain of
+/// independent ALU ops keeps the IQ full, so the select loop (not
+/// memory) dominates.
+fn bench_issue_select(c: &mut Criterion) {
+    let r = Reg::new;
+    let mut b = ProgramBuilder::new("bench_issue");
+    b.imm(r(1), 3).imm(r(12), 400);
+    b.label("top");
+    for i in 2..8u8 {
+        b.add(r(i), r(1), r(1));
+    }
+    b.subi(r(12), r(12), 1).bne(r(12), Reg::ZERO, "top").halt();
+    let p = b.build().expect("valid bench program");
+    let mut g = c.benchmark_group("pipeline/issue_select");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(INSTS));
+    g.bench_function("alu_saturated", |bench| {
+        bench.iter(|| {
+            let core = Core::new(CoreConfig::default(), SchemeKind::Baseline, false);
+            let report = core
+                .run(&p, SparseMemory::new(), 10_000_000)
+                .expect("bench run");
+            std::hint::black_box(report.cycles)
+        })
+    });
+    g.finish();
+}
+
+/// The SoA load-queue search: `index_of` is a binary search over the
+/// contiguous seq column (the old AoS code scanned entries linearly).
+fn bench_lsq_search(c: &mut Criterion) {
+    const CAP: usize = 64;
+    let filler = LqEntry::new(0, 0, Width::B8, Default::default());
+    let mut lq = Lq::with_capacity(CAP, filler);
+    // Half-wrapped ring: push/pop so head sits mid-array, then fill.
+    for seq in 0..(CAP as u64 / 2) {
+        lq.push(LqEntry::new(seq, 0, Width::B8, Default::default()));
+    }
+    for _ in 0..(CAP / 2) {
+        lq.pop_front();
+    }
+    for seq in 100..(100 + CAP as u64) {
+        lq.push(LqEntry::new(seq, 0, Width::B8, Default::default()));
+    }
+    let mut g = c.benchmark_group("pipeline/lsq_search");
+    g.throughput(Throughput::Elements(CAP as u64));
+    g.bench_function("index_of_wrapped", |b| {
+        b.iter(|| {
+            let mut found = 0usize;
+            for seq in 100..(100 + CAP as u64) {
+                if lq.index_of(std::hint::black_box(seq)).is_some() {
+                    found += 1;
+                }
+            }
+            std::hint::black_box(found)
+        })
+    });
+    g.finish();
+}
+
+/// Raw hierarchy access: repeated L1 hits on a resident line, the
+/// common case on the memory stage's hot path.
+fn bench_cache_access(c: &mut Criterion) {
+    const ACCESSES: u64 = 1_000;
+    let mut g = c.benchmark_group("pipeline/cache_access");
+    g.throughput(Throughput::Elements(ACCESSES));
+    g.bench_function("l1_hit", |b| {
+        b.iter(|| {
+            let mut mem = MemorySystem::new(HierarchyConfig::default());
+            let mut now = 0u64;
+            let req = MemRequest {
+                addr: 0x4000,
+                kind: AccessKind::Load,
+                l1_only: false,
+                update_replacement: true,
+            };
+            let mut responses = 0u64;
+            for _ in 0..ACCESSES {
+                let _ = mem.request(req, now);
+                now += 1;
+                responses += mem.advance(now).len() as u64;
+            }
+            // Drain the stragglers (the first miss fills the line).
+            responses += mem.advance(now + 1_000).len() as u64;
+            std::hint::black_box(responses)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_tick,
+    bench_issue_select,
+    bench_lsq_search,
+    bench_cache_access
+);
+criterion_main!(benches);

@@ -4,11 +4,12 @@
 use crate::attribution::LoadSiteTable;
 use crate::config::CoreConfig;
 use crate::frontend::Frontend;
-use crate::lsq::{forward_value, overlap, LoadState, LqEntry, Overlap, SqEntry};
+use crate::lsq::{forward_value, overlap, LoadState, Lq, LqEntry, Overlap, Sq, SqEntry};
 use crate::regfile::{PhysReg, RegFile};
-use crate::rob::{BranchInfo, ExecState, RobEntry};
+use crate::rob::{BranchInfo, ExecState, Rob, RobEntry};
 use crate::sampler::{OccupancySample, OccupancySampler, OccupancySeries};
 use crate::shadow::{Seq, ShadowTracker};
+use crate::soa::SlotHandle;
 use crate::stats::CoreStats;
 use crate::taint::TaintTracker;
 use dgl_core::{
@@ -20,12 +21,13 @@ use dgl_mem::{
     AccessKind, CacheStats, Level, MemReqId, MemRequest, MemResponse, MemorySystem, ResponsePayload,
 };
 use dgl_predictor::{BranchPredictor, ValuePredictor, ValuePredictorConfig, VpStats};
-use dgl_stats::{Histogram, MetricsRegistry, ProfId, ProfLap, ProfRegistry, ProfReport};
+use dgl_stats::{Histogram, MetricsRegistry, ProfAccum, ProfId, ProfRegistry, ProfReport};
 use dgl_trace::{DglEvent, DiscardReason, InstKind, Stage, TraceEvent, TraceSink};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::fmt;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Error produced by [`Core::run`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -157,6 +159,12 @@ pub struct RunReport {
     /// Whether this report covers a whole program or one sampled
     /// measurement window.
     pub provenance: Provenance,
+    /// Cycles the skip-ahead kernel fast-forwarded across instead of
+    /// ticking (see [`Core::set_elision`]). Host-side observability:
+    /// elision never changes simulated results, and this count is
+    /// excluded from [`metrics`](RunReport::metrics) and manifests so
+    /// they stay byte-identical with elision off and on.
+    pub elided_cycles: u64,
 }
 
 impl RunReport {
@@ -255,14 +263,6 @@ pub(crate) struct CoreProf {
     ids: CoreProfIds,
 }
 
-impl CoreProf {
-    /// The `(registry, recovery-slot)` pair for a nested recovery
-    /// scope.
-    pub(crate) fn recovery(&self) -> (&ProfRegistry, ProfId) {
-        (self.reg.as_ref(), self.ids.recovery)
-    }
-}
-
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 enum EventKind {
     ExecDone,
@@ -280,6 +280,69 @@ enum ReqTag {
 struct SbEntry {
     addr: u64,
     req: Option<MemReqId>,
+}
+
+/// Cached not-ready verdict for a waiting issue-queue entry. A verdict
+/// stays valid — and the issue scan skips the entry without touching
+/// its operands — until the recorded blocking input changes, which is
+/// exactly when readiness could flip (register visibility only
+/// transitions through stamped [`RegFile`] calls; taint verdicts only
+/// through version-bumped [`TaintTracker`] calls).
+#[derive(Debug, Clone, Copy)]
+enum IqPark {
+    /// No verdict yet: freshly dispatched, or a blocking input moved.
+    None,
+    /// Blocked on a source register, as of that register's stamp.
+    Reg(PhysReg, u64),
+    /// Store gated by STT taint, as of the tracker version.
+    Taint(u64),
+}
+
+/// One occupied issue-queue slot: the instruction's age, its O(1) ROB
+/// handle, and the cached readiness verdict.
+#[derive(Debug, Clone, Copy)]
+struct IqSlot {
+    seq: Seq,
+    h: SlotHandle,
+    park: IqPark,
+}
+
+/// Exact occupancy counters gating the per-cycle memory and visibility
+/// sweeps. Each bucket counts the LQ/SQ entries a sweep could act on;
+/// when a bucket is zero the sweep is provably a no-op (it is pure for
+/// entries outside its bucket) and is skipped without touching the
+/// queue arrays. Every state mutation goes through
+/// [`Core::set_load_state`] / [`Core::mark_load_propagated`] / the
+/// push-pop bookkeeping, so the counters are exact, not conservative —
+/// a debug-build assertion recounts them from scratch every tick.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+struct SweepGates {
+    /// LQ entries in `WaitAddr` (doppelganger issue candidates).
+    lq_wait_addr: u32,
+    /// LQ entries in `WaitIssue` (demand issue candidates).
+    lq_wait_issue: u32,
+    /// LQ entries in `WaitStore(_)` (forwarding recheck candidates).
+    lq_wait_store: u32,
+    /// LQ entries in `DelayedDoM` (visibility-point reissue candidates).
+    lq_delayed_dom: u32,
+    /// LQ entries `Done` but not yet propagated.
+    lq_done_unprop: u32,
+    /// SQ entries with a resolved address still awaiting data capture.
+    sq_pending_data: u32,
+}
+
+impl SweepGates {
+    /// The bucket an LQ entry occupies, if any.
+    fn lq_bucket(&mut self, state: LoadState, propagated: bool) -> Option<&mut u32> {
+        match state {
+            LoadState::WaitAddr => Some(&mut self.lq_wait_addr),
+            LoadState::WaitIssue => Some(&mut self.lq_wait_issue),
+            LoadState::WaitStore(_) => Some(&mut self.lq_wait_store),
+            LoadState::DelayedDoM => Some(&mut self.lq_delayed_dom),
+            LoadState::Done if !propagated => Some(&mut self.lq_done_unprop),
+            _ => None,
+        }
+    }
 }
 
 /// The out-of-order core.
@@ -302,10 +365,17 @@ pub struct Core {
     taint: TaintTracker,
     shadows: ShadowTracker,
     front: Frontend,
-    rob: VecDeque<RobEntry>,
-    iq_count: usize,
-    lq: VecDeque<LqEntry>,
-    sq: VecDeque<SqEntry>,
+    rob: Rob,
+    /// The issue queue as a compact list in ascending seq (= age)
+    /// order: dispatch appends (seq is monotone), issue compacts in
+    /// place, squash truncates. The issue scan therefore touches
+    /// exactly the occupied IQ slots instead of walking the whole ROB,
+    /// each handle resolves to its ROB index in O(1), and parked
+    /// entries skip operand re-evaluation until a blocking input
+    /// actually changes (see [`IqPark`]).
+    iq: Vec<IqSlot>,
+    lq: Lq,
+    sq: Sq,
     store_buffer: VecDeque<SbEntry>,
     mem: MemorySystem,
     data: SparseMemory,
@@ -343,6 +413,40 @@ pub struct Core {
     /// the simulation never reads it back, so results are
     /// byte-identical with profiling off and on.
     prof: Option<CoreProf>,
+    /// Local batch for profiling measurements: the tick loop adds here
+    /// (plain integer adds, no shared atomics) and the totals reach the
+    /// shared registry in one flush at report time.
+    prof_accum: ProfAccum,
+    /// Skip-ahead elision enable ([`set_elision`](Self::set_elision)).
+    elide: bool,
+    /// Whether the current tick changed any simulated state (set by the
+    /// stage modules; cleared at the top of every tick). A tick that
+    /// ends with this still false proves the machine is quiescent and
+    /// only a timed wake can change anything.
+    tick_activity: bool,
+    /// Cycles fast-forwarded by [`skip_idle_gap`](Self::skip_idle_gap).
+    elided_cycles: u64,
+    /// Reusable buffer for memory responses (allocation-free tick).
+    mem_responses: Vec<MemResponse>,
+    /// Sweep-gating occupancy counters (see [`SweepGates`]).
+    gates: SweepGates,
+    /// Whether the last issue scan left every surviving IQ entry parked
+    /// (and saw the whole list within its width budget). While true and
+    /// no wake source has moved, the scan is skipped outright.
+    iq_quiesced: bool,
+    /// [`RegFile::clock`] as of the end of the last issue scan.
+    iq_seen_clock: u64,
+    /// [`TaintTracker::version`] as of the end of the last issue scan.
+    iq_seen_taint: u64,
+    /// Branches that executed with resolution deferred by the scheme
+    /// (STT untaint, DoM+AP in-order). The visibility sweep retries
+    /// only these instead of scanning the whole ROB; entries leave when
+    /// they resolve or their instruction is squashed.
+    pending_branches: Vec<Seq>,
+    /// NDA-S results locked at writeback, awaiting the visibility
+    /// point. The unlock sweep walks only these instead of the whole
+    /// ROB; entries leave when they unlock or are squashed.
+    locked_results: Vec<Seq>,
 }
 
 impl Core {
@@ -363,10 +467,13 @@ impl Core {
             taint: TaintTracker::new(cfg.phys_regs),
             shadows: ShadowTracker::new(),
             front: Frontend::new(cfg.decode_width, cfg.branch),
-            rob: VecDeque::with_capacity(cfg.rob_entries),
-            iq_count: 0,
-            lq: VecDeque::with_capacity(cfg.lq_entries),
-            sq: VecDeque::with_capacity(cfg.sq_entries),
+            rob: Rob::with_capacity(cfg.rob_entries, RobEntry::new(0, 0, Op::Nop)),
+            iq: Vec::with_capacity(cfg.iq_entries),
+            lq: Lq::with_capacity(
+                cfg.lq_entries,
+                LqEntry::new(0, 0, Width::B8, DoppelgangerState::default()),
+            ),
+            sq: Sq::with_capacity(cfg.sq_entries, SqEntry::new(0, 0, Width::B8, PhysReg(0))),
             store_buffer: VecDeque::with_capacity(cfg.store_buffer_entries),
             mem: MemorySystem::new(cfg.hierarchy),
             data: SparseMemory::new(),
@@ -385,7 +492,31 @@ impl Core {
             sampler: None,
             sink: None,
             prof: None,
+            prof_accum: ProfAccum::new(),
+            elide: true,
+            tick_activity: false,
+            elided_cycles: 0,
+            mem_responses: Vec::new(),
+            gates: SweepGates::default(),
+            iq_quiesced: false,
+            iq_seen_clock: 0,
+            iq_seen_taint: 0,
+            pending_branches: Vec::new(),
+            locked_results: Vec::new(),
         }
+    }
+
+    /// Enables or disables skip-ahead cycle elision (on by default).
+    ///
+    /// With elision on, a tick that changes no simulated state lets the
+    /// kernel fast-forward the cycle counter to just before the next
+    /// timed wake (pending memory fill, functional-unit completion,
+    /// fetch-redirect expiry, scheduled invalidation), bumping the
+    /// idle-cycle counters by the elided span. Simulated results are
+    /// byte-identical either way — this knob exists so the
+    /// `elision_identical` test can pin that equivalence.
+    pub fn set_elision(&mut self, enabled: bool) {
+        self.elide = enabled;
     }
 
     /// Enables host-side self-profiling into `reg`, which must carry
@@ -505,6 +636,9 @@ impl Core {
             mem.config() == self.cfg.hierarchy,
             "memory-system snapshot geometry does not match the core's hierarchy config"
         );
+        // The outgoing hierarchy may hold locally batched measurements;
+        // land them before it is dropped.
+        self.mem.flush_prof();
         self.mem = mem;
         // A snapshot from an unprofiled warming run must not silently
         // detach this core's hierarchy accounting.
@@ -669,27 +803,35 @@ impl Core {
             if let Some((pc, target)) = self.bad_indirect {
                 return Err(RunError::BadIndirectTarget { pc, target });
             }
+            // Skip-ahead: a tick that changed nothing proves every
+            // cycle up to the next timed wake would change nothing
+            // either. Fast-forward before the deadlock check so a
+            // genuine hang is declared at the identical cycle either
+            // way.
+            if self.elide && !self.tick_activity {
+                self.skip_idle_gap(max_cycles);
+            }
             if self.cycles_since_commit > self.cfg.deadlock_cycles {
-                let head = self
-                    .rob
-                    .front()
-                    .map(|e| {
-                        format!(
-                            "seq {} pc {} {:?} ({}) branch={:?} locked={} srcs_prop={:?} lq={:?}",
-                            e.seq,
-                            e.pc,
-                            e.state,
-                            e.op,
-                            e.branch,
-                            e.locked,
-                            e.srcs
-                                .iter()
-                                .map(|&p| self.rf.is_propagated(p))
-                                .collect::<Vec<_>>(),
-                            self.lq.front().map(|l| (l.seq, l.state)),
-                        )
-                    })
-                    .unwrap_or_else(|| "empty rob".to_owned());
+                let head = if self.rob.is_empty() {
+                    "empty rob".to_owned()
+                } else {
+                    let e = self.rob.get(0);
+                    format!(
+                        "seq {} pc {} {:?} ({}) branch={:?} locked={} srcs_prop={:?} lq={:?}",
+                        e.seq,
+                        e.pc,
+                        e.state,
+                        e.op,
+                        e.branch,
+                        e.locked,
+                        e.srcs
+                            .as_slice()
+                            .iter()
+                            .map(|&p| self.rf.is_propagated(p))
+                            .collect::<Vec<_>>(),
+                        (!self.lq.is_empty()).then(|| (self.lq.seq(0), self.lq.state(0))),
+                    )
+                };
                 return Err(RunError::Deadlock {
                     cycle: self.cycle,
                     committed: self.stats.committed,
@@ -700,11 +842,97 @@ impl Core {
         Ok(())
     }
 
+    /// The earliest future cycle at which time passage alone can change
+    /// simulated state: a functional-unit completion, a memory-system
+    /// fill, the front-end's redirect/latency expiry, or a scheduled
+    /// external invalidation. Wakes at or before the current cycle are
+    /// ignored — the just-finished idle tick proved those blockages are
+    /// not time-driven (e.g. fetch unstalled but the queue full, or an
+    /// MSHR-full retry waiting on a fill that has its own wake).
+    fn next_wake(&self) -> Option<u64> {
+        let candidates = [
+            self.events.peek().map(|&Reverse((c, _, _))| c),
+            self.mem.next_ready(),
+            self.front.next_wake(self.cfg.frontend_depth),
+            self.pending_invalidations.first().map(|&(c, _)| c),
+        ];
+        candidates
+            .into_iter()
+            .flatten()
+            .filter(|&c| c > self.cycle)
+            .min()
+    }
+
+    /// Fast-forwards across a provably-idle gap: advances the cycle
+    /// counter to just before the next timed wake (or, with no wake in
+    /// sight, to the deadlock/budget horizon), bumping exactly the
+    /// counters an idle tick would have bumped — `commit_idle_cycles`
+    /// and the deadlock watchdog — and replaying the occupancy samples
+    /// the skipped cycles would have taken (queue depths are frozen
+    /// while idle, so each is identical). No other state is touched,
+    /// which is why results stay byte-identical.
+    fn skip_idle_gap(&mut self, max_cycles: u64) {
+        // An idle tick cannot commit, so `cycles_since_commit` grows by
+        // one per elided cycle; cap the span so the watchdog fires at
+        // the same cycle a ticked run would have declared the deadlock.
+        let watchdog_room = (self.cfg.deadlock_cycles + 1).saturating_sub(self.cycles_since_commit);
+        let budget_room = max_cycles.saturating_sub(self.cycle);
+        let mut span = watchdog_room.min(budget_room);
+        if let Some(wake) = self.next_wake() {
+            // The tick *at* the wake cycle must run; skip to just before.
+            span = span.min(wake - 1 - self.cycle);
+        }
+        if span == 0 {
+            return;
+        }
+        let from = self.cycle;
+        self.cycle += span;
+        self.stats.commit_idle_cycles += span;
+        self.cycles_since_commit += span;
+        self.elided_cycles += span;
+        self.replay_occupancy_gap(from);
+    }
+
+    /// Records the occupancy samples the elided cycles in
+    /// `(from, self.cycle]` would have taken. Queue depths, the MSHR
+    /// count, and the commit counter are all frozen across an idle gap,
+    /// so every sample is the snapshot at the gap's start with only the
+    /// cycle stamp varying — exactly what a ticked run records.
+    fn replay_occupancy_gap(&mut self, from: u64) {
+        let interval = match self.sampler.as_ref() {
+            Some(s) => s.interval(),
+            None => return,
+        };
+        let mut at = (from / interval + 1) * interval;
+        if at > self.cycle {
+            return;
+        }
+        let template = self.occupancy_snapshot(0);
+        let committed = self.stats.committed;
+        let sampler = self.sampler.as_mut().expect("checked above");
+        while at <= self.cycle {
+            sampler.record(
+                OccupancySample {
+                    cycle: at,
+                    ..template
+                },
+                committed,
+            );
+            at += interval;
+        }
+    }
+
     /// Assembles the final report. `cycle_base` is subtracted from the
     /// cycle counter so a sampled window reports only its measured
     /// cycles.
     fn into_report(mut self, cycle_base: u64, provenance: Provenance) -> RunReport {
         self.stats.cycles = self.cycle - cycle_base;
+        // Locally batched profiling measurements reach the shared
+        // registry now, before it is snapshotted below.
+        self.mem.flush_prof();
+        if let Some(p) = &self.prof {
+            self.prof_accum.flush(&p.reg);
+        }
         let mut regs = [0i64; dgl_isa::reg::NUM_REGS];
         for r in Reg::all() {
             regs[r.index()] = self.rf.arch_value(r);
@@ -732,30 +960,36 @@ impl Core {
             mem_system: self.mem,
             trace_sink: self.sink,
             provenance,
+            elided_cycles: self.elided_cycles,
         }
     }
 
     fn tick(&mut self, program: &Program) -> Result<(), RunError> {
-        // The lap timer partitions the tick into consecutive segments
+        // The lap clock partitions the tick into consecutive segments
         // (one clock read per boundary), so the per-stage host times
         // sum to the tick loop's wall time with no instrumentation
-        // gaps. Cloned into a local so the borrow does not overlap the
-        // `&mut self` stage calls.
-        let prof = self.prof.clone();
-        let mut lap = prof.as_ref().map(|p| (ProfLap::start(&p.reg), p.ids));
+        // gaps. Segments land in the local `prof_accum` (plain adds);
+        // the shared registry sees them once, at report time.
+        let ids = self.prof.as_ref().map(|p| p.ids);
+        let mut last = ids.map(|_| Instant::now());
         macro_rules! mark {
             ($stage:ident) => {
-                if let Some((lap, ids)) = lap.as_mut() {
-                    lap.mark(ids.$stage);
+                if let (Some(ids), Some(last)) = (ids.as_ref(), last.as_mut()) {
+                    let now = Instant::now();
+                    self.prof_accum
+                        .add(ids.$stage, now.duration_since(*last).as_nanos() as u64);
+                    *last = now;
                 }
             };
         }
         self.cycle += 1;
+        self.tick_activity = false;
         while let Some(&(c, addr)) = self.pending_invalidations.first() {
             if c > self.cycle {
                 break;
             }
             self.pending_invalidations.remove(0);
+            self.tick_activity = true;
             self.external_invalidate(addr);
         }
         self.handle_mem_responses();
@@ -775,6 +1009,8 @@ impl Core {
         self.commit_stage(program);
         self.sample_occupancy();
         mark!(commit);
+        #[cfg(debug_assertions)]
+        self.assert_gates_consistent();
         Ok(())
     }
 
@@ -789,25 +1025,29 @@ impl Core {
         if !self.cycle.is_multiple_of(interval) {
             return;
         }
-        let sample = OccupancySample {
-            cycle: self.cycle,
-            rob: self.rob.len() as u32,
-            iq: self.iq_count as u32,
-            lq: self.lq.len() as u32,
-            sq: self.sq.len() as u32,
-            mshr: self.mem.in_flight() as u32,
-            delayed_loads: self
-                .lq
-                .iter()
-                .filter(|e| e.state == LoadState::DelayedDoM)
-                .count() as u32,
-            window_ipc: 0.0, // derived by the sampler from commit deltas
-        };
+        let sample = self.occupancy_snapshot(self.cycle);
         let committed = self.stats.committed;
         self.sampler
             .as_mut()
             .expect("checked above")
             .record(sample, committed);
+    }
+
+    /// The occupancy sample the sampler would record right now, stamped
+    /// with `cycle` (also used to replay samples across elided gaps).
+    fn occupancy_snapshot(&self, cycle: u64) -> OccupancySample {
+        OccupancySample {
+            cycle,
+            rob: self.rob.len() as u32,
+            iq: self.iq.len() as u32,
+            lq: self.lq.len() as u32,
+            sq: self.sq.len() as u32,
+            mshr: self.mem.in_flight() as u32,
+            delayed_loads: (0..self.lq.len())
+                .filter(|&i| self.lq.state(i) == LoadState::DelayedDoM)
+                .count() as u32,
+            window_ipc: 0.0, // derived by the sampler from commit deltas
+        }
     }
 
     // ---- helpers -------------------------------------------------------
@@ -825,15 +1065,99 @@ impl Core {
     fn rob_index(&self, seq: Seq) -> Option<usize> {
         // The ROB is sorted by seq but not contiguous (a squash leaves a
         // gap that new dispatches do not refill).
-        self.rob.binary_search_by_key(&seq, |e| e.seq).ok()
+        self.rob.index_of(seq)
     }
 
     fn lq_index(&self, seq: Seq) -> Option<usize> {
-        self.lq.iter().position(|e| e.seq == seq)
+        // Same ordering discipline as the ROB: binary search.
+        self.lq.index_of(seq)
     }
 
     fn is_spec(&self, seq: Seq) -> bool {
         self.shadows.is_speculative(seq)
+    }
+
+    /// The single funnel for load-state transitions: updates the sweep
+    /// gates in lockstep so each per-cycle scan can be skipped exactly
+    /// when it has no candidates. Stage code must never write
+    /// `lq.state_mut` directly.
+    pub(super) fn set_load_state(&mut self, li: usize, next: LoadState) {
+        let prop = self.lq.propagated(li);
+        if let Some(b) = self.gates.lq_bucket(self.lq.state(li), prop) {
+            *b -= 1;
+        }
+        if let Some(b) = self.gates.lq_bucket(next, prop) {
+            *b += 1;
+        }
+        *self.lq.state_mut(li) = next;
+    }
+
+    /// The single funnel for marking a load's value propagated (the
+    /// counterpart of [`set_load_state`](Self::set_load_state) for the
+    /// `propagated` flag, which the `Done`-bucket gate depends on).
+    pub(super) fn mark_load_propagated(&mut self, li: usize) {
+        let state = self.lq.state(li);
+        if !self.lq.propagated(li) {
+            if let Some(b) = self.gates.lq_bucket(state, false) {
+                *b -= 1;
+            }
+            if let Some(b) = self.gates.lq_bucket(state, true) {
+                *b += 1;
+            }
+        }
+        *self.lq.propagated_mut(li) = true;
+    }
+
+    /// Gate bookkeeping for an LQ entry entering at dispatch.
+    pub(super) fn lq_gate_push(&mut self, e: &LqEntry) {
+        if let Some(b) = self.gates.lq_bucket(e.state, e.propagated) {
+            *b += 1;
+        }
+    }
+
+    /// Gate bookkeeping for an LQ entry leaving (commit or squash).
+    pub(super) fn lq_gate_pop(&mut self, e: &LqEntry) {
+        if let Some(b) = self.gates.lq_bucket(e.state, e.propagated) {
+            *b -= 1;
+        }
+    }
+
+    /// Gate bookkeeping for an SQ entry leaving (commit or squash).
+    pub(super) fn sq_gate_pop(&mut self, e: &SqEntry) {
+        if e.addr.is_some() && e.data.is_none() {
+            self.gates.sq_pending_data -= 1;
+        }
+    }
+
+    /// Queues a just-executed branch whose resolution the scheme
+    /// deferred, so the visibility sweep retries only actual candidates
+    /// instead of scanning the whole ROB.
+    pub(super) fn note_pending_branch(&mut self, seq: Seq) {
+        if self.rob_index(seq).is_some_and(|i| {
+            self.rob.state(i) == ExecState::Executed
+                && self.rob.branch(i).is_some_and(|b| !b.resolved)
+        }) {
+            self.pending_branches.push(seq);
+        }
+    }
+
+    /// Recounts every sweep gate from scratch and compares against the
+    /// incrementally-maintained counters. Debug builds run this each
+    /// tick; a mismatch means some mutation bypassed the funnels.
+    #[cfg(debug_assertions)]
+    fn assert_gates_consistent(&self) {
+        let mut g = SweepGates::default();
+        for li in 0..self.lq.len() {
+            if let Some(b) = g.lq_bucket(self.lq.state(li), self.lq.propagated(li)) {
+                *b += 1;
+            }
+        }
+        for si in 0..self.sq.len() {
+            if self.sq.addr(si).is_some() && self.sq.data(si).is_none() {
+                g.sq_pending_data += 1;
+            }
+        }
+        assert_eq!(g, self.gates, "sweep gates out of sync with queue state");
     }
 
     /// Maps a program instruction index to the byte-address-like key

@@ -7,28 +7,29 @@ impl Core {
     pub(super) fn commit_stage(&mut self, _program: &Program) {
         let mut committed_now = 0usize;
         for _ in 0..self.cfg.commit_width {
-            let Some(head) = self.rob.front() else { break };
-            let seq = head.seq;
+            if self.rob.is_empty() {
+                break;
+            }
+            let seq = self.rob.seq(0);
             // Give locked results a final unlock chance: the head is by
             // definition non-speculative.
-            if head.locked {
-                if head.op.is_load() {
+            if self.rob.locked(0) {
+                if self.rob.op(0).is_load() {
                     self.try_propagate_load(seq);
                 } else if let Some(idx) = self.rob_index(seq) {
                     self.try_unlock_result(idx);
                 }
             }
-            let Some(head) = self.rob.front() else { break };
-            if !head.can_commit() {
+            if self.rob.is_empty() || !self.rob.can_commit(0) {
                 break;
             }
-            let op = head.op;
-            let pc = head.pc;
+            let op = self.rob.op(0);
+            let pc = self.rob.pc(0);
             // Indirect jump off the program: architectural error,
             // matching the golden model.
-            if let (Op::JumpReg { .. } | Op::Ret, Some(b)) = (op, head.branch) {
+            if let (Op::JumpReg { .. } | Op::Ret, Some(b)) = (op, self.rob.branch(0)) {
                 if b.actual_next == Some(usize::MAX) {
-                    let target = self.rf.read(head.srcs[0]) as u64;
+                    let target = self.rf.read(self.rob.srcs(0).as_slice()[0]) as u64;
                     self.bad_indirect = Some((pc, target));
                     return;
                 }
@@ -39,6 +40,7 @@ impl Core {
                 }
                 let s = self.sq.pop_front().expect("store at head");
                 debug_assert_eq!(s.seq, seq);
+                self.sq_gate_pop(&s);
                 let addr = s.addr.expect("committed store has addr");
                 let data = s.data.expect("committed store has data");
                 self.data.write(addr, data as u64, s.width);
@@ -48,6 +50,7 @@ impl Core {
             if op.is_load() {
                 let l = self.lq.pop_front().expect("load at head");
                 debug_assert_eq!(l.seq, seq);
+                self.lq_gate_pop(&l);
                 let addr = l.addr.expect("committed load has addr");
                 let pc_a = Self::pc_addr(pc);
                 // Security invariant: the predictor trains *here*, and
@@ -76,7 +79,7 @@ impl Core {
                 self.stats.committed_loads += 1;
                 self.sites.record_committed(pc_a);
             }
-            if let Some(b) = self.rob.front().and_then(|e| e.branch) {
+            if let Some(b) = self.rob.branch(0) {
                 let taken = b.actual_taken.expect("resolved");
                 let target = b.actual_next.expect("resolved");
                 self.front
@@ -100,6 +103,7 @@ impl Core {
             self.stats.commit_idle_cycles += 1;
             self.cycles_since_commit += 1;
         } else {
+            self.tick_activity = true;
             self.cycles_since_commit = 0;
         }
     }

@@ -15,7 +15,7 @@ impl Core {
                 break;
             }
             let needs_iq = !matches!(op, Op::Halt | Op::Jump { .. });
-            if needs_iq && self.iq_count >= self.cfg.iq_entries {
+            if needs_iq && self.iq.len() >= self.cfg.iq_entries {
                 break;
             }
             if op.is_load() && self.lq.len() >= self.cfg.lq_entries {
@@ -33,6 +33,7 @@ impl Core {
                 .expect("peeked");
             let seq = self.next_seq;
             self.next_seq += 1;
+            self.tick_activity = true;
             if self.sink.is_some() {
                 // Decode/rename/dispatch are one cycle in this model;
                 // the stamps share a cycle but keep their stage order.
@@ -85,7 +86,6 @@ impl Core {
                     } else {
                         DoppelgangerState::unpredicted()
                     };
-                    entry.lq_index = Some(self.lq.len());
                     let mut lq_entry = LqEntry::new(seq, fetched.inst.pc, width, dgl);
                     lq_entry.dispatch_cycle = self.cycle;
                     // DoM+VP comparison mode: the predicted *value*
@@ -102,13 +102,13 @@ impl Core {
                             }
                         }
                     }
-                    self.lq.push_back(lq_entry);
+                    self.lq_gate_push(&lq_entry);
+                    self.lq.push(lq_entry);
                 }
                 Op::Store { width, .. } => {
-                    entry.sq_index = Some(self.sq.len());
-                    let data_src = entry.srcs[0];
+                    let data_src = entry.srcs.as_slice()[0];
                     self.sq
-                        .push_back(SqEntry::new(seq, fetched.inst.pc, width, data_src));
+                        .push(SqEntry::new(seq, fetched.inst.pc, width, data_src));
                     // D-shadow until the address resolves.
                     self.shadows.cast(seq);
                 }
@@ -123,9 +123,20 @@ impl Core {
             }
             if needs_iq {
                 entry.in_iq = true;
-                self.iq_count += 1;
             }
-            self.rob.push_back(entry);
+            self.rob.push(entry);
+            if needs_iq {
+                // Seq is monotone, so appending keeps the list sorted
+                // oldest-first — the order the issue scan wants. The
+                // new entry has no park verdict yet, so the scan cannot
+                // be skipped next tick.
+                self.iq.push(IqSlot {
+                    seq,
+                    h: self.rob.handle(self.rob.len() - 1),
+                    park: IqPark::None,
+                });
+                self.iq_quiesced = false;
+            }
             let _ = program;
         }
     }

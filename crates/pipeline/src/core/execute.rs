@@ -11,6 +11,7 @@ impl Core {
                 break;
             }
             let Reverse((_, seq, kind)) = self.events.pop().expect("peeked");
+            self.tick_activity = true;
             if self.rob_index(seq).is_none() {
                 continue; // squashed
             }
@@ -23,58 +24,61 @@ impl Core {
 
     pub(super) fn exec_done(&mut self, seq: Seq, program: &Program) {
         let idx = self.rob_index(seq).expect("checked");
-        let entry = &self.rob[idx];
-        let op = entry.op;
-        let pc = entry.pc;
-        let srcs = entry.srcs.clone();
-        let dst = entry.dst;
+        let op = self.rob.op(idx);
+        let pc = self.rob.pc(idx);
+        let srcs = self.rob.srcs(idx);
+        let dst = self.rob.dst(idx);
         match op {
             Op::Imm { value, .. } => {
-                self.writeback(seq, dst, value, &srcs);
+                self.writeback(seq, dst, value, srcs.as_slice());
             }
             Op::Alu {
                 op: alu, a: _, b, ..
             } => {
-                let av = self.rf.read(srcs[0]);
+                let av = self.rf.read(srcs.as_slice()[0]);
                 let bv = match b {
-                    Src::Reg(_) => self.rf.read(srcs[1]),
+                    Src::Reg(_) => self.rf.read(srcs.as_slice()[1]),
                     Src::Imm(i) => i as i64,
                 };
-                self.writeback(seq, dst, alu.apply(av, bv), &srcs);
+                self.writeback(seq, dst, alu.apply(av, bv), srcs.as_slice());
             }
             Op::Nop => {
-                let e = &mut self.rob[idx];
-                e.state = ExecState::Completed;
+                *self.rob.state_mut(idx) = ExecState::Completed;
             }
             Op::Branch { cond, target, .. } => {
-                let av = self.rf.read(srcs[0]);
-                let bv = self.rf.read(srcs[1]);
+                let av = self.rf.read(srcs.as_slice()[0]);
+                let bv = self.rf.read(srcs.as_slice()[1]);
                 let taken = cond.eval(av, bv);
-                let e = &mut self.rob[idx];
-                let pc = e.pc;
-                let b = e.branch.as_mut().expect("branch info");
+                let b = self.rob.branch_mut(idx).as_mut().expect("branch info");
                 b.actual_taken = Some(taken);
                 b.actual_next = Some(if taken { target } else { pc + 1 });
-                e.state = ExecState::Executed;
+                *self.rob.state_mut(idx) = ExecState::Executed;
                 self.try_resolve_branch(seq, program);
+                // Resolution deferred by the scheme: queue for the
+                // visibility sweep so it retries without a ROB scan.
+                self.note_pending_branch(seq);
             }
             Op::Call { .. } => {
                 // The call's only datapath effect: link = pc + 1. The
                 // redirect happened statically at fetch.
-                self.writeback(seq, dst, (pc + 1) as i64, &srcs);
+                self.writeback(seq, dst, (pc + 1) as i64, srcs.as_slice());
             }
             Op::JumpReg { .. } | Op::Ret => {
-                let target = self.rf.read(srcs[0]) as u64;
-                let e = &mut self.rob[idx];
-                let b = e.branch.as_mut().expect("indirect-control info");
+                let target = self.rf.read(srcs.as_slice()[0]) as u64;
+                let b = self
+                    .rob
+                    .branch_mut(idx)
+                    .as_mut()
+                    .expect("indirect-control info");
                 b.actual_taken = Some(true);
                 b.actual_next = Some(if (target as usize) < program.len() {
                     target as usize
                 } else {
                     usize::MAX // poison: error if this commits
                 });
-                e.state = ExecState::Executed;
+                *self.rob.state_mut(idx) = ExecState::Executed;
                 self.try_resolve_branch(seq, program);
+                self.note_pending_branch(seq);
             }
             Op::Jump { .. } | Op::Halt | Op::Load { .. } | Op::Store { .. } => {
                 unreachable!("{op} does not use ExecDone")
@@ -84,21 +88,20 @@ impl Core {
 
     pub(super) fn agu_done(&mut self, seq: Seq) {
         let idx = self.rob_index(seq).expect("checked");
-        let entry = &self.rob[idx];
-        let srcs = entry.srcs.clone();
-        match entry.op {
+        let srcs = self.rob.srcs(idx);
+        match self.rob.op(idx) {
             Op::Load { offset, .. } => {
-                let base = self.rf.read(*srcs.last().expect("load base"));
+                let base = self.rf.read(*srcs.as_slice().last().expect("load base"));
                 let addr = effective_addr(base, offset);
                 self.load_address_resolved(seq, addr);
             }
             Op::Store { offset, .. } => {
-                let base = self.rf.read(srcs[1]);
+                let base = self.rf.read(srcs.as_slice()[1]);
                 let addr = effective_addr(base, offset);
                 let data = self
                     .rf
-                    .is_propagated(srcs[0])
-                    .then(|| self.rf.read(srcs[0]));
+                    .is_propagated(srcs.as_slice()[0])
+                    .then(|| self.rf.read(srcs.as_slice()[0]));
                 self.store_address_resolved(seq, addr, data);
             }
             _ => unreachable!("AguDone on non-memory op"),
@@ -109,17 +112,18 @@ impl Core {
         let Some(idx) = self.rob_index(seq) else {
             return;
         };
-        let e = &self.rob[idx];
-        if e.state != ExecState::Executed {
+        if self.rob.state(idx) != ExecState::Executed {
             return;
         }
-        let Some(b) = e.branch else { return };
+        let Some(b) = self.rob.branch(idx) else {
+            return;
+        };
         if b.resolved || b.actual_taken.is_none() {
             return;
         }
         // STT: branch resolution is a transmitter; delay while the
         // predicate is tainted (§2.2).
-        if self.policy().tracks_taint() && self.taint.any_tainted(&e.srcs) {
+        if self.policy().tracks_taint() && self.taint.any_tainted(self.rob.srcs(idx).as_slice()) {
             return;
         }
         // Some schemes (DoM+AP, §4.6/§5.3) resolve branches in order —
@@ -132,13 +136,10 @@ impl Core {
         let mispredicted = actual_next != b.predicted_next;
         let checkpoint = b.history_checkpoint;
         let ras_checkpoint = b.ras_checkpoint;
-        let was_ret = matches!(e.op, Op::Ret);
-        {
-            let e = &mut self.rob[idx];
-            let bm = e.branch.as_mut().expect("branch");
-            bm.resolved = true;
-            e.state = ExecState::Completed;
-        }
+        let was_ret = matches!(self.rob.op(idx), Op::Ret);
+        self.rob.branch_mut(idx).as_mut().expect("branch").resolved = true;
+        *self.rob.state_mut(idx) = ExecState::Completed;
+        self.tick_activity = true;
         self.shadows.resolve(seq);
         if mispredicted {
             self.stats.branch_mispredicts += 1;

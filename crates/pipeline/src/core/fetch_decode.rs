@@ -7,6 +7,8 @@ use super::*;
 impl Core {
     /// Advances fetch and decode by one cycle.
     pub(super) fn fetch_decode_stage(&mut self, program: &Program) {
-        self.front.fetch(program, self.cycle);
+        if self.front.fetch(program, self.cycle) {
+            self.tick_activity = true;
+        }
     }
 }

@@ -7,10 +7,17 @@ use super::*;
 
 impl Core {
     pub(super) fn handle_mem_responses(&mut self) {
-        let responses: Vec<MemResponse> = self
-            .mem
-            .advance_traced(self.cycle, self.sink.as_deref_mut());
-        for resp in responses {
+        // Anything landing this cycle changes hierarchy state, even when
+        // it produces no owner response (prefetch fills, stale ids) —
+        // the fill alone can turn a future miss into a hit.
+        if self.mem.next_ready().is_some_and(|t| t <= self.cycle) {
+            self.tick_activity = true;
+        }
+        // The response buffer is reused across ticks (allocation-free).
+        let mut responses = std::mem::take(&mut self.mem_responses);
+        self.mem
+            .advance_into(self.cycle, self.sink.as_deref_mut(), &mut responses);
+        for resp in responses.drain(..) {
             let Some((seq, tag)) = self.req_owner.remove(&resp.id) else {
                 continue;
             };
@@ -22,41 +29,42 @@ impl Core {
                 }
             }
         }
+        self.mem_responses = responses;
     }
 
     pub(super) fn demand_response(&mut self, seq: Seq, resp: MemResponse) {
         let Some(li) = self.lq_index(seq) else {
             return; // squashed
         };
-        if self.lq[li].req != Some(resp.id) {
+        if self.lq.req(li) != Some(resp.id) {
             return; // stale (replayed)
         }
-        self.lq[li].req = None;
+        *self.lq.req_mut(li) = None;
         match resp.payload {
             ResponsePayload::Data { hit_level } => {
                 if hit_level != Level::L1 {
-                    self.lq[li].needs_touch = false;
+                    *self.lq.needs_touch_mut(li) = false;
                 }
                 // Prefer a covering older store over memory (the store
                 // has not drained yet).
-                let addr = self.lq[li].addr.expect("demand response without addr");
-                let width = self.lq[li].width;
+                let addr = self.lq.addr(li).expect("demand response without addr");
+                let width = self.lq.width(li);
                 match self.search_forward(seq, addr, width) {
                     ForwardResult::Covers { value, store_seq } => {
-                        self.lq[li].value = Some(value);
-                        self.lq[li].forwarded = true;
-                        self.lq[li].fwd_src = Some(store_seq);
+                        *self.lq.value_mut(li) = Some(value);
+                        *self.lq.forwarded_mut(li) = true;
+                        *self.lq.fwd_src_mut(li) = Some(store_seq);
                     }
                     ForwardResult::Partial { store_seq } => {
-                        self.lq[li].state = LoadState::WaitStore(store_seq);
-                        self.lq[li].value = None;
+                        self.set_load_state(li, LoadState::WaitStore(store_seq));
+                        *self.lq.value_mut(li) = None;
                         return;
                     }
                     ForwardResult::None => {
-                        self.lq[li].value = Some(self.data.read(addr, width) as i64);
+                        *self.lq.value_mut(li) = Some(self.data.read(addr, width) as i64);
                     }
                 }
-                self.lq[li].state = LoadState::Done;
+                self.set_load_state(li, LoadState::Done);
                 self.try_propagate_load(seq);
             }
             ResponsePayload::L1MissBlocked => {
@@ -64,9 +72,9 @@ impl Core {
                 if self.shadows.is_nonspeculative(seq) {
                     // Became safe while the probe was in flight: retry
                     // with full access immediately.
-                    self.lq[li].state = LoadState::WaitIssue;
+                    self.set_load_state(li, LoadState::WaitIssue);
                 } else {
-                    self.lq[li].state = LoadState::DelayedDoM;
+                    self.set_load_state(li, LoadState::DelayedDoM);
                 }
             }
         }
@@ -76,34 +84,35 @@ impl Core {
         let Some(li) = self.lq_index(seq) else {
             return; // squashed: the doppelganger's fill is harmless (§4.2)
         };
-        if self.lq[li].dgl_req != Some(resp.id) {
+        if self.lq.dgl_req(li) != Some(resp.id) {
             return; // discarded after misprediction
         }
-        self.lq[li].dgl_req = None;
+        *self.lq.dgl_req_mut(li) = None;
         let ResponsePayload::Data { hit_level } = resp.payload else {
             unreachable!("doppelgangers always issue full-hierarchy accesses");
         };
-        let pred_addr = self.lq[li]
-            .dgl
+        let pred_addr = self
+            .lq
+            .dgl(li)
             .predicted_addr()
             .expect("dgl response without prediction");
-        let width = self.lq[li].width;
-        if !self.lq[li].dgl.is_store_overridden() {
+        let width = self.lq.width(li);
+        if !self.lq.dgl(li).is_store_overridden() {
             // §4.4: an older matching store overrides transparently; the
             // memory value is only used when no store supplied one.
             match self.search_forward(seq, pred_addr, width) {
                 ForwardResult::Covers { value, store_seq } => {
-                    self.lq[li].value = Some(value);
-                    self.lq[li].fwd_src = Some(store_seq);
-                    self.lq[li].dgl.on_store_forward();
+                    *self.lq.value_mut(li) = Some(value);
+                    *self.lq.fwd_src_mut(li) = Some(store_seq);
+                    self.lq.dgl_mut(li).on_store_forward();
                 }
                 ForwardResult::Partial { store_seq } => {
                     // Cannot assemble the value: discard the preload and
                     // put the load back on the conventional path (it may
                     // already have been counting on this request).
-                    self.lq[li].dgl.discard();
+                    self.lq.dgl_mut(li).discard();
                     self.stats.dgl_discard_unsafe += 1;
-                    let pc = self.lq[li].pc;
+                    let pc = self.lq.pc(li);
                     self.sites.record_discard_unsafe(Self::pc_addr(pc));
                     self.emit_dgl(
                         seq,
@@ -112,19 +121,20 @@ impl Core {
                             reason: DiscardReason::StoreConflict,
                         },
                     );
-                    if self.lq[li].addr.is_some() && self.lq[li].req.is_none() {
-                        self.lq[li].state = LoadState::WaitStore(store_seq);
+                    if self.lq.addr(li).is_some() && self.lq.req(li).is_none() {
+                        self.set_load_state(li, LoadState::WaitStore(store_seq));
                     }
                     return;
                 }
                 ForwardResult::None => {
-                    self.lq[li].value = Some(self.data.read(pred_addr, width) as i64);
+                    *self.lq.value_mut(li) = Some(self.data.read(pred_addr, width) as i64);
                 }
             }
         }
-        self.lq[li].dgl.on_data(hit_level == Level::L1);
-        if self.lq[li].dgl.verification() == Verification::Correct {
-            self.lq[li].state = LoadState::Done;
+        let l1_hit = hit_level == Level::L1;
+        self.lq.dgl_mut(li).on_data(l1_hit);
+        if self.lq.dgl(li).verification() == Verification::Correct {
+            self.set_load_state(li, LoadState::Done);
             self.try_propagate_load(seq);
         }
     }
@@ -134,25 +144,31 @@ impl Core {
         let mut mshr_blocked = false;
         // 1. Conventional demand loads, oldest first. The LQ does not
         // change shape during this stage, so plain indexing is safe.
+        // Skipped outright when no entry waits to issue (the loop is
+        // pure for every other state).
         for li in 0..self.lq.len() {
+            if self.gates.lq_wait_issue == 0 {
+                break;
+            }
             if load_ports == 0 || mshr_blocked {
                 break;
             }
-            let seq = self.lq[li].seq;
-            if self.lq[li].state != LoadState::WaitIssue {
+            let seq = self.lq.seq(li);
+            if self.lq.state(li) != LoadState::WaitIssue {
                 continue;
             }
-            let addr = self.lq[li].addr.expect("WaitIssue implies addr");
+            let addr = self.lq.addr(li).expect("WaitIssue implies addr");
             let idx = self.rob_index(seq).expect("load in rob");
             // STT: a load is a transmitter — its address operands must
             // be untainted before it may touch the memory hierarchy.
-            if self.policy().tracks_taint() && self.taint.any_tainted(&self.rob[idx].srcs) {
+            if self.policy().tracks_taint() && self.taint.any_tainted(self.rob.srcs(idx).as_slice())
+            {
                 continue;
             }
             // A mispredicted doppelganger's conventional load may be
             // held back by the scheme (DoM: visibility point only, §5.3).
             let nonspec = self.shadows.is_nonspeculative(seq);
-            if self.lq[li].dgl.verification() == Verification::Mispredicted
+            if self.lq.dgl(li).verification() == Verification::Mispredicted
                 && !self.policy().reissue_allowed(nonspec)
             {
                 continue;
@@ -169,36 +185,44 @@ impl Core {
                 .request_traced(req, self.cycle, self.sink.as_deref_mut())
             {
                 Some(id) => {
-                    let em = &mut self.lq[li];
-                    em.req = Some(id);
-                    em.state = LoadState::Issued;
-                    em.needs_touch = plan.l1_only; // cleared on non-hit outcomes
+                    *self.lq.req_mut(li) = Some(id);
+                    self.set_load_state(li, LoadState::Issued);
+                    *self.lq.needs_touch_mut(li) = plan.l1_only; // cleared on non-hit outcomes
                     self.req_owner.insert(id, (seq, ReqTag::Demand));
                     load_ports -= 1;
-                    let pc = self.lq[li].pc;
+                    self.tick_activity = true;
+                    let pc = self.lq.pc(li);
                     self.emit_stage(seq, pc, InstKind::Load, Stage::Memory, self.cycle);
                 }
                 None => mshr_blocked = true,
             }
         }
         // 2. Doppelgangers fill the remaining slots (Figure 5 (D)).
-        if self.ap_enabled && !mshr_blocked {
+        // Candidates are by definition in `WaitAddr`/`WaitIssue`, so
+        // the scan is skipped when both buckets are empty.
+        if self.ap_enabled
+            && !mshr_blocked
+            && self.gates.lq_wait_addr + self.gates.lq_wait_issue > 0
+        {
             for li in 0..self.lq.len() {
                 if load_ports == 0 || mshr_blocked {
                     break;
                 }
-                let seq = self.lq[li].seq;
-                let e = &self.lq[li];
-                let issueable = e.dgl.is_predicted()
-                    && !e.dgl.is_issued()
-                    && e.dgl.verification() != Verification::Mispredicted
-                    && e.value.is_none()
-                    && e.req.is_none()
-                    && matches!(e.state, LoadState::WaitAddr | LoadState::WaitIssue);
+                let seq = self.lq.seq(li);
+                let dgl = self.lq.dgl(li);
+                let issueable = dgl.is_predicted()
+                    && !dgl.is_issued()
+                    && dgl.verification() != Verification::Mispredicted
+                    && self.lq.value(li).is_none()
+                    && self.lq.req(li).is_none()
+                    && matches!(
+                        self.lq.state(li),
+                        LoadState::WaitAddr | LoadState::WaitIssue
+                    );
                 if !issueable {
                     continue;
                 }
-                let pred = e.dgl.predicted_addr().expect("predicted");
+                let pred = dgl.predicted_addr().expect("predicted");
                 // Doppelgangers may access the full hierarchy under every
                 // scheme: the predicted address is secret-independent.
                 let req = MemRequest {
@@ -212,17 +236,17 @@ impl Core {
                     .request_traced(req, self.cycle, self.sink.as_deref_mut())
                 {
                     Some(id) => {
-                        let em = &mut self.lq[li];
-                        em.dgl.mark_issued();
-                        em.dgl_req = Some(id);
-                        if em.state == LoadState::WaitIssue {
+                        self.lq.dgl_mut(li).mark_issued();
+                        *self.lq.dgl_req_mut(li) = Some(id);
+                        if self.lq.state(li) == LoadState::WaitIssue {
                             // Verified-correct: this request *is* the load.
-                            em.state = LoadState::Issued;
+                            self.set_load_state(li, LoadState::Issued);
                         }
                         self.req_owner.insert(id, (seq, ReqTag::Doppelganger));
                         self.stats.dgl_issued += 1;
                         load_ports -= 1;
-                        let pc = self.lq[li].pc;
+                        self.tick_activity = true;
+                        let pc = self.lq.pc(li);
                         self.sites.record_issued(Self::pc_addr(pc));
                         self.emit_stage(seq, pc, InstKind::Load, Stage::Memory, self.cycle);
                         self.emit_dgl(seq, pc, DglEvent::Issued { predicted: pred });
@@ -233,6 +257,7 @@ impl Core {
         }
         // 3. Store-buffer drain.
         let mut store_ports = self.cfg.store_ports;
+        let mut drained = false;
         for sb in self.store_buffer.iter_mut() {
             if store_ports == 0 {
                 break;
@@ -249,9 +274,13 @@ impl Core {
                     sb.req = Some(id);
                     self.req_owner.insert(id, (0, ReqTag::StoreDrain));
                     store_ports -= 1;
+                    drained = true;
                 }
                 None => break,
             }
+        }
+        if drained {
+            self.tick_activity = true;
         }
         // 4. Prefetches into whatever is left.
         let mut pf_ports = self.cfg.prefetch_ports;
@@ -261,6 +290,7 @@ impl Core {
             };
             if self.mem.contains(Level::L1, addr) {
                 self.prefetch_q.pop_front();
+                self.tick_activity = true;
                 continue;
             }
             match self.mem.request_traced(
@@ -272,6 +302,7 @@ impl Core {
                     self.prefetch_q.pop_front();
                     self.stats.prefetches += 1;
                     pf_ports -= 1;
+                    self.tick_activity = true;
                 }
                 None => break,
             }
@@ -280,20 +311,20 @@ impl Core {
 
     pub(super) fn load_address_resolved(&mut self, seq: Seq, addr: u64) {
         let li = self.lq_index(seq).expect("load in lq");
-        self.lq[li].addr = Some(addr);
-        let pc = self.lq[li].pc;
+        *self.lq.addr_mut(li) = Some(addr);
+        let pc = self.lq.pc(li);
         let sink = self.sink.as_deref_mut();
         let verdict =
-            self.lq[li]
-                .dgl
+            self.lq
+                .dgl_mut(li)
                 .resolve_traced(addr, seq, Self::pc_addr(pc), self.cycle, sink);
         if verdict == Verification::Mispredicted {
             // Drop any in-flight doppelganger request; its response will
             // be ignored (stale id). The fill it causes stays — that is
             // the safe, secret-independent side effect (§4.2). No
             // squash: the discard is the whole cost (§4.3).
-            self.lq[li].dgl_req = None;
-            self.lq[li].value = None;
+            *self.lq.dgl_req_mut(li) = None;
+            *self.lq.value_mut(li) = None;
             self.stats.dgl_discard_mispredict += 1;
             self.sites.record_discard_mispredict(Self::pc_addr(pc));
             self.emit_dgl(
@@ -304,26 +335,26 @@ impl Core {
                 },
             );
         }
-        let width = self.lq[li].width;
+        let width = self.lq.width(li);
         match self.search_forward(seq, addr, width) {
             ForwardResult::Covers { value, store_seq } => {
                 if verdict == Verification::Correct {
                     // §4.4 case (1): the doppelganger already appears in
                     // memory; the preloaded value becomes the store's.
-                    self.lq[li].dgl.on_store_forward();
+                    self.lq.dgl_mut(li).on_store_forward();
                 }
-                self.lq[li].value = Some(value);
-                self.lq[li].forwarded = true;
-                self.lq[li].fwd_src = Some(store_seq);
-                self.lq[li].state = LoadState::Done;
+                *self.lq.value_mut(li) = Some(value);
+                *self.lq.forwarded_mut(li) = true;
+                *self.lq.fwd_src_mut(li) = Some(store_seq);
+                self.set_load_state(li, LoadState::Done);
                 self.try_propagate_load(seq);
             }
             ForwardResult::Partial { store_seq } => {
-                let was_predicted = self.lq[li].dgl.is_predicted();
-                self.lq[li].dgl.discard();
-                self.lq[li].dgl_req = None;
-                self.lq[li].value = None;
-                self.lq[li].state = LoadState::WaitStore(store_seq);
+                let was_predicted = self.lq.dgl(li).is_predicted();
+                self.lq.dgl_mut(li).discard();
+                *self.lq.dgl_req_mut(li) = None;
+                *self.lq.value_mut(li) = None;
+                self.set_load_state(li, LoadState::WaitStore(store_seq));
                 if was_predicted {
                     self.stats.dgl_discard_unsafe += 1;
                     self.sites.record_discard_unsafe(Self::pc_addr(pc));
@@ -339,22 +370,22 @@ impl Core {
             ForwardResult::None => {
                 match verdict {
                     Verification::Correct => {
-                        if self.lq[li].dgl.data_ready() {
-                            self.lq[li].state = LoadState::Done;
+                        if self.lq.dgl(li).data_ready() {
+                            self.set_load_state(li, LoadState::Done);
                             self.try_propagate_load(seq);
-                        } else if self.lq[li].dgl_req.is_some() {
+                        } else if self.lq.dgl_req(li).is_some() {
                             // The doppelganger request is the load's
                             // request; wait for it.
-                            self.lq[li].state = LoadState::Issued;
+                            self.set_load_state(li, LoadState::Issued);
                         } else {
                             // Predicted but never issued: issue now (the
                             // doppelganger path still applies — the
                             // address is the safe predicted one).
-                            self.lq[li].state = LoadState::WaitIssue;
+                            self.set_load_state(li, LoadState::WaitIssue);
                         }
                     }
                     Verification::Mispredicted | Verification::Pending => {
-                        self.lq[li].state = LoadState::WaitIssue;
+                        self.set_load_state(li, LoadState::WaitIssue);
                     }
                 }
             }
@@ -362,20 +393,21 @@ impl Core {
     }
 
     pub(super) fn store_address_resolved(&mut self, seq: Seq, addr: u64, data: Option<i64>) {
-        let si = self
-            .sq
-            .iter()
-            .position(|e| e.seq == seq)
-            .expect("store in sq");
-        self.sq[si].addr = Some(addr);
-        self.sq[si].data = data;
-        let width = self.sq[si].width;
+        let si = self.sq.index_of(seq).expect("store in sq");
+        *self.sq.addr_mut(si) = Some(addr);
+        *self.sq.data_mut(si) = data;
+        if data.is_none() {
+            // Address resolved, data still in flight: the only way an
+            // entry enters the capture sweep's bucket.
+            self.gates.sq_pending_data += 1;
+        }
+        let width = self.sq.width(si);
         if let Some(idx) = self.rob_index(seq) {
             // The store completes once the data is captured too; with
             // the data pending it stays Issued and the data-capture
             // sweep finishes it.
-            let pc = self.rob[idx].pc;
-            self.rob[idx].state = if data.is_some() {
+            let pc = self.rob.pc(idx);
+            *self.rob.state_mut(idx) = if data.is_some() {
                 ExecState::Completed
             } else {
                 ExecState::Issued
@@ -390,22 +422,29 @@ impl Core {
     }
 
     /// Captures store data for address-resolved entries whose data
-    /// register has since propagated, completing the store.
+    /// register has since propagated, completing the store. Skipped
+    /// entirely when no entry has an address without data (the sweep is
+    /// pure for every other entry).
     pub(super) fn capture_store_data(&mut self) {
+        if self.gates.sq_pending_data == 0 {
+            return;
+        }
         for si in 0..self.sq.len() {
-            if self.sq[si].addr.is_none() || self.sq[si].data.is_some() {
+            if self.sq.addr(si).is_none() || self.sq.data(si).is_some() {
                 continue;
             }
-            let src = self.sq[si].data_src;
+            let src = self.sq.data_src(si);
             if !self.rf.is_propagated(src) {
                 continue;
             }
             let value = self.rf.read(src);
-            self.sq[si].data = Some(value);
-            let seq = self.sq[si].seq;
+            *self.sq.data_mut(si) = Some(value);
+            self.gates.sq_pending_data -= 1;
+            self.tick_activity = true;
+            let seq = self.sq.seq(si);
             if let Some(idx) = self.rob_index(seq) {
-                self.rob[idx].state = ExecState::Completed;
-                let pc = self.rob[idx].pc;
+                *self.rob.state_mut(idx) = ExecState::Completed;
+                let pc = self.rob.pc(idx);
                 self.emit_stage(seq, pc, InstKind::Store, Stage::Writeback, self.cycle);
             }
         }
@@ -424,64 +463,66 @@ impl Core {
     ) {
         let mut squash_load: Option<(Seq, usize)> = None;
         for li in 0..self.lq.len() {
-            let e = &self.lq[li];
-            if e.seq <= store_seq {
+            let seq = self.lq.seq(li);
+            if seq <= store_seq {
                 continue;
             }
             // Check resolved addresses and (for unverified doppelgangers)
             // predicted addresses.
-            let eff_addr = e.addr.or_else(|| {
-                if e.dgl.verification() == Verification::Pending {
-                    e.dgl.predicted_addr()
+            let dgl = self.lq.dgl(li);
+            let eff_addr = self.lq.addr(li).or_else(|| {
+                if dgl.verification() == Verification::Pending {
+                    dgl.predicted_addr()
                 } else {
                     None
                 }
             });
             let Some(load_addr) = eff_addr else { continue };
-            let ov = overlap(addr, width, load_addr, e.width);
+            let load_width = self.lq.width(li);
+            let ov = overlap(addr, width, load_addr, load_width);
             if ov == Overlap::None {
                 continue;
             }
             // A newer forwarding source takes precedence.
-            if let Some(src) = e.fwd_src {
+            if let Some(src) = self.lq.fwd_src(li) {
                 if src > store_seq {
                     continue;
                 }
             }
-            if e.propagated || e.eager_consumed {
+            if self.lq.propagated(li) || self.lq.eager_consumed(li) {
                 // Dependents consumed a stale value (ordinary
                 // propagation, or an eager branch read of a locked
                 // value): squash from the load.
                 squash_load = match squash_load {
-                    Some((s, i)) if s <= e.seq => Some((s, i)),
-                    _ => Some((e.seq, self.lq[li].pc)),
+                    Some((s, i)) if s <= seq => Some((s, i)),
+                    _ => Some((seq, self.lq.pc(li))),
                 };
                 continue;
             }
-            if e.value.is_some() || e.dgl.is_issued() {
+            if self.lq.value(li).is_some() || dgl.is_issued() {
                 let mut dgl_conflict: Option<(Seq, usize)> = None;
-                let em = &mut self.lq[li];
                 match (ov, data) {
                     (Overlap::Covers, Some(d)) => {
-                        em.value = Some(forward_value(addr, d, load_addr, em.width));
-                        em.forwarded = true;
-                        em.fwd_src = Some(store_seq);
-                        if em.dgl.is_predicted() {
-                            em.dgl.on_store_forward();
+                        *self.lq.value_mut(li) =
+                            Some(forward_value(addr, d, load_addr, load_width));
+                        *self.lq.forwarded_mut(li) = true;
+                        *self.lq.fwd_src_mut(li) = Some(store_seq);
+                        if dgl.is_predicted() {
+                            self.lq.dgl_mut(li).on_store_forward();
                         }
                     }
                     // Covering store whose data is still pending, or a
                     // partial overlap: the preloaded value is stale;
                     // wait on the store.
                     (Overlap::Covers, None) | (Overlap::Partial, _) => {
-                        em.value = None;
-                        if em.dgl.is_predicted() {
-                            dgl_conflict = Some((em.seq, em.pc));
+                        *self.lq.value_mut(li) = None;
+                        if dgl.is_predicted() {
+                            dgl_conflict = Some((seq, self.lq.pc(li)));
                         }
-                        em.dgl.discard();
-                        em.dgl_req = None;
-                        if em.addr.is_some() {
-                            em.state = LoadState::WaitStore(store_seq);
+                        self.lq.dgl_mut(li).discard();
+                        *self.lq.dgl_req_mut(li) = None;
+                        if self.lq.addr(li).is_some() {
+                            self.set_load_state(li, LoadState::WaitStore(store_seq));
                         }
                     }
                     (Overlap::None, _) => unreachable!(),
@@ -507,55 +548,68 @@ impl Core {
 
     /// Re-evaluates a load parked on an older store: forward once the
     /// store's data lands, keep waiting on partial overlaps, or go to
-    /// memory once the store has drained.
+    /// memory once the store has drained. Only an actual state change
+    /// counts as activity — re-parking on the same store is the no-op
+    /// steady state of a stalled load.
     pub(super) fn recheck_wait_store(&mut self, li: usize) {
-        let seq = self.lq[li].seq;
-        let addr = self.lq[li].addr.expect("WaitStore implies addr");
-        let width = self.lq[li].width;
+        let seq = self.lq.seq(li);
+        let addr = self.lq.addr(li).expect("WaitStore implies addr");
+        let width = self.lq.width(li);
         match self.search_forward(seq, addr, width) {
             ForwardResult::Covers { value, store_seq } => {
-                let em = &mut self.lq[li];
-                em.value = Some(value);
-                em.forwarded = true;
-                em.fwd_src = Some(store_seq);
-                if em.dgl.verification() == Verification::Correct {
-                    em.dgl.on_store_forward();
+                *self.lq.value_mut(li) = Some(value);
+                *self.lq.forwarded_mut(li) = true;
+                *self.lq.fwd_src_mut(li) = Some(store_seq);
+                if self.lq.dgl(li).verification() == Verification::Correct {
+                    self.lq.dgl_mut(li).on_store_forward();
                 }
-                em.state = LoadState::Done;
+                self.set_load_state(li, LoadState::Done);
+                self.tick_activity = true;
                 self.try_propagate_load(seq);
             }
             ForwardResult::Partial { store_seq } => {
-                self.lq[li].state = LoadState::WaitStore(store_seq);
+                let next = LoadState::WaitStore(store_seq);
+                if self.lq.state(li) != next {
+                    self.tick_activity = true;
+                }
+                self.set_load_state(li, next);
             }
             ForwardResult::None => {
-                self.lq[li].state = LoadState::WaitIssue;
+                self.set_load_state(li, LoadState::WaitIssue);
+                self.tick_activity = true;
             }
         }
     }
 
     pub(super) fn search_forward(&self, load_seq: Seq, addr: u64, width: Width) -> ForwardResult {
         // Youngest older store with a resolved address that overlaps.
-        for st in self.sq.iter().rev() {
-            if st.seq >= load_seq {
+        for si in (0..self.sq.len()).rev() {
+            if self.sq.seq(si) >= load_seq {
                 continue;
             }
-            let Some(st_addr) = st.addr else { continue };
-            match overlap(st_addr, st.width, addr, width) {
+            let Some(st_addr) = self.sq.addr(si) else {
+                continue;
+            };
+            match overlap(st_addr, self.sq.width(si), addr, width) {
                 Overlap::None => continue,
                 Overlap::Covers => {
                     // A covering store whose data has not arrived yet
                     // behaves like a partial overlap: the load waits and
                     // rechecks (it will forward once the data lands).
-                    return match st.data {
+                    return match self.sq.data(si) {
                         Some(d) => ForwardResult::Covers {
                             value: forward_value(st_addr, d, addr, width),
-                            store_seq: st.seq,
+                            store_seq: self.sq.seq(si),
                         },
-                        None => ForwardResult::Partial { store_seq: st.seq },
+                        None => ForwardResult::Partial {
+                            store_seq: self.sq.seq(si),
+                        },
                     };
                 }
                 Overlap::Partial => {
-                    return ForwardResult::Partial { store_seq: st.seq };
+                    return ForwardResult::Partial {
+                        store_seq: self.sq.seq(si),
+                    };
                 }
             }
         }
@@ -570,27 +624,32 @@ impl Core {
         let mask = self.cfg.hierarchy.l1.line_mask();
         let line = addr & mask;
         let mut squash: Option<(Seq, usize)> = None;
-        for e in self.lq.iter_mut() {
-            let matches_resolved = e.addr.is_some_and(|a| a & mask == line);
-            let matches_predicted = e.dgl.predicted_addr().is_some_and(|a| a & mask == line);
+        for li in 0..self.lq.len() {
+            let matches_resolved = self.lq.addr(li).is_some_and(|a| a & mask == line);
+            let matches_predicted = self
+                .lq
+                .dgl(li)
+                .predicted_addr()
+                .is_some_and(|a| a & mask == line);
             if !matches_resolved && !matches_predicted {
                 continue;
             }
-            if e.propagated || e.eager_consumed {
+            if self.lq.propagated(li) || self.lq.eager_consumed(li) {
                 // Conventional consistency repair: squash the load. An
                 // eager branch read counts as consumption even though
                 // the value never propagated.
+                let seq = self.lq.seq(li);
                 squash = match squash {
-                    Some((s, p)) if s <= e.seq => Some((s, p)),
-                    _ => Some((e.seq, e.pc)),
+                    Some((s, p)) if s <= seq => Some((s, p)),
+                    _ => Some((seq, self.lq.pc(li))),
                 };
-            } else if e.dgl.is_issued() {
+            } else if self.lq.dgl(li).is_issued() {
                 // §4.5: the doppelganger is not squashed; the note takes
                 // effect if/when the preload propagates.
-                e.dgl.on_invalidation();
-            } else if e.value.is_some() {
-                e.value = None;
-                e.state = LoadState::WaitIssue;
+                self.lq.dgl_mut(li).on_invalidation();
+            } else if self.lq.value(li).is_some() {
+                *self.lq.value_mut(li) = None;
+                self.set_load_state(li, LoadState::WaitIssue);
             }
         }
         if let Some((seq, pc)) = squash {

@@ -22,14 +22,11 @@ impl Core {
     ) {
         // Nested host-profiling region: squashes run inside whichever
         // stage detected the misprediction, so the slot is excluded
-        // from the tick partition sum. Cloned to a local so the guard's
-        // borrow does not overlap the `&mut self` work below.
-        let prof = self.prof.clone();
-        let _recovery = dgl_stats::ProfScope::enter(prof.as_ref().map(CoreProf::recovery));
-        while let Some(e) = self.rob.back() {
-            if e.seq <= last_good {
-                break;
-            }
+        // from the tick partition sum. Timed into the local accumulator
+        // at the end (the body below never returns early).
+        let t0 = self.prof.as_ref().map(|p| (Instant::now(), p.ids.recovery));
+        self.tick_activity = true;
+        while !self.rob.is_empty() && self.rob.seq(self.rob.len() - 1) > last_good {
             let e = self.rob.pop_back().expect("non-empty");
             self.stats.squashed += 1;
             if self.sink.is_some() {
@@ -39,15 +36,17 @@ impl Core {
                     cycle: self.cycle,
                 });
             }
-            if e.in_iq {
-                self.iq_count -= 1;
-            }
             if let Some((arch, new, old)) = e.dst {
                 self.rf.unrename(arch, new, old);
             }
         }
-        while matches!(self.lq.back(), Some(e) if e.seq > last_good) {
+        // The IQ list is sorted by seq, so every squashed entry sits in
+        // the suffix past `last_good`.
+        let keep = self.iq.partition_point(|e| e.seq <= last_good);
+        self.iq.truncate(keep);
+        while !self.lq.is_empty() && self.lq.seq(self.lq.len() - 1) > last_good {
             let e = self.lq.pop_back().expect("checked");
+            self.lq_gate_pop(&e);
             if e.dgl.is_predicted() {
                 // Mispredicted doppelgangers were already accounted at
                 // verification; only live ones die *by* the squash.
@@ -65,8 +64,9 @@ impl Core {
                 vp.note_squash(Self::pc_addr(e.pc));
             }
         }
-        while matches!(self.sq.back(), Some(e) if e.seq > last_good) {
-            self.sq.pop_back();
+        while !self.sq.is_empty() && self.sq.seq(self.sq.len() - 1) > last_good {
+            let e = self.sq.pop_back().expect("checked");
+            self.sq_gate_pop(&e);
         }
         self.shadows.squash_younger_than(last_good);
         self.taint.squash_roots_younger_than(last_good);
@@ -77,5 +77,8 @@ impl Core {
             history,
             ras,
         );
+        if let Some((t0, id)) = t0 {
+            self.prof_accum.add(id, t0.elapsed().as_nanos() as u64);
+        }
     }
 }

@@ -14,88 +14,120 @@ impl Core {
         srcs: &[PhysReg],
     ) {
         let idx = self.rob_index(seq).expect("live entry");
-        let (pc, op) = (self.rob[idx].pc, self.rob[idx].op);
+        let (pc, op) = (self.rob.pc(idx), self.rob.op(idx));
         self.emit_stage(seq, pc, inst_kind(op), Stage::Writeback, self.cycle);
         if let Some((arch, preg, _)) = dst {
             self.rf.write(preg, value);
             if self.policy().tracks_taint() {
                 let root = self.taint.combine(srcs);
                 self.taint.set(preg, root);
-                self.rob[idx].out_taint = root;
+                *self.rob.out_taint_mut(idx) = root;
             }
             // NDA-S: *no* speculative result propagates until the
             // instruction is non-speculative — the strict variant's
             // ILP-killing rule.
             if self.policy().delays_all_propagation() && !arch.is_zero() && self.is_spec(seq) {
-                self.rob[idx].locked = true;
-                self.rob[idx].state = ExecState::Executed;
+                *self.rob.locked_mut(idx) = true;
+                *self.rob.state_mut(idx) = ExecState::Executed;
+                // Queue for the visibility-point unlock sweep, which
+                // walks only locked results instead of the whole ROB.
+                self.locked_results.push(seq);
                 return;
             }
             self.rf.propagate(preg);
         }
-        self.rob[idx].state = ExecState::Completed;
+        *self.rob.state_mut(idx) = ExecState::Completed;
     }
 
     /// NDA-S: releases a locked non-load result once it reaches the
     /// visibility point.
     pub(super) fn try_unlock_result(&mut self, idx: usize) {
-        let e = &self.rob[idx];
-        if !e.locked || e.op.is_load() {
+        if !self.rob.locked(idx) || self.rob.op(idx).is_load() {
             return;
         }
-        if !self.shadows.is_nonspeculative(e.seq) {
+        if !self.shadows.is_nonspeculative(self.rob.seq(idx)) {
             return;
         }
-        let (_, preg, _) = e.dst.expect("locked result has a destination");
+        let (_, preg, _) = self.rob.dst(idx).expect("locked result has a destination");
         self.rf.propagate(preg);
-        self.rob[idx].locked = false;
-        self.rob[idx].state = ExecState::Completed;
+        *self.rob.locked_mut(idx) = false;
+        *self.rob.state_mut(idx) = ExecState::Completed;
+        self.tick_activity = true;
     }
 
     pub(super) fn visibility_maintenance(&mut self, program: &Program) {
         // Everything with seq <= bound is non-speculative.
         let bound = self.shadows.oldest().unwrap_or(Seq::MAX);
         if self.policy().tracks_taint() {
-            // Roots <= bound reached the visibility point.
+            // Roots <= bound reached the visibility point. Idempotent:
+            // re-running with an unchanged bound changes nothing, so
+            // this is not an activity source for the skip-ahead kernel.
             self.taint.retire_roots_older_than(bound.saturating_add(1));
         }
         // Unlock NDA results / propagate doppelganger preloads / reissue
         // DoM-delayed loads. No LQ entry is added or removed inside this
-        // loop, so plain indexing is safe.
-        for li in 0..self.lq.len() {
-            let seq = self.lq[li].seq;
-            match self.lq[li].state {
-                LoadState::Done if !self.lq[li].propagated => {
-                    self.try_propagate_load(seq);
-                }
-                LoadState::DelayedDoM if self.shadows.is_nonspeculative(seq) => {
-                    self.lq[li].state = LoadState::WaitIssue;
-                }
-                LoadState::WaitStore(_) => {
-                    self.recheck_wait_store(li);
-                }
-                _ => {
-                    // A verified-correct doppelganger whose data arrived
-                    // while unresolved is promoted by dgl_response.
+        // loop, so plain indexing is safe. The sweep only acts on the
+        // three gated buckets, so it is skipped when all are empty.
+        if self.gates.lq_done_unprop + self.gates.lq_delayed_dom + self.gates.lq_wait_store > 0 {
+            for li in 0..self.lq.len() {
+                let seq = self.lq.seq(li);
+                match self.lq.state(li) {
+                    LoadState::Done if !self.lq.propagated(li) => {
+                        self.try_propagate_load(seq);
+                    }
+                    LoadState::DelayedDoM if self.shadows.is_nonspeculative(seq) => {
+                        self.set_load_state(li, LoadState::WaitIssue);
+                        self.tick_activity = true;
+                    }
+                    LoadState::WaitStore(_) => {
+                        self.recheck_wait_store(li);
+                    }
+                    _ => {
+                        // A verified-correct doppelganger whose data
+                        // arrived while unresolved is promoted by
+                        // dgl_response.
+                    }
                 }
             }
         }
         // NDA-S: unlock non-load results that reached the visibility
-        // point.
-        if self.policy().delays_all_propagation() {
-            for idx in 0..self.rob.len() {
-                self.try_unlock_result(idx);
+        // point. Only results queued at their lock are candidates; the
+        // ROB itself is never scanned. Sorted so unlocks happen in the
+        // ROB order the full scan used.
+        if self.policy().delays_all_propagation() && !self.locked_results.is_empty() {
+            let mut locked = std::mem::take(&mut self.locked_results);
+            locked.sort_unstable();
+            for &seq in &locked {
+                if let Some(idx) = self.rob_index(seq) {
+                    self.try_unlock_result(idx);
+                }
             }
+            // Keep only the still-locked survivors (squashed or
+            // commit-unlocked entries fall out here).
+            locked.retain(|&seq| {
+                self.rob_index(seq)
+                    .is_some_and(|i| self.rob.locked(i) && !self.rob.op(i).is_load())
+            });
+            self.locked_results = locked;
         }
-        // Delayed branch resolutions (STT untaint / DoM+AP in-order).
-        let branch_seqs: Vec<Seq> = self
-            .rob
-            .iter()
-            .filter(|e| e.state == ExecState::Executed && e.branch.is_some_and(|b| !b.resolved))
-            .map(|e| e.seq)
-            .collect();
-        for seq in branch_seqs {
-            self.try_resolve_branch(seq, program);
+        // Delayed branch resolutions (STT untaint / DoM+AP in-order):
+        // only branches queued at execute time are candidates, sorted
+        // into the ROB (= seq) order the full scan used. Stale entries
+        // (resolved or squashed since) make the retry a no-op and are
+        // dropped by the retain.
+        if !self.pending_branches.is_empty() {
+            let mut pending = std::mem::take(&mut self.pending_branches);
+            pending.sort_unstable();
+            for &seq in &pending {
+                self.try_resolve_branch(seq, program);
+            }
+            pending.retain(|&seq| {
+                self.rob_index(seq).is_some_and(|i| {
+                    self.rob.state(i) == ExecState::Executed
+                        && self.rob.branch(i).is_some_and(|b| !b.resolved)
+                })
+            });
+            self.pending_branches = pending;
         }
     }
 
@@ -104,27 +136,30 @@ impl Core {
     /// when the value came from a verified preload).
     pub(super) fn try_propagate_load(&mut self, seq: Seq) {
         let Some(li) = self.lq_index(seq) else { return };
-        let e = &self.lq[li];
-        if e.propagated || e.value.is_none() || e.state != LoadState::Done {
+        if self.lq.propagated(li)
+            || self.lq.value(li).is_none()
+            || self.lq.state(li) != LoadState::Done
+        {
             return;
         }
         // DoM+VP validation (§2.3 comparison mode): the predicted value
         // already propagated at dispatch; when the real result arrives,
         // a match costs nothing and a mismatch squashes every younger
         // instruction — the rollback that address prediction avoids.
-        if let Some(predicted) = e.vp {
-            let actual = e.value.expect("checked");
-            let pc = e.pc;
+        if let Some(predicted) = self.lq.vp(li) {
+            let actual = self.lq.value(li).expect("checked");
+            let pc = self.lq.pc(li);
             let Some(idx) = self.rob_index(seq) else {
                 return;
             };
-            let (_, preg, _) = self.rob[idx].dst.expect("vp loads have destinations");
-            self.lq[li].propagated = true;
-            let lat = self.cycle.saturating_sub(self.lq[li].dispatch_cycle);
+            let (_, preg, _) = self.rob.dst(idx).expect("vp loads have destinations");
+            self.mark_load_propagated(li);
+            let lat = self.cycle.saturating_sub(self.lq.dispatch_cycle(li));
             self.load_latency.record(lat);
             self.sites.record_latency(Self::pc_addr(pc), lat);
-            self.rob[idx].state = ExecState::Completed;
-            self.rob[idx].locked = false;
+            *self.rob.state_mut(idx) = ExecState::Completed;
+            *self.rob.locked_mut(idx) = false;
+            self.tick_activity = true;
             self.emit_stage(seq, pc, InstKind::Load, Stage::Writeback, self.cycle);
             if predicted != actual {
                 self.rf.write(preg, actual);
@@ -138,41 +173,42 @@ impl Core {
         // through the doppelganger (memory preload or store override). A
         // correct prediction whose data arrived via the load's own demand
         // request follows the scheme's conventional rules.
-        let via_dgl = e.dgl.is_predicted()
-            && e.dgl.verification() == Verification::Correct
-            && e.dgl.data_ready();
+        let dgl = self.lq.dgl(li);
+        let via_dgl =
+            dgl.is_predicted() && dgl.verification() == Verification::Correct && dgl.data_ready();
         let allowed = if via_dgl {
-            self.policy().may_propagate_doppelganger(&e.dgl, nonspec)
+            self.policy().may_propagate_doppelganger(&dgl, nonspec)
         } else {
             self.policy().may_propagate_load(nonspec)
         };
         let Some(idx) = self.rob_index(seq) else {
             return;
         };
-        let Some((_, preg, _)) = self.rob[idx].dst else {
+        let Some((_, preg, _)) = self.rob.dst(idx) else {
             // Load to r0: nothing to propagate.
-            self.lq[li].propagated = true;
-            let lat = self.cycle.saturating_sub(self.lq[li].dispatch_cycle);
+            self.mark_load_propagated(li);
+            let lat = self.cycle.saturating_sub(self.lq.dispatch_cycle(li));
             self.load_latency.record(lat);
-            let pc = self.lq[li].pc;
+            let pc = self.lq.pc(li);
             self.sites.record_latency(Self::pc_addr(pc), lat);
-            self.rob[idx].state = ExecState::Completed;
-            self.rob[idx].locked = false;
+            *self.rob.state_mut(idx) = ExecState::Completed;
+            *self.rob.locked_mut(idx) = false;
+            self.tick_activity = true;
             self.emit_stage(seq, pc, InstKind::Load, Stage::Writeback, self.cycle);
             return;
         };
-        let value = e.value.expect("checked");
+        let value = self.lq.value(li).expect("checked");
         // Memory-consistency note (§4.5): a snooped invalidation takes
         // effect when the preload would propagate — replay the load
         // instead of using possibly-stale data.
-        if via_dgl && e.dgl.invalidation_applies() {
-            let em = &mut self.lq[li];
-            em.dgl.discard();
-            em.dgl_req = None;
-            em.value = None;
-            em.state = LoadState::WaitIssue;
+        if via_dgl && dgl.invalidation_applies() {
+            self.lq.dgl_mut(li).discard();
+            *self.lq.dgl_req_mut(li) = None;
+            *self.lq.value_mut(li) = None;
+            self.set_load_state(li, LoadState::WaitIssue);
+            self.tick_activity = true;
             self.stats.dgl_discard_unsafe += 1;
-            let pc = self.lq[li].pc;
+            let pc = self.lq.pc(li);
             self.sites.record_discard_unsafe(Self::pc_addr(pc));
             self.emit_dgl(
                 seq,
@@ -193,36 +229,45 @@ impl Core {
                     None
                 };
                 self.taint.set(preg, root);
-                self.rob[idx].out_taint = root;
+                *self.rob.out_taint_mut(idx) = root;
             }
             self.rf.propagate(preg);
-            self.lq[li].propagated = true;
-            let lat = self.cycle.saturating_sub(self.lq[li].dispatch_cycle);
+            self.mark_load_propagated(li);
+            let lat = self.cycle.saturating_sub(self.lq.dispatch_cycle(li));
             self.load_latency.record(lat);
-            let pc = self.lq[li].pc;
+            let pc = self.lq.pc(li);
             self.sites.record_latency(Self::pc_addr(pc), lat);
-            self.rob[idx].state = ExecState::Completed;
-            self.rob[idx].locked = false;
+            *self.rob.state_mut(idx) = ExecState::Completed;
+            *self.rob.locked_mut(idx) = false;
+            self.tick_activity = true;
             self.emit_stage(seq, pc, InstKind::Load, Stage::Writeback, self.cycle);
             if via_dgl {
                 self.stats.dgl_propagated += 1;
                 self.sites.record_propagated(Self::pc_addr(pc));
-                let addr = self.lq[li]
-                    .addr
-                    .or(self.lq[li].dgl.predicted_addr())
+                let addr = self
+                    .lq
+                    .addr(li)
+                    .or(self.lq.dgl(li).predicted_addr())
                     .unwrap_or(0);
                 self.emit_dgl(seq, pc, DglEvent::Propagated { addr });
             }
         } else {
-            // Value ready but locked (NDA / DoM-miss / unverified).
-            if via_dgl && !self.rob[idx].locked {
-                // First time the scheme says "not yet": record the
-                // unsafe-at-propagate verdict once, not every cycle.
-                let pc = self.lq[li].pc;
-                self.emit_dgl(seq, pc, DglEvent::Deferred);
+            // Value ready but locked (NDA / DoM-miss / unverified). Only
+            // the first lock is a state transition — the per-cycle
+            // recheck of an already-locked entry is a no-op and must not
+            // count as activity, or long NDA/DoM stalls would never
+            // elide.
+            if !self.rob.locked(idx) {
+                if via_dgl {
+                    // Record the unsafe-at-propagate verdict once, not
+                    // every cycle.
+                    let pc = self.lq.pc(li);
+                    self.emit_dgl(seq, pc, DglEvent::Deferred);
+                }
+                self.tick_activity = true;
             }
-            self.rob[idx].locked = true;
-            self.rob[idx].state = ExecState::Executed;
+            *self.rob.locked_mut(idx) = true;
+            *self.rob.state_mut(idx) = ExecState::Executed;
         }
     }
 }

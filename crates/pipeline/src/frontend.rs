@@ -2,9 +2,9 @@
 //! paths), stalls on unpredictable indirect jumps, and applies redirect
 //! penalties after squashes.
 
+use crate::soa::soa_ring;
 use dgl_isa::{Inst, Op, Program};
 use dgl_predictor::{BranchPredictor, BranchPredictorConfig};
-use std::collections::VecDeque;
 
 /// Maximum return-address-stack depth.
 const RAS_DEPTH: usize = 16;
@@ -40,11 +40,24 @@ pub struct FetchedInst {
     pub ras_checkpoint: RasCheckpoint,
 }
 
+soa_ring! {
+    /// Struct-of-arrays fetch queue. Rename's readiness check touches
+    /// only the `fetch_cycle` array; redirect clears in O(len).
+    pub struct FetchQueue from FetchedInst {
+        inst / inst_mut: Inst,
+        fetch_cycle / fetch_cycle_mut: u64,
+        predicted_taken / predicted_taken_mut: bool,
+        predicted_next / predicted_next_mut: usize,
+        history_checkpoint / history_checkpoint_mut: u64,
+        ras_checkpoint / ras_checkpoint_mut: RasCheckpoint,
+    }
+}
+
 /// The fetch stage.
 #[derive(Debug)]
 pub struct Frontend {
     bpred: BranchPredictor,
-    queue: VecDeque<FetchedInst>,
+    queue: FetchQueue,
     ras: Vec<usize>,
     fetch_pc: usize,
     /// Fetch is blocked until an unpredictable indirect jump resolves.
@@ -60,15 +73,24 @@ pub struct Frontend {
 impl Frontend {
     /// Creates a frontend starting at pc 0.
     pub fn new(width: usize, bpred_cfg: BranchPredictorConfig) -> Self {
+        let capacity = width * 12;
+        let filler = FetchedInst {
+            inst: Inst { pc: 0, op: Op::Nop },
+            fetch_cycle: 0,
+            predicted_taken: false,
+            predicted_next: 0,
+            history_checkpoint: 0,
+            ras_checkpoint: RasCheckpoint::default(),
+        };
         Self {
             bpred: BranchPredictor::new(bpred_cfg),
-            queue: VecDeque::new(),
+            queue: FetchQueue::with_capacity(capacity, filler),
             ras: Vec::with_capacity(RAS_DEPTH),
             fetch_pc: 0,
             blocked_on_indirect: false,
             stall_until: 0,
             halted_path: false,
-            capacity: width * 12,
+            capacity,
             width,
         }
     }
@@ -83,11 +105,14 @@ impl Frontend {
         &self.bpred
     }
 
-    /// Fetches up to `width` instructions this cycle.
-    pub fn fetch(&mut self, program: &Program, now: u64) {
+    /// Fetches up to `width` instructions this cycle. Returns whether
+    /// any instruction entered the queue (fetch-side activity for the
+    /// skip-ahead kernel).
+    pub fn fetch(&mut self, program: &Program, now: u64) -> bool {
         if now < self.stall_until || self.blocked_on_indirect || self.halted_path {
-            return;
+            return false;
         }
+        let mut pushed = false;
         for _ in 0..self.width {
             if self.queue.len() >= self.capacity {
                 break;
@@ -124,7 +149,7 @@ impl Frontend {
                         Some(t) => t,
                         None => {
                             // Empty RAS: block until the return resolves.
-                            self.queue.push_back(FetchedInst {
+                            self.queue.push(FetchedInst {
                                 inst,
                                 fetch_cycle: now,
                                 predicted_taken: true,
@@ -133,7 +158,7 @@ impl Frontend {
                                 ras_checkpoint,
                             });
                             self.blocked_on_indirect = true;
-                            return;
+                            return true;
                         }
                     }
                 }
@@ -159,7 +184,7 @@ impl Frontend {
                         None => {
                             // No BTB entry: fetch this jump, then block
                             // until it resolves and redirects us.
-                            self.queue.push_back(FetchedInst {
+                            self.queue.push(FetchedInst {
                                 inst,
                                 fetch_cycle: now,
                                 predicted_taken: true,
@@ -168,12 +193,12 @@ impl Frontend {
                                 ras_checkpoint,
                             });
                             self.blocked_on_indirect = true;
-                            return;
+                            return true;
                         }
                     }
                 }
                 Op::Halt => {
-                    self.queue.push_back(FetchedInst {
+                    self.queue.push(FetchedInst {
                         inst,
                         fetch_cycle: now,
                         predicted_taken: false,
@@ -182,11 +207,11 @@ impl Frontend {
                         ras_checkpoint,
                     });
                     self.halted_path = true;
-                    return;
+                    return true;
                 }
                 _ => inst.pc + 1,
             };
-            self.queue.push_back(FetchedInst {
+            self.queue.push(FetchedInst {
                 inst,
                 fetch_cycle: now,
                 predicted_taken,
@@ -194,14 +219,15 @@ impl Frontend {
                 history_checkpoint: checkpoint,
                 ras_checkpoint,
             });
+            pushed = true;
             self.fetch_pc = next;
         }
+        pushed
     }
 
     /// Pops the next instruction whose front-end latency has elapsed.
     pub fn take_ready(&mut self, now: u64, depth: u64) -> Option<FetchedInst> {
-        let head = self.queue.front()?;
-        if head.fetch_cycle + depth <= now {
+        if !self.queue.is_empty() && self.queue.fetch_cycle(0) + depth <= now {
             self.queue.pop_front()
         } else {
             None
@@ -210,10 +236,31 @@ impl Frontend {
 
     /// Peeks the instruction [`take_ready`](Self::take_ready) would
     /// return, letting rename check structural hazards before consuming.
-    pub fn peek_ready(&self, now: u64, depth: u64) -> Option<&FetchedInst> {
-        self.queue
-            .front()
-            .filter(|head| head.fetch_cycle + depth <= now)
+    pub fn peek_ready(&self, now: u64, depth: u64) -> Option<FetchedInst> {
+        if !self.queue.is_empty() && self.queue.fetch_cycle(0) + depth <= now {
+            Some(self.queue.get(0))
+        } else {
+            None
+        }
+    }
+
+    /// The earliest future cycle at which time passage alone can change
+    /// fetch-domain state: the redirect-penalty expiry (when fetch is
+    /// neither blocked nor halted and the queue has room) and the front
+    /// of the queue clearing its front-end latency. Returns `None` when
+    /// no timed wake exists; wakes at or before the current cycle mean
+    /// the blockage is not time-driven and must be ignored by the
+    /// caller.
+    pub fn next_wake(&self, depth: u64) -> Option<u64> {
+        let mut wake: Option<u64> = None;
+        if !self.blocked_on_indirect && !self.halted_path && self.queue.len() < self.capacity {
+            wake = Some(self.stall_until);
+        }
+        if !self.queue.is_empty() {
+            let head = self.queue.fetch_cycle(0) + depth;
+            wake = Some(wake.map_or(head, |w| w.min(head)));
+        }
+        wake
     }
 
     /// Redirects fetch after a squash or an indirect-jump resolution.
@@ -292,10 +339,10 @@ mod tests {
         b.nop().nop().nop().halt();
         let p = b.build().unwrap();
         let mut f = frontend();
-        f.fetch(&p, 0);
+        assert!(f.fetch(&p, 0));
         assert_eq!(f.queued(), 4);
         // Fourth is halt; fetch stops after it.
-        f.fetch(&p, 1);
+        assert!(!f.fetch(&p, 1));
         assert_eq!(f.queued(), 4);
     }
 
@@ -442,5 +489,19 @@ mod tests {
         f.fetch(&p, 0);
         f.fetch(&p, 1);
         assert_eq!(f.queued(), 1, "one nop, then starvation");
+    }
+
+    #[test]
+    fn next_wake_reports_stall_and_head_latency() {
+        let mut b = ProgramBuilder::new("p");
+        b.nop().nop().halt();
+        let p = b.build().unwrap();
+        let mut f = frontend();
+        f.redirect(0, 10, 4, None);
+        // Stalled with an empty queue: wake when the penalty expires.
+        assert_eq!(f.next_wake(6), Some(14));
+        f.fetch(&p, 14);
+        // Halt fetched: only the head-ready wake remains.
+        assert_eq!(f.next_wake(6), Some(20));
     }
 }

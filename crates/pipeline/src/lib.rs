@@ -59,6 +59,7 @@ pub mod regfile;
 pub mod rob;
 pub mod sampler;
 pub mod shadow;
+pub mod soa;
 pub mod stats;
 pub mod taint;
 

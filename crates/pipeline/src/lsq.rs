@@ -1,6 +1,8 @@
-//! Load and store queue entry types and address-overlap logic.
+//! Load and store queues: entry descriptors, struct-of-arrays storage,
+//! and address-overlap logic.
 
 use crate::shadow::Seq;
+use crate::soa::{soa_index_of, soa_ring};
 use dgl_core::DoppelgangerState;
 use dgl_isa::Width;
 use dgl_mem::MemReqId;
@@ -24,9 +26,11 @@ pub enum LoadState {
     Done,
 }
 
-/// A load-queue entry. The doppelganger shares this entry (paper §5.1:
-/// "a load and its doppelganger share the same load queue entry").
-#[derive(Debug, Clone)]
+/// A load-queue entry: the push/materialize descriptor for the
+/// struct-of-arrays [`Lq`]. The doppelganger shares this entry (paper
+/// §5.1: "a load and its doppelganger share the same load queue
+/// entry").
+#[derive(Debug, Clone, Copy)]
 pub struct LqEntry {
     /// Owning instruction.
     pub seq: Seq,
@@ -99,11 +103,12 @@ impl LqEntry {
     }
 }
 
-/// A store-queue entry. Address generation and data capture are
+/// A store-queue entry: the push/materialize descriptor for the
+/// struct-of-arrays [`Sq`]. Address generation and data capture are
 /// decoupled, as in real LSQs: the AGU runs as soon as the base
 /// register is available (releasing the D-shadow early), while the data
 /// may arrive much later.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 pub struct SqEntry {
     /// Owning instruction.
     pub seq: Seq,
@@ -132,6 +137,52 @@ impl SqEntry {
         }
     }
 }
+
+soa_ring! {
+    /// Struct-of-arrays load queue.
+    ///
+    /// Entries enter at dispatch in ascending `seq` order, leave from
+    /// the front at commit and from the back on squash, so `seq` stays
+    /// sorted and `index_of` is a binary search. Hot scans (memory
+    /// issue reads `state`/`addr`; visibility maintenance reads
+    /// `state`/`propagated`) touch only their own arrays.
+    pub struct Lq from LqEntry {
+        seq / seq_mut: Seq,
+        pc / pc_mut: usize,
+        width / width_mut: Width,
+        addr / addr_mut: Option<u64>,
+        state / state_mut: LoadState,
+        value / value_mut: Option<i64>,
+        req / req_mut: Option<MemReqId>,
+        dgl_req / dgl_req_mut: Option<MemReqId>,
+        dgl / dgl_mut: DoppelgangerState,
+        vp / vp_mut: Option<i64>,
+        forwarded / forwarded_mut: bool,
+        fwd_src / fwd_src_mut: Option<Seq>,
+        propagated / propagated_mut: bool,
+        needs_touch / needs_touch_mut: bool,
+        speculative_at_complete / speculative_at_complete_mut: bool,
+        dispatch_cycle / dispatch_cycle_mut: u64,
+        eager_consumed / eager_consumed_mut: bool,
+    }
+}
+
+soa_index_of!(Lq);
+
+soa_ring! {
+    /// Struct-of-arrays store queue (same dispatch/commit/squash
+    /// ordering discipline as [`Lq`]).
+    pub struct Sq from SqEntry {
+        seq / seq_mut: Seq,
+        pc / pc_mut: usize,
+        width / width_mut: Width,
+        addr / addr_mut: Option<u64>,
+        data / data_mut: Option<i64>,
+        data_src / data_src_mut: crate::regfile::PhysReg,
+    }
+}
+
+soa_index_of!(Sq);
 
 /// Relationship between a store's bytes and a load's bytes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -231,5 +282,30 @@ mod tests {
         assert!(e.addr.is_none());
         assert!(e.data.is_none());
         assert_eq!(e.data_src, crate::regfile::PhysReg(5));
+    }
+
+    #[test]
+    fn lq_ring_stays_seq_sorted() {
+        let filler = LqEntry::new(0, 0, Width::B8, DoppelgangerState::unpredicted());
+        let mut lq = Lq::with_capacity(4, filler);
+        for s in [2u64, 5, 9] {
+            lq.push(LqEntry::new(
+                s,
+                0,
+                Width::B8,
+                DoppelgangerState::unpredicted(),
+            ));
+        }
+        assert_eq!(lq.index_of(5), Some(1));
+        assert_eq!(lq.index_of(4), None);
+        lq.pop_front();
+        lq.push(LqEntry::new(
+            11,
+            0,
+            Width::B8,
+            DoppelgangerState::unpredicted(),
+        ));
+        assert_eq!(lq.index_of(11), Some(2));
+        assert_eq!(lq.index_of(2), None);
     }
 }

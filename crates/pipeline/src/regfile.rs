@@ -29,6 +29,14 @@ pub struct RegFile {
     propagated: Vec<bool>,
     free: Vec<PhysReg>,
     rat: [PhysReg; dgl_isa::reg::NUM_REGS],
+    /// Per-register change stamp from a monotone clock, bumped whenever
+    /// `ready` or `propagated` can transition ([`write`](Self::write) /
+    /// [`propagate`](Self::propagate)). The issue queue parks a waiting
+    /// instruction on its first blocking register and skips
+    /// re-evaluating its operands until that register's stamp moves —
+    /// readiness cannot change while every input is untouched.
+    stamp: Vec<u64>,
+    clock: u64,
 }
 
 impl RegFile {
@@ -55,6 +63,8 @@ impl RegFile {
             propagated: vec![true; phys_regs],
             free,
             rat,
+            stamp: vec![0; phys_regs],
+            clock: 0,
         }
     }
 
@@ -102,8 +112,18 @@ impl RegFile {
         if p == PHYS_ZERO {
             return;
         }
-        self.value[p.0 as usize] = v;
-        self.ready[p.0 as usize] = true;
+        let i = p.0 as usize;
+        // Only an observable transition advances the wake clock: an
+        // idempotent rewrite (a locked load's value is re-written by
+        // every visibility sweep until it may propagate) changes no
+        // readiness verdict and no readable value, so parked consumers
+        // stay parked and the issue scan's quiesce check stays valid.
+        if !self.ready[i] || self.value[i] != v {
+            self.clock += 1;
+            self.stamp[i] = self.clock;
+        }
+        self.value[i] = v;
+        self.ready[i] = true;
     }
 
     /// Marks a register consumable by dependents. Returns `true` when
@@ -119,7 +139,27 @@ impl RegFile {
         debug_assert!(self.ready[p.0 as usize], "propagating unwritten register");
         let was = self.propagated[p.0 as usize];
         self.propagated[p.0 as usize] = true;
+        if !was {
+            self.clock += 1;
+            self.stamp[p.0 as usize] = self.clock;
+        }
         !was
+    }
+
+    /// The register's change stamp: strictly increases every time its
+    /// `ready`/`propagated` visibility can transition. A cached
+    /// readiness verdict for an instruction stays valid while the
+    /// stamps of its source registers are unchanged.
+    pub fn stamp(&self, p: PhysReg) -> u64 {
+        self.stamp[p.0 as usize]
+    }
+
+    /// The global wake clock: the maximum of all stamps, unchanged iff
+    /// no register's visibility transitioned since it was last read.
+    /// Lets the issue scan prove "every cached park verdict still
+    /// holds" with one comparison.
+    pub fn clock(&self) -> u64 {
+        self.clock
     }
 
     /// Reads a register's value.

@@ -1,8 +1,9 @@
-//! Reorder-buffer entry types.
+//! Reorder buffer: entry descriptor and struct-of-arrays storage.
 
 use crate::frontend::RasCheckpoint;
 use crate::regfile::PhysReg;
 use crate::shadow::Seq;
+use crate::soa::{soa_index_of, soa_ring};
 use dgl_isa::{Op, Reg};
 
 /// Execution state of a ROB entry.
@@ -38,8 +39,70 @@ pub struct BranchInfo {
     pub resolved: bool,
 }
 
-/// One in-flight instruction.
-#[derive(Debug, Clone)]
+/// Inline list of source physical registers. No operation on this ISA
+/// reads more than two registers, so the list lives inline in the ROB's
+/// source array instead of heap-allocating per dispatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SrcList {
+    regs: [PhysReg; 2],
+    len: u8,
+}
+
+impl SrcList {
+    /// An empty source list.
+    pub const fn new() -> Self {
+        Self {
+            regs: [PhysReg(0); 2],
+            len: 0,
+        }
+    }
+
+    /// Appends a register.
+    ///
+    /// # Panics
+    /// Panics on a third push; the ISA has at most two register
+    /// sources per operation.
+    pub fn push(&mut self, r: PhysReg) {
+        assert!(self.len < 2, "more than two source registers");
+        self.regs[self.len as usize] = r;
+        self.len += 1;
+    }
+
+    /// Number of sources.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The sources as a slice, in operand order.
+    pub fn as_slice(&self) -> &[PhysReg] {
+        &self.regs[..self.len as usize]
+    }
+}
+
+impl Default for SrcList {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FromIterator<PhysReg> for SrcList {
+    fn from_iter<I: IntoIterator<Item = PhysReg>>(iter: I) -> Self {
+        let mut s = Self::new();
+        for r in iter {
+            s.push(r);
+        }
+        s
+    }
+}
+
+/// One in-flight instruction: the push/materialize descriptor for the
+/// struct-of-arrays [`Rob`].
+#[derive(Debug, Clone, Copy)]
 pub struct RobEntry {
     /// Dynamic sequence number (commit order).
     pub seq: Seq,
@@ -50,15 +113,11 @@ pub struct RobEntry {
     /// Destination rename: `(arch, new, old)`.
     pub dst: Option<(Reg, PhysReg, PhysReg)>,
     /// Source physical registers, in operand order.
-    pub srcs: Vec<PhysReg>,
+    pub srcs: SrcList,
     /// Execution state.
     pub state: ExecState,
     /// Branch/jump bookkeeping.
     pub branch: Option<BranchInfo>,
-    /// Index into the load queue.
-    pub lq_index: Option<usize>,
-    /// Index into the store queue.
-    pub sq_index: Option<usize>,
     /// Whether this entry currently occupies an IQ slot.
     pub in_iq: bool,
     /// STT: taint root recorded for the output.
@@ -75,11 +134,9 @@ impl RobEntry {
             pc,
             op,
             dst: None,
-            srcs: Vec::new(),
+            srcs: SrcList::new(),
             state: ExecState::Waiting,
             branch: None,
-            lq_index: None,
-            sq_index: None,
             in_iq: false,
             out_taint: None,
             locked: false,
@@ -95,6 +152,45 @@ impl RobEntry {
     /// resolved.
     pub fn can_commit(&self) -> bool {
         self.state == ExecState::Completed && self.branch.is_none_or(|b| b.resolved) && !self.locked
+    }
+}
+
+soa_ring! {
+    /// Struct-of-arrays reorder buffer.
+    ///
+    /// Entries are pushed at dispatch in ascending `seq` order, popped
+    /// from the front at commit, and popped from the back on squash.
+    /// Each field lives in its own ring-indexed array so per-cycle
+    /// scans (issue select reads `state`/`in_iq`; commit reads the
+    /// head) touch only the bytes they need.
+    pub struct Rob from RobEntry {
+        seq / seq_mut: Seq,
+        pc / pc_mut: usize,
+        op / op_mut: Op,
+        dst / dst_mut: Option<(Reg, PhysReg, PhysReg)>,
+        srcs / srcs_mut: SrcList,
+        state / state_mut: ExecState,
+        branch / branch_mut: Option<BranchInfo>,
+        in_iq / in_iq_mut: bool,
+        out_taint / out_taint_mut: Option<Seq>,
+        locked / locked_mut: bool,
+    }
+}
+
+soa_index_of!(Rob);
+
+impl Rob {
+    /// Whether the entry at logical index `i` may retire (mirrors
+    /// [`RobEntry::can_commit`] without materializing the entry).
+    pub fn can_commit(&self, i: usize) -> bool {
+        self.state(i) == ExecState::Completed
+            && self.branch(i).is_none_or(|b| b.resolved)
+            && !self.locked(i)
+    }
+
+    /// The predictor-visible PC address of logical index `i`.
+    pub fn pc_addr(&self, i: usize) -> u64 {
+        (self.pc(i) as u64) << 2
     }
 }
 
@@ -146,5 +242,50 @@ mod tests {
     fn pc_addr_is_shifted() {
         let e = RobEntry::new(1, 5, Op::Nop);
         assert_eq!(e.pc_addr(), 20);
+    }
+
+    #[test]
+    fn ring_push_pop_round_trips() {
+        let mut rob = Rob::with_capacity(4, RobEntry::new(0, 0, Op::Nop));
+        for s in 1..=4u64 {
+            rob.push(RobEntry::new(s, s as usize, Op::Nop));
+        }
+        assert_eq!(rob.len(), 4);
+        assert_eq!(rob.index_of(3), Some(2));
+        assert_eq!(rob.index_of(9), None);
+        let front = rob.pop_front().unwrap();
+        assert_eq!(front.seq, 1);
+        // Ring wraps: slot 0 is free again.
+        rob.push(RobEntry::new(5, 5, Op::Nop));
+        assert_eq!(rob.seq(0), 2);
+        assert_eq!(rob.seq(3), 5);
+        assert_eq!(rob.index_of(5), Some(3));
+        let back = rob.pop_back().unwrap();
+        assert_eq!(back.seq, 5);
+    }
+
+    #[test]
+    fn handles_die_on_recycle() {
+        let mut rob = Rob::with_capacity(2, RobEntry::new(0, 0, Op::Nop));
+        rob.push(RobEntry::new(1, 0, Op::Nop));
+        let h = rob.handle(0);
+        assert_eq!(rob.resolve(h), Some(0));
+        rob.pop_back();
+        assert_eq!(rob.resolve(h), None);
+        rob.push(RobEntry::new(2, 0, Op::Nop));
+        // Same physical slot, new generation: the stale handle must not
+        // alias the new occupant.
+        assert_eq!(rob.resolve(h), None);
+    }
+
+    #[test]
+    fn src_list_holds_two() {
+        let mut s = SrcList::new();
+        assert!(s.is_empty());
+        s.push(PhysReg(3));
+        s.push(PhysReg(7));
+        assert_eq!(s.as_slice(), &[PhysReg(3), PhysReg(7)]);
+        let c: SrcList = [PhysReg(1)].into_iter().collect();
+        assert_eq!(c.len(), 1);
     }
 }

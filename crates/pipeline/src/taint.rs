@@ -39,6 +39,12 @@ pub struct TaintTracker {
     root: Vec<Option<Seq>>,
     /// Loads whose outputs are currently unsafe.
     unsafe_roots: BTreeSet<Seq>,
+    /// Bumped on every mutation that can change any `is_tainted`
+    /// verdict. The issue queue parks taint-gated stores against this
+    /// version and skips re-evaluating them while it is unchanged
+    /// (untainting is lazy, so there is no per-register event to park
+    /// on).
+    version: u64,
 }
 
 impl TaintTracker {
@@ -47,12 +53,15 @@ impl TaintTracker {
         Self {
             root: vec![None; phys_regs],
             unsafe_roots: BTreeSet::new(),
+            version: 0,
         }
     }
 
     /// Registers a speculative load as an unsafe root.
     pub fn add_root(&mut self, seq: Seq) {
-        self.unsafe_roots.insert(seq);
+        if self.unsafe_roots.insert(seq) {
+            self.version += 1;
+        }
     }
 
     /// Whether the given root is still unsafe.
@@ -63,12 +72,23 @@ impl TaintTracker {
     /// Removes roots that have reached the visibility point: every root
     /// with `seq < visibility` untaints (bound to commit).
     pub fn retire_roots_older_than(&mut self, visibility: Seq) {
+        // Runs every cycle from the visibility sweep; the common case
+        // (no root old enough) must not pay for `split_off`'s tree
+        // rebuild.
+        match self.unsafe_roots.first() {
+            Some(&oldest) if oldest < visibility => {}
+            _ => return,
+        }
         self.unsafe_roots = self.unsafe_roots.split_off(&visibility);
+        self.version += 1;
     }
 
     /// Removes roots younger than `from_exclusive` on a squash.
     pub fn squash_roots_younger_than(&mut self, from_exclusive: Seq) {
-        self.unsafe_roots.split_off(&(from_exclusive + 1));
+        let dropped = self.unsafe_roots.split_off(&(from_exclusive + 1));
+        if !dropped.is_empty() {
+            self.version += 1;
+        }
     }
 
     /// Records the taint root of a freshly written register.
@@ -82,7 +102,17 @@ impl TaintTracker {
         if p == crate::regfile::PHYS_ZERO {
             return;
         }
+        if self.root[p.0 as usize] != root {
+            self.version += 1;
+        }
         self.root[p.0 as usize] = root;
+    }
+
+    /// A counter that strictly increases whenever any `is_tainted`
+    /// verdict could change; cached taint verdicts stay valid while it
+    /// is unchanged.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// The *effective* taint root of a register: the recorded root if it

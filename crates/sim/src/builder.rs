@@ -36,6 +36,7 @@ pub struct SimBuilder {
     trace_sink: Option<SharedSink>,
     occupancy_interval: Option<u64>,
     prof: Option<Arc<ProfRegistry>>,
+    elide: bool,
 }
 
 impl Default for SimBuilder {
@@ -56,6 +57,7 @@ impl SimBuilder {
             trace_sink: None,
             occupancy_interval: None,
             prof: None,
+            elide: true,
         }
     }
 
@@ -138,6 +140,18 @@ impl SimBuilder {
         self
     }
 
+    /// Enables or disables the event-driven skip-ahead kernel (on by
+    /// default). With elision on, the core fast-forwards across cycles
+    /// in which no architectural state can change; simulated results
+    /// are byte-identical either way (pinned by the
+    /// `elision_identical` integration test), so turning it off is
+    /// only useful for debugging the kernel itself or measuring its
+    /// host-side speedup.
+    pub fn elision(&mut self, enabled: bool) -> &mut Self {
+        self.elide = enabled;
+        self
+    }
+
     /// Builds the underlying [`Core`] without running it (advanced use:
     /// warming lines, issuing invalidations mid-run in tests).
     pub fn build_core(&self) -> Core {
@@ -157,6 +171,7 @@ impl SimBuilder {
         if let Some(reg) = &self.prof {
             core.enable_profiling(Arc::clone(reg));
         }
+        core.set_elision(self.elide);
         core
     }
 

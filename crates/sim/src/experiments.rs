@@ -178,9 +178,13 @@ fn run_one(
     w: &Workload,
     cfg: ConfigId,
     prof: Option<&Arc<ProfRegistry>>,
+    elide: bool,
 ) -> Result<RunCell, RunError> {
     let mut builder = SimBuilder::new();
-    builder.scheme(cfg.scheme()).address_prediction(cfg.ap());
+    builder
+        .scheme(cfg.scheme())
+        .address_prediction(cfg.ap())
+        .elision(elide);
     if let Some(reg) = prof {
         builder.profiling(Arc::clone(reg));
     }
@@ -240,6 +244,24 @@ impl Evaluation {
         configs: &[ConfigId],
         prof: Option<Arc<ProfRegistry>>,
     ) -> Result<Self, RunError> {
+        Self::run_with_opts(scale, configs, prof, true)
+    }
+
+    /// [`run_with_prof`](Self::run_with_prof) with control over the
+    /// event-driven skip-ahead kernel (`elide`). Simulated results are
+    /// byte-identical with elision off and on — the knob exists so the
+    /// `elision_identical` test (and anyone debugging the kernel) can
+    /// prove it.
+    ///
+    /// # Errors
+    ///
+    /// As [`run`](Self::run).
+    pub fn run_with_opts(
+        scale: Scale,
+        configs: &[ConfigId],
+        prof: Option<Arc<ProfRegistry>>,
+        elide: bool,
+    ) -> Result<Self, RunError> {
         let specs = catalog();
         let threads = std::thread::available_parallelism()
             .map(|n| n.get())
@@ -265,7 +287,7 @@ impl Evaluation {
                                         let w = spec.build(scale);
                                         let mut cells = BTreeMap::new();
                                         for &cfg in configs {
-                                            cells.insert(cfg, run_one(&w, cfg, prof)?);
+                                            cells.insert(cfg, run_one(&w, cfg, prof, elide)?);
                                         }
                                         Ok(MatrixRow {
                                             workload: w.name.to_owned(),

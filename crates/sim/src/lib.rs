@@ -40,7 +40,7 @@ pub mod serve;
 
 pub use builder::{SimBuilder, VerifyError};
 pub use ckptstore::{CheckpointKey, CheckpointStore, ProgramTotals, StoreCounters};
-pub use compare::{compare, CompareOptions, Comparison, MetricDelta};
+pub use compare::{compare, kips_floor, CompareOptions, Comparison, KipsFloor, MetricDelta};
 pub use experiments::{
     figure1, figure1_from, figure6, figure6_from, figure7, figure7_from, figure8, ConfigId,
     Evaluation, Figure1, Figure6, Figure7, Figure8,

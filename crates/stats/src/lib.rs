@@ -47,7 +47,7 @@ pub use chart::BarChart;
 pub use counter::{Counter, CounterSet};
 pub use histogram::Histogram;
 pub use json::Json;
-pub use prof::{ProfId, ProfLap, ProfRegistry, ProfReport, ProfScope};
+pub use prof::{ProfAccum, ProfId, ProfLap, ProfRegistry, ProfReport, ProfScope};
 pub use registry::{Metric, MetricsRegistry};
 pub use summary::{geomean, harmonic_mean, mean, normalize, percent_change, Summary};
 pub use table::{Align, Table};

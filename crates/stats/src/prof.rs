@@ -123,6 +123,14 @@ impl ProfRegistry {
         slot.calls.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Adds `calls` calls totalling `ns` nanoseconds to a slot in one
+    /// atomic batch (how a [`ProfAccum`] flushes).
+    pub fn add_many(&self, id: ProfId, ns: u64, calls: u64) {
+        let slot = &self.slots[id.0];
+        slot.ns.fetch_add(ns, Ordering::Relaxed);
+        slot.calls.fetch_add(calls, Ordering::Relaxed);
+    }
+
     /// A point-in-time copy of every accumulator, in registration
     /// order.
     pub fn snapshot(&self) -> ProfReport {
@@ -196,6 +204,64 @@ impl<'a> ProfLap<'a> {
         self.reg
             .add(id, now.duration_since(self.last).as_nanos() as u64);
         self.last = now;
+    }
+}
+
+/// A thread-local (unsynchronized) accumulator batching many
+/// measurements before one atomic flush into a shared
+/// [`ProfRegistry`].
+///
+/// The registry's atomic slots make cross-thread sharing safe, but a
+/// hot loop adding to them every tick pays two contended RMWs per
+/// measurement. A `ProfAccum` keeps plain counters instead; the owner
+/// adds locally (no atomics, no sharing) and calls
+/// [`flush`](Self::flush) once at a natural boundary (end of a run),
+/// so the shared slots see one add per slot per flush. Totals are
+/// identical either way — addition is associative — only the flush
+/// granularity changes.
+#[derive(Debug, Default, Clone)]
+pub struct ProfAccum {
+    /// `(ns, calls)` per slot index; grown on demand.
+    counts: Vec<(u64, u64)>,
+}
+
+impl ProfAccum {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one call of `ns` nanoseconds to `id`, locally.
+    pub fn add(&mut self, id: ProfId, ns: u64) {
+        if self.counts.len() <= id.0 {
+            self.counts.resize(id.0 + 1, (0, 0));
+        }
+        let (t, c) = &mut self.counts[id.0];
+        *t += ns;
+        *c += 1;
+    }
+
+    /// Adds `calls` calls totalling `ns` nanoseconds to `id`, locally
+    /// (for merging a sub-accumulator).
+    pub fn add_many(&mut self, id: ProfId, ns: u64, calls: u64) {
+        if self.counts.len() <= id.0 {
+            self.counts.resize(id.0 + 1, (0, 0));
+        }
+        let (t, c) = &mut self.counts[id.0];
+        *t += ns;
+        *c += calls;
+    }
+
+    /// Flushes every nonzero slot into `reg` and resets the local
+    /// counters.
+    pub fn flush(&mut self, reg: &ProfRegistry) {
+        for (i, (ns, calls)) in self.counts.iter_mut().enumerate() {
+            if *calls > 0 {
+                reg.add_many(ProfId(i), *ns, *calls);
+            }
+            *ns = 0;
+            *calls = 0;
+        }
     }
 }
 

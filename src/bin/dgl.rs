@@ -21,6 +21,7 @@
 //!          --quick                           the default quick budget (bench)
 //!          --out FILE|DIR                    write trace to FILE / record to DIR (trace/bench)
 //!          --max-ipc-delta X                 allowed relative drift (compare, default 0)
+//!          --kips-floor FRAC                 max host.kips regression before failing (compare)
 //!          --json                            machine-readable output (compare)
 //!          --stats-json FILE                 write a versioned run manifest (run)
 //!          --occupancy N                     sample occupancy every N cycles (run/explain)
@@ -81,6 +82,7 @@ struct Opts {
     quick: bool,
     json: bool,
     max_ipc_delta: f64,
+    kips_floor: Option<f64>,
     ckpt_dir: Option<String>,
     store_cap: usize,
     stdin: bool,
@@ -112,6 +114,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         quick: false,
         json: false,
         max_ipc_delta: 0.0,
+        kips_floor: None,
         ckpt_dir: None,
         store_cap: 64,
         stdin: false,
@@ -184,6 +187,13 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                 if !o.max_ipc_delta.is_finite() || o.max_ipc_delta < 0.0 {
                     return Err("--max-ipc-delta must be a finite non-negative number".into());
                 }
+            }
+            "--kips-floor" => {
+                let v: f64 = num(&mut it, a)?;
+                if !v.is_finite() || !(0.0..1.0).contains(&v) {
+                    return Err("--kips-floor must be a fraction in [0, 1)".into());
+                }
+                o.kips_floor = Some(v);
             }
             "--sample" => o.sample = true,
             "--sample-interval" => o.sampling.interval_insts = num(&mut it, a)?,
@@ -434,6 +444,21 @@ fn cmd_explain(o: &Opts) -> Result<(), String> {
         out!("");
         out!("host time by stage (both runs):");
         out!("{}", reg.snapshot().render(wall));
+        out!("");
+        out!("skip-ahead elision (simulated cycles fast-forwarded, results byte-identical):");
+        for (label, report) in [(scheme.to_owned(), base), (format!("{scheme}+ap"), with_ap)] {
+            let pct = if report.cycles > 0 {
+                100.0 * report.elided_cycles as f64 / report.cycles as f64
+            } else {
+                0.0
+            };
+            out!(
+                "  {:12} {:>12} of {:>12} cycles elided ({pct:.1}%)",
+                label,
+                report.elided_cycles,
+                report.cycles
+            );
+        }
     }
     Ok(())
 }
@@ -574,8 +599,15 @@ fn cmd_bench(o: &Opts) -> Result<(), String> {
 /// `dgl compare <a.json> <b.json>`: per-metric deltas between two run
 /// manifests or trajectory records. Simulated drift beyond
 /// `--max-ipc-delta` exits 1; unreadable or mismatched documents exit 2.
+///
+/// `--kips-floor FRAC` additionally gates *host* throughput: the
+/// second document's `host.kips` may regress at most `FRAC` below the
+/// first's. Host metrics stay report-only in the main table; the floor
+/// is its own verdict line. Setting `DGL_KIPS_FLOOR_WARN_ONLY=1`
+/// downgrades a breach to a warning (shared CI runners have noisy,
+/// slower hosts than the machine that recorded the baseline).
 fn cmd_compare(o: &Opts) -> Result<ExitCode, String> {
-    use doppelganger_loads::sim::{compare, CompareOptions};
+    use doppelganger_loads::sim::{compare, kips_floor, CompareOptions};
     use doppelganger_loads::stats::Json;
     let [path_a, path_b] = o.positional.as_slice() else {
         return Err("compare needs exactly two result files".into());
@@ -602,7 +634,21 @@ fn cmd_compare(o: &Opts) -> Result<ExitCode, String> {
     } else {
         out!("{}", cmp.render());
     }
-    Ok(if cmp.has_drift() {
+    let mut floor_breached = false;
+    if let Some(frac) = o.kips_floor {
+        let floor = kips_floor(&a, &b, frac)?;
+        out!("{}", floor.render());
+        if floor.breached() {
+            let warn_only =
+                std::env::var("DGL_KIPS_FLOOR_WARN_ONLY").is_ok_and(|v| !v.is_empty() && v != "0");
+            if warn_only {
+                eprintln!("dgl: warning: KIPS floor breached (DGL_KIPS_FLOOR_WARN_ONLY set)");
+            } else {
+                floor_breached = true;
+            }
+        }
+    }
+    Ok(if cmp.has_drift() || floor_breached {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS

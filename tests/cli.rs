@@ -527,6 +527,87 @@ fn compare_gates_on_simulated_drift_but_not_host_metrics() {
 }
 
 #[test]
+fn compare_kips_floor_gates_host_throughput() {
+    let dir = std::env::temp_dir().join("dgl-cli-kips-floor-test");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let write = |name: &str, text: &str| {
+        let path = dir.join(name);
+        std::fs::write(&path, text).unwrap();
+        path
+    };
+    let base = write(
+        "base.json",
+        r#"{"schema": "dgl-run-manifest", "version": 1, "ipc": 0.5, "host": {"kips": 800.0}}"#,
+    );
+    let slow = write(
+        "slow.json",
+        r#"{"schema": "dgl-run-manifest", "version": 1, "ipc": 0.5, "host": {"kips": 500.0}}"#,
+    );
+    let fine = write(
+        "fine.json",
+        r#"{"schema": "dgl-run-manifest", "version": 1, "ipc": 0.5, "host": {"kips": 700.0}}"#,
+    );
+
+    // A -37.5% throughput drop breaches a 20% floor: exit 1 even though
+    // simulated metrics are identical.
+    let out = dgl(&[
+        "compare",
+        base.to_str().unwrap(),
+        slow.to_str().unwrap(),
+        "--kips-floor",
+        "0.2",
+    ]);
+    assert_eq!(out.status.code(), Some(1), "floor breach must exit 1");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("BREACH"), "{text}");
+
+    // -12.5% is within the floor.
+    let out = dgl(&[
+        "compare",
+        base.to_str().unwrap(),
+        fine.to_str().unwrap(),
+        "--kips-floor",
+        "0.2",
+    ]);
+    assert!(out.status.success(), "within-floor regression passes");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("kips-floor"));
+
+    // The env escape hatch downgrades a breach to a warning (shared CI
+    // runners are slower than the baseline host).
+    let out = Command::new(env!("CARGO_BIN_EXE_dgl"))
+        .args([
+            "compare",
+            base.to_str().unwrap(),
+            slow.to_str().unwrap(),
+            "--kips-floor",
+            "0.2",
+        ])
+        .env("DGL_KIPS_FLOOR_WARN_ONLY", "1")
+        .output()
+        .expect("spawn dgl");
+    assert!(out.status.success(), "warn-only mode must not fail");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("warning"));
+
+    // Without host.kips on one side the check is a usage-style failure.
+    let no_host = write(
+        "nohost.json",
+        r#"{"schema": "dgl-run-manifest", "version": 1, "ipc": 0.5}"#,
+    );
+    let out = dgl(&[
+        "compare",
+        base.to_str().unwrap(),
+        no_host.to_str().unwrap(),
+        "--kips-floor",
+        "0.2",
+    ]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("host.kips"));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn asm_runs_recursive_fibonacci() {
     let path = concat!(
         env!("CARGO_MANIFEST_DIR"),
