@@ -10,9 +10,9 @@
 //! plus workload fingerprints so two records are known to have
 //! simulated the same programs.
 //!
-//! Everything host-dependent (git SHA, wall-clock, host KIPS, the
-//! per-stage self-profile) lives under a single top-level `"host"`
-//! object. [`dgl_sim::compare()`] treats `host` subtrees as report-only,
+//! Everything host-dependent (git SHA + working-tree dirtiness,
+//! wall-clock, host KIPS, the per-stage self-profile) lives under a
+//! single top-level `"host"` object. [`dgl_sim::compare()`] treats `host` subtrees as report-only,
 //! so comparing two records gates exclusively on simulated results.
 
 use dgl_pipeline::core_prof_registry;
@@ -98,9 +98,13 @@ impl Trajectory {
     }
 
     /// Builds the schema-versioned record. `git_sha` identifies the
-    /// commit benchmarked (use [`git_head_sha`]); it lands under
-    /// `host`, so it never gates a comparison.
-    pub fn to_json(&self, git_sha: &str) -> Json {
+    /// commit benchmarked (use [`git_head_sha`]) and `git_dirty`
+    /// whether the working tree carried uncommitted changes on top of
+    /// it (use [`git_tree_dirty`]) — without the flag, a record taken
+    /// from a dirty tree would silently attribute its numbers to a
+    /// commit that never produced them. Both land under `host`, so
+    /// they never gate a comparison.
+    pub fn to_json(&self, git_sha: &str, git_dirty: bool) -> Json {
         let mut workloads = Json::array();
         for w in suite(self.eval.scale) {
             workloads = workloads.push(
@@ -123,6 +127,7 @@ impl Trajectory {
                 "host",
                 Json::object()
                     .field("git_sha", Json::str(git_sha))
+                    .field("git_dirty", Json::Bool(git_dirty))
                     .field("wall_ms", Json::num(self.wall.as_secs_f64() * 1e3))
                     .field("kips", Json::num(self.kips()))
                     .field("prof", self.prof.to_json()),
@@ -175,13 +180,15 @@ fn parse_seq(name: &str) -> Option<u64> {
         .ok()
 }
 
-/// Writes `doc` as the next `BENCH_<seq>.json` in `dir` and returns
-/// the path written.
+/// Writes `doc` as the next `BENCH_<seq>.json` in `dir` (created if
+/// absent) and returns the path written.
 ///
 /// # Errors
 ///
-/// Propagates the I/O error when the file cannot be written.
+/// Propagates the I/O error when the directory or file cannot be
+/// written.
 pub fn write_record(dir: &Path, doc: &Json) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
     let path = dir.join(format!("BENCH_{}.json", next_seq(dir)));
     std::fs::write(&path, doc.to_string_pretty() + "\n")?;
     Ok(path)
@@ -199,6 +206,18 @@ pub fn git_head_sha() -> String {
         .map(|s| s.trim().to_owned())
         .filter(|s| !s.is_empty())
         .unwrap_or_else(|| "unknown".to_owned())
+}
+
+/// Whether the working directory carries uncommitted changes (staged,
+/// unstaged, or untracked) on top of [`git_head_sha`]. `false` when
+/// git is unavailable, matching the `"unknown"` SHA fallback.
+pub fn git_tree_dirty() -> bool {
+    std::process::Command::new("git")
+        .args(["status", "--porcelain"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .is_some_and(|o| !o.stdout.is_empty())
 }
 
 #[cfg(test)]
@@ -231,11 +250,12 @@ mod tests {
     fn record_validates_and_round_trips() {
         let traj = Trajectory::collect(Scale::Custom(1_000)).expect("matrix");
         assert!(traj.eval.failures.is_empty(), "{:?}", traj.eval.failures);
-        let doc = traj.to_json("deadbeef");
+        let doc = traj.to_json("deadbeef", true);
         validate(&doc).expect("fresh record validates");
         assert_eq!(doc.get("scale_insts").and_then(Json::as_u64), Some(1_000));
         let host = doc.get("host").expect("host section");
         assert_eq!(host.get("git_sha").and_then(Json::as_str), Some("deadbeef"));
+        assert_eq!(host.get("git_dirty"), Some(&Json::Bool(true)));
         assert!(host.get("prof").is_some());
         assert!(doc.get("matrix").is_some());
         assert!(doc.get("figure6").is_some());

@@ -4,7 +4,8 @@
 //! every cycle by the stage loops, but each scan touches only a couple
 //! of fields per entry (`state`, `in_iq`, `seq`, ...). Storing entries
 //! as an array of structs drags every cold field through the cache on
-//! each scan; the [`soa_ring!`] macro instead lays each field out in
+//! each scan; the crate-internal `soa_ring!` macro instead lays each
+//! field out in
 //! its own contiguous array over a shared power-of-two ring.
 //!
 //! Slots are *generation-indexed*: every time a physical slot is

@@ -79,18 +79,25 @@ fn profiling_leaves_simulated_results_byte_identical() {
     );
     assert_eq!(base.cycles, profiled.cycles);
     assert_eq!(base.committed, profiled.committed);
+    assert_eq!(
+        base.elided_cycles, profiled.elided_cycles,
+        "profiling must not perturb skip-ahead elision"
+    );
 
     let prof = profiled.prof.expect("profile requested");
     assert!(!prof.is_empty(), "stages must have accumulated time");
     assert!(prof.stage_total() > Duration::ZERO);
-    // Every tick segment ran at least once per cycle.
+    // Every tick segment ran exactly once per *executed* tick: the
+    // skip-ahead kernel fast-forwards across provably-idle cycles, so
+    // elided cycles never enter a stage.
+    let ticks = profiled.cycles - profiled.elided_cycles;
     for stage in ["fetch_decode", "dispatch", "issue", "commit"] {
         let e = prof
             .entries
             .iter()
             .find(|e| e.name == stage)
             .unwrap_or_else(|| panic!("missing stage `{stage}`"));
-        assert_eq!(e.calls, profiled.cycles, "one `{stage}` segment per tick");
+        assert_eq!(e.calls, ticks, "one `{stage}` segment per executed tick");
     }
     // The kernel squashes (data-dependent branches), so the nested
     // recovery slot must have fired and must stay out of the partition.

@@ -581,7 +581,7 @@ fn cmd_bench(o: &Opts) -> Result<(), String> {
     out!("");
     out!("host time by stage:");
     out!("{}", traj.prof.render(traj.wall));
-    let doc = traj.to_json(&trajectory::git_head_sha());
+    let doc = traj.to_json(&trajectory::git_head_sha(), trajectory::git_tree_dirty());
     let dir = std::path::Path::new(o.out.as_deref().unwrap_or("."));
     let path =
         trajectory::write_record(dir, &doc).map_err(|e| format!("{}: {e}", dir.display()))?;
