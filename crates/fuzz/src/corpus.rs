@@ -1,0 +1,139 @@
+//! The on-disk regression corpus: minimized reproducers as `.dasm`
+//! files.
+//!
+//! Every divergence the fuzzer finds is shrunk and saved here; every
+//! file replays seed-free (the memory image is [`crate::fuzz_memory`],
+//! a fixed function of the secret) under both oracles in `cargo test`
+//! forever. Files are ordinary assembler input with a machine-readable
+//! comment header:
+//!
+//! ```text
+//! # dgl-fuzz corpus entry
+//! # oracle: cosim | two-secret | both
+//! # expect: baseline-leak          (optional)
+//! # origin: seed=1 case=17 config=stt+ap
+//! ```
+//!
+//! `oracle:` records which oracle originally fired (replay runs both
+//! regardless). `expect: baseline-leak` marks gadget entries whose
+//! unsafe-baseline run must *distinguish* the two secrets — pinning
+//! the two-secret oracle's non-vacuity deterministically.
+
+use dgl_isa::{asm, Program};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A parsed corpus file.
+#[derive(Debug, Clone)]
+pub struct CorpusEntry {
+    /// File stem (used as the program name).
+    pub name: String,
+    /// The `oracle:` tag (`cosim`, `two-secret`, or `both`).
+    pub oracle: String,
+    /// Whether the unsafe baseline must distinguish the secret pair.
+    pub expect_baseline_leak: bool,
+    /// The assembled program.
+    pub program: Program,
+    /// Source path, for error messages.
+    pub path: PathBuf,
+}
+
+/// Writes a corpus entry. `origin` is informational (seed/case/config
+/// of the discovery); `expect_baseline_leak` adds the corresponding
+/// header tag.
+pub fn save_entry(
+    dir: &Path,
+    name: &str,
+    program: &Program,
+    oracle: &str,
+    origin: &str,
+    expect_baseline_leak: bool,
+) -> io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let mut text = String::new();
+    text.push_str("# dgl-fuzz corpus entry\n");
+    text.push_str(&format!("# oracle: {oracle}\n"));
+    if expect_baseline_leak {
+        text.push_str("# expect: baseline-leak\n");
+    }
+    text.push_str(&format!("# origin: {origin}\n"));
+    text.push_str(&asm::disassemble(program));
+    let path = dir.join(format!("{name}.dasm"));
+    fs::write(&path, text)?;
+    Ok(path)
+}
+
+/// Loads and assembles every `.dasm` file in `dir`, sorted by name.
+/// A missing directory yields an empty corpus (not an error).
+pub fn load_dir(dir: &Path) -> Result<Vec<CorpusEntry>, String> {
+    let mut paths: Vec<PathBuf> = match fs::read_dir(dir) {
+        Ok(rd) => rd
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "dasm"))
+            .collect(),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(format!("{}: {e}", dir.display())),
+    };
+    paths.sort();
+    let mut entries = Vec::with_capacity(paths.len());
+    for path in paths {
+        let text = fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let name = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("corpus")
+            .to_owned();
+        let mut oracle = "both".to_owned();
+        let mut expect_baseline_leak = false;
+        for line in text.lines() {
+            if let Some(v) = line.strip_prefix("# oracle:") {
+                oracle = v.trim().to_owned();
+            } else if let Some(v) = line.strip_prefix("# expect:") {
+                expect_baseline_leak = v.trim() == "baseline-leak";
+            }
+        }
+        let program =
+            asm::assemble(&name, &text).map_err(|e| format!("{}: {e}", path.display()))?;
+        entries.push(CorpusEntry {
+            name,
+            oracle,
+            expect_baseline_leak,
+            program,
+            path,
+        });
+    }
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::generate;
+
+    #[test]
+    fn save_then_load_round_trips() {
+        let dir = std::env::temp_dir().join(format!("dgl-fuzz-corpus-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let g = generate(7);
+        let path = save_entry(&dir, "t0", &g.program, "cosim", "seed=7 case=0", true).unwrap();
+        assert!(path.ends_with("t0.dasm"));
+        let entries = load_dir(&dir).unwrap();
+        assert_eq!(entries.len(), 1);
+        let e = &entries[0];
+        assert_eq!(e.oracle, "cosim");
+        assert!(e.expect_baseline_leak);
+        assert_eq!(
+            e.program.insts().iter().map(|i| i.op).collect::<Vec<_>>(),
+            g.program.insts().iter().map(|i| i.op).collect::<Vec<_>>(),
+            "disassemble→assemble must reproduce the exact instruction stream"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_directory_is_an_empty_corpus() {
+        let entries = load_dir(Path::new("/nonexistent/dgl-fuzz")).unwrap();
+        assert!(entries.is_empty());
+    }
+}

@@ -1,0 +1,48 @@
+//! Differential and two-secret fuzzing for the timing simulator.
+//!
+//! The question this crate answers continuously, not just on the
+//! hand-written labs: *does the out-of-order core still implement the
+//! ISA, and do the secure-speculation schemes still keep their
+//! noninterference promise, on programs nobody thought to write?*
+//!
+//! Three pieces:
+//!
+//! - [`gen`] — a seeded generator of RISC-ish programs weighted toward
+//!   the patterns that historically break pipelines: loads and stores
+//!   with overlapping footprints, mispredicted branches, call/ret
+//!   chains deeper than the return-address stack, indirect jumps, and
+//!   (on a fraction of programs) a randomized Spectre-v1-shaped gadget
+//!   that reads a planted secret only on transient paths.
+//! - [`oracle`] — two oracles run over the paper's eight-configuration
+//!   matrix ([`dgl_sim::experiments::ConfigId::ALL`]):
+//!   *co-simulation* cross-checks the core's retired architectural
+//!   state and event stream against the in-order golden emulator via
+//!   [`dgl_sim::SimBuilder::run_verified`]; *two-secret
+//!   noninterference* runs gadget programs under two different secrets
+//!   and demands cycle- and trace-identical observable behavior from
+//!   every protected scheme — while expecting the unsafe baseline to
+//!   distinguish them (the vacuity check: an oracle that never fires
+//!   on the baseline is testing nothing).
+//! - [`mod@minimize`] + [`corpus`] — failures are shrunk by delta
+//!   debugging to a minimal reproducer and persisted as plain `.dasm`
+//!   files that replay seed-free as regression tests forever.
+//!
+//! The [`runner`] fans cases out over the same worker pool that backs
+//! `dgl serve` ([`dgl_sim::serve::run_pool`]); `dgl fuzz` is the CLI
+//! entry point.
+
+#![warn(missing_docs)]
+
+pub mod corpus;
+pub mod gen;
+pub mod minimize;
+pub mod oracle;
+pub mod runner;
+
+pub use corpus::{load_dir, save_entry, CorpusEntry};
+pub use gen::{fuzz_memory, generate, GenProgram, SECRET_A, SECRET_B};
+pub use minimize::minimize;
+pub use oracle::{
+    check_cosim, check_two_secret, Divergence, OracleKind, TwoSecretOutcome, MAX_CYCLES,
+};
+pub use runner::{fuzz, FoundBug, FuzzOptions, FuzzSummary};

@@ -1,0 +1,280 @@
+//! Delta-debugging minimizer for failing programs.
+//!
+//! Given a program and an *interestingness* predicate (e.g. "the
+//! co-simulation oracle still reports a divergence"), repeatedly
+//! shrink the instruction stream while the predicate holds:
+//!
+//! 1. **Chunk removal** (ddmin): delete runs of instructions, largest
+//!    chunks first, remapping branch/jump/call targets across the gap.
+//!    A target *inside* a removed range is redirected to the first
+//!    surviving instruction after it — the predicate, not the rewrite,
+//!    is the arbiter of whether the result is still interesting.
+//! 2. **Nop substitution**: replace single instructions with `Nop`,
+//!    which keeps every index stable.
+//! 3. **Operand simplification**: zero immediates and offsets.
+//!
+//! Passes repeat to a fixpoint, bounded by an evaluation budget so a
+//! slow predicate cannot stall the fuzzing loop. The predicate always
+//! receives a structurally valid [`Program`] (candidates rejected by
+//! [`Program::new`] are skipped), and programs that no longer halt
+//! simply fail the oracle-backed predicate, so termination needs no
+//! special casing here.
+
+use dgl_isa::{Op, Program, Src};
+
+/// Upper bound on predicate evaluations per minimization.
+const DEFAULT_BUDGET: usize = 2_000;
+
+/// Shrinks `ops` while `interesting` holds; returns the smallest
+/// variant found. The original must itself be interesting (otherwise
+/// it is returned unchanged).
+pub fn minimize(ops: &[Op], interesting: &mut dyn FnMut(&Program) -> bool) -> Vec<Op> {
+    let mut budget = DEFAULT_BUDGET;
+    let mut check = |candidate: &[Op], budget: &mut usize| -> bool {
+        if *budget == 0 || candidate.is_empty() {
+            return false;
+        }
+        let Ok(p) = Program::new("min", candidate.to_vec()) else {
+            return false;
+        };
+        *budget -= 1;
+        interesting(&p)
+    };
+    let mut best = ops.to_vec();
+    if !check(&best, &mut budget) {
+        return best;
+    }
+    loop {
+        let before = best.clone();
+        chunk_removal(&mut best, &mut check, &mut budget);
+        nop_substitution(&mut best, &mut check, &mut budget);
+        simplify_operands(&mut best, &mut check, &mut budget);
+        if best == before || budget == 0 {
+            return best;
+        }
+    }
+}
+
+/// Removes `[at, at + len)` from `ops`, remapping control-flow targets.
+fn remove_range(ops: &[Op], at: usize, len: usize) -> Vec<Op> {
+    let remap = |t: usize| -> usize {
+        if t < at {
+            t
+        } else if t < at + len {
+            at // first surviving instruction after the gap
+        } else {
+            t - len
+        }
+    };
+    ops.iter()
+        .enumerate()
+        .filter(|(i, _)| *i < at || *i >= at + len)
+        .map(|(_, op)| match *op {
+            Op::Branch { cond, a, b, target } => Op::Branch {
+                cond,
+                a,
+                b,
+                target: remap(target),
+            },
+            Op::Jump { target } => Op::Jump {
+                target: remap(target),
+            },
+            Op::Call { target } => Op::Call {
+                target: remap(target),
+            },
+            other => other,
+        })
+        .collect()
+}
+
+fn chunk_removal(
+    best: &mut Vec<Op>,
+    check: &mut impl FnMut(&[Op], &mut usize) -> bool,
+    budget: &mut usize,
+) {
+    let mut chunk = (best.len() / 2).max(1);
+    loop {
+        let mut at = 0;
+        while at < best.len() && *budget > 0 {
+            let len = chunk.min(best.len() - at);
+            let candidate = remove_range(best, at, len);
+            if check(&candidate, budget) {
+                *best = candidate; // keep position: next chunk now here
+            } else {
+                at += len;
+            }
+        }
+        if chunk == 1 || *budget == 0 {
+            break;
+        }
+        chunk /= 2;
+    }
+}
+
+fn nop_substitution(
+    best: &mut [Op],
+    check: &mut impl FnMut(&[Op], &mut usize) -> bool,
+    budget: &mut usize,
+) {
+    for i in 0..best.len() {
+        if *budget == 0 {
+            break;
+        }
+        if matches!(best[i], Op::Nop | Op::Halt) {
+            continue;
+        }
+        let saved = best[i];
+        best[i] = Op::Nop;
+        if !check(best, budget) {
+            best[i] = saved;
+        }
+    }
+}
+
+fn simplify_operands(
+    best: &mut [Op],
+    check: &mut impl FnMut(&[Op], &mut usize) -> bool,
+    budget: &mut usize,
+) {
+    for i in 0..best.len() {
+        if *budget == 0 {
+            break;
+        }
+        let simplified = match best[i] {
+            Op::Imm { dst, value } if value != 0 => Some(Op::Imm { dst, value: 0 }),
+            Op::Alu {
+                op,
+                dst,
+                a,
+                b: Src::Imm(v),
+            } if v != 0 => Some(Op::Alu {
+                op,
+                dst,
+                a,
+                b: Src::Imm(0),
+            }),
+            Op::Load {
+                width,
+                dst,
+                base,
+                offset,
+            } if offset != 0 => Some(Op::Load {
+                width,
+                dst,
+                base,
+                offset: 0,
+            }),
+            Op::Store {
+                width,
+                src,
+                base,
+                offset,
+            } if offset != 0 => Some(Op::Store {
+                width,
+                src,
+                base,
+                offset: 0,
+            }),
+            _ => None,
+        };
+        if let Some(op) = simplified {
+            let saved = best[i];
+            best[i] = op;
+            if !check(best, budget) {
+                best[i] = saved;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgl_isa::{AluOp, Reg, Width};
+
+    fn r(i: u8) -> Reg {
+        Reg::new(i)
+    }
+
+    /// Predicate: program still contains a store through `r7`.
+    fn has_marker(p: &Program) -> bool {
+        p.insts()
+            .iter()
+            .any(|i| matches!(i.op, Op::Store { src, .. } if src == r(7)))
+    }
+
+    #[test]
+    fn shrinks_to_the_essential_instruction() {
+        let mut ops = Vec::new();
+        for i in 1..=6u8 {
+            ops.push(Op::Imm {
+                dst: r(i),
+                value: i as i64 * 100,
+            });
+        }
+        ops.push(Op::Alu {
+            op: AluOp::Add,
+            dst: r(1),
+            a: r(2),
+            b: Src::Reg(r(3)),
+        });
+        ops.push(Op::Store {
+            width: Width::B8,
+            src: r(7),
+            base: r(1),
+            offset: 16,
+        });
+        ops.push(Op::Branch {
+            cond: dgl_isa::Cond::Eq,
+            a: r(1),
+            b: r(2),
+            target: 9,
+        });
+        ops.push(Op::Halt);
+        let min = minimize(&ops, &mut |p| has_marker(p));
+        assert!(min.len() <= 2, "expected near-minimal, got {min:?}");
+        assert!(Program::new("m", min.clone()).is_ok());
+        assert!(has_marker(&Program::new("m", min).unwrap()));
+    }
+
+    #[test]
+    fn uninteresting_input_is_returned_unchanged() {
+        let ops = vec![Op::Nop, Op::Halt];
+        let min = minimize(&ops, &mut |_| false);
+        assert_eq!(min, ops);
+    }
+
+    #[test]
+    fn target_remapping_keeps_programs_valid() {
+        // A backward loop plus junk; shrinking must never panic or
+        // produce an out-of-range target.
+        let ops = vec![
+            Op::Imm {
+                dst: r(1),
+                value: 3,
+            },
+            Op::Nop,
+            Op::Nop,
+            Op::Alu {
+                op: AluOp::Sub,
+                dst: r(1),
+                a: r(1),
+                b: Src::Imm(1),
+            },
+            Op::Branch {
+                cond: dgl_isa::Cond::Ne,
+                a: r(1),
+                b: Reg::ZERO,
+                target: 1,
+            },
+            Op::Halt,
+        ];
+        // Interesting = still has a backward branch.
+        let min = minimize(&ops, &mut |p| {
+            p.insts()
+                .iter()
+                .any(|inst| matches!(inst.op, Op::Branch { target, .. } if target <= inst.pc))
+        });
+        assert!(Program::new("m", min).is_ok());
+    }
+}

@@ -1,0 +1,337 @@
+//! The fuzzing loop: generate → oracle → minimize → persist, fanned
+//! out over the same worker pool that backs `dgl serve`
+//! ([`dgl_sim::serve::run_pool`]).
+//!
+//! Each case derives its own generator seed from `(base seed, case
+//! index)`, so results are deterministic regardless of worker count or
+//! scheduling: the same `--seed --iters` pair always fuzzes the same
+//! programs. Minimization narrows to the single configuration that
+//! failed (re-running all eight per shrink step would dominate the
+//! budget) and re-verifies the minimized program against the full
+//! matrix before it is saved.
+
+use crate::corpus::save_entry;
+use crate::gen::{fuzz_memory, generate, SECRET_A, SECRET_B};
+use crate::minimize::minimize;
+use crate::oracle::{check_two_secret, Divergence, OracleKind, MAX_CYCLES};
+use dgl_isa::{Emulator, Program, SparseMemory};
+use dgl_sim::experiments::ConfigId;
+use dgl_sim::security::observation;
+use dgl_sim::serve::run_pool;
+use dgl_sim::SimBuilder;
+use std::path::PathBuf;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Options for one fuzzing run.
+#[derive(Debug, Clone)]
+pub struct FuzzOptions {
+    /// Base seed; case `i` fuzzes generator seed `mix(seed, i)`.
+    pub seed: u64,
+    /// Number of programs to generate and check.
+    pub iters: u64,
+    /// Worker threads (0 = available parallelism).
+    pub workers: usize,
+    /// Where to save minimized reproducers; `None` disables saving.
+    pub corpus_dir: Option<PathBuf>,
+    /// Print a progress line to stderr every N cases (0 = quiet).
+    pub progress_every: u64,
+}
+
+impl Default for FuzzOptions {
+    fn default() -> Self {
+        Self {
+            seed: 1,
+            iters: 200,
+            workers: 0,
+            corpus_dir: None,
+            progress_every: 0,
+        }
+    }
+}
+
+/// One confirmed, minimized divergence.
+#[derive(Debug, Clone)]
+pub struct FoundBug {
+    /// Case index within the run.
+    pub case: u64,
+    /// Generator seed of the offending program.
+    pub gen_seed: u64,
+    /// Human-readable first-divergence description.
+    pub detail: String,
+    /// Instructions before minimization.
+    pub original_len: usize,
+    /// Instructions after minimization.
+    pub minimized_len: usize,
+    /// Corpus file, when saving was enabled.
+    pub saved: Option<PathBuf>,
+}
+
+/// Aggregate results of a fuzzing run.
+#[derive(Debug, Default)]
+pub struct FuzzSummary {
+    /// Cases executed.
+    pub cases: u64,
+    /// Cases that carried a two-secret gadget.
+    pub gadget_cases: u64,
+    /// Gadget cases where the unsafe baseline distinguished the
+    /// secrets (the oracle's non-vacuity evidence).
+    pub baseline_distinguished: u64,
+    /// Every divergence found, minimized.
+    pub bugs: Vec<FoundBug>,
+    /// Wall-clock time of the run.
+    pub elapsed: Duration,
+}
+
+impl FuzzSummary {
+    /// Cases per hour, extrapolated from this run.
+    pub fn iters_per_hour(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.cases as f64 * 3600.0 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Per-case seed derivation (SplitMix64 increment keeps distinct
+/// cases decorrelated even for adjacent base seeds).
+fn mix(seed: u64, case: u64) -> u64 {
+    seed ^ (case.wrapping_add(1)).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Fast halt check on the golden emulator: minimization candidates
+/// that spin forever must be rejected before they reach the (much
+/// slower) timing oracle.
+fn halts(program: &Program, memory: SparseMemory, max_steps: u64) -> bool {
+    let mut emu = Emulator::new(program, memory);
+    let mut steps = 0u64;
+    loop {
+        match emu.step() {
+            Ok(true) => {
+                steps += 1;
+                if steps > max_steps {
+                    return false;
+                }
+            }
+            Ok(false) => return true,
+            Err(_) => return false,
+        }
+    }
+}
+
+const HALT_BUDGET: u64 = 400_000;
+
+/// Does `config` still fail co-simulation on this program?
+fn cosim_fails(program: &Program, config: ConfigId) -> Option<String> {
+    SimBuilder::new()
+        .scheme(config.scheme())
+        .address_prediction(config.ap())
+        .run_verified(program, fuzz_memory(SECRET_A), MAX_CYCLES)
+        .err()
+        .map(|e| e.to_string())
+}
+
+/// Does `config` still distinguish the two secrets on this program?
+fn two_secret_fails(program: &Program, config: ConfigId) -> bool {
+    let run = |secret: u8| {
+        SimBuilder::new()
+            .scheme(config.scheme())
+            .address_prediction(config.ap())
+            .trace(true)
+            .run_program(program, fuzz_memory(secret), MAX_CYCLES)
+            .ok()
+    };
+    match (run(SECRET_A), run(SECRET_B)) {
+        (Some(a), Some(b)) => observation(&a) != observation(&b) || a.cycles != b.cycles,
+        _ => false,
+    }
+}
+
+struct CaseResult {
+    has_gadget: bool,
+    baseline_distinguished: bool,
+    bugs: Vec<FoundBug>,
+}
+
+/// Runs the fuzzer. Deterministic for a given `(seed, iters)` pair;
+/// worker count affects wall-clock only.
+pub fn fuzz(opts: &FuzzOptions) -> FuzzSummary {
+    let started = Instant::now();
+    let workers = if opts.workers == 0 {
+        std::thread::available_parallelism().map_or(4, |n| n.get())
+    } else {
+        opts.workers
+    };
+    let state = Mutex::new((FuzzSummary::default(), 0u64));
+    run_pool(0..opts.iters, workers, workers * 2, |case: u64, _enq| {
+        let result = run_case(opts, case);
+        let mut guard = state.lock().unwrap_or_else(|e| e.into_inner());
+        let (summary, done) = &mut *guard;
+        summary.cases += 1;
+        summary.gadget_cases += result.has_gadget as u64;
+        summary.baseline_distinguished += result.baseline_distinguished as u64;
+        summary.bugs.extend(result.bugs);
+        *done += 1;
+        if opts.progress_every > 0 && *done % opts.progress_every == 0 {
+            eprintln!(
+                "dgl-fuzz: {}/{} cases, {} gadget, {} baseline-distinguished, {} bugs",
+                done,
+                opts.iters,
+                summary.gadget_cases,
+                summary.baseline_distinguished,
+                summary.bugs.len()
+            );
+        }
+    });
+    let mut summary = state.into_inner().unwrap_or_else(|e| e.into_inner()).0;
+    summary.bugs.sort_by_key(|b| b.case);
+    summary.elapsed = started.elapsed();
+    summary
+}
+
+fn run_case(opts: &FuzzOptions, case: u64) -> CaseResult {
+    let gen_seed = mix(opts.seed, case);
+    let g = generate(gen_seed);
+    let mut out = CaseResult {
+        has_gadget: g.has_gadget,
+        baseline_distinguished: false,
+        bugs: Vec::new(),
+    };
+
+    // Oracle 1: co-simulation across the full matrix.
+    for config in ConfigId::ALL {
+        if let Some(detail) = cosim_fails(&g.program, config) {
+            let ops = g.ops();
+            let min_ops = minimize(&ops, &mut |p| {
+                halts(p, fuzz_memory(SECRET_A), HALT_BUDGET) && cosim_fails(p, config).is_some()
+            });
+            out.bugs.push(report_bug(
+                opts,
+                case,
+                gen_seed,
+                OracleKind::CoSim,
+                Divergence {
+                    config,
+                    kind: OracleKind::CoSim,
+                    detail,
+                },
+                &ops,
+                min_ops,
+                false,
+            ));
+            break; // one minimized reproducer per case is enough
+        }
+    }
+
+    // Oracle 2: two-secret noninterference, gadget programs only
+    // (programs that never read the secret region are vacuously
+    // secret-independent).
+    if g.has_gadget {
+        match check_two_secret(&g.program) {
+            Ok(ts) => {
+                out.baseline_distinguished = ts.baseline_distinguished;
+                if let Some(v) = ts.violations.into_iter().next() {
+                    let ops = g.ops();
+                    let config = v.config;
+                    let min_ops = minimize(&ops, &mut |p| {
+                        halts(p, fuzz_memory(SECRET_A), HALT_BUDGET)
+                            && halts(p, fuzz_memory(SECRET_B), HALT_BUDGET)
+                            && two_secret_fails(p, config)
+                    });
+                    out.bugs.push(report_bug(
+                        opts,
+                        case,
+                        gen_seed,
+                        OracleKind::TwoSecret,
+                        v,
+                        &ops,
+                        min_ops,
+                        true,
+                    ));
+                }
+            }
+            Err(e) => out.bugs.push(FoundBug {
+                case,
+                gen_seed,
+                detail: format!("two-secret oracle run failed: {e}"),
+                original_len: g.program.len(),
+                minimized_len: g.program.len(),
+                saved: None,
+            }),
+        }
+    }
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn report_bug(
+    opts: &FuzzOptions,
+    case: u64,
+    gen_seed: u64,
+    kind: OracleKind,
+    divergence: Divergence,
+    original: &[dgl_isa::Op],
+    min_ops: Vec<dgl_isa::Op>,
+    expect_baseline_leak: bool,
+) -> FoundBug {
+    let minimized_len = min_ops.len();
+    let name = format!("{kind}_{:016x}_{case:04}", gen_seed);
+    let saved = opts.corpus_dir.as_ref().and_then(|dir| {
+        let program = Program::new(&name, min_ops).ok()?;
+        save_entry(
+            dir,
+            &name,
+            &program,
+            &kind.to_string(),
+            &format!(
+                "seed={} case={case} config={}",
+                opts.seed,
+                divergence.config.label()
+            ),
+            expect_baseline_leak,
+        )
+        .ok()
+    });
+    FoundBug {
+        case,
+        gen_seed,
+        detail: divergence.to_string(),
+        original_len: original.len(),
+        minimized_len,
+        saved,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_mixing_is_stable_and_case_local() {
+        assert_eq!(mix(1, 0), mix(1, 0));
+        assert_ne!(mix(1, 0), mix(1, 1));
+        assert_ne!(mix(1, 0), mix(2, 0));
+    }
+
+    #[test]
+    fn a_small_run_is_clean_and_deterministic() {
+        let opts = FuzzOptions {
+            seed: 1,
+            iters: 6,
+            workers: 2,
+            ..Default::default()
+        };
+        let a = fuzz(&opts);
+        assert_eq!(a.cases, 6);
+        assert!(
+            a.bugs.is_empty(),
+            "fuzzer found a divergence at HEAD: {}",
+            a.bugs[0].detail
+        );
+        let b = fuzz(&opts);
+        assert_eq!(a.gadget_cases, b.gadget_cases);
+        assert_eq!(a.baseline_distinguished, b.baseline_distinguished);
+    }
+}

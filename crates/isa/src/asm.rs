@@ -79,13 +79,30 @@ fn parse_int(tok: &str, line: usize) -> Result<i64, AsmError> {
         Some(rest) => (true, rest.trim_start()),
         None => (false, tok.strip_prefix('+').unwrap_or(tok).trim_start()),
     };
-    let value = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
-        i64::from_str_radix(hex, 16)
+    // Parse the magnitude as u64 so the full i64 range round-trips:
+    // `-9223372036854775808` (i64::MIN) has a magnitude one past
+    // i64::MAX, and hex literals may spell any 64-bit pattern.
+    let magnitude =
+        if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+            u64::from_str_radix(hex, 16)
+        } else {
+            body.parse::<u64>()
+        }
+        .map_err(|_| err(line, format!("expected integer, got `{tok}`")))?;
+    let in_range = if neg {
+        magnitude <= (i64::MAX as u64) + 1
     } else {
-        body.parse()
+        // Decimal stays within i64; hex may name any bit pattern.
+        magnitude <= i64::MAX as u64 || body.starts_with("0x") || body.starts_with("0X")
+    };
+    if !in_range {
+        return Err(err(line, format!("integer `{tok}` out of i64 range")));
     }
-    .map_err(|_| err(line, format!("expected integer, got `{tok}`")))?;
-    Ok(if neg { -value } else { value })
+    Ok(if neg {
+        magnitude.wrapping_neg() as i64
+    } else {
+        magnitude as i64
+    })
 }
 
 /// Parses `[rN]`, `[rN + imm]`, or `[rN - imm]`.
@@ -284,6 +301,61 @@ pub fn assemble(name: &str, source: &str) -> Result<Program, AsmError> {
     Ok(b.build()?)
 }
 
+/// Renders a [`Program`] back into `.dasm` source text that
+/// [`assemble`] round-trips to the identical instruction sequence.
+///
+/// Static control-flow targets become synthetic `L<pc>:` labels (the
+/// assembler has no numeric-target syntax), ALU immediates use the
+/// `<op>i` forms, and loads/stores carry explicit width suffixes. This
+/// is what lets the fuzzer persist generated programs as replayable
+/// corpus entries.
+///
+/// # Examples
+///
+/// ```
+/// use dgl_isa::asm::{assemble, disassemble};
+///
+/// let p = assemble("loop", "imm r1, 2\nL1: subi r1, r1, 1\nbne r1, r0, L1\nhalt\n")?;
+/// let q = assemble("loop", &disassemble(&p))?;
+/// assert_eq!(p.insts(), q.insts());
+/// # Ok::<(), dgl_isa::asm::AsmError>(())
+/// ```
+#[must_use]
+pub fn disassemble(program: &Program) -> String {
+    use std::collections::BTreeSet;
+    use std::fmt::Write as _;
+    let targets: BTreeSet<usize> = program
+        .insts()
+        .iter()
+        .filter_map(|inst| match inst.op {
+            Op::Branch { target, .. } | Op::Jump { target } | Op::Call { target } => Some(target),
+            _ => None,
+        })
+        .collect();
+    let mut out = String::new();
+    let _ = writeln!(out, "# {}", program.name());
+    for inst in program.insts() {
+        if targets.contains(&inst.pc) {
+            let _ = writeln!(out, "L{}:", inst.pc);
+        }
+        let _ = match inst.op {
+            Op::Alu {
+                op,
+                dst,
+                a,
+                b: Src::Imm(i),
+            } => writeln!(out, "    {}i {dst}, {a}, {i}", op.mnemonic()),
+            Op::Branch { cond, a, b, target } => {
+                writeln!(out, "    {} {a}, {b}, L{target}", cond.mnemonic())
+            }
+            Op::Jump { target } => writeln!(out, "    jmp L{target}"),
+            Op::Call { target } => writeln!(out, "    call L{target}"),
+            op => writeln!(out, "    {op}"),
+        };
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -417,5 +489,44 @@ mod tests {
             let p = assemble("rt", &src).unwrap();
             assert!(matches!(p.fetch(0).unwrap().op, Op::Alu { op: o, .. } if o == op));
         }
+    }
+
+    #[test]
+    fn disassemble_round_trips_every_op_shape() {
+        // One of everything: widths, negative offsets/immediates, both
+        // ALU forms, forward/backward branches, call/ret, jr, jump.
+        let mut b = ProgramBuilder::new("everything");
+        let r = Reg::new;
+        b.imm(r(1), -0x4000)
+            .imm(r(2), i64::MIN)
+            .label("top")
+            .load_w(Width::B1, r(3), r(1), -8)
+            .load_w(Width::B2, r(3), r(1), 0)
+            .load_w(Width::B4, r(3), r(1), 2)
+            .load_w(Width::B8, r(3), r(1), 16)
+            .store_w(Width::B1, r(3), r(1), -1)
+            .store_w(Width::B8, r(3), r(1), 0)
+            .alu(AluOp::Sltu, r(4), r(3), r(2))
+            .alu(AluOp::Sar, r(4), r(4), -3)
+            .branch(Cond::Geu, r(4), r(2), "top")
+            .branch(Cond::Lt, r(4), r(2), "fwd")
+            .call("fn")
+            .nop()
+            .label("fwd")
+            .jmp("end")
+            .label("fn")
+            .imm(r(5), 7)
+            .jr(r(5))
+            .ret()
+            .label("end")
+            .halt();
+        let p = b.build().unwrap();
+        let text = disassemble(&p);
+        let q = assemble(p.name(), &text).unwrap();
+        assert_eq!(
+            p.insts(),
+            q.insts(),
+            "round-trip changed the program:\n{text}"
+        );
     }
 }

@@ -165,6 +165,12 @@ pub struct RunReport {
     /// excluded from [`metrics`](RunReport::metrics) and manifests so
     /// they stay byte-identical with elision off and on.
     pub elided_cycles: u64,
+    /// The retired-instruction event stream (loads, stores, resolved
+    /// control flow), in commit order, present when
+    /// [`Core::enable_commit_log`] was called. Mirrors the golden
+    /// model's [`dgl_isa::ArchEvent`] emission rules exactly, so
+    /// differential testing can compare the two streams element-wise.
+    pub commit_log: Option<Vec<dgl_isa::ArchEvent>>,
 }
 
 impl RunReport {
@@ -447,6 +453,10 @@ pub struct Core {
     /// point. The unlock sweep walks only these instead of the whole
     /// ROB; entries leave when they unlock or are squashed.
     locked_results: Vec<Seq>,
+    /// Commit-order architectural event log; `None` (the default) keeps
+    /// the commit stage free of logging work. See
+    /// [`enable_commit_log`](Self::enable_commit_log).
+    commit_log: Option<Vec<dgl_isa::ArchEvent>>,
 }
 
 impl Core {
@@ -503,6 +513,7 @@ impl Core {
             iq_seen_taint: 0,
             pending_branches: Vec::new(),
             locked_results: Vec::new(),
+            commit_log: None,
         }
     }
 
@@ -583,6 +594,21 @@ impl Core {
             "value prediction is modelled for DoM (and the unsafe baseline) only"
         );
         self.vp = Some(ValuePredictor::new(ValuePredictorConfig::default()));
+    }
+
+    /// Enables commit-order architectural event logging: every retired
+    /// load, store, and resolved control-flow instruction appends a
+    /// [`dgl_isa::ArchEvent`] to [`RunReport::commit_log`], following
+    /// the golden model's emission rules (loads and stores report their
+    /// effective address; conditional branches report their evaluated
+    /// direction; indirect jumps and returns report `taken: true` with
+    /// the resolved target; direct jumps and calls emit nothing). This
+    /// is the timing core's half of the co-simulation oracle: the
+    /// stream must match [`dgl_isa::Emulator::step_observed`] exactly.
+    /// Pure observation — simulated results are byte-identical with
+    /// logging off and on.
+    pub fn enable_commit_log(&mut self) {
+        self.commit_log = Some(Vec::new());
     }
 
     /// Schedules an external (cross-core) invalidation of `addr`'s line
@@ -961,6 +987,7 @@ impl Core {
             trace_sink: self.sink,
             provenance,
             elided_cycles: self.elided_cycles,
+            commit_log: self.commit_log,
         }
     }
 

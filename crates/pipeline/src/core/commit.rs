@@ -46,6 +46,9 @@ impl Core {
                 self.data.write(addr, data as u64, s.width);
                 self.store_buffer.push_back(SbEntry { addr, req: None });
                 self.stats.committed_stores += 1;
+                if let Some(log) = self.commit_log.as_mut() {
+                    log.push(dgl_isa::ArchEvent::Store { pc, addr });
+                }
             }
             if op.is_load() {
                 let l = self.lq.pop_front().expect("load at head");
@@ -78,6 +81,9 @@ impl Core {
                 }
                 self.stats.committed_loads += 1;
                 self.sites.record_committed(pc_a);
+                if let Some(log) = self.commit_log.as_mut() {
+                    log.push(dgl_isa::ArchEvent::Load { pc, addr });
+                }
             }
             if let Some(b) = self.rob.branch(0) {
                 let taken = b.actual_taken.expect("resolved");
@@ -86,6 +92,13 @@ impl Core {
                     .bpred_mut()
                     .train(Self::pc_addr(pc), taken, Some(target));
                 self.stats.committed_branches += 1;
+                if let Some(log) = self.commit_log.as_mut() {
+                    log.push(dgl_isa::ArchEvent::Branch {
+                        pc,
+                        taken,
+                        next: target,
+                    });
+                }
             }
             let head = self.rob.pop_front().expect("checked");
             if let Some((_, _, old)) = head.dst {

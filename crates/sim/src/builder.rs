@@ -37,6 +37,7 @@ pub struct SimBuilder {
     occupancy_interval: Option<u64>,
     prof: Option<Arc<ProfRegistry>>,
     elide: bool,
+    commit_log: bool,
 }
 
 impl Default for SimBuilder {
@@ -58,6 +59,7 @@ impl SimBuilder {
             occupancy_interval: None,
             prof: None,
             elide: true,
+            commit_log: false,
         }
     }
 
@@ -140,6 +142,18 @@ impl SimBuilder {
         self
     }
 
+    /// Enables commit-order architectural event logging
+    /// ([`dgl_pipeline::RunReport::commit_log`]): every retired load,
+    /// store, and resolved control-flow instruction is recorded
+    /// following the golden model's [`dgl_isa::ArchEvent`] emission
+    /// rules. [`run_verified`](Self::run_verified) enables this
+    /// implicitly; set it here to get the stream from plain
+    /// [`run_program`](Self::run_program) calls.
+    pub fn commit_log(&mut self, enabled: bool) -> &mut Self {
+        self.commit_log = enabled;
+        self
+    }
+
     /// Enables or disables the event-driven skip-ahead kernel (on by
     /// default). With elision on, the core fast-forwards across cycles
     /// in which no architectural state can change; simulated results
@@ -170,6 +184,9 @@ impl SimBuilder {
         }
         if let Some(reg) = &self.prof {
             core.enable_profiling(Arc::clone(reg));
+        }
+        if self.commit_log {
+            core.enable_commit_log();
         }
         core.set_elision(self.elide);
         core
@@ -273,7 +290,9 @@ impl std::error::Error for VerifyError {}
 
 impl SimBuilder {
     /// Runs `program` and cross-checks the final architectural state
-    /// (all registers, full memory image, instruction count) against
+    /// (all registers, full memory image, instruction count) **and the
+    /// retired-instruction event stream** (every load and store address,
+    /// every resolved control-flow decision, in commit order) against
     /// the in-order golden model. For users modifying the pipeline:
     /// run this on your workload before trusting timing numbers.
     ///
@@ -288,17 +307,26 @@ impl SimBuilder {
         max_cycles: u64,
     ) -> Result<RunReport, VerifyError> {
         let mut emu = dgl_isa::Emulator::new(program, memory.clone());
-        let golden = emu
-            .run(max_cycles.saturating_mul(16).max(1_000_000))
-            .map_err(|e| VerifyError::Golden(e.to_string()))?;
-        let report = self
-            .run_program(program, memory, max_cycles)
+        let mut golden_events: Vec<dgl_isa::ArchEvent> = Vec::new();
+        let budget = max_cycles.saturating_mul(16).max(1_000_000);
+        let mut golden_retired: u64 = 0;
+        while golden_retired < budget {
+            match emu.step_observed(&mut |e| golden_events.push(e)) {
+                Ok(true) => golden_retired += 1,
+                Ok(false) => break,
+                Err(e) => return Err(VerifyError::Golden(e.to_string())),
+            }
+        }
+        let mut core = self.build_core();
+        core.enable_commit_log();
+        let report = core
+            .run(program, memory, max_cycles)
             .map_err(VerifyError::Run)?;
-        if report.committed != golden.instructions {
+        if report.committed != golden_retired {
             return Err(VerifyError::Mismatch {
                 detail: format!(
                     "instruction count {} vs golden {}",
-                    report.committed, golden.instructions
+                    report.committed, golden_retired
                 ),
             });
         }
@@ -313,6 +341,28 @@ impl SimBuilder {
             return Err(VerifyError::Mismatch {
                 detail: "memory image differs".to_owned(),
             });
+        }
+        let log = report
+            .commit_log
+            .as_deref()
+            .expect("run_verified enables the commit log");
+        if log != golden_events {
+            let detail = match log
+                .iter()
+                .zip(golden_events.iter())
+                .position(|(a, b)| a != b)
+            {
+                Some(i) => format!(
+                    "retired event {i}: {:?} vs golden {:?}",
+                    log[i], golden_events[i]
+                ),
+                None => format!(
+                    "retired event stream length {} vs golden {}",
+                    log.len(),
+                    golden_events.len()
+                ),
+            };
+            return Err(VerifyError::Mismatch { detail });
         }
         Ok(report)
     }
@@ -367,6 +417,57 @@ mod tests {
             .run_verified(&p, SparseMemory::new(), 100_000)
             .expect("verified");
         assert_eq!(rep.reg(Reg::new(3)), 7);
+    }
+
+    #[test]
+    fn run_verified_compares_the_retired_event_stream() {
+        use dgl_isa::ArchEvent;
+        // A loop with a store-to-load pair: the commit log must carry
+        // every load/store address and every branch decision, in commit
+        // order, exactly as the golden model emits them.
+        let mut b = ProgramBuilder::new("events");
+        b.imm(Reg::new(1), 0x4000)
+            .imm(Reg::new(2), 3)
+            .label("top")
+            .store(Reg::new(2), Reg::new(1), 0)
+            .load(Reg::new(3), Reg::new(1), 0)
+            .addi(Reg::new(1), Reg::new(1), 8)
+            .subi(Reg::new(2), Reg::new(2), 1)
+            .bne(Reg::new(2), Reg::ZERO, "top")
+            .halt();
+        let p = b.build().unwrap();
+        let mut builder = SimBuilder::new();
+        builder.scheme(SchemeKind::NdaP).address_prediction(true);
+        let rep = builder
+            .run_verified(&p, SparseMemory::new(), 100_000)
+            .expect("verified");
+        let log = rep.commit_log.as_deref().expect("log enabled");
+        // 3 iterations x (store + load + branch) events.
+        assert_eq!(log.len(), 9);
+        assert!(matches!(
+            log[0],
+            ArchEvent::Store {
+                pc: 2,
+                addr: 0x4000
+            }
+        ));
+        assert!(matches!(
+            log[1],
+            ArchEvent::Load {
+                pc: 3,
+                addr: 0x4000
+            }
+        ));
+        assert!(matches!(
+            log[2],
+            ArchEvent::Branch {
+                pc: 6,
+                taken: true,
+                next: 2
+            }
+        ));
+        // The final branch falls through.
+        assert!(matches!(log[8], ArchEvent::Branch { taken: false, .. }));
     }
 
     #[test]

@@ -357,6 +357,44 @@ fn emit_line<W: Write>(output: &Mutex<W>, doc: &Json) {
     let _ = out.flush();
 }
 
+/// The shared worker-pool backend: feeds `jobs` through a bounded
+/// queue to `workers` threads, each calling `handler(job, enqueued)`.
+/// The bounded queue gives natural backpressure — the producing
+/// iterator is pulled lazily on the calling thread and blocks when
+/// every worker is busy and the queue is full. Returns when the
+/// iterator is exhausted and every job has been handled.
+///
+/// Both the `serve` service and the `dgl fuzz` fleet run on this; the
+/// handler is responsible for its own panic isolation (see
+/// `experiments::panic_message`).
+pub fn run_pool<J, I, F>(jobs: I, workers: usize, queue: usize, handler: F)
+where
+    J: Send,
+    I: IntoIterator<Item = J>,
+    F: Fn(J, Instant) + Sync,
+{
+    let (tx, rx) = mpsc::sync_channel::<(J, Instant)>(queue.max(1));
+    let rx = Mutex::new(rx);
+    std::thread::scope(|scope| {
+        for _ in 0..workers.max(1) {
+            scope.spawn(|| loop {
+                // Take one job; release the receiver lock before
+                // working so other workers can pick up jobs.
+                let job = rx.lock().unwrap_or_else(|e| e.into_inner()).recv();
+                let Ok((job, enqueued)) = job else { break };
+                handler(job, enqueued);
+            });
+        }
+        for job in jobs {
+            // Blocks when the queue is full: backpressure.
+            if tx.send((job, Instant::now())).is_err() {
+                break;
+            }
+        }
+        drop(tx);
+    });
+}
+
 /// Reads job lines from `input`, runs them on `opts.workers` worker
 /// threads sharing `store`, and writes result lines to `output` in
 /// completion order. Returns when the input is exhausted and every
@@ -376,101 +414,87 @@ pub fn serve_lines<R: BufRead, W: Write + Send>(
     let queue_hist = Mutex::new(Histogram::new());
     let jobs_done = AtomicU64::new(0);
     let errors = AtomicU64::new(0);
-    let (tx, rx) = mpsc::sync_channel::<(JobSpec, Instant)>(opts.queue.max(1));
-    let rx = Mutex::new(rx);
     let mut read_error = None;
-    std::thread::scope(|scope| {
-        for _ in 0..opts.workers.max(1) {
-            scope.spawn(|| loop {
-                // Take one job; release the receiver lock before
-                // simulating so other workers can pick up jobs.
-                let job = rx.lock().unwrap_or_else(|e| e.into_inner()).recv();
-                let Ok((spec, enqueued)) = job else { break };
-                let queue_us = enqueued.elapsed().as_micros() as u64;
-                queue_hist
-                    .lock()
-                    .unwrap_or_else(|e| e.into_inner())
-                    .record(queue_us);
-                let started = Instant::now();
-                let outcome =
-                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| spec.run(store)))
-                        .unwrap_or_else(|payload| Err(panic_message(payload)));
-                let run_us = started.elapsed().as_micros() as u64;
-                match &outcome {
-                    Ok(manifest) => {
-                        jobs_done.fetch_add(1, Ordering::Relaxed);
-                        if let Some(dir) = &opts.manifest_dir {
-                            // Same bytes `write_manifest` in the CLI
-                            // produces for `dgl run --stats-json`.
-                            let mut text = manifest.to_string_pretty();
-                            text.push('\n');
-                            let _ = std::fs::create_dir_all(dir);
-                            let _ = std::fs::write(dir.join(format!("{}.json", spec.id)), text);
-                        }
-                    }
-                    Err(_) => {
-                        errors.fetch_add(1, Ordering::Relaxed);
-                    }
-                }
-                emit_line(&output, &result_doc(&spec.id, queue_us, run_us, outcome));
-            });
+    let mut lines = input.lines();
+    let mut index = 0usize;
+    // Pull one accepted job per call, answering malformed and control
+    // lines inline; `None` ends the batch (input exhausted or a read
+    // error, recorded for the caller).
+    let jobs = std::iter::from_fn(|| loop {
+        let line = match lines.next()? {
+            Ok(line) => line,
+            Err(e) => {
+                read_error = Some(e);
+                return None;
+            }
+        };
+        index += 1;
+        if line.trim().is_empty() {
+            continue;
         }
-        for (index, line) in input.lines().enumerate() {
-            let line = match line {
-                Ok(line) => line,
-                Err(e) => {
-                    read_error = Some(e);
-                    break;
-                }
-            };
-            if line.trim().is_empty() {
+        let parsed = Json::parse(&line).map_err(|e| format!("line {index}: {e}"));
+        let doc = match parsed {
+            Ok(doc) => doc,
+            Err(e) => {
+                errors.fetch_add(1, Ordering::Relaxed);
+                emit_line(&output, &result_doc(&format!("line-{index}"), 0, 0, Err(e)));
                 continue;
             }
-            let parsed = Json::parse(&line).map_err(|e| format!("line {}: {e}", index + 1));
-            let doc = match parsed {
-                Ok(doc) => doc,
-                Err(e) => {
-                    errors.fetch_add(1, Ordering::Relaxed);
-                    emit_line(
-                        &output,
-                        &result_doc(&format!("line-{}", index + 1), 0, 0, Err(e)),
-                    );
-                    continue;
-                }
+        };
+        if doc.get("control").and_then(Json::as_str) == Some("stats") {
+            // A point-in-time snapshot: jobs still in flight are
+            // not yet counted.
+            let summary = ServeSummary {
+                jobs: jobs_done.load(Ordering::Relaxed),
+                errors: errors.load(Ordering::Relaxed),
             };
-            if doc.get("control").and_then(Json::as_str) == Some("stats") {
-                // A point-in-time snapshot: jobs still in flight are
-                // not yet counted.
-                let summary = ServeSummary {
-                    jobs: jobs_done.load(Ordering::Relaxed),
-                    errors: errors.load(Ordering::Relaxed),
-                };
-                let hist = queue_hist.lock().unwrap_or_else(|e| e.into_inner()).clone();
-                emit_line(&output, &stats_doc(store, &hist, summary));
-                continue;
-            }
-            match JobSpec::parse(&doc, index + 1) {
-                Ok(spec) => {
-                    // Blocks when the queue is full: backpressure.
-                    if tx.send((spec, Instant::now())).is_err() {
-                        break;
-                    }
-                }
-                Err(e) => {
-                    errors.fetch_add(1, Ordering::Relaxed);
-                    emit_line(
-                        &output,
-                        &result_doc(
-                            &format!("line-{}", index + 1),
-                            0,
-                            0,
-                            Err(format!("line {}: {e}", index + 1)),
-                        ),
-                    );
-                }
+            let hist = queue_hist.lock().unwrap_or_else(|e| e.into_inner()).clone();
+            emit_line(&output, &stats_doc(store, &hist, summary));
+            continue;
+        }
+        match JobSpec::parse(&doc, index) {
+            Ok(spec) => return Some(spec),
+            Err(e) => {
+                errors.fetch_add(1, Ordering::Relaxed);
+                emit_line(
+                    &output,
+                    &result_doc(
+                        &format!("line-{index}"),
+                        0,
+                        0,
+                        Err(format!("line {index}: {e}")),
+                    ),
+                );
             }
         }
-        drop(tx);
+    });
+    run_pool(jobs, opts.workers, opts.queue, |spec: JobSpec, enqueued| {
+        let queue_us = enqueued.elapsed().as_micros() as u64;
+        queue_hist
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .record(queue_us);
+        let started = Instant::now();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| spec.run(store)))
+            .unwrap_or_else(|payload| Err(panic_message(payload)));
+        let run_us = started.elapsed().as_micros() as u64;
+        match &outcome {
+            Ok(manifest) => {
+                jobs_done.fetch_add(1, Ordering::Relaxed);
+                if let Some(dir) = &opts.manifest_dir {
+                    // Same bytes `write_manifest` in the CLI
+                    // produces for `dgl run --stats-json`.
+                    let mut text = manifest.to_string_pretty();
+                    text.push('\n');
+                    let _ = std::fs::create_dir_all(dir);
+                    let _ = std::fs::write(dir.join(format!("{}.json", spec.id)), text);
+                }
+            }
+            Err(_) => {
+                errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        emit_line(&output, &result_doc(&spec.id, queue_us, run_us, outcome));
     });
     let summary = ServeSummary {
         jobs: jobs_done.load(Ordering::Relaxed),

@@ -12,6 +12,7 @@
 //! dgl bench [--quick|--insts N]      run the quick figure matrix, write BENCH_<seq>.json
 //! dgl compare <a.json> <b.json>      diff two manifests / trajectory records
 //! dgl serve [--stdin|--listen ADDR]  batch simulation service (JSON-lines jobs)
+//! dgl fuzz [--seed N] [--iters N]    differential + two-secret fuzzing
 //!
 //! options: --scheme NAME                     (default baseline; see `dgl schemes`)
 //!          --ap                              enable doppelganger loads
@@ -42,6 +43,9 @@
 //!          --manifest-dir DIR                also write each job's manifest (serve)
 //!          --stats                           emit a dgl-serve-stats document at end (serve)
 //!          --max-conns N                     stop after N connections (serve --listen)
+//!          --seed N                          fuzzing base seed (default 1)
+//!          --iters N                         fuzzing cases to run (default 200)
+//!          --corpus DIR                      save minimized reproducers to DIR (fuzz)
 //!
 //! Malformed flag values and unknown commands/flags exit 2 with a
 //! message naming the offending value; runtime failures exit 1.
@@ -92,6 +96,9 @@ struct Opts {
     manifest_dir: Option<String>,
     stats: bool,
     max_conns: Option<usize>,
+    seed: u64,
+    iters: u64,
+    corpus: Option<String>,
     positional: Vec<String>,
 }
 
@@ -124,6 +131,9 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         manifest_dir: None,
         stats: false,
         max_conns: None,
+        seed: 1,
+        iters: 200,
+        corpus: None,
         positional: Vec::new(),
     };
     fn num<T: std::str::FromStr>(
@@ -244,6 +254,17 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             }
             "--stats" => o.stats = true,
             "--max-conns" => o.max_conns = Some(num(&mut it, a)?),
+            "--seed" => o.seed = num(&mut it, a)?,
+            "--iters" => {
+                o.iters = num(&mut it, a)?;
+                if o.iters == 0 {
+                    return Err("--iters must be > 0 cases".into());
+                }
+            }
+            "--corpus" => {
+                let v = it.next().ok_or("--corpus needs a directory")?;
+                o.corpus = Some(v.clone());
+            }
             other if other.starts_with("--") => return Err(format!("unknown flag `{other}`")),
             other => o.positional.push(other.to_owned()),
         }
@@ -683,6 +704,55 @@ fn cmd_serve(o: &Opts) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_fuzz(o: &Opts) -> Result<ExitCode, String> {
+    use doppelganger_loads::fuzz::{fuzz, FuzzOptions};
+    let opts = FuzzOptions {
+        seed: o.seed,
+        iters: o.iters,
+        workers: o.workers,
+        corpus_dir: o.corpus.as_ref().map(std::path::PathBuf::from),
+        progress_every: 50,
+    };
+    let summary = fuzz(&opts);
+    out!(
+        "dgl fuzz: {} case(s), seed {}, {:.1}s ({:.0} cases/hour)",
+        summary.cases,
+        o.seed,
+        summary.elapsed.as_secs_f64(),
+        summary.iters_per_hour()
+    );
+    out!(
+        "  two-secret gadgets: {} ({} distinguished by the unsafe baseline)",
+        summary.gadget_cases,
+        summary.baseline_distinguished
+    );
+    if summary.gadget_cases > 0 && summary.baseline_distinguished == 0 {
+        out!(
+            "  WARNING: baseline never distinguished the secrets — two-secret oracle ran vacuously"
+        );
+    }
+    if summary.bugs.is_empty() {
+        out!("  divergences: none");
+        return Ok(ExitCode::SUCCESS);
+    }
+    out!("  divergences: {}", summary.bugs.len());
+    for bug in &summary.bugs {
+        out!(
+            "    case {} (gen seed {:#018x}): {} [{} -> {} insts]{}",
+            bug.case,
+            bug.gen_seed,
+            bug.detail,
+            bug.original_len,
+            bug.minimized_len,
+            bug.saved
+                .as_ref()
+                .map(|p| format!(" saved {}", p.display()))
+                .unwrap_or_default()
+        );
+    }
+    Ok(ExitCode::FAILURE)
+}
+
 fn main() -> ExitCode {
     // Exit-code convention: malformed flag values, unknown flags, and
     // unknown commands are usage errors and exit 2; runtime failures
@@ -691,8 +761,8 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
         eprintln!(
-            "usage: dgl <suite|schemes|run|explain|asm|attack|figures|trace|bench|compare|serve> \
-             [options]"
+            "usage: dgl <suite|schemes|run|explain|asm|attack|figures|trace|bench|compare|serve\
+             |fuzz> [options]"
         );
         return ExitCode::from(USAGE);
     };
@@ -715,6 +785,7 @@ fn main() -> ExitCode {
         "bench" => cmd_bench(&o).map(|()| ExitCode::SUCCESS),
         "compare" => cmd_compare(&o),
         "serve" => cmd_serve(&o).map(|()| ExitCode::SUCCESS),
+        "fuzz" => cmd_fuzz(&o),
         other => {
             eprintln!("dgl: unknown command `{other}`");
             return ExitCode::from(USAGE);

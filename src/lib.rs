@@ -60,6 +60,7 @@
 
 pub use dgl_bench as bench;
 pub use dgl_core as core;
+pub use dgl_fuzz as fuzz;
 pub use dgl_isa as isa;
 pub use dgl_mem as mem;
 pub use dgl_pipeline as pipeline;

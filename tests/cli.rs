@@ -608,6 +608,19 @@ fn compare_kips_floor_gates_host_throughput() {
 }
 
 #[test]
+fn fuzz_smoke_is_clean_and_reports_the_seed() {
+    let out = dgl(&["fuzz", "--seed", "7", "--iters", "3", "--workers", "2"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("dgl fuzz: 3 case(s), seed 7"), "{text}");
+    assert!(text.contains("divergences: none"), "{text}");
+}
+
+#[test]
 fn asm_runs_recursive_fibonacci() {
     let path = concat!(
         env!("CARGO_MANIFEST_DIR"),
@@ -635,6 +648,8 @@ fn usage_errors_exit_2_and_name_the_value() {
         &["explain", "hmmer_like", "--top", "many"],
         &["compare", "a.json", "b.json", "--max-ipc-delta", "wat"],
         &["serve", "--workers", "several"],
+        &["fuzz", "--seed", "notaseed"],
+        &["fuzz", "--iters", "lots"],
     ];
     for args in cases {
         let out = dgl(args);
@@ -652,6 +667,22 @@ fn usage_errors_exit_2_and_name_the_value() {
     assert_eq!(out.status.code(), Some(2), "unknown flag exits 2");
     let out = dgl(&["serve", "--stdin", "--listen", "127.0.0.1:0"]);
     assert_eq!(out.status.code(), Some(2), "conflicting transports exit 2");
+    let out = dgl(&["fuzz", "--iters", "0"]);
+    assert_eq!(out.status.code(), Some(2), "zero iterations exits 2");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("--iters"),
+        "zero-iteration error must name --iters"
+    );
+    let out = dgl(&["fuzz", "--corpus"]);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "--corpus without a value exits 2"
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("--corpus"),
+        "missing-value error must name --corpus"
+    );
     let out = dgl(&["run", "doom_like"]);
     assert_eq!(out.status.code(), Some(1), "runtime errors exit 1");
 }

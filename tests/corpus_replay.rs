@@ -1,0 +1,59 @@
+//! Replays every committed fuzzing reproducer in `corpus/` under both
+//! oracles, seed-free: each `.dasm` file is a self-contained program
+//! and the memory image is `fuzz_memory(secret)`, a fixed function of
+//! the secret byte alone. A divergence the fuzzer once found (or a
+//! sentinel pinning oracle behavior) therefore stays fixed forever.
+
+use doppelganger_loads::fuzz::{check_cosim, check_two_secret, load_dir, CorpusEntry};
+use std::path::Path;
+
+fn corpus() -> Vec<CorpusEntry> {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("corpus");
+    let entries = load_dir(&dir).expect("corpus loads and assembles");
+    assert!(
+        !entries.is_empty(),
+        "committed corpus must not be empty (sentinels pin oracle behavior)"
+    );
+    entries
+}
+
+#[test]
+fn corpus_entries_carry_wellformed_headers() {
+    for e in corpus() {
+        assert!(
+            matches!(e.oracle.as_str(), "cosim" | "two-secret" | "both"),
+            "{}: unknown oracle tag `{}`",
+            e.path.display(),
+            e.oracle
+        );
+        assert!(!e.program.is_empty(), "{}: empty program", e.path.display());
+    }
+}
+
+#[test]
+fn every_corpus_entry_cosimulates_cleanly() {
+    for e in corpus() {
+        if let Some(d) = check_cosim(&e.program) {
+            panic!("{}: {d}", e.path.display());
+        }
+    }
+}
+
+#[test]
+fn every_corpus_entry_is_noninterferent_under_protection() {
+    for e in corpus() {
+        let out = check_two_secret(&e.program)
+            .unwrap_or_else(|err| panic!("{}: {err}", e.path.display()));
+        if let Some(v) = out.violations.first() {
+            panic!("{}: {v}", e.path.display());
+        }
+        if e.expect_baseline_leak {
+            assert!(
+                out.baseline_distinguished,
+                "{}: tagged `expect: baseline-leak` but the unsafe baseline \
+                 no longer distinguishes the secrets (two-secret oracle went vacuous)",
+                e.path.display()
+            );
+        }
+    }
+}

@@ -1,0 +1,332 @@
+//! Targeted differential tests for architectural edge cases, each
+//! verified against the golden emulator (`run_verified`) across the
+//! full eight-configuration scheme matrix. These pin the corner
+//! semantics the fuzzer's random generator only samples: shift counts
+//! at and beyond the register width, signed-division overflow and
+//! division by zero, loads that straddle cache-line boundaries under
+//! non-default line sizes, and call/return chains deeper than the
+//! return-address stack.
+
+use doppelganger_loads::isa::{AluOp, Cond, Op, Reg, Src, Width};
+use doppelganger_loads::sim::experiments::ConfigId;
+use doppelganger_loads::{CoreConfig, Program, SimBuilder, SparseMemory};
+
+const MAX_CYCLES: u64 = 2_000_000;
+
+fn r(n: u8) -> Reg {
+    Reg::new(n)
+}
+
+/// Runs `ops` against the golden emulator under every configuration,
+/// returning the final value of `result_reg` (identical across all
+/// eight by construction — `run_verified` checks every register).
+fn verify_everywhere(name: &str, ops: Vec<Op>, memory: &SparseMemory) -> i64 {
+    let program = Program::new(name, ops).expect("valid program");
+    let mut out = None;
+    for config in ConfigId::ALL {
+        let report = SimBuilder::new()
+            .scheme(config.scheme())
+            .address_prediction(config.ap())
+            .run_verified(&program, memory.clone(), MAX_CYCLES)
+            .unwrap_or_else(|e| panic!("{name} diverged on {}: {e}", config.label()));
+        out = Some(report.reg(r(10)));
+    }
+    out.expect("at least one configuration ran")
+}
+
+/// Same, but with an explicit core configuration (used to vary the
+/// cache-line size).
+fn verify_everywhere_with(name: &str, ops: Vec<Op>, memory: &SparseMemory, config: &CoreConfig) {
+    let program = Program::new(name, ops).expect("valid program");
+    for id in ConfigId::ALL {
+        SimBuilder::new()
+            .scheme(id.scheme())
+            .address_prediction(id.ap())
+            .config(*config)
+            .run_verified(&program, memory.clone(), MAX_CYCLES)
+            .unwrap_or_else(|e| panic!("{name} diverged on {}: {e}", id.label()));
+    }
+}
+
+fn alu(op: AluOp, dst: u8, a: u8, b: Src) -> Op {
+    Op::Alu {
+        op,
+        dst: r(dst),
+        a: r(a),
+        b,
+    }
+}
+
+#[test]
+fn shift_counts_at_and_beyond_the_width_mask_to_six_bits() {
+    // Shift amounts 63, 64, 65, 127, and -1: the ISA masks the count
+    // to six bits (RISC-V style), so 64 behaves as 0 and -1 as 63.
+    // The checksum folds every result into r10 so a single-register
+    // probe covers all of them.
+    let mut ops = vec![
+        Op::Imm {
+            dst: r(1),
+            value: 0x0123_4567_89ab_cdefu64 as i64,
+        },
+        Op::Imm {
+            dst: r(10),
+            value: 0,
+        },
+    ];
+    for (i, count) in [63i64, 64, 65, 127, -1].into_iter().enumerate() {
+        let c = 20 + i as u8;
+        ops.push(Op::Imm {
+            dst: r(c),
+            value: count,
+        });
+        for op in [AluOp::Shl, AluOp::Shr, AluOp::Sar] {
+            ops.push(alu(op, 11, 1, Src::Reg(r(c))));
+            ops.push(alu(AluOp::Xor, 10, 10, Src::Reg(r(11))));
+            ops.push(alu(AluOp::Mul, 10, 10, Src::Imm(31)));
+        }
+    }
+    ops.push(Op::Halt);
+    let got = verify_everywhere("shift_edges", ops, &SparseMemory::new());
+
+    // Cross-check the folded checksum against the host semantics the
+    // ISA documents.
+    let v = 0x0123_4567_89ab_cdefu64 as i64;
+    let mut want = 0i64;
+    for count in [63i64, 64, 65, 127, -1] {
+        let m = (count & 0x3f) as u32;
+        for x in [
+            v.wrapping_shl(m),
+            ((v as u64).wrapping_shr(m)) as i64,
+            v.wrapping_shr(m),
+        ] {
+            want = (want ^ x).wrapping_mul(31);
+        }
+    }
+    assert_eq!(got, want);
+}
+
+#[test]
+fn signed_division_overflow_and_zero_divisors_are_defined() {
+    // i64::MIN / -1 wraps to i64::MIN (quotient) and 0 (remainder);
+    // x / 0 yields -1 and x % 0 yields x. All four corners must agree
+    // between the timing core and the emulator under every scheme.
+    let ops = vec![
+        Op::Imm {
+            dst: r(1),
+            value: i64::MIN,
+        },
+        Op::Imm {
+            dst: r(2),
+            value: -1,
+        },
+        Op::Imm {
+            dst: r(3),
+            value: 0,
+        },
+        Op::Imm {
+            dst: r(4),
+            value: 7777,
+        },
+        alu(AluOp::Div, 20, 1, Src::Reg(r(2))), // MIN / -1 = MIN
+        alu(AluOp::Rem, 21, 1, Src::Reg(r(2))), // MIN % -1 = 0
+        alu(AluOp::Div, 22, 4, Src::Reg(r(3))), // 7777 / 0 = -1
+        alu(AluOp::Rem, 23, 4, Src::Reg(r(3))), // 7777 % 0 = 7777
+        alu(AluOp::Div, 24, 1, Src::Imm(0)),    // MIN / 0  = -1
+        // Fold: r10 = (((MIN ^ 0) * 3 ^ -1) * 3 ^ 7777) * 3 ^ -1
+        alu(AluOp::Xor, 10, 20, Src::Reg(r(21))),
+        alu(AluOp::Mul, 10, 10, Src::Imm(3)),
+        alu(AluOp::Xor, 10, 10, Src::Reg(r(22))),
+        alu(AluOp::Mul, 10, 10, Src::Imm(3)),
+        alu(AluOp::Xor, 10, 10, Src::Reg(r(23))),
+        alu(AluOp::Mul, 10, 10, Src::Imm(3)),
+        alu(AluOp::Xor, 10, 10, Src::Reg(r(24))),
+        Op::Halt,
+    ];
+    let got = verify_everywhere("div_edges", ops, &SparseMemory::new());
+    let mut want = i64::MIN; // MIN/-1 folded with MIN%-1 == 0
+    for x in [-1i64, 7777, -1] {
+        want = want.wrapping_mul(3) ^ x;
+    }
+    assert_eq!(got, want);
+}
+
+#[test]
+fn loads_crossing_cache_line_boundaries_verify_under_small_lines() {
+    // An 8-byte load at line_bytes - 4 straddles two cache lines; with
+    // 16- and 32-byte lines nearly every wide access in this walk does.
+    // The memory image is a byte ramp so any mis-split or mis-merge
+    // shows up in the loaded value, and `run_verified` compares the
+    // full memory image afterwards.
+    const BASE: u64 = 0x1000;
+    let mut memory = SparseMemory::new();
+    for i in 0..512u64 {
+        memory.write_u8(BASE + i, (i as u8).wrapping_mul(37).wrapping_add(11));
+    }
+    let mut ops = vec![
+        Op::Imm {
+            dst: r(1),
+            value: BASE as i64,
+        },
+        Op::Imm {
+            dst: r(10),
+            value: 0,
+        },
+    ];
+    // Walk offsets 0..256 step 12: hits every alignment class mod 16
+    // with widths 2, 4, and 8.
+    for (i, width) in [Width::B2, Width::B4, Width::B8].into_iter().enumerate() {
+        for step in 0..20 {
+            let offset = (step * 12 + i * 5) as i32;
+            ops.push(Op::Load {
+                width,
+                dst: r(11),
+                base: r(1),
+                offset,
+            });
+            ops.push(alu(AluOp::Xor, 10, 10, Src::Reg(r(11))));
+            ops.push(alu(AluOp::Mul, 10, 10, Src::Imm(131)));
+            // Read-modify-write across the same boundary.
+            ops.push(Op::Store {
+                width,
+                src: r(10),
+                base: r(1),
+                offset: offset + 256,
+            });
+        }
+    }
+    ops.push(Op::Halt);
+
+    for line_bytes in [16usize, 32, 64] {
+        let mut config = CoreConfig::tiny();
+        config.hierarchy.l1.line_bytes = line_bytes;
+        config.hierarchy.l2.line_bytes = line_bytes;
+        config.hierarchy.l3.line_bytes = line_bytes;
+        verify_everywhere_with(
+            &format!("line_cross_{line_bytes}"),
+            ops.clone(),
+            &memory,
+            &config,
+        );
+    }
+}
+
+#[test]
+fn call_chains_deeper_than_the_return_address_stack_verify() {
+    // 24 nested calls overflow the 16-entry RAS, so the frontend's
+    // return predictions go stale on the way back up; every `Ret` must
+    // still commit to the architecturally correct target. The link
+    // register is spilled to a software stack since `Call` clobbers it.
+    const DEPTH: usize = 24;
+    const STACK: i64 = 0x8000;
+    let main_len = 6;
+    // Layout: main (6 ops), then DEPTH bodies of 8 ops each.
+    let body = |lvl: usize| main_len + lvl * 8;
+    let mut ops = vec![
+        Op::Imm {
+            dst: r(1),
+            value: STACK,
+        },
+        Op::Imm {
+            dst: r(10),
+            value: 0,
+        },
+        Op::Imm {
+            dst: r(2),
+            value: 1,
+        },
+        Op::Call { target: body(0) },
+        alu(AluOp::Xor, 10, 10, Src::Reg(r(2))),
+        Op::Halt,
+    ];
+    for lvl in 0..DEPTH {
+        // push link; accumulate; recurse (or bottom out); pop link; ret
+        ops.push(Op::Store {
+            width: Width::B8,
+            src: Reg::LINK,
+            base: r(1),
+            offset: (lvl * 8) as i32,
+        });
+        ops.push(alu(AluOp::Add, 10, 10, Src::Imm(1)));
+        ops.push(alu(AluOp::Mul, 2, 2, Src::Imm(3)));
+        if lvl + 1 < DEPTH {
+            ops.push(Op::Call {
+                target: body(lvl + 1),
+            });
+        } else {
+            ops.push(Op::Nop);
+        }
+        ops.push(alu(AluOp::Add, 10, 10, Src::Imm(1)));
+        ops.push(Op::Load {
+            width: Width::B8,
+            dst: Reg::LINK,
+            base: r(1),
+            offset: (lvl * 8) as i32,
+        });
+        ops.push(Op::Nop);
+        ops.push(Op::Ret);
+    }
+    let got = verify_everywhere("deep_calls", ops, &SparseMemory::new());
+    let want = (2 * DEPTH as i64) ^ 3i64.wrapping_pow(DEPTH as u32);
+    assert_eq!(got, want, "every frame ran exactly once, in order");
+}
+
+#[test]
+fn mispredicted_branch_over_a_line_crossing_store_stays_architectural() {
+    // A store on a squashed path must leave no architectural trace
+    // even when it would have straddled a line boundary: the loop
+    // trains the branch not-taken, the final trip takes it over the
+    // store. `run_verified`'s memory comparison catches any leak.
+    const BASE: u64 = 0x2000;
+    let mut memory = SparseMemory::new();
+    for i in 0..64u64 {
+        memory.write_u8(BASE + i, i as u8);
+    }
+    let ops = vec![
+        Op::Imm {
+            dst: r(1),
+            value: BASE as i64,
+        },
+        Op::Imm {
+            dst: r(2),
+            value: 0,
+        }, // loop counter
+        Op::Imm {
+            dst: r(3),
+            value: 9,
+        }, // trip count
+        Op::Imm {
+            dst: r(4),
+            value: -1,
+        }, // poison value
+        // loop:
+        alu(AluOp::Add, 2, 2, Src::Imm(1)), // 4
+        Op::Branch {
+            cond: Cond::Geu,
+            a: r(2),
+            b: r(3),
+            target: 8,
+        }, // 5: taken only on the last trip
+        Op::Store {
+            width: Width::B8,
+            src: r(4),
+            base: r(1),
+            offset: 13, // straddles the 16-byte boundary at BASE+16
+        }, // 6: runs on trips 1..8, not on the squashed-path final trip
+        Op::Jump { target: 4 },             // 7
+        // done:
+        Op::Load {
+            width: Width::B8,
+            dst: r(10),
+            base: r(1),
+            offset: 13,
+        }, // 8
+        Op::Halt, // 9
+    ];
+    let mut config = CoreConfig::tiny();
+    config.hierarchy.l1.line_bytes = 16;
+    config.hierarchy.l2.line_bytes = 16;
+    config.hierarchy.l3.line_bytes = 16;
+    verify_everywhere_with("squashed_line_cross_store", ops.clone(), &memory, &config);
+    // And under the default hierarchy.
+    verify_everywhere("squashed_line_cross_store_default", ops, &memory);
+}

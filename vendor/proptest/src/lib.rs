@@ -14,11 +14,18 @@
 //! - [`prop_assert!`] / [`prop_assert_eq!`] returning
 //!   [`TestCaseError`] instead of panicking inside the closure
 //!
-//! Differences from the real crate: failing cases are **not shrunk**
-//! (the failing seed and case index are reported instead), and string
-//! strategies treat the regex pattern only as a request for arbitrary
-//! printable text. Case generation is fully deterministic per test
-//! name, so failures reproduce exactly.
+//! - shrinking: failing cases are minimized by [`Strategy::shrink`]
+//!   (integers toward the range start / zero, vectors by removing and
+//!   shrinking elements, tuples component-wise), bounded by
+//!   [`ProptestConfig::max_shrink_iters`], and the minimal failing
+//!   input is printed with `Debug`
+//!
+//! Differences from the real crate: string strategies treat the regex
+//! pattern only as a request for arbitrary printable text, and
+//! strategies built with `prop_map` / `boxed` / `prop_oneof!` do not
+//! shrink through the transformation (the composed value is reported
+//! as-is). Case generation is fully deterministic per test name, so
+//! failures reproduce exactly.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -97,7 +104,8 @@ impl std::error::Error for TestCaseError {}
 pub struct ProptestConfig {
     /// Number of generated cases per test.
     pub cases: u32,
-    /// Accepted for compatibility; this stand-in does not shrink.
+    /// Upper bound on candidate evaluations while shrinking a failing
+    /// case.
     pub max_shrink_iters: u32,
     /// Accepted for compatibility; this stand-in never forks.
     pub fork: bool,
@@ -124,6 +132,17 @@ pub trait Strategy {
 
     /// Draw one value.
     fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Propose simpler variants of a failing `value`, simplest first.
+    /// The runner keeps the first variant that still fails and asks it
+    /// to shrink again, so candidates must be strictly simpler than
+    /// `value` (closer to the range start, shorter, ...) for the loop
+    /// to converge. The default proposes nothing, which disables
+    /// shrinking for strategies that cannot invert their construction
+    /// (`prop_map`, `boxed`, unions).
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
 
     /// Transform generated values with `f`.
     fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
@@ -250,6 +269,29 @@ impl<T> Strategy for Union<T> {
 pub trait Arbitrary: Sized {
     /// Draw an arbitrary value of this type.
     fn arbitrary(rng: &mut TestRng) -> Self;
+
+    /// Simpler variants of `value`, simplest first (see
+    /// [`Strategy::shrink`]).
+    fn shrink(_value: &Self) -> Vec<Self> {
+        Vec::new()
+    }
+}
+
+/// Order-preserving dedup for small candidate lists.
+trait DedupInOrder<T> {
+    fn dedup_in_order(self) -> Vec<T>;
+}
+
+impl<T: PartialEq> DedupInOrder<T> for Vec<T> {
+    fn dedup_in_order(self) -> Vec<T> {
+        let mut out: Vec<T> = Vec::with_capacity(self.len());
+        for v in self {
+            if !out.contains(&v) {
+                out.push(v);
+            }
+        }
+        out
+    }
 }
 
 macro_rules! impl_arbitrary_int {
@@ -257,6 +299,17 @@ macro_rules! impl_arbitrary_int {
         impl Arbitrary for $t {
             fn arbitrary(rng: &mut TestRng) -> Self {
                 rng.next_u64() as $t
+            }
+
+            fn shrink(value: &Self) -> Vec<Self> {
+                // Toward zero: 0, halfway, one step.
+                let v = *value as i128;
+                [0i128, v / 2, v - v.signum()]
+                    .into_iter()
+                    .filter(|&c| c != v)
+                    .map(|c| c as $t)
+                    .collect::<Vec<_>>()
+                    .dedup_in_order()
             }
         }
     )*};
@@ -267,6 +320,14 @@ impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 impl Arbitrary for bool {
     fn arbitrary(rng: &mut TestRng) -> Self {
         rng.next_u64() & 1 == 1
+    }
+
+    fn shrink(value: &Self) -> Vec<Self> {
+        if *value {
+            vec![false]
+        } else {
+            Vec::new()
+        }
     }
 }
 
@@ -282,6 +343,10 @@ impl<A: Arbitrary> Strategy for Any<A> {
     fn new_value(&self, rng: &mut TestRng) -> A {
         A::arbitrary(rng)
     }
+
+    fn shrink(&self, value: &A) -> Vec<A> {
+        A::shrink(value)
+    }
 }
 
 /// Strategy over the whole domain of `A`.
@@ -289,6 +354,21 @@ pub fn any<A: Arbitrary>() -> Any<A> {
     Any {
         _marker: std::marker::PhantomData,
     }
+}
+
+/// Candidates between a range's start and a failing value, simplest
+/// first: the start itself, the halfway point, one step down.
+fn shrink_toward<T: Copy + PartialEq>(
+    start: i128,
+    value: i128,
+    cast: impl Fn(i128) -> T,
+) -> Vec<T> {
+    [start, start + (value - start) / 2, value - 1]
+        .into_iter()
+        .filter(|&c| c >= start && c < value)
+        .map(cast)
+        .collect::<Vec<_>>()
+        .dedup_in_order()
 }
 
 macro_rules! impl_range_strategy {
@@ -301,6 +381,10 @@ macro_rules! impl_range_strategy {
                 let span = (self.end as i128 - self.start as i128) as u128;
                 (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
             }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_toward(self.start as i128, *value as i128, |c| c as $t)
+            }
         }
         impl Strategy for RangeInclusive<$t> {
             type Value = $t;
@@ -311,6 +395,10 @@ macro_rules! impl_range_strategy {
                 let span = (end as i128 - start as i128) as u128 + 1;
                 (start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
             }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_toward(*self.start() as i128, *value as i128, |c| c as $t)
+            }
         }
     )*};
 }
@@ -318,8 +406,11 @@ macro_rules! impl_range_strategy {
 impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
 macro_rules! impl_tuple_strategy {
-    ($($name:ident),+) => {
-        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+    ($($name:ident => $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+)
+        where
+            $($name::Value: Clone),+
+        {
             type Value = ($($name::Value,)+);
 
             fn new_value(&self, rng: &mut TestRng) -> Self::Value {
@@ -327,16 +418,30 @@ macro_rules! impl_tuple_strategy {
                 let ($($name,)+) = self;
                 ($($name.new_value(rng),)+)
             }
+
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                // Component-wise: each candidate simplifies exactly one
+                // position, holding the others fixed.
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = cand;
+                        out.push(next);
+                    }
+                )+
+                out
+            }
         }
     };
 }
 
-impl_tuple_strategy!(A);
-impl_tuple_strategy!(A, B);
-impl_tuple_strategy!(A, B, C);
-impl_tuple_strategy!(A, B, C, D);
-impl_tuple_strategy!(A, B, C, D, E);
-impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A => 0);
+impl_tuple_strategy!(A => 0, B => 1);
+impl_tuple_strategy!(A => 0, B => 1, C => 2);
+impl_tuple_strategy!(A => 0, B => 1, C => 2, D => 3);
+impl_tuple_strategy!(A => 0, B => 1, C => 2, D => 3, E => 4);
+impl_tuple_strategy!(A => 0, B => 1, C => 2, D => 3, E => 4, F => 5);
 
 /// String-literal "regex" strategy. The pattern is not compiled; it
 /// only signals that arbitrary printable text (with an occasional
@@ -361,6 +466,22 @@ impl Strategy for &'static str {
                 }
             })
             .collect()
+    }
+
+    fn shrink(&self, value: &String) -> Vec<String> {
+        let n = value.chars().count();
+        if n == 0 {
+            return Vec::new();
+        }
+        vec![
+            String::new(),
+            value.chars().take(n / 2).collect(),
+            value.chars().take(n - 1).collect(),
+        ]
+        .dedup_in_order()
+        .into_iter()
+        .filter(|c| c != value)
+        .collect()
     }
 }
 
@@ -412,13 +533,45 @@ pub mod collection {
         size: SizeRange,
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
 
         fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
             let span = (self.size.max_inclusive - self.size.min) as u64 + 1;
             let len = self.size.min + rng.below(span) as usize;
             (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let (min, n) = (self.size.min, value.len());
+            let mut out: Vec<Vec<S::Value>> = Vec::new();
+            // Length reductions first (the big wins), then dropping
+            // single elements, then simplifying elements in place.
+            if n > min {
+                out.push(value[..min].to_vec());
+                if n / 2 > min {
+                    out.push(value[..n / 2].to_vec());
+                }
+                if n - 1 > min {
+                    out.push(value[..n - 1].to_vec());
+                }
+                for i in 0..n.min(16) {
+                    let mut cand = value.clone();
+                    cand.remove(i);
+                    out.push(cand);
+                }
+            }
+            for i in 0..n.min(16) {
+                for simpler in self.element.shrink(&value[i]).into_iter().take(2) {
+                    let mut cand = value.clone();
+                    cand[i] = simpler;
+                    out.push(cand);
+                }
+            }
+            out
         }
     }
 
@@ -451,12 +604,64 @@ pub mod option {
                 Some(self.inner.new_value(rng))
             }
         }
+
+        fn shrink(&self, value: &Option<S::Value>) -> Vec<Option<S::Value>> {
+            match value {
+                None => Vec::new(),
+                Some(v) => std::iter::once(None)
+                    .chain(self.inner.shrink(v).into_iter().map(Some))
+                    .collect(),
+            }
+        }
     }
 
     /// `None` a quarter of the time, otherwise `Some` of `inner`.
     pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
         OptionStrategy { inner }
     }
+}
+
+/// Runs one generated case and, on failure, greedily shrinks it:
+/// keep the first [`Strategy::shrink`] candidate that still fails,
+/// restart from it, stop when no candidate fails or `max_iters`
+/// evaluations are spent. Returns `Err((minimal_value, error,
+/// evaluations))` for a failing case. Used by [`proptest!`]; exposed
+/// for reuse.
+///
+/// # Errors
+///
+/// The minimal failing input, when `run` fails on `value`.
+pub fn run_and_shrink<S: Strategy>(
+    strategy: &S,
+    max_iters: u32,
+    value: S::Value,
+    run: impl Fn(&S::Value) -> Result<(), TestCaseError>,
+) -> Result<(), (S::Value, TestCaseError, u32)> {
+    let Err(err) = run(&value) else {
+        return Ok(());
+    };
+    let mut best = value;
+    let mut best_err = err;
+    let mut evals: u32 = 0;
+    'shrinking: while evals < max_iters {
+        let candidates = strategy.shrink(&best);
+        if candidates.is_empty() {
+            break;
+        }
+        for candidate in candidates {
+            if evals >= max_iters {
+                break 'shrinking;
+            }
+            evals += 1;
+            if let Err(e) = run(&candidate) {
+                best = candidate;
+                best_err = e;
+                continue 'shrinking;
+            }
+        }
+        break;
+    }
+    Err((best, best_err, evals))
 }
 
 /// Derive the per-test base seed from the test name so every test gets
@@ -542,6 +747,9 @@ macro_rules! prop_assert_ne {
 
 /// Define property tests: each `fn name(arg in strategy, ...) { .. }`
 /// becomes a `#[test]` running `config.cases` deterministic cases.
+/// A failing case is shrunk via [`Strategy::shrink`] (bounded by
+/// `config.max_shrink_iters`) and the minimal failing input is printed
+/// with `Debug`; argument values must be `Clone + Debug`.
 #[macro_export]
 macro_rules! proptest {
     (#![proptest_config($config:expr)] $($rest:tt)*) => {
@@ -556,22 +764,43 @@ macro_rules! proptest {
         fn $name() {
             let config: $crate::ProptestConfig = $config;
             let base = $crate::seed_for_test(stringify!($name));
+            let __strategies = ($(($strategy),)+);
             for case in 0..config.cases {
                 let mut rng = $crate::TestRng::from_seed(
                     base ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
                 );
-                $(let $arg = $crate::Strategy::new_value(&($strategy), &mut rng);)+
-                let outcome: ::std::result::Result<(), $crate::TestCaseError> = (move || {
-                    $body
-                    ::std::result::Result::Ok(())
-                })();
-                if let ::std::result::Result::Err(err) = outcome {
+                // Drawn as one tuple, component order left-to-right —
+                // the same rng stream as drawing each arg in turn.
+                let __tuple = $crate::Strategy::new_value(&__strategies, &mut rng);
+                let __outcome = $crate::run_and_shrink(
+                    &__strategies,
+                    config.max_shrink_iters,
+                    __tuple,
+                    |__vals| {
+                        let ($($arg,)+) = ::std::clone::Clone::clone(__vals);
+                        (move || {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })()
+                    },
+                );
+                if let ::std::result::Result::Err((__best, __best_err, __evals)) = __outcome {
+                    let ($($arg,)+) = &__best;
+                    let mut __minimal = ::std::string::String::new();
+                    $(__minimal.push_str(&::std::format!(
+                        "  {} = {:?}\n",
+                        stringify!($arg),
+                        $arg
+                    ));)+
                     panic!(
-                        "proptest {}: case {}/{} failed: {}",
+                        "proptest {}: case {}/{} failed: {}\n\
+                         minimal failing input (after {} shrink evaluations):\n{}",
                         stringify!($name),
                         case,
                         config.cases,
-                        err
+                        __best_err,
+                        __evals,
+                        __minimal
                     );
                 }
             }
@@ -646,5 +875,77 @@ mod tests {
             prop_assert!(x < 100, "x out of range: {x}");
             prop_assert_eq!(flips.len(), flips.len());
         }
+    }
+
+    #[test]
+    fn ranges_shrink_toward_their_start() {
+        let s = 10u64..1000;
+        let cands = s.shrink(&500);
+        assert_eq!(cands, vec![10, 255, 499]);
+        assert!(s.shrink(&10).is_empty(), "start is already minimal");
+        let signed = -50i64..=50;
+        assert_eq!(signed.shrink(&-50), Vec::<i64>::new());
+        assert!(signed.shrink(&7).contains(&-50));
+    }
+
+    #[test]
+    fn any_int_shrinks_toward_zero() {
+        let s = any::<i64>();
+        assert_eq!(s.shrink(&100), vec![0, 50, 99]);
+        assert_eq!(s.shrink(&-8), vec![0, -4, -7]);
+        assert!(s.shrink(&0).is_empty());
+        assert!(s.shrink(&i64::MIN).contains(&(i64::MIN + 1)));
+    }
+
+    #[test]
+    fn vec_shrink_respects_the_minimum_length() {
+        let s = crate::collection::vec(any::<u8>(), 2..=6);
+        let v = vec![9u8, 8, 7, 6];
+        for cand in s.shrink(&v) {
+            assert!(cand.len() >= 2, "candidate below min length: {cand:?}");
+        }
+        assert!(s.shrink(&v).iter().any(|c| c.len() < v.len()));
+        // Element simplification still applies at the minimum length.
+        assert!(s.shrink(&vec![5u8, 5]).iter().any(|c| c.len() == 2));
+    }
+
+    #[test]
+    fn tuples_shrink_one_component_at_a_time() {
+        let s = (0u8..10, 0u8..10);
+        for (a, b) in s.shrink(&(4, 7)) {
+            assert!((a, b) != (4, 7));
+            assert!(a == 4 || b == 7, "both components changed at once");
+        }
+    }
+
+    // Not a #[test]: invoked below through catch_unwind to observe the
+    // shrunk panic message.
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+        fn fails_at_ten_or_more(x in 0u64..1000, _pad in prop::collection::vec(any::<bool>(), 0..4)) {
+            prop_assert!(x < 10, "too big: {x}");
+        }
+    }
+
+    #[test]
+    fn failing_cases_shrink_to_the_boundary() {
+        let panic = std::panic::catch_unwind(fails_at_ten_or_more)
+            .expect_err("property must fail somewhere in 64 cases");
+        let msg = panic
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| panic.downcast_ref::<&str>().unwrap_or(&"").to_string());
+        assert!(
+            msg.contains("x = 10"),
+            "expected the minimal failing input x = 10 in:\n{msg}"
+        );
+        assert!(
+            msg.contains("minimal failing input"),
+            "missing header:\n{msg}"
+        );
+        assert!(
+            msg.contains("_pad = []"),
+            "vector should shrink to empty:\n{msg}"
+        );
     }
 }
