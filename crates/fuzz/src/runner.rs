@@ -18,7 +18,10 @@ use dgl_isa::{Emulator, Program, SparseMemory};
 use dgl_sim::experiments::ConfigId;
 use dgl_sim::security::observation;
 use dgl_sim::serve::run_pool;
+use dgl_sim::telemetry::write_postmortem;
 use dgl_sim::SimBuilder;
+use dgl_stats::{log, Json};
+use dgl_trace::SharedFlightRecorder;
 use std::path::PathBuf;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -65,6 +68,10 @@ pub struct FoundBug {
     pub minimized_len: usize,
     /// Corpus file, when saving was enabled.
     pub saved: Option<PathBuf>,
+    /// Flight-recorder post-mortem (`<name>.postmortem.jsonl` next to
+    /// the reproducer): the trace tail of a replay of the minimized
+    /// program on the divergent configuration.
+    pub postmortem: Option<PathBuf>,
 }
 
 /// Aggregate results of a fuzzing run.
@@ -175,13 +182,19 @@ pub fn fuzz(opts: &FuzzOptions) -> FuzzSummary {
         summary.bugs.extend(result.bugs);
         *done += 1;
         if opts.progress_every > 0 && *done % opts.progress_every == 0 {
-            eprintln!(
-                "dgl-fuzz: {}/{} cases, {} gadget, {} baseline-distinguished, {} bugs",
-                done,
-                opts.iters,
-                summary.gadget_cases,
-                summary.baseline_distinguished,
-                summary.bugs.len()
+            log::info(
+                "fuzz",
+                "progress",
+                &[
+                    ("done", Json::uint(*done)),
+                    ("iters", Json::uint(opts.iters)),
+                    ("gadget", Json::uint(summary.gadget_cases)),
+                    (
+                        "baseline_distinguished",
+                        Json::uint(summary.baseline_distinguished),
+                    ),
+                    ("bugs", Json::uint(summary.bugs.len() as u64)),
+                ],
             );
         }
     });
@@ -259,6 +272,7 @@ fn run_case(opts: &FuzzOptions, case: u64) -> CaseResult {
                 original_len: g.program.len(),
                 minimized_len: g.program.len(),
                 saved: None,
+                postmortem: None,
             }),
         }
     }
@@ -278,9 +292,11 @@ fn report_bug(
 ) -> FoundBug {
     let minimized_len = min_ops.len();
     let name = format!("{kind}_{:016x}_{case:04}", gen_seed);
+    let detail = divergence.to_string();
+    let mut postmortem = None;
     let saved = opts.corpus_dir.as_ref().and_then(|dir| {
         let program = Program::new(&name, min_ops).ok()?;
-        save_entry(
+        let saved = save_entry(
             dir,
             &name,
             &program,
@@ -292,15 +308,44 @@ fn report_bug(
             ),
             expect_baseline_leak,
         )
-        .ok()
+        .ok()?;
+        // Replay the minimized program on the divergent configuration
+        // with the flight recorder attached, and pin the trace tail
+        // next to the reproducer. The replay is best-effort: the run's
+        // outcome doesn't matter, only the events it emits.
+        let recorder = SharedFlightRecorder::new(256);
+        let mut b = SimBuilder::new();
+        b.scheme(divergence.config.scheme())
+            .address_prediction(divergence.config.ap())
+            .flight_recorder(recorder.clone());
+        let _ = b.run_program(&program, fuzz_memory(SECRET_A), MAX_CYCLES);
+        let stack = [
+            "fuzz".to_owned(),
+            format!("case-{case:04}"),
+            format!("replay:{}", divergence.config.label()),
+        ];
+        let text = recorder.postmortem("fuzz_divergence", &detail, &stack);
+        match write_postmortem(dir, &name, &text) {
+            Ok(path) => postmortem = Some(path),
+            Err(e) => log::warn(
+                "fuzz",
+                "post-mortem write failed",
+                &[
+                    ("bug", Json::str(name.clone())),
+                    ("error", Json::str(e.to_string())),
+                ],
+            ),
+        }
+        Some(saved)
     });
     FoundBug {
         case,
         gen_seed,
-        detail: divergence.to_string(),
+        detail,
         original_len: original.len(),
         minimized_len,
         saved,
+        postmortem,
     }
 }
 
@@ -313,6 +358,61 @@ mod tests {
         assert_eq!(mix(1, 0), mix(1, 0));
         assert_ne!(mix(1, 0), mix(1, 1));
         assert_ne!(mix(1, 0), mix(2, 0));
+    }
+
+    #[test]
+    fn report_bug_pins_a_parseable_postmortem_next_to_the_reproducer() {
+        let dir = std::env::temp_dir().join(format!("dgl-fuzz-pm-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = FuzzOptions {
+            corpus_dir: Some(dir.clone()),
+            ..Default::default()
+        };
+        let gen_seed = mix(1, 0);
+        let g = generate(gen_seed);
+        let ops = g.ops();
+        let bug = report_bug(
+            &opts,
+            0,
+            gen_seed,
+            OracleKind::CoSim,
+            Divergence {
+                config: ConfigId::ALL[0],
+                kind: OracleKind::CoSim,
+                detail: "synthetic divergence (test)".into(),
+            },
+            &ops,
+            ops.clone(),
+            false,
+        );
+        assert!(bug.saved.is_some(), "reproducer saved");
+        let pm = bug.postmortem.expect("post-mortem artifact written");
+        assert!(pm.parent() == bug.saved.unwrap().parent(), "same directory");
+        let text = std::fs::read_to_string(&pm).unwrap();
+        let mut lines = text.lines();
+        let header = Json::parse(lines.next().unwrap()).expect("header parses strictly");
+        assert_eq!(
+            header.get("schema").and_then(Json::as_str),
+            Some("dgl-postmortem")
+        );
+        assert_eq!(
+            header.get("reason").and_then(Json::as_str),
+            Some("fuzz_divergence")
+        );
+        let stack = header.get("span_stack").and_then(Json::as_array).unwrap();
+        assert!(stack.iter().any(|s| s.as_str() == Some("fuzz")));
+        let retained = header
+            .get("events_retained")
+            .and_then(Json::as_u64)
+            .unwrap();
+        assert!(retained > 0, "replay emitted a trace tail");
+        let mut rest = 0u64;
+        for line in lines {
+            Json::parse(line).expect("event line parses strictly");
+            rest += 1;
+        }
+        assert_eq!(rest, retained);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

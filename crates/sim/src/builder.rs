@@ -3,8 +3,8 @@
 use dgl_core::SchemeKind;
 use dgl_isa::{Program, SparseMemory};
 use dgl_pipeline::{Core, CoreConfig, RunError, RunReport};
-use dgl_stats::ProfRegistry;
-use dgl_trace::SharedSink;
+use dgl_stats::{ProfRegistry, SpanCollector, SpanGuard};
+use dgl_trace::{SharedFlightRecorder, SharedSink};
 use dgl_workloads::Workload;
 use std::sync::Arc;
 
@@ -38,6 +38,8 @@ pub struct SimBuilder {
     prof: Option<Arc<ProfRegistry>>,
     elide: bool,
     commit_log: bool,
+    spans: Option<(SpanCollector, u32)>,
+    flight: Option<SharedFlightRecorder>,
 }
 
 impl Default for SimBuilder {
@@ -60,6 +62,8 @@ impl SimBuilder {
             prof: None,
             elide: true,
             commit_log: false,
+            spans: None,
+            flight: None,
         }
     }
 
@@ -130,6 +134,36 @@ impl SimBuilder {
         self
     }
 
+    /// Installs an always-on flight recorder: a fixed-capacity lossy
+    /// ring receiving the same event stream as
+    /// [`with_trace`](Self::with_trace), kept for post-mortem dumps
+    /// when a run dies (deadlock, panic, oracle divergence). Keep a
+    /// clone: its buffer outlives the core. When a full trace sink is
+    /// also installed it wins (the recorder would be redundant).
+    /// Host-side observability only — simulated results are
+    /// byte-identical with the recorder on or off (pinned by the
+    /// `telemetry_identical` integration test).
+    pub fn flight_recorder(&mut self, recorder: SharedFlightRecorder) -> &mut Self {
+        self.flight = Some(recorder);
+        self
+    }
+
+    /// Attaches a host-side [`SpanCollector`]: the builder's run entry
+    /// points time their phases (`ckpt_plan`, `simulate`) into it on
+    /// `track`. Host-side observability only; cannot perturb simulated
+    /// results.
+    pub fn with_spans(&mut self, collector: SpanCollector, track: u32) -> &mut Self {
+        self.spans = Some((collector, track));
+        self
+    }
+
+    /// Opens a named span on the attached collector, if any.
+    pub(crate) fn span(&self, name: &str) -> Option<SpanGuard> {
+        self.spans
+            .as_ref()
+            .map(|(collector, track)| collector.begin(*track, name))
+    }
+
     /// Enables host-side self-profiling into `reg`, which must carry
     /// the slots of [`dgl_pipeline::core_prof_registry`] (build it
     /// there and keep a clone to snapshot after the run, or read the
@@ -178,6 +212,8 @@ impl SimBuilder {
         }
         if let Some(sink) = &self.trace_sink {
             core.set_trace_sink(Box::new(sink.clone()));
+        } else if let Some(recorder) = &self.flight {
+            core.set_trace_sink(Box::new(recorder.clone()));
         }
         if let Some(interval) = self.occupancy_interval {
             core.enable_occupancy_sampling(interval);
@@ -214,6 +250,10 @@ impl SimBuilder {
     ///
     /// Propagates [`RunError`] from the core.
     pub fn run_workload(&self, w: &Workload) -> Result<RunReport, RunError> {
+        let mut guard = self.span("simulate");
+        if let Some(g) = guard.as_mut() {
+            g.detail(w.name);
+        }
         let mut core = self.build_core();
         self.warm_core(&mut core, w);
         core.run(&w.program, w.memory.clone(), w.max_cycles)

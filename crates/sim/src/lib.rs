@@ -37,6 +37,7 @@ pub mod report;
 pub mod sampling;
 pub mod security;
 pub mod serve;
+pub mod telemetry;
 
 pub use builder::{SimBuilder, VerifyError};
 pub use ckptstore::{CheckpointKey, CheckpointStore, ProgramTotals, StoreCounters};
@@ -50,3 +51,4 @@ pub use manifest::{
 };
 pub use report::{render_occupancy, render_report};
 pub use sampling::{SampledRun, SamplingConfig, WindowReport};
+pub use telemetry::{spawn_metrics_listener, ServeTelemetry};

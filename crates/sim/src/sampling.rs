@@ -359,6 +359,10 @@ impl SimBuilder {
         store: Option<&CheckpointStore>,
     ) -> Result<SampledRun, RunError> {
         cfg.validate();
+        // Host-side span: checkpoint planning (store lookups + golden
+        // fast-forward + totals) vs. detailed simulation, timed
+        // separately so `dgl explain --spans` can attribute wall time.
+        let mut plan_span = self.span("ckpt_plan");
         let workload_fp = store.map(|_| crate::manifest::workload_fingerprint(w));
         let warm_fp = store.map(|_| self.warm_fingerprint());
         let key_at = |retired: u64| CheckpointKey {
@@ -465,7 +469,17 @@ impl SimBuilder {
             }
         };
 
+        if let Some(g) = plan_span.as_mut() {
+            g.detail(&format!("windows={}", plans.len()));
+        }
+        drop(plan_span);
+
+        let mut sim_span = self.span("simulate");
+        if let Some(g) = sim_span.as_mut() {
+            g.detail(&format!("windows={}", plans.len()));
+        }
         let windows = self.simulate_windows(w, cfg, &plans)?;
+        drop(sim_span);
         Ok(SampledRun {
             windows,
             total_insts,

@@ -41,14 +41,17 @@
 use crate::ckptstore::CheckpointStore;
 use crate::experiments::{panic_message, ConfigId};
 use crate::sampling::SamplingConfig;
+use crate::telemetry::{write_postmortem, ServeTelemetry};
 use crate::SimBuilder;
-use dgl_stats::{Histogram, Json, MetricsRegistry};
+use dgl_stats::span::spans_to_json;
+use dgl_stats::{log, Histogram, Json, MetricsRegistry, SpanCollector};
+use dgl_trace::SharedFlightRecorder;
 use dgl_workloads::{by_name, Scale};
 use std::io::{BufRead, BufReader, Write};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Schema identifier of a job line.
 pub const SERVE_JOB_SCHEMA: &str = "dgl-serve-job";
@@ -71,6 +74,20 @@ pub struct ServeOptions {
     pub manifest_dir: Option<PathBuf>,
     /// Emit a `dgl-serve-stats` document after the input is drained.
     pub stats: bool,
+    /// Emit a `dgl-serve-metrics` snapshot+delta line on the output
+    /// stream every this-many milliseconds (plus a final flush at
+    /// shutdown). `None` keeps the output stream results-only.
+    pub metrics_interval_ms: Option<u64>,
+    /// Per-job flight-recorder capacity (last-K trace events kept for
+    /// post-mortem dumps); `0` disables the recorder.
+    pub flight_recorder: usize,
+    /// Where post-mortem artifacts for failed jobs are written
+    /// (falls back to `manifest_dir`; with neither set, failures are
+    /// logged but no artifact is produced).
+    pub postmortem_dir: Option<PathBuf>,
+    /// Write each job's span timings to `<manifest_dir>/<id>.spans.json`
+    /// (requires `manifest_dir`); `dgl explain --spans` renders them.
+    pub spans: bool,
 }
 
 impl Default for ServeOptions {
@@ -80,6 +97,10 @@ impl Default for ServeOptions {
             queue: 4,
             manifest_dir: None,
             stats: false,
+            metrics_interval_ms: None,
+            flight_recorder: 256,
+            postmortem_dir: None,
+            spans: false,
         }
     }
 }
@@ -112,6 +133,11 @@ pub struct JobSpec {
     /// Sampled-mode parameters; `None` runs the whole program in
     /// detail.
     pub sample: Option<SamplingConfig>,
+    /// Fault injection for telemetry tests: `"panic"` panics the worker
+    /// *after* the simulation finishes, so the flight recorder holds a
+    /// full event tail when the post-mortem path fires. `None` (the
+    /// only production value) runs normally.
+    pub fault: Option<String>,
 }
 
 fn as_bool(node: &Json) -> Option<bool> {
@@ -210,6 +236,16 @@ impl JobSpec {
                 Some(cfg)
             }
         };
+        let fault = match doc.get("fault") {
+            None => None,
+            Some(node) => {
+                let kind = node.as_str().ok_or("field `fault` must be a string")?;
+                if kind != "panic" {
+                    return Err(format!("bad fault `{kind}` (only `panic` is supported)"));
+                }
+                Some(kind.to_owned())
+            }
+        };
         Ok(JobSpec {
             id,
             workload,
@@ -218,6 +254,7 @@ impl JobSpec {
             ap: opt_bool(doc, "ap")?,
             vp: opt_bool(doc, "vp")?,
             sample,
+            fault,
         })
     }
 
@@ -233,6 +270,10 @@ impl JobSpec {
             .field("scheme", Json::str(self.scheme.name()))
             .field("ap", Json::Bool(self.ap))
             .field("vp", Json::Bool(self.vp));
+        let doc = match &self.fault {
+            None => doc,
+            Some(kind) => doc.field("fault", Json::str(kind.clone())),
+        };
         match &self.sample {
             None => doc,
             Some(cfg) => doc.field(
@@ -252,6 +293,30 @@ impl JobSpec {
     /// one-shot CLI uses, so the document is byte-identical to `dgl
     /// run` with the same parameters. Sampled jobs consult `store`.
     pub fn run(&self, store: &CheckpointStore) -> Result<Json, String> {
+        self.run_instrumented(store, None, None).map(|(m, _)| m)
+    }
+
+    /// [`run`](Self::run) with the telemetry hooks serve workers use:
+    /// an optional span collector (+ track) timing the builder's
+    /// phases, and an optional flight recorder receiving the trace
+    /// tail. Returns the manifest plus the number of instructions
+    /// simulated in detail (for per-worker KIPS gauges). Telemetry is
+    /// host-side only — the manifest is byte-identical to [`run`].
+    ///
+    /// # Errors
+    ///
+    /// As [`run`](Self::run).
+    ///
+    /// # Panics
+    ///
+    /// Panics after the simulation when `fault` is `"panic"` (the
+    /// injected failure the telemetry CI smoke uses).
+    pub fn run_instrumented(
+        &self,
+        store: &CheckpointStore,
+        spans: Option<(&SpanCollector, u32)>,
+        recorder: Option<SharedFlightRecorder>,
+    ) -> Result<(Json, u64), String> {
         let w = by_name(&self.workload, Scale::Custom(self.insts))
             .ok_or_else(|| format!("unknown workload `{}` (try `dgl suite`)", self.workload))?;
         let config = ConfigId::new(self.scheme, self.ap);
@@ -259,18 +324,30 @@ impl JobSpec {
         b.scheme(self.scheme)
             .address_prediction(self.ap)
             .value_prediction(self.vp);
-        match &self.sample {
+        if let Some((collector, track)) = spans {
+            b.with_spans(collector.clone(), track);
+        }
+        if let Some(rec) = recorder {
+            b.flight_recorder(rec);
+        }
+        let (manifest, insts) = match &self.sample {
             Some(cfg) => {
                 let run = b
                     .run_sampled_with_store(&w, cfg, Some(store))
                     .map_err(|e| e.to_string())?;
-                Ok(crate::sampled_manifest(&w, config, self.vp, &run))
+                let insts = run.measured_insts();
+                (crate::sampled_manifest(&w, config, self.vp, &run), insts)
             }
             None => {
                 let report = b.run_workload(&w).map_err(|e| e.to_string())?;
-                Ok(crate::run_manifest(&w, config, self.vp, &report))
+                let insts = report.committed;
+                (crate::run_manifest(&w, config, self.vp, &report), insts)
             }
+        };
+        if self.fault.as_deref() == Some("panic") {
+            panic!("injected fault: panic (job {})", self.id);
         }
+        Ok((manifest, insts))
     }
 }
 
@@ -373,16 +450,32 @@ where
     I: IntoIterator<Item = J>,
     F: Fn(J, Instant) + Sync,
 {
+    run_pool_indexed(jobs, workers, queue, |_, job, enqueued| {
+        handler(job, enqueued)
+    });
+}
+
+/// [`run_pool`] with the worker's index (0-based, `< workers`) passed
+/// to the handler, so per-worker telemetry — KIPS gauges, span tracks —
+/// has a stable axis to hang off.
+pub fn run_pool_indexed<J, I, F>(jobs: I, workers: usize, queue: usize, handler: F)
+where
+    J: Send,
+    I: IntoIterator<Item = J>,
+    F: Fn(usize, J, Instant) + Sync,
+{
     let (tx, rx) = mpsc::sync_channel::<(J, Instant)>(queue.max(1));
     let rx = Mutex::new(rx);
     std::thread::scope(|scope| {
-        for _ in 0..workers.max(1) {
-            scope.spawn(|| loop {
+        for worker in 0..workers.max(1) {
+            let rx = &rx;
+            let handler = &handler;
+            scope.spawn(move || loop {
                 // Take one job; release the receiver lock before
                 // working so other workers can pick up jobs.
                 let job = rx.lock().unwrap_or_else(|e| e.into_inner()).recv();
                 let Ok((job, enqueued)) = job else { break };
-                handler(job, enqueued);
+                handler(worker, job, enqueued);
             });
         }
         for job in jobs {
@@ -410,21 +503,51 @@ pub fn serve_lines<R: BufRead, W: Write + Send>(
     store: &CheckpointStore,
     opts: &ServeOptions,
 ) -> std::io::Result<ServeSummary> {
+    serve_lines_with(input, output, store, opts, &ServeTelemetry::new(), None)
+}
+
+/// [`serve_lines`] against caller-owned telemetry: `serve_tcp` shares
+/// one [`ServeTelemetry`] across connections (and with the
+/// `--metrics-listen` HTTP thread), and `peer` tags every per-job log
+/// record with the connection's remote address. The returned summary
+/// counts only this call's own jobs and errors, so totals summed over
+/// connections stay correct against the shared counters.
+///
+/// # Errors
+///
+/// As [`serve_lines`].
+pub fn serve_lines_with<R: BufRead, W: Write + Send>(
+    input: R,
+    output: W,
+    store: &CheckpointStore,
+    opts: &ServeOptions,
+    telemetry: &ServeTelemetry,
+    peer: Option<&str>,
+) -> std::io::Result<ServeSummary> {
     let output = Mutex::new(output);
-    let queue_hist = Mutex::new(Histogram::new());
-    let jobs_done = AtomicU64::new(0);
-    let errors = AtomicU64::new(0);
+    let jobs_at_entry = telemetry.jobs();
+    let errors_at_entry = telemetry.errors();
     let mut read_error = None;
     let mut lines = input.lines();
     let mut index = 0usize;
+    // True once the input is exhausted: jobs handled after this are
+    // the queue being drained for shutdown.
+    let eof_seen = AtomicBool::new(false);
+    let drained_ok = AtomicU64::new(0);
+    let drained_err = AtomicU64::new(0);
     // Pull one accepted job per call, answering malformed and control
     // lines inline; `None` ends the batch (input exhausted or a read
     // error, recorded for the caller).
     let jobs = std::iter::from_fn(|| loop {
-        let line = match lines.next()? {
+        let Some(next) = lines.next() else {
+            eof_seen.store(true, Ordering::Relaxed);
+            return None;
+        };
+        let line = match next {
             Ok(line) => line,
             Err(e) => {
                 read_error = Some(e);
+                eof_seen.store(true, Ordering::Relaxed);
                 return None;
             }
         };
@@ -436,26 +559,36 @@ pub fn serve_lines<R: BufRead, W: Write + Send>(
         let doc = match parsed {
             Ok(doc) => doc,
             Err(e) => {
-                errors.fetch_add(1, Ordering::Relaxed);
+                telemetry.line_error();
+                log::warn(
+                    "serve",
+                    "malformed line",
+                    &[("error", Json::str(e.clone()))],
+                );
                 emit_line(&output, &result_doc(&format!("line-{index}"), 0, 0, Err(e)));
                 continue;
             }
         };
         if doc.get("control").and_then(Json::as_str) == Some("stats") {
             // A point-in-time snapshot: jobs still in flight are
-            // not yet counted.
+            // not yet counted. Process-wide under a shared
+            // telemetry; the wire format is unchanged.
             let summary = ServeSummary {
-                jobs: jobs_done.load(Ordering::Relaxed),
-                errors: errors.load(Ordering::Relaxed),
+                jobs: telemetry.jobs(),
+                errors: telemetry.errors(),
             };
-            let hist = queue_hist.lock().unwrap_or_else(|e| e.into_inner()).clone();
+            let hist = telemetry.queue_histogram();
             emit_line(&output, &stats_doc(store, &hist, summary));
             continue;
         }
         match JobSpec::parse(&doc, index) {
-            Ok(spec) => return Some(spec),
+            Ok(spec) => {
+                telemetry.job_accepted();
+                return Some(spec);
+            }
             Err(e) => {
-                errors.fetch_add(1, Ordering::Relaxed);
+                telemetry.line_error();
+                log::warn("serve", "bad job line", &[("error", Json::str(e.clone()))]);
                 emit_line(
                     &output,
                     &result_doc(
@@ -468,20 +601,35 @@ pub fn serve_lines<R: BufRead, W: Write + Send>(
             }
         }
     });
-    run_pool(jobs, opts.workers, opts.queue, |spec: JobSpec, enqueued| {
+    let handler = |worker: usize, spec: JobSpec, enqueued: Instant| {
         let queue_us = enqueued.elapsed().as_micros() as u64;
-        queue_hist
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .record(queue_us);
+        telemetry.job_started(queue_us);
+        let track = worker as u32;
+        let spans = SpanCollector::new();
+        spans.record(track, "queue", 0, queue_us, &spec.id);
+        let recorder =
+            (opts.flight_recorder > 0).then(|| SharedFlightRecorder::new(opts.flight_recorder));
         let started = Instant::now();
-        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| spec.run(store)))
-            .unwrap_or_else(|payload| Err(panic_message(payload)));
+        // The job guard lives outside `catch_unwind`: on a panic the
+        // guards *inside* the run unwind onto the collector's unwound
+        // list while this one stays open, so the post-mortem stack
+        // shows both the failing frames and the surrounding job.
+        let mut job_guard = spans.begin(track, "job");
+        job_guard.detail(&spec.workload);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            spec.run_instrumented(store, Some((&spans, track)), recorder.clone())
+        }));
+        let panicked = caught.is_err();
+        let (outcome, insts) = match caught {
+            Ok(Ok((manifest, insts))) => (Ok(manifest), insts),
+            Ok(Err(e)) => (Err(e), 0),
+            Err(payload) => (Err(panic_message(payload)), 0),
+        };
         let run_us = started.elapsed().as_micros() as u64;
         match &outcome {
             Ok(manifest) => {
-                jobs_done.fetch_add(1, Ordering::Relaxed);
                 if let Some(dir) = &opts.manifest_dir {
+                    let _guard = spans.begin(track, "manifest_write");
                     // Same bytes `write_manifest` in the CLI
                     // produces for `dgl run --stats-json`.
                     let mut text = manifest.to_string_pretty();
@@ -489,21 +637,121 @@ pub fn serve_lines<R: BufRead, W: Write + Send>(
                     let _ = std::fs::create_dir_all(dir);
                     let _ = std::fs::write(dir.join(format!("{}.json", spec.id)), text);
                 }
+                if insts > 0 && run_us > 0 {
+                    telemetry.set_worker_kips(worker, insts as f64 * 1000.0 / run_us as f64);
+                }
             }
-            Err(_) => {
-                errors.fetch_add(1, Ordering::Relaxed);
+            Err(e) => {
+                // Dump the flight recorder's tail next to the failure:
+                // the active span stack plus (reversed) whatever
+                // unwound during the panic.
+                let reason = if panicked { "panic" } else { "job_error" };
+                let mut stack = spans.active_stack(track);
+                let mut unwound = spans.take_unwound();
+                unwound.reverse();
+                stack.extend(unwound);
+                let mut fields = vec![
+                    ("job", Json::str(spec.id.clone())),
+                    ("reason", Json::str(reason)),
+                    ("error", Json::str(e.clone())),
+                ];
+                if let (Some(rec), Some(dir)) = (
+                    &recorder,
+                    opts.postmortem_dir.as_ref().or(opts.manifest_dir.as_ref()),
+                ) {
+                    let text = rec.postmortem(reason, &format!("job {}: {e}", spec.id), &stack);
+                    match write_postmortem(dir, &spec.id, &text) {
+                        Ok(path) => {
+                            fields.push(("artifact", Json::str(path.display().to_string())));
+                        }
+                        Err(io) => {
+                            fields.push(("artifact_error", Json::str(io.to_string())));
+                        }
+                    }
+                }
+                log::error("serve", "job failed", &fields);
             }
         }
+        drop(job_guard);
+        if opts.spans && outcome.is_ok() {
+            if let Some(dir) = &opts.manifest_dir {
+                let mut text = spans_to_json(&spans.finish()).to_string_pretty();
+                text.push('\n');
+                let _ = std::fs::write(dir.join(format!("{}.spans.json", spec.id)), text);
+            }
+        }
+        let ok = outcome.is_ok();
+        telemetry.job_finished(ok);
+        if eof_seen.load(Ordering::Relaxed) {
+            let counter = if ok { &drained_ok } else { &drained_err };
+            counter.fetch_add(1, Ordering::Relaxed);
+        }
+        let mut fields = vec![
+            ("job", Json::str(spec.id.clone())),
+            ("worker", Json::uint(worker as u64)),
+            ("queue_us", Json::uint(queue_us)),
+            ("run_us", Json::uint(run_us)),
+            ("ok", Json::Bool(ok)),
+        ];
+        if let Some(peer) = peer {
+            fields.push(("peer", Json::str(peer)));
+        }
+        log::info("serve", "job done", &fields);
         emit_line(&output, &result_doc(&spec.id, queue_us, run_us, outcome));
+    };
+    let ticker_stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        if let Some(period_ms) = opts.metrics_interval_ms {
+            let period = Duration::from_millis(period_ms.max(1));
+            let nap = Duration::from_millis(period_ms.clamp(1, 50));
+            let output = &output;
+            let stop = &ticker_stop;
+            scope.spawn(move || {
+                let mut last = Instant::now();
+                while !stop.load(Ordering::Relaxed) {
+                    std::thread::sleep(nap);
+                    if last.elapsed() >= period {
+                        emit_line(output, &telemetry.metrics_doc(store));
+                        last = Instant::now();
+                    }
+                }
+            });
+        }
+        run_pool_indexed(jobs, opts.workers, opts.queue, handler);
+        ticker_stop.store(true, Ordering::Relaxed);
     });
     let summary = ServeSummary {
-        jobs: jobs_done.load(Ordering::Relaxed),
-        errors: errors.load(Ordering::Relaxed),
+        jobs: telemetry.jobs() - jobs_at_entry,
+        errors: telemetry.errors() - errors_at_entry,
     };
+    // Shutdown observability: how many queued jobs were drained (vs
+    // answered before EOF), then one final metrics flush so scrapers
+    // see the end state.
+    let mut fields = vec![
+        ("jobs", Json::uint(summary.jobs)),
+        ("errors", Json::uint(summary.errors)),
+        ("drained_ok", Json::uint(drained_ok.load(Ordering::Relaxed))),
+        (
+            "drained_err",
+            Json::uint(drained_err.load(Ordering::Relaxed)),
+        ),
+        ("aborted", Json::Bool(read_error.is_some())),
+    ];
+    if let Some(peer) = peer {
+        fields.push(("peer", Json::str(peer)));
+    }
+    log::info("serve", "input drained", &fields);
+    if opts.metrics_interval_ms.is_some() {
+        emit_line(&output, &telemetry.metrics_doc(store));
+    }
     if opts.stats {
-        let hist = queue_hist.lock().unwrap_or_else(|e| e.into_inner()).clone();
-        emit_line(&output, &stats_doc(store, &hist, summary));
-        eprint!("{}", render_stats(store, &hist, summary));
+        let totals = ServeSummary {
+            jobs: telemetry.jobs(),
+            errors: telemetry.errors(),
+        };
+        let hist = telemetry.queue_histogram();
+        emit_line(&output, &stats_doc(store, &hist, totals));
+        eprint!("{}", render_stats(store, &hist, totals));
     }
     match read_error {
         Some(e) => Err(e),
@@ -527,18 +775,51 @@ pub fn serve_tcp(
     opts: &ServeOptions,
     max_conns: Option<usize>,
 ) -> std::io::Result<ServeSummary> {
+    serve_tcp_with(addr, store, opts, max_conns, &ServeTelemetry::new())
+}
+
+/// [`serve_tcp`] against caller-owned telemetry, so the process's
+/// `--metrics-listen` endpoint and stdout ticker see one set of
+/// counters across every connection.
+///
+/// # Errors
+///
+/// As [`serve_tcp`].
+pub fn serve_tcp_with(
+    addr: &str,
+    store: &CheckpointStore,
+    opts: &ServeOptions,
+    max_conns: Option<usize>,
+    telemetry: &ServeTelemetry,
+) -> std::io::Result<ServeSummary> {
     let listener = std::net::TcpListener::bind(addr)?;
-    eprintln!("dgl serve: listening on {}", listener.local_addr()?);
+    let bound = listener.local_addr()?;
+    log::info(
+        "serve",
+        "listening",
+        &[("addr", Json::str(bound.to_string()))],
+    );
     let mut total = ServeSummary::default();
     for (accepted, conn) in listener.incoming().enumerate() {
         let stream = conn?;
+        let peer = stream
+            .peer_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|_| "unknown".to_owned());
         let reader = BufReader::new(stream.try_clone()?);
-        match serve_lines(reader, stream, store, opts) {
+        match serve_lines_with(reader, stream, store, opts, telemetry, Some(&peer)) {
             Ok(summary) => {
                 total.jobs += summary.jobs;
                 total.errors += summary.errors;
             }
-            Err(e) => eprintln!("dgl serve: connection error: {e}"),
+            Err(e) => log::error(
+                "serve",
+                "connection error",
+                &[
+                    ("peer", Json::str(peer.clone())),
+                    ("error", Json::str(e.to_string())),
+                ],
+            ),
         }
         if max_conns.is_some_and(|n| accepted + 1 >= n) {
             break;
@@ -634,6 +915,121 @@ mod tests {
                 "served manifest for {id} differs from one-shot"
             );
         }
+    }
+
+    #[test]
+    fn injected_panic_dumps_a_postmortem_artifact() {
+        let dir = std::env::temp_dir().join(format!("dgl-serve-pm-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let batch = "{\"schema\":\"dgl-serve-job\",\"version\":1,\"id\":\"boom\",\
+                     \"workload\":\"hmmer_like\",\"insts\":3000,\"fault\":\"panic\"}\n";
+        let store = CheckpointStore::new(4);
+        let mut out = Vec::new();
+        let summary = serve_lines_with(
+            batch.as_bytes(),
+            &mut out,
+            &store,
+            &ServeOptions {
+                workers: 1,
+                postmortem_dir: Some(dir.clone()),
+                flight_recorder: 64,
+                ..ServeOptions::default()
+            },
+            &ServeTelemetry::new(),
+            None,
+        )
+        .unwrap();
+        assert_eq!(summary, ServeSummary { jobs: 0, errors: 1 });
+        let text = String::from_utf8(out).unwrap();
+        let result = Json::parse(text.lines().next().unwrap()).unwrap();
+        assert_eq!(result.get("ok"), Some(&Json::Bool(false)));
+        assert!(result
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("injected fault"));
+        let artifact = std::fs::read_to_string(dir.join("boom.postmortem.jsonl")).unwrap();
+        let mut lines = artifact.lines();
+        let header = Json::parse(lines.next().unwrap()).unwrap();
+        assert_eq!(
+            header.get("schema").and_then(Json::as_str),
+            Some("dgl-postmortem")
+        );
+        assert_eq!(header.get("reason").and_then(Json::as_str), Some("panic"));
+        let stack = header.get("span_stack").and_then(Json::as_array).unwrap();
+        assert!(
+            stack.iter().any(|s| s.as_str() == Some("job")),
+            "active job span in the failure stack: {header}"
+        );
+        let events = header
+            .get("events_retained")
+            .and_then(Json::as_u64)
+            .unwrap();
+        assert!(events > 0, "recorder held a trace tail");
+        // Every event line round-trips through the strict parser.
+        let mut rest = 0;
+        for line in lines {
+            Json::parse(line).expect("post-mortem event line parses");
+            rest += 1;
+        }
+        assert_eq!(rest as u64, events);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn metrics_interval_streams_parseable_lines_and_spans_sidecar() {
+        let dir = std::env::temp_dir().join(format!("dgl-serve-spans-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let batch = sampled_job("m0", "dom", true) + "\n";
+        let store = CheckpointStore::new(8);
+        let mut out = Vec::new();
+        let summary = serve_lines_with(
+            batch.as_bytes(),
+            &mut out,
+            &store,
+            &ServeOptions {
+                workers: 1,
+                manifest_dir: Some(dir.clone()),
+                metrics_interval_ms: Some(1),
+                spans: true,
+                ..ServeOptions::default()
+            },
+            &ServeTelemetry::new(),
+            None,
+        )
+        .unwrap();
+        assert_eq!(summary, ServeSummary { jobs: 1, errors: 0 });
+        let text = String::from_utf8(out).unwrap();
+        let docs: Vec<Json> = text.lines().map(|l| Json::parse(l).unwrap()).collect();
+        let metrics: Vec<&Json> = docs
+            .iter()
+            .filter(|d| {
+                d.get("schema").and_then(Json::as_str)
+                    == Some(crate::telemetry::SERVE_METRICS_SCHEMA)
+            })
+            .collect();
+        assert!(!metrics.is_empty(), "final flush guarantees one line");
+        let last = metrics.last().unwrap();
+        let host = last.get("host").expect("snapshot under host");
+        assert_eq!(host.get("serve.jobs").and_then(Json::as_u64), Some(1));
+        assert!(
+            host.get("serve.worker.0.kips")
+                .and_then(Json::as_f64)
+                .is_some_and(|k| k > 0.0),
+            "worker KIPS gauge set: {host}"
+        );
+        // The spans sidecar exists, parses strictly, and times the
+        // builder's phases.
+        let sidecar = std::fs::read_to_string(dir.join("m0.spans.json")).unwrap();
+        let spans =
+            dgl_stats::span::spans_from_json(&Json::parse(sidecar.trim_end()).unwrap()).unwrap();
+        for name in ["queue", "job", "ckpt_plan", "simulate"] {
+            assert!(
+                spans.iter().any(|s| s.name == name),
+                "span `{name}` recorded: {spans:?}"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,0 +1,408 @@
+//! The live telemetry plane behind `dgl serve`: shared counters, the
+//! streaming metrics documents, a hand-rolled HTTP metrics listener,
+//! and post-mortem artifact plumbing.
+//!
+//! Everything here is host-side observability — it reads simulator
+//! outputs and never feeds anything back in, so simulated results stay
+//! byte-identical with telemetry on or off. The wire formats:
+//!
+//! * `dgl-serve-metrics` v1 — one JSON line per tick on the serve
+//!   output stream (`--metrics-interval`), carrying a full snapshot
+//!   under `host` and the change since the previous tick under
+//!   `delta`, both in the registry's JSON encoding;
+//! * `GET /metrics` on `--metrics-listen` — the same snapshot in the
+//!   Prometheus text exposition; `/metrics.json` and `/metrics/delta`
+//!   serve the JSON forms. Both encodings are views of one snapshot,
+//!   so every counter value agrees between them.
+
+use crate::ckptstore::CheckpointStore;
+use dgl_stats::{log, prom, Histogram, Json, MetricsRegistry};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Schema identifier of a streaming metrics line.
+pub const SERVE_METRICS_SCHEMA: &str = "dgl-serve-metrics";
+/// Streaming metrics schema version.
+pub const SERVE_METRICS_VERSION: u64 = 1;
+
+/// Live counters for a serve process, shared by every connection, the
+/// stdout metrics ticker, and the HTTP metrics listener. Cheap atomics
+/// on the job path; registries are materialized only when a consumer
+/// asks for a snapshot.
+#[derive(Debug)]
+pub struct ServeTelemetry {
+    start: Instant,
+    accepted: AtomicU64,
+    started: AtomicU64,
+    finished: AtomicU64,
+    jobs_done: AtomicU64,
+    errors: AtomicU64,
+    queue_us: Mutex<Histogram>,
+    /// Most recent per-worker throughput, kilo-instructions per second.
+    worker_kips: Mutex<Vec<f64>>,
+    /// Previous snapshot for the stdout ticker's `delta` field.
+    prev: Mutex<MetricsRegistry>,
+}
+
+impl Default for ServeTelemetry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ServeTelemetry {
+    /// Fresh telemetry; `t_us` on metric lines counts from here.
+    pub fn new() -> Self {
+        Self {
+            start: Instant::now(),
+            accepted: AtomicU64::new(0),
+            started: AtomicU64::new(0),
+            finished: AtomicU64::new(0),
+            jobs_done: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            queue_us: Mutex::new(Histogram::new()),
+            worker_kips: Mutex::new(Vec::new()),
+            prev: Mutex::new(MetricsRegistry::new()),
+        }
+    }
+
+    /// Microseconds since construction.
+    pub fn t_us(&self) -> u64 {
+        self.start.elapsed().as_micros() as u64
+    }
+
+    /// A job line was accepted into the queue.
+    pub fn job_accepted(&self) {
+        self.accepted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A worker picked a job up after `queue_us` in the queue.
+    pub fn job_started(&self, queue_us: u64) {
+        self.started.fetch_add(1, Ordering::Relaxed);
+        self.queue_us
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .record(queue_us);
+    }
+
+    /// A job finished; `ok` says whether it produced a manifest.
+    pub fn job_finished(&self, ok: bool) {
+        self.finished.fetch_add(1, Ordering::Relaxed);
+        if ok {
+            self.jobs_done.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// A non-job error (malformed line) was answered.
+    pub fn line_error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Latest observed throughput for `worker`.
+    pub fn set_worker_kips(&self, worker: usize, kips: f64) {
+        let mut v = self.worker_kips.lock().unwrap_or_else(|e| e.into_inner());
+        if v.len() <= worker {
+            v.resize(worker + 1, 0.0);
+        }
+        v[worker] = kips;
+    }
+
+    /// Completed-job count so far.
+    pub fn jobs(&self) -> u64 {
+        self.jobs_done.load(Ordering::Relaxed)
+    }
+
+    /// Error count so far (failed jobs + malformed lines).
+    pub fn errors(&self) -> u64 {
+        self.errors.load(Ordering::Relaxed)
+    }
+
+    /// Accepted minus picked-up: jobs sitting in the bounded queue.
+    pub fn queue_depth(&self) -> u64 {
+        self.accepted
+            .load(Ordering::Relaxed)
+            .saturating_sub(self.started.load(Ordering::Relaxed))
+    }
+
+    /// Picked-up minus finished: jobs currently simulating.
+    pub fn in_flight(&self) -> u64 {
+        self.started
+            .load(Ordering::Relaxed)
+            .saturating_sub(self.finished.load(Ordering::Relaxed))
+    }
+
+    /// A copy of the queue-latency histogram.
+    pub fn queue_histogram(&self) -> Histogram {
+        self.queue_us
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// Materializes the full metrics snapshot: the checkpoint store's
+    /// counters plus serve's own job totals, queue/in-flight gauges,
+    /// queue-latency histogram, and per-worker KIPS gauges.
+    pub fn snapshot(&self, store: &CheckpointStore) -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new();
+        store.publish(&mut reg);
+        reg.counter("serve.jobs", self.jobs());
+        reg.counter("serve.errors", self.errors());
+        reg.gauge("serve.queue_depth", self.queue_depth() as f64);
+        reg.gauge("serve.inflight", self.in_flight() as f64);
+        reg.histogram("serve.queue_us", self.queue_histogram());
+        let kips = self.worker_kips.lock().unwrap_or_else(|e| e.into_inner());
+        for (i, v) in kips.iter().enumerate() {
+            reg.gauge(&format!("serve.worker.{i}.kips"), *v);
+        }
+        reg
+    }
+
+    /// One `dgl-serve-metrics` v1 line: `host` is the full snapshot,
+    /// `delta` the change since this method's previous call.
+    pub fn metrics_doc(&self, store: &CheckpointStore) -> Json {
+        let snap = self.snapshot(store);
+        let delta = {
+            let mut prev = self.prev.lock().unwrap_or_else(|e| e.into_inner());
+            let delta = snap.delta(&prev);
+            *prev = snap.clone();
+            delta
+        };
+        Json::object()
+            .field("schema", Json::str(SERVE_METRICS_SCHEMA))
+            .field("version", Json::uint(SERVE_METRICS_VERSION))
+            .field("t_us", Json::uint(self.t_us()))
+            .field("host", snap.to_json())
+            .field("delta", delta.to_json())
+    }
+}
+
+/// Binds `addr` and serves metrics over HTTP/1.0 on a detached thread
+/// for the life of the process. Routes:
+///
+/// * `GET /metrics` — Prometheus text exposition of the snapshot,
+/// * `GET /metrics.json` — the registry's JSON encoding,
+/// * `GET /metrics/delta` — JSON delta since the previous `/delta`
+///   request (independent of the stdout ticker's delta baseline).
+///
+/// Returns the bound address (so `--metrics-listen 127.0.0.1:0` can
+/// report its ephemeral port).
+///
+/// # Errors
+///
+/// Propagates the bind error; per-connection errors are logged and
+/// dropped.
+pub fn spawn_metrics_listener(
+    addr: &str,
+    store: Arc<CheckpointStore>,
+    telemetry: Arc<ServeTelemetry>,
+) -> std::io::Result<SocketAddr> {
+    let listener = TcpListener::bind(addr)?;
+    let bound = listener.local_addr()?;
+    std::thread::spawn(move || {
+        let mut prev = MetricsRegistry::new();
+        for conn in listener.incoming() {
+            let stream = match conn {
+                Ok(s) => s,
+                Err(e) => {
+                    log::warn(
+                        "metrics",
+                        "accept failed",
+                        &[("error", Json::str(e.to_string()))],
+                    );
+                    continue;
+                }
+            };
+            if let Err(e) = answer_metrics_request(stream, &store, &telemetry, &mut prev) {
+                log::warn(
+                    "metrics",
+                    "request failed",
+                    &[("error", Json::str(e.to_string()))],
+                );
+            }
+        }
+    });
+    Ok(bound)
+}
+
+fn answer_metrics_request(
+    stream: std::net::TcpStream,
+    store: &CheckpointStore,
+    telemetry: &ServeTelemetry,
+    prev: &mut MetricsRegistry,
+) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // Drain headers; HTTP/1.0, no bodies on GET.
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 || line.trim().is_empty() {
+            break;
+        }
+    }
+    let path = request_line.split_whitespace().nth(1).unwrap_or("");
+    let (status, content_type, body) = match path {
+        "/metrics" => (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            prom::to_prometheus(&telemetry.snapshot(store)),
+        ),
+        "/metrics.json" => (
+            "200 OK",
+            "application/json",
+            telemetry.snapshot(store).to_json().to_string_pretty(),
+        ),
+        "/metrics/delta" => {
+            let snap = telemetry.snapshot(store);
+            let delta = snap.delta(prev);
+            *prev = snap;
+            (
+                "200 OK",
+                "application/json",
+                delta.to_json().to_string_pretty(),
+            )
+        }
+        _ => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "try /metrics, /metrics.json, or /metrics/delta\n".to_owned(),
+        ),
+    };
+    let mut stream = stream;
+    write!(
+        stream,
+        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Writes a post-mortem artifact as `<dir>/<id>.postmortem.jsonl`
+/// (creating `dir` if needed) and returns the path.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_postmortem(dir: &Path, id: &str, text: &str) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{id}.postmortem.jsonl"));
+    std::fs::write(&path, text)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gauges_track_the_job_lifecycle() {
+        let t = ServeTelemetry::new();
+        t.job_accepted();
+        t.job_accepted();
+        assert_eq!(t.queue_depth(), 2);
+        t.job_started(120);
+        assert_eq!(t.queue_depth(), 1);
+        assert_eq!(t.in_flight(), 1);
+        t.job_finished(true);
+        t.job_started(40);
+        t.job_finished(false);
+        t.line_error();
+        assert_eq!(t.in_flight(), 0);
+        assert_eq!(t.jobs(), 1);
+        assert_eq!(t.errors(), 2);
+        assert_eq!(t.queue_histogram().count(), 2);
+    }
+
+    #[test]
+    fn snapshot_and_metrics_doc_cover_every_series() {
+        let t = ServeTelemetry::new();
+        let store = CheckpointStore::new(4);
+        t.job_accepted();
+        t.job_started(10);
+        t.job_finished(true);
+        t.set_worker_kips(1, 512.0);
+        let reg = t.snapshot(&store);
+        assert_eq!(reg.counter_value("serve.jobs"), Some(1));
+        assert_eq!(reg.counter_value("ckptstore.hits"), Some(0));
+        assert!(reg.get("serve.worker.0.kips").is_some(), "padded to len");
+        assert!(reg.get("serve.worker.1.kips").is_some());
+        let doc = t.metrics_doc(&store);
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some(SERVE_METRICS_SCHEMA)
+        );
+        let line = doc.to_string();
+        Json::parse(&line).expect("metrics line parses strictly");
+        // Second tick: the delta for an unchanged counter is zero.
+        let doc2 = t.metrics_doc(&store);
+        let delta_jobs = doc2
+            .get("delta")
+            .and_then(|d| d.get("serve.jobs"))
+            .and_then(Json::as_u64);
+        assert_eq!(delta_jobs, Some(0));
+    }
+
+    #[test]
+    fn listener_serves_both_encodings_and_404s() {
+        use std::io::Read as _;
+        let t = Arc::new(ServeTelemetry::new());
+        let store = Arc::new(CheckpointStore::new(4));
+        t.job_accepted();
+        t.job_started(5);
+        t.job_finished(true);
+        let addr =
+            spawn_metrics_listener("127.0.0.1:0", Arc::clone(&store), Arc::clone(&t)).unwrap();
+        let fetch = |path: &str| -> (String, String) {
+            let mut s = std::net::TcpStream::connect(addr).unwrap();
+            write!(s, "GET {path} HTTP/1.0\r\nHost: x\r\n\r\n").unwrap();
+            let mut text = String::new();
+            s.read_to_string(&mut text).unwrap();
+            let (head, body) = text.split_once("\r\n\r\n").unwrap();
+            (head.to_owned(), body.to_owned())
+        };
+        let (head, body) = fetch("/metrics");
+        assert!(head.starts_with("HTTP/1.0 200"), "{head}");
+        assert!(body.contains("# TYPE serve_jobs counter\nserve_jobs 1\n"));
+        let (_, body) = fetch("/metrics.json");
+        let doc = Json::parse(body.trim_end()).expect("json endpoint parses");
+        assert_eq!(doc.get("serve.jobs").and_then(Json::as_u64), Some(1));
+        // The two encodings agree on every counter.
+        let (_, prom_body) = fetch("/metrics");
+        for (name, value) in prom::parse_counters(&prom_body) {
+            let json_value = doc
+                .entries()
+                .unwrap()
+                .iter()
+                .find(|(k, _)| prom::sanitize_name(k) == name)
+                .and_then(|(_, v)| v.as_u64());
+            assert_eq!(json_value, Some(value), "{name}");
+        }
+        let (_, delta1) = fetch("/metrics/delta");
+        assert!(Json::parse(delta1.trim_end()).is_ok());
+        t.job_accepted();
+        t.job_started(9);
+        t.job_finished(true);
+        let (_, delta2) = fetch("/metrics/delta");
+        let d = Json::parse(delta2.trim_end()).unwrap();
+        assert_eq!(d.get("serve.jobs").and_then(Json::as_u64), Some(1));
+        let (head, _) = fetch("/nope");
+        assert!(head.starts_with("HTTP/1.0 404"), "{head}");
+    }
+
+    #[test]
+    fn postmortem_writer_names_the_artifact_after_the_job() {
+        let dir = std::env::temp_dir().join(format!("dgl-pm-test-{}", std::process::id()));
+        let path = write_postmortem(&dir, "j1", "{\"schema\":\"dgl-postmortem\"}\n").unwrap();
+        assert!(path.ends_with("j1.postmortem.jsonl"));
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("dgl-postmortem"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -69,6 +69,13 @@ impl Histogram {
         self.max
     }
 
+    /// Sum of all recorded samples (saturating), as accumulated by
+    /// [`record`](Self::record) — the `_sum` series of a Prometheus
+    /// histogram exposition.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
     /// Samples at or above `threshold`'s bucket (a cheap tail count).
     pub fn tail_at_least(&self, threshold: u64) -> u64 {
         let b = Self::bucket_of(threshold);

@@ -9,6 +9,12 @@
 //!   components publish for snapshot/delta/merge and JSON export,
 //! * [`Json`] — the dependency-free JSON value (writer + parser) the
 //!   machine-readable exports are built on,
+//! * [`log`] — structured JSON-lines logging with a swappable global
+//!   sink (the host-side observability channel),
+//! * [`span`] — host-side span timing (queue wait, checkpoint
+//!   planning, simulation, manifest write) with post-mortem stacks,
+//! * [`prom`] — Prometheus text exposition of a [`MetricsRegistry`]
+//!   snapshot, agreeing with the JSON encoding value-for-value,
 //! * [`prof`] — host-side self-profiling (scoped wall-time
 //!   accumulators) for finding the simulator's own hot paths,
 //! * [`geomean`] / [`normalize`] — the aggregations the paper uses for its
@@ -38,8 +44,11 @@ pub mod chart;
 pub mod counter;
 pub mod histogram;
 pub mod json;
+pub mod log;
 pub mod prof;
+pub mod prom;
 pub mod registry;
+pub mod span;
 pub mod summary;
 pub mod table;
 
@@ -49,5 +58,6 @@ pub use histogram::Histogram;
 pub use json::Json;
 pub use prof::{ProfAccum, ProfId, ProfLap, ProfRegistry, ProfReport, ProfScope};
 pub use registry::{Metric, MetricsRegistry};
+pub use span::{SpanCollector, SpanGuard, SpanRecord};
 pub use summary::{geomean, harmonic_mean, mean, normalize, percent_change, Summary};
 pub use table::{Align, Table};

@@ -1,0 +1,317 @@
+//! Structured JSON-lines logging: the host-side observability channel.
+//!
+//! Every line is one self-describing JSON object (`dgl-log` v1) with a
+//! severity level, a process-monotonic sequence number, microseconds
+//! since the first log call, a `target` naming the subsystem, a human
+//! message, and arbitrary key=value fields — so a `dgl serve` process
+//! under load can be tailed with `jq` instead of scraped with regexes.
+//!
+//! The sink is a process-global, swappable [`LogSink`]; the default
+//! writes to stderr (where the bare `eprintln!` lines used to go), and
+//! tests install a [`CaptureSink`] to assert on records without
+//! touching file descriptors. Logging is host-side only by
+//! construction: nothing in the simulator's cycle loop calls it, so it
+//! can never perturb simulated results.
+//!
+//! # Examples
+//!
+//! ```
+//! use dgl_stats::log::{self, CaptureSink, Level};
+//! use dgl_stats::Json;
+//!
+//! let capture = CaptureSink::new();
+//! log::set_sink(Box::new(capture.clone()));
+//! log::info("serve", "job accepted", &[("id", Json::str("j1"))]);
+//! let records = capture.take();
+//! assert_eq!(records[0].target, "serve");
+//! assert_eq!(records[0].fields[0].0, "id");
+//! # log::set_sink(Box::new(log::StderrSink));
+//! ```
+
+use crate::json::Json;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Schema identifier carried on every log line.
+pub const LOG_SCHEMA: &str = "dgl-log";
+/// Log line schema version.
+pub const LOG_VERSION: u64 = 1;
+
+/// Severity of a log record, ordered `Debug < Info < Warn < Error`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Diagnostic detail (off by default).
+    Debug,
+    /// Normal operational events.
+    Info,
+    /// Something degraded but the process continues.
+    Warn,
+    /// An operation failed.
+    Error,
+}
+
+impl Level {
+    /// Lower-case name as serialized (`"debug"`, `"info"`, ...).
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Debug => "debug",
+            Level::Info => "info",
+            Level::Warn => "warn",
+            Level::Error => "error",
+        }
+    }
+
+    fn from_u8(v: u8) -> Level {
+        match v {
+            0 => Level::Debug,
+            1 => Level::Info,
+            2 => Level::Warn,
+            _ => Level::Error,
+        }
+    }
+}
+
+impl std::fmt::Display for Level {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One structured log record, as handed to the sink.
+#[derive(Debug, Clone)]
+pub struct LogRecord {
+    /// Process-monotonic sequence number (gap-free across threads).
+    pub seq: u64,
+    /// Microseconds since the process's first log call.
+    pub t_us: u64,
+    /// Severity.
+    pub level: Level,
+    /// Subsystem name (`serve`, `fuzz`, `metrics`, ...).
+    pub target: String,
+    /// Human-readable message.
+    pub message: String,
+    /// Structured key=value fields, in call order.
+    pub fields: Vec<(String, Json)>,
+}
+
+impl LogRecord {
+    /// The record as one `dgl-log` v1 JSON object. Fields are flattened
+    /// to top level; a field whose name collides with an envelope key
+    /// is skipped (envelope wins).
+    pub fn to_json(&self) -> Json {
+        const RESERVED: [&str; 7] = ["schema", "version", "seq", "t_us", "level", "target", "msg"];
+        let mut doc = Json::object()
+            .field("schema", Json::str(LOG_SCHEMA))
+            .field("version", Json::uint(LOG_VERSION))
+            .field("seq", Json::uint(self.seq))
+            .field("t_us", Json::uint(self.t_us))
+            .field("level", Json::str(self.level.name()))
+            .field("target", Json::str(self.target.clone()))
+            .field("msg", Json::str(self.message.clone()));
+        for (name, value) in &self.fields {
+            if !RESERVED.contains(&name.as_str()) {
+                doc = doc.field(name, value.clone());
+            }
+        }
+        doc
+    }
+}
+
+/// Receiver for log records. Implementations must not log themselves
+/// (the global sink lock is held during `write`).
+pub trait LogSink: Send {
+    /// Deliver one record.
+    fn write(&mut self, record: &LogRecord);
+}
+
+/// The default sink: one compact JSON line per record on stderr.
+#[derive(Debug, Default)]
+pub struct StderrSink;
+
+impl LogSink for StderrSink {
+    fn write(&mut self, record: &LogRecord) {
+        eprintln!("{}", record.to_json());
+    }
+}
+
+/// Test sink that retains every record behind a clonable handle.
+#[derive(Debug, Clone, Default)]
+pub struct CaptureSink {
+    records: Arc<Mutex<Vec<LogRecord>>>,
+}
+
+impl CaptureSink {
+    /// New empty capture.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Removes and returns everything captured so far.
+    pub fn take(&self) -> Vec<LogRecord> {
+        std::mem::take(&mut self.records.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Number of records currently captured.
+    pub fn len(&self) -> usize {
+        self.records.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Whether nothing has been captured.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl LogSink for CaptureSink {
+    fn write(&mut self, record: &LogRecord) {
+        self.records
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(record.clone());
+    }
+}
+
+static SEQ: AtomicU64 = AtomicU64::new(0);
+static MIN_LEVEL: AtomicU8 = AtomicU8::new(Level::Info as u8);
+
+fn origin() -> Instant {
+    static ORIGIN: OnceLock<Instant> = OnceLock::new();
+    *ORIGIN.get_or_init(Instant::now)
+}
+
+fn sink() -> &'static Mutex<Box<dyn LogSink>> {
+    static SINK: OnceLock<Mutex<Box<dyn LogSink>>> = OnceLock::new();
+    SINK.get_or_init(|| Mutex::new(Box::new(StderrSink)))
+}
+
+/// Replaces the global sink (tests, alternate transports). Records
+/// logged by other threads during the swap land in whichever sink
+/// holds the lock first.
+pub fn set_sink(new_sink: Box<dyn LogSink>) {
+    *sink().lock().unwrap_or_else(|e| e.into_inner()) = new_sink;
+}
+
+/// Sets the minimum severity that reaches the sink (default
+/// [`Level::Info`]).
+pub fn set_min_level(level: Level) {
+    MIN_LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// The current minimum severity.
+pub fn min_level() -> Level {
+    Level::from_u8(MIN_LEVEL.load(Ordering::Relaxed))
+}
+
+/// Emits one record. Sequence numbers are claimed even for records
+/// below the minimum level, so `seq` gaps reveal suppressed volume.
+pub fn log(level: Level, target: &str, message: &str, fields: &[(&str, Json)]) {
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+    if level < min_level() {
+        return;
+    }
+    let record = LogRecord {
+        seq,
+        t_us: origin().elapsed().as_micros() as u64,
+        level,
+        target: target.to_owned(),
+        message: message.to_owned(),
+        fields: fields
+            .iter()
+            .map(|(k, v)| ((*k).to_owned(), v.clone()))
+            .collect(),
+    };
+    sink()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .write(&record);
+}
+
+/// [`log`] at [`Level::Debug`].
+pub fn debug(target: &str, message: &str, fields: &[(&str, Json)]) {
+    log(Level::Debug, target, message, fields);
+}
+
+/// [`log`] at [`Level::Info`].
+pub fn info(target: &str, message: &str, fields: &[(&str, Json)]) {
+    log(Level::Info, target, message, fields);
+}
+
+/// [`log`] at [`Level::Warn`].
+pub fn warn(target: &str, message: &str, fields: &[(&str, Json)]) {
+    log(Level::Warn, target, message, fields);
+}
+
+/// [`log`] at [`Level::Error`].
+pub fn error(target: &str, message: &str, fields: &[(&str, Json)]) {
+    log(Level::Error, target, message, fields);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The sink is process-global; every assertion about routing lives
+    // in this one test so parallel test threads cannot interleave.
+    #[test]
+    fn capture_records_levels_fields_and_monotonic_seq() {
+        let capture = CaptureSink::new();
+        set_sink(Box::new(capture.clone()));
+        set_min_level(Level::Debug);
+        info("t", "first", &[("k", Json::uint(1))]);
+        warn("t", "second", &[]);
+        debug("other", "third", &[("x", Json::str("y"))]);
+        set_min_level(Level::Warn);
+        info("t", "suppressed", &[]);
+        error("t", "fourth", &[]);
+        let records = capture.take();
+        set_min_level(Level::Info);
+        set_sink(Box::new(StderrSink));
+
+        assert_eq!(records.len(), 4, "info below Warn is suppressed");
+        assert!(records.windows(2).all(|w| w[0].seq < w[1].seq));
+        // The suppressed record still claimed a sequence number.
+        assert_eq!(records[3].seq - records[2].seq, 2);
+        assert_eq!(records[0].level, Level::Info);
+        assert_eq!(records[0].fields, vec![("k".to_owned(), Json::uint(1))]);
+        assert_eq!(records[3].message, "fourth");
+
+        let doc = records[2].to_json();
+        assert_eq!(doc.get("schema").and_then(Json::as_str), Some(LOG_SCHEMA));
+        assert_eq!(doc.get("level").and_then(Json::as_str), Some("debug"));
+        assert_eq!(doc.get("target").and_then(Json::as_str), Some("other"));
+        assert_eq!(doc.get("x").and_then(Json::as_str), Some("y"));
+        // Round-trips through the strict parser.
+        let line = doc.to_string();
+        assert_eq!(&Json::parse(&line).expect("log line parses"), &doc);
+    }
+
+    #[test]
+    fn reserved_field_names_cannot_clobber_the_envelope() {
+        let rec = LogRecord {
+            seq: 9,
+            t_us: 1,
+            level: Level::Info,
+            target: "t".into(),
+            message: "m".into(),
+            fields: vec![
+                ("seq".to_owned(), Json::uint(999)),
+                ("ok".to_owned(), Json::Bool(true)),
+            ],
+        };
+        let doc = rec.to_json();
+        assert_eq!(doc.get("seq").and_then(Json::as_u64), Some(9));
+        assert_eq!(doc.get("ok"), Some(&Json::Bool(true)));
+        // Strict parser would reject a duplicate `seq` key; prove the
+        // rendered line stays parseable.
+        Json::parse(&doc.to_string()).expect("no duplicate keys");
+    }
+
+    #[test]
+    fn level_ordering_and_names() {
+        assert!(Level::Debug < Level::Info && Level::Info < Level::Warn);
+        assert!(Level::Warn < Level::Error);
+        assert_eq!(Level::Warn.to_string(), "warn");
+        assert_eq!(Level::from_u8(Level::Error as u8), Level::Error);
+    }
+}

@@ -1,0 +1,205 @@
+//! Prometheus text exposition for a [`MetricsRegistry`].
+//!
+//! `dgl serve --metrics-listen` speaks two encodings: the registry's
+//! own JSON (`MetricsRegistry::to_json`) and this text format, which
+//! any Prometheus-compatible scraper ingests directly. Both encodings
+//! are views of the same snapshot, so every counter value agrees
+//! between them (property-tested in `tests/prom_json_agree.rs`).
+//!
+//! Mapping:
+//!
+//! * dotted names are sanitized (`ckptstore.hits` → `ckptstore_hits`);
+//!   counters and gauges keep their value verbatim,
+//! * a [`Histogram`](crate::Histogram)'s log2 buckets become cumulative
+//!   `le` buckets: bucket *k* covers integers `[2^k, 2^(k+1))`, so its
+//!   inclusive upper bound is `2^(k+1) - 1` (bucket 0 → `le="1"`),
+//!   followed by `le="+Inf"`, `_sum` and `_count` series.
+//!
+//! Counter names are exposed as-is (no `_total` suffix is appended):
+//! the JSON encoding is the registry's primary wire format and the two
+//! must stay key-compatible for cross-checking.
+
+use crate::json::Json;
+use crate::registry::{Metric, MetricsRegistry};
+use std::fmt::Write as _;
+
+/// Sanitizes a dotted metric name into the Prometheus grammar
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`: every other character becomes `_`, and
+/// a leading digit gets an underscore prefix.
+pub fn sanitize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        match c {
+            'a'..='z' | 'A'..='Z' | '_' | ':' => out.push(c),
+            '0'..='9' => {
+                if i == 0 {
+                    out.push('_');
+                }
+                out.push(c);
+            }
+            _ => out.push('_'),
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+fn write_f64(out: &mut String, v: f64) {
+    if v.is_nan() {
+        out.push_str("NaN");
+    } else if v == f64::INFINITY {
+        out.push_str("+Inf");
+    } else if v == f64::NEG_INFINITY {
+        out.push_str("-Inf");
+    } else {
+        let _ = write!(out, "{v}");
+    }
+}
+
+/// Renders the registry in the Prometheus text exposition format
+/// (version 0.0.4): one `# TYPE` line per metric followed by its
+/// sample lines, in the registry's deterministic name order.
+///
+/// # Examples
+///
+/// ```
+/// use dgl_stats::{prom, MetricsRegistry};
+///
+/// let mut reg = MetricsRegistry::new();
+/// reg.counter("serve.jobs", 3);
+/// let text = prom::to_prometheus(&reg);
+/// assert!(text.contains("# TYPE serve_jobs counter\nserve_jobs 3\n"));
+/// ```
+pub fn to_prometheus(reg: &MetricsRegistry) -> String {
+    let mut out = String::new();
+    for (name, metric) in reg.iter() {
+        let name = sanitize_name(name);
+        match metric {
+            Metric::Counter(v) => {
+                let _ = writeln!(out, "# TYPE {name} counter");
+                let _ = writeln!(out, "{name} {v}");
+            }
+            Metric::Gauge(v) => {
+                let _ = writeln!(out, "# TYPE {name} gauge");
+                let _ = write!(out, "{name} ");
+                write_f64(&mut out, *v);
+                out.push('\n');
+            }
+            Metric::Histogram(h) => {
+                let _ = writeln!(out, "# TYPE {name} histogram");
+                let mut cumulative = 0u64;
+                for (lo, c) in h.iter() {
+                    cumulative += c;
+                    // Bucket k spans integers [2^k, 2^(k+1)); `lo` is 0
+                    // for bucket 0, else 2^k, so the inclusive upper
+                    // bound is max(2*lo, 2) - 1.
+                    let le = lo.max(1).saturating_mul(2) - 1;
+                    let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+                }
+                let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count());
+                let _ = writeln!(out, "{name}_sum {}", h.sum());
+                let _ = writeln!(out, "{name}_count {}", h.count());
+            }
+        }
+    }
+    out
+}
+
+/// Extracts `(sanitized_name, value)` for every counter sample in a
+/// text exposition previously produced by [`to_prometheus`]. Used by
+/// the cross-encoding agreement tests; not a general Prometheus
+/// parser.
+pub fn parse_counters(text: &str) -> Vec<(String, u64)> {
+    let mut types: Vec<(&str, &str)> = Vec::new();
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            if let Some((name, kind)) = rest.split_once(' ') {
+                types.push((name, kind));
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for line in text.lines() {
+        if line.starts_with('#') {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(' ') else {
+            continue;
+        };
+        let is_counter = types
+            .iter()
+            .any(|(n, kind)| *n == name && *kind == "counter");
+        if !is_counter {
+            continue;
+        }
+        if let Ok(v) = value.parse::<u64>() {
+            out.push((name.to_owned(), v));
+        }
+    }
+    out
+}
+
+/// The registry's JSON encoding of the same snapshot — a convenience
+/// so a metrics endpoint serving both formats only needs this module.
+pub fn to_json(reg: &MetricsRegistry) -> Json {
+    reg.to_json()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Histogram;
+
+    #[test]
+    fn sanitizes_names() {
+        assert_eq!(sanitize_name("ckptstore.hits"), "ckptstore_hits");
+        assert_eq!(sanitize_name("serve.worker-0.kips"), "serve_worker_0_kips");
+        assert_eq!(sanitize_name("0day"), "_0day");
+        assert_eq!(sanitize_name(""), "_");
+        assert_eq!(sanitize_name("already_ok:sub"), "already_ok:sub");
+    }
+
+    #[test]
+    fn counters_and_gauges_render_plainly() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter("serve.jobs", 42);
+        reg.gauge("serve.queue_depth", 3.0);
+        reg.gauge("bad.ratio", f64::NAN);
+        let text = to_prometheus(&reg);
+        assert!(text.contains("# TYPE serve_jobs counter\nserve_jobs 42\n"));
+        assert!(text.contains("# TYPE serve_queue_depth gauge\nserve_queue_depth 3\n"));
+        assert!(text.contains("bad_ratio NaN\n"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_with_inf_sum_count() {
+        let mut h = Histogram::new();
+        h.record(1); // bucket 0: [0, 2) -> le="1"
+        h.record(5); // bucket 2: [4, 8) -> le="7"
+        h.record(5);
+        let mut reg = MetricsRegistry::new();
+        reg.histogram("q", h);
+        let text = to_prometheus(&reg);
+        let expected = "# TYPE q histogram\n\
+                        q_bucket{le=\"1\"} 1\n\
+                        q_bucket{le=\"7\"} 3\n\
+                        q_bucket{le=\"+Inf\"} 3\n\
+                        q_sum 11\n\
+                        q_count 3\n";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn parse_counters_recovers_only_counters() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter("a.b", 7);
+        reg.gauge("c", 7.0);
+        let mut h = Histogram::new();
+        h.record(7);
+        reg.histogram("d", h);
+        let text = to_prometheus(&reg);
+        assert_eq!(parse_counters(&text), vec![("a_b".to_owned(), 7)]);
+    }
+}

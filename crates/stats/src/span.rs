@@ -1,0 +1,398 @@
+//! Host-side span timing: the lifecycle layer over the structured log.
+//!
+//! A [`SpanCollector`] records named wall-clock intervals ("spans") on
+//! numbered tracks (one track per worker thread), with nesting depth,
+//! so a serve job's lifecycle — queue wait → checkpoint-store planning
+//! → per-window simulation → manifest write — becomes an inspectable
+//! timeline instead of a single `run_us` total. Collectors are cheap
+//! clonable handles around shared state; [`SpanGuard`] records a span
+//! RAII-style on drop, and keeps a per-track stack of *open* spans so
+//! a crash handler can report exactly what the worker was doing.
+//!
+//! Spans are host-side observability only: they time the simulator,
+//! they never feed back into it, so simulated results are byte-
+//! identical with span collection on or off.
+//!
+//! The serialized form (`dgl-spans` v1) round-trips through the strict
+//! [`Json`] parser and is what `dgl explain --spans` renders offline;
+//! `dgl-trace`'s Chrome exporter turns the same records into Perfetto
+//! tracks next to the simulated-cycle trace.
+
+use crate::json::Json;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Schema identifier of a serialized span set.
+pub const SPANS_SCHEMA: &str = "dgl-spans";
+/// Span set schema version.
+pub const SPANS_VERSION: u64 = 1;
+
+/// One completed span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Phase name (`queue`, `ckpt_plan`, `simulate`, ...). Aggregation
+    /// keys on this, so keep it a small closed vocabulary per target.
+    pub name: String,
+    /// Track (worker index); one Perfetto thread per track.
+    pub track: u32,
+    /// Start, microseconds since the collector's origin.
+    pub start_us: u64,
+    /// Duration in microseconds.
+    pub dur_us: u64,
+    /// Nesting depth at record time (0 = top level).
+    pub depth: u32,
+    /// Free-form detail (job id, window count); not aggregated.
+    pub detail: String,
+}
+
+#[derive(Debug, Default)]
+struct SpanState {
+    spans: Vec<SpanRecord>,
+    /// Open span names per track, outermost first.
+    open: BTreeMap<u32, Vec<String>>,
+    /// Spans that were open when a panic unwound them, innermost first.
+    unwound: Vec<String>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    origin: Instant,
+    state: Mutex<SpanState>,
+}
+
+/// Clonable collector of [`SpanRecord`]s sharing one origin instant.
+#[derive(Debug, Clone)]
+pub struct SpanCollector {
+    inner: Arc<Inner>,
+}
+
+impl Default for SpanCollector {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SpanCollector {
+    /// New collector; its origin is `now`.
+    pub fn new() -> Self {
+        Self {
+            inner: Arc::new(Inner {
+                origin: Instant::now(),
+                state: Mutex::new(SpanState::default()),
+            }),
+        }
+    }
+
+    /// Microseconds since this collector's origin.
+    pub fn now_us(&self) -> u64 {
+        self.inner.origin.elapsed().as_micros() as u64
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, SpanState> {
+        self.inner.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Opens a span on `track`; it is recorded when the guard drops.
+    /// Depth is the number of currently open spans on the track.
+    pub fn begin(&self, track: u32, name: &str) -> SpanGuard {
+        let start_us = self.now_us();
+        let depth = {
+            let mut st = self.lock();
+            let stack = st.open.entry(track).or_default();
+            stack.push(name.to_owned());
+            (stack.len() - 1) as u32
+        };
+        SpanGuard {
+            collector: self.clone(),
+            track,
+            name: name.to_owned(),
+            detail: String::new(),
+            start_us,
+            depth,
+        }
+    }
+
+    /// Records a completed span explicitly (e.g. queue wait, whose
+    /// start predates the worker picking the job up).
+    pub fn record(&self, track: u32, name: &str, start_us: u64, dur_us: u64, detail: &str) {
+        self.lock().spans.push(SpanRecord {
+            name: name.to_owned(),
+            track,
+            start_us,
+            dur_us,
+            depth: 0,
+            detail: detail.to_owned(),
+        });
+    }
+
+    /// Names of spans currently open on `track`, outermost first.
+    pub fn active_stack(&self, track: u32) -> Vec<String> {
+        self.lock().open.get(&track).cloned().unwrap_or_default()
+    }
+
+    /// Spans that a panic unwound (innermost first), drained. Combined
+    /// with [`active_stack`](Self::active_stack) this reconstructs what
+    /// a worker was doing when it died.
+    pub fn take_unwound(&self) -> Vec<String> {
+        std::mem::take(&mut self.lock().unwound)
+    }
+
+    /// All completed spans so far, sorted by `(track, start_us)`.
+    pub fn finish(&self) -> Vec<SpanRecord> {
+        let mut spans = self.lock().spans.clone();
+        spans.sort_by_key(|a| (a.track, a.start_us, a.depth));
+        spans
+    }
+}
+
+/// RAII handle for an open span; records it on drop. If the drop
+/// happens during a panic unwind the span is also remembered in the
+/// collector's unwound list for post-mortem reporting.
+#[derive(Debug)]
+pub struct SpanGuard {
+    collector: SpanCollector,
+    track: u32,
+    name: String,
+    detail: String,
+    start_us: u64,
+    depth: u32,
+}
+
+impl SpanGuard {
+    /// Attaches free-form detail recorded with the span.
+    pub fn detail(&mut self, detail: &str) {
+        self.detail = detail.to_owned();
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let dur_us = self.collector.now_us().saturating_sub(self.start_us);
+        let mut st = self.collector.lock();
+        if let Some(stack) = st.open.get_mut(&self.track) {
+            if let Some(pos) = stack.iter().rposition(|n| n == &self.name) {
+                stack.remove(pos);
+            }
+        }
+        if std::thread::panicking() {
+            st.unwound.push(self.name.clone());
+        }
+        st.spans.push(SpanRecord {
+            name: std::mem::take(&mut self.name),
+            track: self.track,
+            start_us: self.start_us,
+            dur_us,
+            depth: self.depth,
+            detail: std::mem::take(&mut self.detail),
+        });
+    }
+}
+
+/// Serializes spans as a `dgl-spans` v1 document.
+pub fn spans_to_json(spans: &[SpanRecord]) -> Json {
+    let mut arr = Json::array();
+    for s in spans {
+        arr = arr.push(
+            Json::object()
+                .field("name", Json::str(s.name.clone()))
+                .field("track", Json::uint(s.track as u64))
+                .field("start_us", Json::uint(s.start_us))
+                .field("dur_us", Json::uint(s.dur_us))
+                .field("depth", Json::uint(s.depth as u64))
+                .field("detail", Json::str(s.detail.clone())),
+        );
+    }
+    Json::object()
+        .field("schema", Json::str(SPANS_SCHEMA))
+        .field("version", Json::uint(SPANS_VERSION))
+        .field("spans", arr)
+}
+
+/// Parses a `dgl-spans` v1 document back into records.
+///
+/// # Errors
+///
+/// Names the missing or mistyped field.
+pub fn spans_from_json(doc: &Json) -> Result<Vec<SpanRecord>, String> {
+    let schema = doc
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or("span document lacks a `schema` field")?;
+    if schema != SPANS_SCHEMA {
+        return Err(format!(
+            "unsupported schema `{schema}` (expected {SPANS_SCHEMA})"
+        ));
+    }
+    let version = doc
+        .get("version")
+        .and_then(Json::as_u64)
+        .ok_or("span document lacks a `version` field")?;
+    if version != SPANS_VERSION {
+        return Err(format!(
+            "unsupported version {version} (expected {SPANS_VERSION})"
+        ));
+    }
+    let arr = doc
+        .get("spans")
+        .and_then(Json::as_array)
+        .ok_or("span document lacks a `spans` array")?;
+    let mut out = Vec::with_capacity(arr.len());
+    for (i, node) in arr.iter().enumerate() {
+        let field_u64 = |key: &str| {
+            node.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("span {i}: field `{key}` must be a non-negative integer"))
+        };
+        out.push(SpanRecord {
+            name: node
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("span {i}: field `name` must be a string"))?
+                .to_owned(),
+            track: field_u64("track")? as u32,
+            start_us: field_u64("start_us")?,
+            dur_us: field_u64("dur_us")?,
+            depth: field_u64("depth")? as u32,
+            detail: node
+                .get("detail")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_owned(),
+        });
+    }
+    Ok(out)
+}
+
+/// Renders the span timing table `dgl explain --spans` shows: one
+/// aggregate row per span name (count, total, mean, max) followed by a
+/// per-track timeline with depth indentation.
+pub fn render_spans(spans: &[SpanRecord]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    if spans.is_empty() {
+        out.push_str("(no spans recorded)\n");
+        return out;
+    }
+    let mut agg: BTreeMap<&str, (u64, u64, u64)> = BTreeMap::new();
+    for s in spans {
+        let e = agg.entry(&s.name).or_insert((0, 0, 0));
+        e.0 += 1;
+        e.1 += s.dur_us;
+        e.2 = e.2.max(s.dur_us);
+    }
+    let _ = writeln!(
+        out,
+        "{:16} {:>6} {:>12} {:>12} {:>12}",
+        "span", "count", "total_us", "mean_us", "max_us"
+    );
+    for (name, (count, total, max)) in &agg {
+        let _ = writeln!(
+            out,
+            "{name:16} {count:>6} {total:>12} {:>12.0} {max:>12}",
+            *total as f64 / *count as f64
+        );
+    }
+    out.push('\n');
+    let mut track = None;
+    for s in spans {
+        if track != Some(s.track) {
+            track = Some(s.track);
+            let _ = writeln!(out, "track {}:", s.track);
+        }
+        let _ = writeln!(
+            out,
+            "  {:>10} +{:>9} us  {}{}{}",
+            s.start_us,
+            s.dur_us,
+            "  ".repeat(s.depth as usize),
+            s.name,
+            if s.detail.is_empty() {
+                String::new()
+            } else {
+                format!(" ({})", s.detail)
+            }
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guards_record_nesting_and_stacks() {
+        let c = SpanCollector::new();
+        {
+            let _outer = c.begin(0, "job");
+            assert_eq!(c.active_stack(0), vec!["job"]);
+            {
+                let mut inner = c.begin(0, "simulate");
+                inner.detail("w=3");
+                assert_eq!(c.active_stack(0), vec!["job", "simulate"]);
+            }
+            assert_eq!(c.active_stack(0), vec!["job"]);
+        }
+        assert!(c.active_stack(0).is_empty());
+        c.record(1, "queue", 0, 42, "");
+        let spans = c.finish();
+        assert_eq!(spans.len(), 3);
+        // Sorted by (track, start): track 0 first.
+        assert_eq!(spans[0].name, "job");
+        assert_eq!(spans[0].depth, 0);
+        let sim = spans.iter().find(|s| s.name == "simulate").unwrap();
+        assert_eq!(sim.depth, 1);
+        assert_eq!(sim.detail, "w=3");
+        assert_eq!(spans[2].name, "queue");
+        assert_eq!(spans[2].track, 1);
+        assert_eq!(spans[2].dur_us, 42);
+    }
+
+    #[test]
+    fn panicking_guard_lands_in_the_unwound_list() {
+        let c = SpanCollector::new();
+        let c2 = c.clone();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            let _g = c2.begin(0, "doomed");
+            panic!("boom");
+        }));
+        assert!(result.is_err());
+        assert_eq!(c.take_unwound(), vec!["doomed"]);
+        assert!(c.take_unwound().is_empty(), "drained");
+        assert!(c.active_stack(0).is_empty(), "stack still popped");
+        assert_eq!(c.finish().len(), 1, "span still recorded");
+    }
+
+    #[test]
+    fn json_round_trip_is_lossless_and_strict() {
+        let c = SpanCollector::new();
+        c.record(0, "queue", 5, 10, "id=j1");
+        c.record(0, "simulate", 15, 100, "");
+        let spans = c.finish();
+        let doc = spans_to_json(&spans);
+        let text = doc.to_string_pretty();
+        let back = Json::parse(&text).expect("strict parse");
+        assert_eq!(spans_from_json(&back).expect("decode"), spans);
+        assert!(
+            spans_from_json(&Json::object().field("schema", Json::str("nope")))
+                .unwrap_err()
+                .contains("nope")
+        );
+    }
+
+    #[test]
+    fn render_aggregates_by_name() {
+        let c = SpanCollector::new();
+        c.record(0, "simulate", 0, 30, "");
+        c.record(0, "simulate", 40, 10, "");
+        c.record(1, "queue", 0, 4, "id=a");
+        let text = render_spans(&c.finish());
+        assert!(text.contains("simulate"), "{text}");
+        assert!(text.contains("track 1:"), "{text}");
+        assert!(text.contains("(id=a)"), "{text}");
+        let agg_line = text.lines().find(|l| l.starts_with("simulate")).unwrap();
+        assert!(agg_line.contains("40"), "total: {agg_line}");
+        assert_eq!(render_spans(&[]), "(no spans recorded)\n");
+    }
+}

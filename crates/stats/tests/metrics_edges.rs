@@ -1,0 +1,137 @@
+//! Edge cases of the metrics plumbing the telemetry plane leans on:
+//! `MetricsRegistry::{snapshot, delta, merge}` under counter resets,
+//! wraparound-adjacent values, gauge overwrite ordering, and histogram
+//! merges with mismatched bucket layouts; `Histogram::quantile` on
+//! empty and single-sample inputs.
+
+use dgl_stats::{Histogram, Metric, MetricsRegistry};
+
+#[test]
+fn delta_saturates_on_counter_reset() {
+    // A restarted producer republishes a smaller counter; the delta
+    // must clamp to zero, not wrap to ~2^64.
+    let mut before = MetricsRegistry::new();
+    before.counter("jobs", 100);
+    let mut after = MetricsRegistry::new();
+    after.counter("jobs", 3);
+    let d = after.delta(&before);
+    assert_eq!(d.counter_value("jobs"), Some(0));
+    // The normal direction still subtracts.
+    let d = before.delta(&after);
+    assert_eq!(d.counter_value("jobs"), Some(97));
+}
+
+#[test]
+fn delta_at_the_u64_boundary() {
+    let mut before = MetricsRegistry::new();
+    before.counter("ticks", u64::MAX - 1);
+    let mut after = MetricsRegistry::new();
+    after.counter("ticks", u64::MAX);
+    assert_eq!(after.delta(&before).counter_value("ticks"), Some(1));
+    // Metrics absent from the earlier snapshot pass through whole.
+    after.counter("fresh", 7);
+    assert_eq!(after.delta(&before).counter_value("fresh"), Some(7));
+}
+
+#[test]
+fn delta_of_mismatched_kinds_passes_the_new_value_through() {
+    // A name that changed kind between snapshots cannot be subtracted;
+    // the current value wins whole.
+    let mut before = MetricsRegistry::new();
+    before.gauge("x", 5.0);
+    let mut after = MetricsRegistry::new();
+    after.counter("x", 9);
+    assert_eq!(after.delta(&before).counter_value("x"), Some(9));
+}
+
+#[test]
+fn gauge_overwrite_order_is_last_writer_wins() {
+    let mut reg = MetricsRegistry::new();
+    reg.gauge("depth", 4.0);
+    reg.gauge("depth", 1.0);
+    assert!(matches!(reg.get("depth"), Some(Metric::Gauge(v)) if *v == 1.0));
+    // Merge takes the incoming side's gauge, regardless of magnitude.
+    let mut other = MetricsRegistry::new();
+    other.gauge("depth", 0.25);
+    reg.merge(&other);
+    assert!(matches!(reg.get("depth"), Some(Metric::Gauge(v)) if *v == 0.25));
+    // …and merging the empty registry changes nothing.
+    reg.merge(&MetricsRegistry::new());
+    assert!(matches!(reg.get("depth"), Some(Metric::Gauge(v)) if *v == 0.25));
+}
+
+#[test]
+fn merge_adds_counters_and_histograms_with_mismatched_layouts() {
+    // `a` has seen only small values (short bucket vector), `b` only
+    // large ones (long bucket vector); merging either way must agree.
+    let mut small = Histogram::new();
+    small.record(1);
+    small.record(3);
+    let mut large = Histogram::new();
+    large.record(100_000);
+
+    let mut a = MetricsRegistry::new();
+    a.counter("n", 2);
+    a.histogram("lat", small.clone());
+    let mut b = MetricsRegistry::new();
+    b.counter("n", 40);
+    b.histogram("lat", large.clone());
+
+    let mut ab = a.snapshot();
+    ab.merge(&b);
+    let mut ba = b.snapshot();
+    ba.merge(&a);
+    assert_eq!(ab.counter_value("n"), Some(42));
+    assert_eq!(
+        ab.to_json().to_string_pretty(),
+        ba.to_json().to_string_pretty(),
+        "merge must commute on counters and histograms"
+    );
+    let Some(Metric::Histogram(h)) = ab.get("lat") else {
+        panic!("merged histogram survives");
+    };
+    assert_eq!(h.count(), 3);
+    assert_eq!(h.max(), 100_000);
+    assert_eq!(h.sum(), 100_004);
+}
+
+#[test]
+fn histogram_delta_with_shrunken_layout_clamps() {
+    // The "earlier" snapshot has more buckets than the current value
+    // (a reset shrank the histogram): bucket-wise subtraction must
+    // saturate, never underflow or panic on the layout mismatch.
+    let mut earlier = Histogram::new();
+    earlier.record(2);
+    earlier.record(1 << 30);
+    let mut now = Histogram::new();
+    now.record(2);
+    let d = now.saturating_sub(&earlier);
+    assert_eq!(d.count(), 0);
+    assert_eq!(d.sum(), 0);
+    // And the opposite mismatch counts the new tail bucket.
+    let d = earlier.saturating_sub(&now);
+    assert_eq!(d.count(), 1);
+    assert_eq!(d.quantile(1.0), Some(1 << 30));
+}
+
+#[test]
+fn quantile_on_empty_and_single_sample_inputs() {
+    let empty = Histogram::new();
+    assert_eq!(empty.quantile(0.0), None);
+    assert_eq!(empty.quantile(0.5), None);
+    assert_eq!(empty.quantile(1.0), None);
+
+    let mut one = Histogram::new();
+    one.record(37);
+    // Every quantile of a single sample is that sample (clamped to the
+    // observed max, never interpolated past it).
+    for q in [0.0, 0.25, 0.5, 0.95, 1.0] {
+        assert_eq!(one.quantile(q), Some(37), "q={q}");
+    }
+    let mut zero = Histogram::new();
+    zero.record(0);
+    assert_eq!(zero.quantile(0.5), Some(0));
+    // Out-of-range requests clamp instead of panicking.
+    assert_eq!(one.quantile(-3.0), Some(37));
+    assert_eq!(one.quantile(42.0), Some(37));
+}

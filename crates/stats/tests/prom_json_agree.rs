@@ -1,0 +1,74 @@
+//! Property: the Prometheus text exposition and the JSON encoding are
+//! two views of one registry snapshot, so every counter value must
+//! agree between them — for arbitrary metric names (sanitized on the
+//! Prometheus side) and arbitrary u64 values, in the presence of
+//! gauges and histograms sharing the registry.
+
+use dgl_stats::{prom, Histogram, Json, MetricsRegistry};
+use proptest::collection;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn every_counter_agrees_between_encodings(
+        // Raw metric names as the codebase produces them: dotted
+        // series with digits and dashes (`serve.worker.0.kips`,
+        // `ckptstore.disk-hits`…), plus hostile leading digits.
+        counters in collection::vec(("[a-z0-9][a-z0-9._-]{0,24}", any::<u64>()), 0..12),
+        gauges in collection::vec(("[a-z][a-z0-9_.]{0,12}", any::<i32>()), 0..4),
+        samples in collection::vec(any::<u64>(), 0..16),
+    ) {
+        let mut reg = MetricsRegistry::new();
+        // Two distinct raw names may sanitize to the same Prometheus
+        // series; keep only the first of each collision class so every
+        // exposition line maps back to exactly one registry entry.
+        let mut seen = std::collections::BTreeSet::new();
+        let mut kept = 0usize;
+        for (name, v) in &counters {
+            // The `c.` prefix keeps the counter namespace disjoint
+            // from the gauges and the histogram below.
+            let name = format!("c.{name}");
+            if seen.insert(prom::sanitize_name(&name)) {
+                reg.counter(&name, *v);
+                kept += 1;
+            }
+        }
+        for (name, v) in &gauges {
+            reg.gauge(&format!("g.{name}"), *v as f64 / 16.0);
+        }
+        let mut hist = Histogram::new();
+        for s in &samples {
+            hist.record(*s);
+        }
+        reg.histogram("h.latency", hist);
+
+        let text = prom::to_prometheus(&reg);
+        let json = reg.to_json();
+
+        // Every counter the text exposition reports exists in the JSON
+        // encoding (modulo name sanitization) with the same value…
+        let exported = prom::parse_counters(&text);
+        for (prom_name, prom_value) in &exported {
+            let json_value = json
+                .entries()
+                .unwrap()
+                .iter()
+                .find(|(k, _)| &prom::sanitize_name(k) == prom_name)
+                .and_then(|(_, v)| v.as_u64());
+            prop_assert_eq!(
+                json_value,
+                Some(*prom_value),
+                "counter {} disagrees between encodings",
+                prom_name
+            );
+        }
+        // …and every distinct sanitized counter name made it out
+        // (collisions collapse to one series, last writer wins,
+        // matching how the registry itself stores them).
+        prop_assert_eq!(exported.len(), kept);
+        // The JSON side parses strictly (it rides the serve protocol).
+        prop_assert!(Json::parse(&json.to_string()).is_ok());
+    }
+}

@@ -21,7 +21,7 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// Append a JSON-escaped string literal (with quotes).
-fn push_json_str(out: &mut String, s: &str) {
+pub(crate) fn push_json_str(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -62,12 +62,43 @@ fn thread_meta(out: &mut String, first: &mut bool, pid: u32, tid: u32, name: &st
 const PID_PIPELINE: u32 = 1;
 const PID_DGL: u32 = 2;
 const PID_MEM: u32 = 3;
+/// Host-side spans (serve job lifecycle) get their own process so the
+/// wall-clock timeline sits next to the simulated-cycle tracks in one
+/// Perfetto view.
+const PID_HOST: u32 = 4;
 const TID_SQUASH: u32 = 90;
 const TID_DGL: u32 = 1;
 const TID_MEM: u32 = 1;
 
+/// A host-side wall-clock span (one phase of a serve job's lifecycle),
+/// as exported next to the simulated-cycle tracks. Kept as a plain
+/// struct here so `dgl-trace` stays dependency-free; `dgl-stats`'s
+/// span records convert into this trivially.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HostSpan {
+    /// Phase name (`queue`, `ckpt_plan`, `simulate`, ...).
+    pub name: String,
+    /// Track (worker index) — one thread row per track.
+    pub track: u32,
+    /// Start in microseconds (host wall clock).
+    pub start_us: u64,
+    /// Duration in microseconds.
+    pub dur_us: u64,
+    /// Free-form detail shown in the slice's args.
+    pub detail: String,
+}
+
 /// Render `events` as a Chrome trace-event JSON document.
 pub fn export(events: &[TraceEvent]) -> String {
+    export_with_spans(events, &[])
+}
+
+/// [`export`], plus host-side wall-clock spans as complete (`"X"`)
+/// slices under a separate `host` process (pid 4, one thread per
+/// track). Host timestamps are microseconds — the same unit the
+/// simulated tracks use for cycles — so both open in one Perfetto UI;
+/// they are different clocks, so compare within a process, not across.
+pub fn export_with_spans(events: &[TraceEvent], spans: &[HostSpan]) -> String {
     let mut out = String::with_capacity(events.len() * 96 + 256);
     out.push_str("{\"traceEvents\":[");
     let mut first = true;
@@ -84,6 +115,18 @@ pub fn export(events: &[TraceEvent]) -> String {
     }
     thread_meta(&mut out, &mut first, PID_DGL, TID_DGL, "doppelgangers");
     thread_meta(&mut out, &mut first, PID_MEM, TID_MEM, "memory");
+    let mut host_tracks: Vec<u32> = spans.iter().map(|s| s.track).collect();
+    host_tracks.sort_unstable();
+    host_tracks.dedup();
+    for track in host_tracks {
+        thread_meta(
+            &mut out,
+            &mut first,
+            PID_HOST,
+            track,
+            &format!("worker {track}"),
+        );
+    }
 
     // Group stage stamps per instruction so each stage slice can last
     // until the instruction's next stage crossing.
@@ -204,6 +247,20 @@ pub fn export(events: &[TraceEvent]) -> String {
         }
     }
 
+    for span in spans {
+        let mut body = String::new();
+        body.push_str("\"name\":");
+        push_json_str(&mut body, &span.name);
+        let _ = write!(
+            body,
+            ",\"cat\":\"host\",\"ph\":\"X\",\"pid\":{PID_HOST},\"tid\":{},\"ts\":{},\"dur\":{},\"args\":{{\"detail\":",
+            span.track, span.start_us, span.dur_us,
+        );
+        push_json_str(&mut body, &span.detail);
+        body.push('}'); // closes args
+        push_event(&mut out, &mut first, &body);
+    }
+
     out.push_str("\n],\"displayTimeUnit\":\"ms\",\"otherData\":{\"source\":\"dgl-trace\",\"time_unit\":\"cycles\"}}");
     out
 }
@@ -312,6 +369,34 @@ mod tests {
     fn empty_input_still_valid() {
         let json = export(&[]);
         check_json(&json).expect("empty export must still be valid JSON");
+    }
+
+    #[test]
+    fn host_spans_render_on_their_own_process() {
+        let spans = vec![
+            HostSpan {
+                name: "simulate".to_owned(),
+                track: 0,
+                start_us: 10,
+                dur_us: 50,
+                detail: "windows=3".to_owned(),
+            },
+            HostSpan {
+                name: "queue".to_owned(),
+                track: 2,
+                start_us: 0,
+                dur_us: 4,
+                detail: String::new(),
+            },
+        ];
+        let json = export_with_spans(&sample(), &spans);
+        check_json(&json).expect("span export must be valid JSON");
+        assert!(json.contains("\"cat\":\"host\""), "host slices present");
+        assert!(json.contains("\"worker 0\""), "track metadata");
+        assert!(json.contains("\"worker 2\""), "track metadata");
+        assert!(json.contains("windows=3"));
+        // Plain export stays byte-identical to the span-free call.
+        assert_eq!(export(&sample()), export_with_spans(&sample(), &[]));
     }
 
     #[test]

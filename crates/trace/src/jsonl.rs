@@ -8,79 +8,86 @@ use std::fmt::Write as _;
 pub fn export(events: &[TraceEvent]) -> String {
     let mut out = String::with_capacity(events.len() * 80);
     for ev in events {
-        match *ev {
-            TraceEvent::Stage {
-                seq,
-                pc,
-                kind,
-                stage,
-                cycle,
-            } => {
-                let _ = writeln!(
+        write_event(&mut out, ev);
+    }
+    out
+}
+
+/// Append one event as a single self-describing JSON line (with the
+/// trailing newline) — the unit the flight recorder's post-mortem
+/// dumps are built from.
+pub fn write_event(out: &mut String, ev: &TraceEvent) {
+    match *ev {
+        TraceEvent::Stage {
+            seq,
+            pc,
+            kind,
+            stage,
+            cycle,
+        } => {
+            let _ = writeln!(
                     out,
                     "{{\"type\":\"stage\",\"cycle\":{cycle},\"seq\":{seq},\"pc\":{pc},\"kind\":\"{kind}\",\"stage\":\"{stage}\"}}",
                     kind = kind.name(),
                 );
-            }
-            TraceEvent::Squash { seq, pc, cycle } => {
-                let _ = writeln!(
-                    out,
-                    "{{\"type\":\"squash\",\"cycle\":{cycle},\"seq\":{seq},\"pc\":{pc}}}"
-                );
-            }
-            TraceEvent::Dgl {
-                seq,
-                pc,
-                cycle,
-                event,
-            } => {
-                let _ = write!(
-                    out,
-                    "{{\"type\":\"dgl\",\"cycle\":{cycle},\"seq\":{seq},\"pc\":{pc},\"event\":\"{}\"",
-                    event.name()
-                );
-                match event {
-                    DglEvent::Predicted { predicted } | DglEvent::Issued { predicted } => {
-                        let _ = write!(out, ",\"predicted\":{predicted}");
-                    }
-                    DglEvent::Verified {
-                        predicted,
-                        actual,
-                        correct,
-                    } => {
-                        let _ = write!(
-                            out,
-                            ",\"predicted\":{predicted},\"actual\":{actual},\"correct\":{correct}"
-                        );
-                    }
-                    DglEvent::Propagated { addr } => {
-                        let _ = write!(out, ",\"addr\":{addr},\"safe\":true");
-                    }
-                    DglEvent::Deferred => out.push_str(",\"safe\":false"),
-                    DglEvent::Discarded { reason } => {
-                        let _ = write!(out, ",\"reason\":\"{reason}\"");
-                    }
-                    DglEvent::Squashed => {}
+        }
+        TraceEvent::Squash { seq, pc, cycle } => {
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"squash\",\"cycle\":{cycle},\"seq\":{seq},\"pc\":{pc}}}"
+            );
+        }
+        TraceEvent::Dgl {
+            seq,
+            pc,
+            cycle,
+            event,
+        } => {
+            let _ = write!(
+                out,
+                "{{\"type\":\"dgl\",\"cycle\":{cycle},\"seq\":{seq},\"pc\":{pc},\"event\":\"{}\"",
+                event.name()
+            );
+            match event {
+                DglEvent::Predicted { predicted } | DglEvent::Issued { predicted } => {
+                    let _ = write!(out, ",\"predicted\":{predicted}");
                 }
-                out.push_str("}\n");
-            }
-            TraceEvent::Mem { cycle, line, event } => {
-                let _ = write!(
-                    out,
-                    "{{\"type\":\"mem\",\"cycle\":{cycle},\"line\":{line},\"event\":\"{}\"",
-                    event.name()
-                );
-                match event {
-                    MemEvent::Lookup { level, .. } | MemEvent::Fill { level } => {
-                        let _ = write!(out, ",\"level\":\"{level}\"");
-                    }
-                    MemEvent::Blocked => {}
+                DglEvent::Verified {
+                    predicted,
+                    actual,
+                    correct,
+                } => {
+                    let _ = write!(
+                        out,
+                        ",\"predicted\":{predicted},\"actual\":{actual},\"correct\":{correct}"
+                    );
                 }
-                out.push_str("}\n");
+                DglEvent::Propagated { addr } => {
+                    let _ = write!(out, ",\"addr\":{addr},\"safe\":true");
+                }
+                DglEvent::Deferred => out.push_str(",\"safe\":false"),
+                DglEvent::Discarded { reason } => {
+                    let _ = write!(out, ",\"reason\":\"{reason}\"");
+                }
+                DglEvent::Squashed => {}
             }
+            out.push_str("}\n");
+        }
+        TraceEvent::Mem { cycle, line, event } => {
+            let _ = write!(
+                out,
+                "{{\"type\":\"mem\",\"cycle\":{cycle},\"line\":{line},\"event\":\"{}\"",
+                event.name()
+            );
+            match event {
+                MemEvent::Lookup { level, .. } | MemEvent::Fill { level } => {
+                    let _ = write!(out, ",\"level\":\"{level}\"");
+                }
+                MemEvent::Blocked => {}
+            }
+            out.push_str("}\n");
         }
     }
-    out
 }
 
 #[cfg(test)]

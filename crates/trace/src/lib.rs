@@ -26,6 +26,10 @@
 //! [`RingBufferSink`] keeps the last *N* events for long runs;
 //! [`SharedSink`] is a clonable handle that lets a caller keep access
 //! to the events after handing the sink to a consuming simulator run.
+//! [`FlightRecorder`] / [`SharedFlightRecorder`] are the always-on
+//! variant: a pre-allocated lossy ring whose tail can be snapshotted
+//! non-destructively after a failed run and dumped as a
+//! [`flight::render_postmortem`] JSONL artifact.
 //!
 //! ## Exporters
 //!
@@ -40,6 +44,7 @@
 
 pub mod chrome;
 mod event;
+pub mod flight;
 pub mod jsonl;
 pub mod konata;
 mod sink;
@@ -48,4 +53,5 @@ pub mod validate_json;
 pub use event::{
     Cycle, DglEvent, DiscardReason, InstKind, MemEvent, MemLevel, Seq, Stage, TraceEvent,
 };
+pub use flight::{render_postmortem, FlightRecorder, SharedFlightRecorder};
 pub use sink::{RecordingSink, RingBufferSink, SharedSink, TraceSink};

@@ -43,6 +43,15 @@
 //!          --manifest-dir DIR                also write each job's manifest (serve)
 //!          --stats                           emit a dgl-serve-stats document at end (serve)
 //!          --max-conns N                     stop after N connections (serve --listen)
+//!          --metrics-listen ADDR             HTTP metrics endpoint: /metrics, /metrics.json,
+//!                                            /metrics/delta (serve)
+//!          --metrics-interval SECS           stream dgl-serve-metrics lines every SECS (serve)
+//!          --flight-recorder N               per-job trace ring for post-mortems,
+//!                                            0 = off (serve, default 256)
+//!          --postmortem-dir DIR              post-mortem artifacts for failed jobs (serve;
+//!                                            falls back to --manifest-dir)
+//!          --spans                           serve: write <id>.spans.json span sidecars;
+//!                                            explain: render a spans/manifest file instead
 //!          --seed N                          fuzzing base seed (default 1)
 //!          --iters N                         fuzzing cases to run (default 200)
 //!          --corpus DIR                      save minimized reproducers to DIR (fuzz)
@@ -96,6 +105,11 @@ struct Opts {
     manifest_dir: Option<String>,
     stats: bool,
     max_conns: Option<usize>,
+    metrics_listen: Option<String>,
+    metrics_interval: Option<u64>,
+    flight_recorder: usize,
+    postmortem_dir: Option<String>,
+    spans: bool,
     seed: u64,
     iters: u64,
     corpus: Option<String>,
@@ -131,6 +145,11 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         manifest_dir: None,
         stats: false,
         max_conns: None,
+        metrics_listen: None,
+        metrics_interval: None,
+        flight_recorder: 256,
+        postmortem_dir: None,
+        spans: false,
         seed: 1,
         iters: 200,
         corpus: None,
@@ -254,6 +273,25 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             }
             "--stats" => o.stats = true,
             "--max-conns" => o.max_conns = Some(num(&mut it, a)?),
+            "--metrics-listen" => {
+                let v = it
+                    .next()
+                    .ok_or("--metrics-listen needs an address (host:port)")?;
+                o.metrics_listen = Some(v.clone());
+            }
+            "--metrics-interval" => {
+                let v: u64 = num(&mut it, a)?;
+                if v == 0 {
+                    return Err("--metrics-interval must be > 0 seconds".into());
+                }
+                o.metrics_interval = Some(v);
+            }
+            "--flight-recorder" => o.flight_recorder = num(&mut it, a)?,
+            "--postmortem-dir" => {
+                let v = it.next().ok_or("--postmortem-dir needs a directory")?;
+                o.postmortem_dir = Some(v.clone());
+            }
+            "--spans" => o.spans = true,
             "--seed" => o.seed = num(&mut it, a)?,
             "--iters" => {
                 o.iters = num(&mut it, a)?;
@@ -390,6 +428,9 @@ fn cmd_run(o: &Opts) -> Result<(), String> {
 /// (occupancy sparklines).
 fn cmd_explain(o: &Opts) -> Result<(), String> {
     use doppelganger_loads::sim::render_occupancy;
+    if o.spans {
+        return cmd_explain_spans(o);
+    }
     let name = o
         .positional
         .first()
@@ -480,6 +521,59 @@ fn cmd_explain(o: &Opts) -> Result<(), String> {
                 report.cycles
             );
         }
+    }
+    Ok(())
+}
+
+/// `dgl explain --spans FILE`: render the span timing table for a
+/// telemetry-enabled serve job. Accepts the `<id>.spans.json` sidecar
+/// directly or the job's manifest path (the sibling sidecar is
+/// derived). With `--format chrome --out FILE`, also exports the spans
+/// as a Chrome trace for the Perfetto UI.
+fn cmd_explain_spans(o: &Opts) -> Result<(), String> {
+    use doppelganger_loads::stats::span::{render_spans, spans_from_json};
+    use doppelganger_loads::stats::Json;
+    let path = o
+        .positional
+        .first()
+        .ok_or("explain --spans needs a spans sidecar (or manifest) path")?;
+    let load = |p: &str| -> Result<Json, String> {
+        let text = std::fs::read_to_string(p).map_err(|e| format!("{p}: {e}"))?;
+        Json::parse(text.trim_end()).map_err(|e| format!("{p}: {e}"))
+    };
+    let spans = match spans_from_json(&load(path)?) {
+        Ok(spans) => spans,
+        Err(e) if !path.ends_with(".spans.json") && path.ends_with(".json") => {
+            // A manifest path: look for the sibling sidecar a
+            // `dgl serve --spans` run writes next to it.
+            let sibling = format!("{}.spans.json", path.trim_end_matches(".json"));
+            let doc = load(&sibling)
+                .map_err(|se| format!("{path}: {e}; sidecar fallback failed: {se}"))?;
+            spans_from_json(&doc).map_err(|se| format!("{sibling}: {se}"))?
+        }
+        Err(e) => return Err(format!("{path}: {e}")),
+    };
+    out!("{}", render_spans(&spans).trim_end());
+    if let Some(out_path) = &o.out {
+        if o.format != "chrome" {
+            return Err(format!(
+                "bad format `{}` for explain --spans --out (only chrome)",
+                o.format
+            ));
+        }
+        let host_spans: Vec<doppelganger_loads::trace::chrome::HostSpan> = spans
+            .iter()
+            .map(|s| doppelganger_loads::trace::chrome::HostSpan {
+                name: s.name.clone(),
+                track: s.track,
+                start_us: s.start_us,
+                dur_us: s.dur_us,
+                detail: s.detail.clone(),
+            })
+            .collect();
+        let text = doppelganger_loads::trace::chrome::export_with_spans(&[], &host_spans);
+        std::fs::write(out_path, text).map_err(|e| format!("{out_path}: {e}"))?;
+        out!("  chrome trace: {out_path}");
     }
     Ok(())
 }
@@ -680,26 +774,53 @@ fn cmd_compare(o: &Opts) -> Result<ExitCode, String> {
 /// or a TCP socket, sharing one checkpoint store across every worker
 /// and connection.
 fn cmd_serve(o: &Opts) -> Result<(), String> {
-    use doppelganger_loads::sim::serve::{serve_lines, serve_tcp, ServeOptions};
-    use doppelganger_loads::sim::CheckpointStore;
-    let store = match &o.ckpt_dir {
+    use doppelganger_loads::sim::serve::{serve_lines_with, serve_tcp_with, ServeOptions};
+    use doppelganger_loads::sim::{spawn_metrics_listener, CheckpointStore, ServeTelemetry};
+    use doppelganger_loads::stats::{log, Json};
+    use std::sync::Arc;
+    let store = Arc::new(match &o.ckpt_dir {
         Some(dir) => CheckpointStore::with_disk(o.store_cap, std::path::PathBuf::from(dir)),
         None => CheckpointStore::new(o.store_cap),
-    };
+    });
+    let telemetry = Arc::new(ServeTelemetry::new());
+    if let Some(addr) = &o.metrics_listen {
+        let bound = spawn_metrics_listener(addr, Arc::clone(&store), Arc::clone(&telemetry))
+            .map_err(|e| format!("--metrics-listen {addr}: {e}"))?;
+        log::info(
+            "serve",
+            "metrics listening",
+            &[("addr", Json::str(bound.to_string()))],
+        );
+    }
     let opts = ServeOptions {
         workers: o.workers,
         queue: o.queue,
         manifest_dir: o.manifest_dir.as_ref().map(std::path::PathBuf::from),
         stats: o.stats,
+        metrics_interval_ms: o.metrics_interval.map(|s| s.saturating_mul(1_000)),
+        flight_recorder: o.flight_recorder,
+        postmortem_dir: o.postmortem_dir.as_ref().map(std::path::PathBuf::from),
+        spans: o.spans,
     };
     let summary = match &o.listen {
-        Some(addr) => serve_tcp(addr, &store, &opts, o.max_conns),
-        None => serve_lines(std::io::stdin().lock(), std::io::stdout(), &store, &opts),
+        Some(addr) => serve_tcp_with(addr, &store, &opts, o.max_conns, &telemetry),
+        None => serve_lines_with(
+            std::io::stdin().lock(),
+            std::io::stdout(),
+            &store,
+            &opts,
+            &telemetry,
+            None,
+        ),
     }
     .map_err(|e| e.to_string())?;
-    eprintln!(
-        "dgl serve: {} job(s) completed, {} error(s)",
-        summary.jobs, summary.errors
+    log::info(
+        "serve",
+        "exit",
+        &[
+            ("jobs", Json::uint(summary.jobs)),
+            ("errors", Json::uint(summary.errors)),
+        ],
     );
     Ok(())
 }
