@@ -46,7 +46,9 @@ pub mod scheme;
 
 pub use config::DoppelgangerConfig;
 pub use entry::{DoppelgangerState, Verification};
-pub use policy::{policy_for, DemandAccessPlan, SchemeEntry, SpeculationPolicy, REGISTRY};
+pub use policy::{
+    policy_for, DelayCause, DemandAccessPlan, SchemeEntry, SpeculationPolicy, REGISTRY,
+};
 pub use predictor::{AddressPredictor, ApMode, ApStats};
 pub use rules::{may_propagate, reissue_allowed};
 pub use scheme::SchemeKind;

@@ -58,6 +58,78 @@ impl DemandAccessPlan {
     };
 }
 
+/// Why a policy rule parked a load (or held a result): the delay
+/// provenance tag each scheme attaches to its restrictive verdicts, so
+/// cycle-loss accounting can charge exposed stall cycles to the exact
+/// rule that caused them rather than to an undifferentiated "scheme"
+/// bucket.
+///
+/// Every cause corresponds to one restrictive decision point in the
+/// [`SpeculationPolicy`] interface; a scheme that never takes the
+/// restrictive branch of a decision never produces its cause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DelayCause {
+    /// STT: a transmitter stalled at issue on a tainted operand.
+    TaintOperand,
+    /// DoM: a speculative L1 miss parked the load until the visibility
+    /// point (also covers DoM's doppelganger-visibility deferral).
+    DomDelay,
+    /// NDA: a completed load's result is locked until the visibility
+    /// point (permissive and strict propagation alike).
+    PropagateLock,
+    /// NDA-S: a non-load speculative result is locked at writeback.
+    ResultLock,
+    /// DoM: a mispredicted doppelganger's conventional replay is held
+    /// until the load is non-speculative (§5.3).
+    ReissueHold,
+    /// Branches forced to resolve in visibility-point order (§4.6,
+    /// DoM+AP).
+    BranchOrder,
+}
+
+impl DelayCause {
+    /// Every cause, in stable report order.
+    pub const ALL: [DelayCause; 6] = [
+        DelayCause::TaintOperand,
+        DelayCause::DomDelay,
+        DelayCause::PropagateLock,
+        DelayCause::ResultLock,
+        DelayCause::ReissueHold,
+        DelayCause::BranchOrder,
+    ];
+
+    /// Stable snake_case label used in metrics and manifests.
+    pub fn label(self) -> &'static str {
+        match self {
+            DelayCause::TaintOperand => "taint_operand",
+            DelayCause::DomDelay => "dom_delay",
+            DelayCause::PropagateLock => "propagate_lock",
+            DelayCause::ResultLock => "result_lock",
+            DelayCause::ReissueHold => "reissue_hold",
+            DelayCause::BranchOrder => "branch_order",
+        }
+    }
+
+    /// Dense index into per-cause arrays (inverse of [`Self::ALL`]).
+    pub fn index(self) -> usize {
+        Self::ALL.iter().position(|&c| c == self).expect("in ALL")
+    }
+
+    /// Whether the cause parks a load on the *issue* side (the load
+    /// could not even access memory) as opposed to holding an already
+    /// completed result back from dependents. Cycle accounting uses
+    /// this to classify how a park ultimately resolved: issue-side
+    /// parks that propagate conventionally were *delayed*, while
+    /// propagate-side parks released at the visibility point were
+    /// merely *woken*.
+    pub fn is_issue_side(self) -> bool {
+        matches!(
+            self,
+            DelayCause::TaintOperand | DelayCause::DomDelay | DelayCause::ReissueHold
+        )
+    }
+}
+
 /// Every scheme-conditional decision the out-of-order core makes.
 ///
 /// Defaults encode the unsafe baseline; a scheme overrides only the
@@ -155,6 +227,52 @@ pub trait SpeculationPolicy: fmt::Debug + Send + Sync {
     fn protects_register_secrets(&self) -> bool {
         false
     }
+
+    // --- Delay-cause tags -------------------------------------------
+    //
+    // Each restrictive verdict above has a matching tag hook naming the
+    // DelayCause it spends cycles under. The pipeline's cycle-loss
+    // accounting consults the tag at the site where the verdict is
+    // applied; `None` means the policy never takes that restrictive
+    // branch (the unsafe-baseline default). Tags are observability
+    // metadata only — they must never influence a decision.
+
+    /// Cause when [`Self::tracks_taint`] stalls a tainted transmitter
+    /// at issue.
+    fn issue_delay_cause(&self) -> Option<DelayCause> {
+        None
+    }
+
+    /// Cause when a restricted [`Self::demand_access`] plan turns a
+    /// speculative miss into a parked load.
+    fn miss_delay_cause(&self) -> Option<DelayCause> {
+        None
+    }
+
+    /// Cause when [`Self::may_propagate_load`] or
+    /// [`Self::doppelganger_visibility`] denies propagation of a
+    /// completed load result.
+    fn propagate_delay_cause(&self) -> Option<DelayCause> {
+        None
+    }
+
+    /// Cause when [`Self::delays_all_propagation`] locks a non-load
+    /// result at writeback.
+    fn result_lock_cause(&self) -> Option<DelayCause> {
+        None
+    }
+
+    /// Cause when [`Self::reissue_allowed`] holds a mispredicted
+    /// doppelganger's conventional replay.
+    fn reissue_delay_cause(&self) -> Option<DelayCause> {
+        None
+    }
+
+    /// Cause when [`Self::resolves_branches_in_order`] delays a ready
+    /// branch resolution.
+    fn branch_delay_cause(&self) -> Option<DelayCause> {
+        None
+    }
 }
 
 /// Unprotected out-of-order execution: all defaults.
@@ -182,6 +300,9 @@ impl SpeculationPolicy for NdaPPolicy {
     fn doppelganger_visibility(&self, _dg: &DoppelgangerState, load_nonspec: bool) -> bool {
         load_nonspec
     }
+    fn propagate_delay_cause(&self) -> Option<DelayCause> {
+        Some(DelayCause::PropagateLock)
+    }
 }
 
 /// NDA strict propagation: like NDA-P, plus *every* speculative result
@@ -205,6 +326,12 @@ impl SpeculationPolicy for NdaSPolicy {
     fn protects_register_secrets(&self) -> bool {
         true
     }
+    fn propagate_delay_cause(&self) -> Option<DelayCause> {
+        Some(DelayCause::PropagateLock)
+    }
+    fn result_lock_cause(&self) -> Option<DelayCause> {
+        Some(DelayCause::ResultLock)
+    }
 }
 
 /// NDA-P with eager branch resolution: branch-like instructions may
@@ -226,6 +353,9 @@ impl SpeculationPolicy for NdaPEagerPolicy {
     fn branch_reads_unpropagated(&self) -> bool {
         true
     }
+    fn propagate_delay_cause(&self) -> Option<DelayCause> {
+        Some(DelayCause::PropagateLock)
+    }
 }
 
 /// Speculative Taint Tracking: propagation is free, transmitters with
@@ -239,6 +369,9 @@ impl SpeculationPolicy for SttPolicy {
     }
     fn tracks_taint(&self) -> bool {
         true
+    }
+    fn issue_delay_cause(&self) -> Option<DelayCause> {
+        Some(DelayCause::TaintOperand)
     }
 }
 
@@ -279,6 +412,18 @@ impl SpeculationPolicy for DomPolicy {
     }
     fn protects_register_secrets(&self) -> bool {
         true
+    }
+    fn miss_delay_cause(&self) -> Option<DelayCause> {
+        Some(DelayCause::DomDelay)
+    }
+    fn propagate_delay_cause(&self) -> Option<DelayCause> {
+        Some(DelayCause::DomDelay)
+    }
+    fn reissue_delay_cause(&self) -> Option<DelayCause> {
+        Some(DelayCause::ReissueHold)
+    }
+    fn branch_delay_cause(&self) -> Option<DelayCause> {
+        Some(DelayCause::BranchOrder)
     }
 }
 
@@ -462,6 +607,88 @@ mod tests {
                 assert_eq!(spec, DemandAccessPlan::FULL, "{kind}");
             }
         }
+    }
+
+    #[test]
+    fn delay_causes_tag_exactly_the_restrictive_verdicts() {
+        use DelayCause as C;
+        // A tag is present iff the policy can take the restrictive
+        // branch of the corresponding decision.
+        for kind in SchemeKind::ALL {
+            let p = policy_for(kind);
+            assert_eq!(p.issue_delay_cause().is_some(), p.tracks_taint(), "{kind}");
+            assert_eq!(
+                p.miss_delay_cause().is_some(),
+                p.demand_access(true).l1_only,
+                "{kind}"
+            );
+            // The propagate tag covers both denial paths: a speculative
+            // conventional result held back, or a verified data-ready
+            // preload deferred by the scheme's doppelganger-visibility
+            // rule (DoM defers an L1-missing preload even though
+            // conventional propagation is unrestricted).
+            let mut missed_dgl = DoppelgangerState::predicted(0x40);
+            missed_dgl.resolve(0x40);
+            missed_dgl.on_data(false);
+            let can_deny =
+                !p.may_propagate_load(false) || !p.may_propagate_doppelganger(&missed_dgl, false);
+            assert_eq!(p.propagate_delay_cause().is_some(), can_deny, "{kind}");
+            assert_eq!(
+                p.result_lock_cause().is_some(),
+                p.delays_all_propagation(),
+                "{kind}"
+            );
+            assert_eq!(
+                p.reissue_delay_cause().is_some(),
+                !p.reissue_allowed(false),
+                "{kind}"
+            );
+            assert_eq!(
+                p.branch_delay_cause().is_some(),
+                p.resolves_branches_in_order(true),
+                "{kind}"
+            );
+        }
+        assert_eq!(
+            policy_for(SchemeKind::Stt).issue_delay_cause(),
+            Some(C::TaintOperand)
+        );
+        assert_eq!(
+            policy_for(SchemeKind::DoM).miss_delay_cause(),
+            Some(C::DomDelay)
+        );
+        assert_eq!(
+            policy_for(SchemeKind::NdaP).propagate_delay_cause(),
+            Some(C::PropagateLock)
+        );
+        assert_eq!(
+            policy_for(SchemeKind::NdaS).result_lock_cause(),
+            Some(C::ResultLock)
+        );
+        assert_eq!(
+            policy_for(SchemeKind::DoM).reissue_delay_cause(),
+            Some(C::ReissueHold)
+        );
+        assert_eq!(
+            policy_for(SchemeKind::DoM).branch_delay_cause(),
+            Some(C::BranchOrder)
+        );
+    }
+
+    #[test]
+    fn delay_cause_labels_are_stable_and_indexed() {
+        for (i, c) in DelayCause::ALL.into_iter().enumerate() {
+            assert_eq!(c.index(), i);
+            assert!(c
+                .label()
+                .chars()
+                .all(|ch| ch.is_ascii_lowercase() || ch == '_'));
+        }
+        assert!(DelayCause::TaintOperand.is_issue_side());
+        assert!(DelayCause::DomDelay.is_issue_side());
+        assert!(DelayCause::ReissueHold.is_issue_side());
+        assert!(!DelayCause::PropagateLock.is_issue_side());
+        assert!(!DelayCause::ResultLock.is_issue_side());
     }
 
     #[test]

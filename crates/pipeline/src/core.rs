@@ -3,6 +3,7 @@
 
 use crate::attribution::LoadSiteTable;
 use crate::config::CoreConfig;
+use crate::cpi::{Charge, CpiAccount, CpiComponent, CpiStack, SquashKind};
 use crate::frontend::Frontend;
 use crate::lsq::{forward_value, overlap, LoadState, Lq, LqEntry, Overlap, Sq, SqEntry};
 use crate::regfile::{PhysReg, RegFile};
@@ -13,8 +14,8 @@ use crate::soa::SlotHandle;
 use crate::stats::CoreStats;
 use crate::taint::TaintTracker;
 use dgl_core::{
-    AddressPredictor, ApStats, DemandAccessPlan, DoppelgangerState, SchemeKind, SpeculationPolicy,
-    Verification,
+    AddressPredictor, ApStats, DelayCause, DemandAccessPlan, DoppelgangerState, SchemeKind,
+    SpeculationPolicy, Verification,
 };
 use dgl_isa::{emu::effective_addr, Op, Program, Reg, SparseMemory, Src, Width};
 use dgl_mem::{
@@ -171,6 +172,13 @@ pub struct RunReport {
     /// model's [`dgl_isa::ArchEvent`] emission rules exactly, so
     /// differential testing can compare the two streams element-wise.
     pub commit_log: Option<Vec<dgl_isa::ArchEvent>>,
+    /// Exact cycle-loss accounting (CPI stack with per-scheme delay
+    /// provenance), present when [`Core::enable_cycle_accounting`] was
+    /// called. Deliberately excluded from
+    /// [`metrics`](RunReport::metrics): manifests carry it in a
+    /// dedicated versioned `cpi` section instead, so metric sets stay
+    /// comparable across runs recorded with accounting off and on.
+    pub cpi: Option<CpiStack>,
 }
 
 impl RunReport {
@@ -457,6 +465,12 @@ pub struct Core {
     /// the commit stage free of logging work. See
     /// [`enable_commit_log`](Self::enable_commit_log).
     commit_log: Option<Vec<dgl_isa::ArchEvent>>,
+    /// Cycle-loss accounting state; `None` (the default) keeps every
+    /// stage's charging hook a no-op. Write-only with respect to
+    /// simulation: nothing in the pipeline ever reads it back, so
+    /// results are byte-identical with accounting off and on (pinned by
+    /// `cpi_exact`). See [`enable_cycle_accounting`](Self::enable_cycle_accounting).
+    cpi: Option<CpiAccount>,
 }
 
 impl Core {
@@ -514,7 +528,20 @@ impl Core {
             pending_branches: Vec::new(),
             locked_results: Vec::new(),
             commit_log: None,
+            cpi: None,
         }
+    }
+
+    /// Enables exact cycle-loss accounting: every simulated cycle is
+    /// attributed at commit to exactly one cause in the fixed CPI-stack
+    /// taxonomy ([`CpiComponent`]), with scheme-induced delays broken
+    /// down per policy rule ([`dgl_core::DelayCause`]) and park
+    /// outcomes split delayed / doppelganger'd / woken / squashed.
+    /// Components sum exactly to total cycles (pinned by `cpi_exact`).
+    /// Write-only observability — simulated results are byte-identical
+    /// with accounting off and on.
+    pub fn enable_cycle_accounting(&mut self) {
+        self.cpi = Some(CpiAccount::new());
     }
 
     /// Enables or disables skip-ahead cycle elision (on by default).
@@ -809,6 +836,9 @@ impl Core {
             // window must restart with it.
             s.reset(0);
         }
+        if let Some(a) = self.cpi.as_mut() {
+            a.reset(self.cycle);
+        }
     }
 
     /// Ticks until `halt` commits, `max_cycles` elapse, or — when
@@ -916,6 +946,12 @@ impl Core {
         self.stats.commit_idle_cycles += span;
         self.cycles_since_commit += span;
         self.elided_cycles += span;
+        // The gap's state is frozen, so every elided cycle classifies
+        // exactly like the idle tick that proved the gap — replay that
+        // charge so the stack stays exact with elision on.
+        if let Some(a) = self.cpi.as_mut() {
+            a.charge_gap(span);
+        }
         self.replay_occupancy_gap(from);
     }
 
@@ -953,6 +989,8 @@ impl Core {
     /// cycles.
     fn into_report(mut self, cycle_base: u64, provenance: Provenance) -> RunReport {
         self.stats.cycles = self.cycle - cycle_base;
+        let cycle = self.cycle;
+        let cpi = self.cpi.as_mut().map(|a| a.take_stack(cycle));
         // Locally batched profiling measurements reach the shared
         // registry now, before it is snapshotted below.
         self.mem.flush_prof();
@@ -988,6 +1026,7 @@ impl Core {
             provenance,
             elided_cycles: self.elided_cycles,
             commit_log: self.commit_log,
+            cpi,
         }
     }
 
@@ -1011,6 +1050,11 @@ impl Core {
         }
         self.cycle += 1;
         self.tick_activity = false;
+        if let Some(a) = self.cpi.as_mut() {
+            // The MSHR-refusal flag describes one tick; commit-time
+            // classification reads the current tick's value only.
+            a.mshr_blocked = false;
+        }
         while let Some(&(c, addr)) = self.pending_invalidations.first() {
             if c > self.cycle {
                 break;
@@ -1168,6 +1212,171 @@ impl Core {
         }
     }
 
+    /// Cycle accounting: a policy rule just parked load `li` for
+    /// `cause`. Attribution is sticky (first rule wins) so the load's
+    /// later exposed head wait charges to the rule that first delayed
+    /// it; episode bookkeeping opens a park interval if none is open.
+    /// No-op with accounting off; never read by simulation.
+    pub(super) fn cpi_note_park(&mut self, li: usize, cause: DelayCause) {
+        if self.cpi.is_none() {
+            return;
+        }
+        if self.lq.park_rule(li).is_none() {
+            *self.lq.park_rule_mut(li) = Some(cause);
+        }
+        if self.lq.park_since(li).is_none() {
+            *self.lq.park_since_mut(li) = Some(self.cycle);
+            let rule = self.lq.park_rule(li).expect("just ensured");
+            self.cpi.as_mut().expect("checked").note_park(rule);
+        }
+    }
+
+    /// Cycle accounting: load `li`'s open park episode (if any) ended —
+    /// it issued, was woken at the visibility point, or propagated.
+    pub(super) fn cpi_note_unpark(&mut self, li: usize) {
+        if self.cpi.is_none() {
+            return;
+        }
+        if let (Some(rule), Some(since)) = (self.lq.park_rule(li), self.lq.park_since(li)) {
+            *self.lq.park_since_mut(li) = None;
+            let now = self.cycle;
+            self.cpi
+                .as_mut()
+                .expect("checked")
+                .note_park_end(rule, since, now);
+        }
+    }
+
+    /// Cycle accounting: load `li`'s value just reached dependents.
+    /// Closes any open episode and records the park outcome
+    /// (doppelganger'd / delayed / woken) under the sticky rule.
+    pub(super) fn cpi_note_outcome(&mut self, li: usize, via_doppelganger: bool) {
+        if self.cpi.is_none() {
+            return;
+        }
+        self.cpi_note_unpark(li);
+        if let Some(rule) = self.lq.park_rule(li) {
+            self.cpi
+                .as_mut()
+                .expect("checked")
+                .note_outcome(rule, via_doppelganger);
+        }
+    }
+
+    /// Cycle accounting: a squash removed LQ entry `e`. Closes its open
+    /// episode and, if it never propagated, counts it squashed under
+    /// its sticky rule.
+    pub(super) fn cpi_note_squashed_load(&mut self, e: &LqEntry) {
+        let now = self.cycle;
+        let Some(acct) = self.cpi.as_mut() else {
+            return;
+        };
+        if let Some(rule) = e.park_rule {
+            if let Some(since) = e.park_since {
+                acct.note_park_end(rule, since, now);
+            }
+            if !e.propagated {
+                acct.note_squashed_park(rule);
+            }
+        }
+    }
+
+    /// Classifies a zero-commit tick: what, exactly, kept the ROB head
+    /// (or the empty ROB) from retiring this cycle. Called only with
+    /// accounting enabled; pure observation — reads pipeline state,
+    /// mutates nothing.
+    pub(super) fn cpi_classify_idle(&self) -> Charge {
+        let acct = self.cpi.as_ref().expect("caller checked accounting on");
+        if self.rob.is_empty() {
+            // Empty ROB: either refilling after a squash (charged to the
+            // squash kind) or the front-end simply has not supplied
+            // instructions yet.
+            if let Some(c) = acct.refill_component() {
+                return Charge::Bucket(c);
+            }
+            return Charge::Bucket(if self.front.is_redirect_stalled(self.cycle) {
+                CpiComponent::FrontendRedirect
+            } else if self.front.is_blocked_on_indirect() {
+                CpiComponent::FrontendIndirect
+            } else {
+                CpiComponent::FrontendSupply
+            });
+        }
+        let seq = self.rob.seq(0);
+        if self.rob.can_commit(0) {
+            // A committable head that did not commit: the only break on
+            // that path is a full store buffer.
+            return Charge::Bucket(CpiComponent::BackendSbFull);
+        }
+        let policy = self.policy();
+        if matches!(self.rob.op(0), Op::Load { .. }) {
+            if let Some(li) = self.lq.index_of(seq) {
+                // Sticky scheme attribution: once a policy rule parked
+                // this load, its remaining exposed wait is the scheme's
+                // cost, even after the park auto-released at the
+                // (non-speculative) head.
+                if let Some(rule) = self.lq.park_rule(li) {
+                    return Charge::Bucket(CpiComponent::Scheme(rule));
+                }
+                return match self.lq.state(li) {
+                    LoadState::Issued => Charge::PendingMem(seq),
+                    LoadState::WaitIssue => Charge::Bucket(if acct.mshr_blocked {
+                        CpiComponent::BackendMshrFull
+                    } else {
+                        CpiComponent::BackendIssue
+                    }),
+                    LoadState::WaitStore(_) => Charge::Bucket(CpiComponent::BackendStoreFwd),
+                    LoadState::DelayedDoM => Charge::Bucket(CpiComponent::Scheme(
+                        policy.miss_delay_cause().unwrap_or(DelayCause::DomDelay),
+                    )),
+                    // WaitAddr: address generation pending — execution
+                    // latency. Done: value in hand, propagation /
+                    // completion latency.
+                    LoadState::WaitAddr | LoadState::Done => {
+                        if self.rob.locked(0) {
+                            Charge::Bucket(CpiComponent::Scheme(
+                                policy
+                                    .propagate_delay_cause()
+                                    .unwrap_or(DelayCause::PropagateLock),
+                            ))
+                        } else {
+                            Charge::Bucket(CpiComponent::BackendExec)
+                        }
+                    }
+                };
+            }
+            return Charge::Bucket(CpiComponent::BackendExec);
+        }
+        if matches!(self.rob.op(0), Op::Store { .. }) {
+            // Not committable (address or data still pending).
+            return Charge::Bucket(CpiComponent::BackendStore);
+        }
+        if self.rob.locked(0) {
+            // NDA-S: a non-load result locked at writeback.
+            return Charge::Bucket(CpiComponent::Scheme(
+                policy.result_lock_cause().unwrap_or(DelayCause::ResultLock),
+            ));
+        }
+        if self.rob.state(0) == ExecState::Executed
+            && self.rob.branch(0).is_some_and(|b| !b.resolved)
+        {
+            // Executed-but-unresolved branch at the head: resolution is
+            // being held by the scheme (in-order resolution or tainted
+            // operands), not by execution latency.
+            if policy.tracks_taint() && self.taint.any_tainted(self.rob.srcs(0).as_slice()) {
+                return Charge::Bucket(CpiComponent::Scheme(
+                    policy
+                        .issue_delay_cause()
+                        .unwrap_or(DelayCause::TaintOperand),
+                ));
+            }
+            if let Some(c) = policy.branch_delay_cause() {
+                return Charge::Bucket(CpiComponent::Scheme(c));
+            }
+        }
+        Charge::Bucket(CpiComponent::BackendExec)
+    }
+
     /// Recounts every sweep gate from scratch and compares against the
     /// incrementally-maintained counters. Debug builds run this each
     /// tick; a mismatch means some mutation bypassed the funnels.
@@ -1293,6 +1502,39 @@ impl PolicyView {
     /// operands (NDA-P-eager)?
     fn branch_reads_unpropagated(self) -> bool {
         self.policy.branch_reads_unpropagated()
+    }
+
+    // Cycle-accounting tags (observability only — see the
+    // `SpeculationPolicy` docs; they never influence a decision).
+
+    /// Tag for taint-gated issue delays.
+    fn issue_delay_cause(self) -> Option<DelayCause> {
+        self.policy.issue_delay_cause()
+    }
+
+    /// Tag for DoM speculative-miss delays.
+    fn miss_delay_cause(self) -> Option<DelayCause> {
+        self.policy.miss_delay_cause()
+    }
+
+    /// Tag for propagate-verdict denials.
+    fn propagate_delay_cause(self) -> Option<DelayCause> {
+        self.policy.propagate_delay_cause()
+    }
+
+    /// Tag for NDA-S writeback result locks.
+    fn result_lock_cause(self) -> Option<DelayCause> {
+        self.policy.result_lock_cause()
+    }
+
+    /// Tag for held doppelganger reissues.
+    fn reissue_delay_cause(self) -> Option<DelayCause> {
+        self.policy.reissue_delay_cause()
+    }
+
+    /// Tag for in-order branch-resolution delays.
+    fn branch_delay_cause(self) -> Option<DelayCause> {
+        self.policy.branch_delay_cause()
     }
 }
 

@@ -144,6 +144,9 @@ impl Core {
         if mispredicted {
             self.stats.branch_mispredicts += 1;
             self.front.bpred_mut().note_mispredict();
+            if let Some(a) = self.cpi.as_mut() {
+                a.note_squash(SquashKind::Branch);
+            }
             let redirect = if actual_next == usize::MAX {
                 // Poison target: starve fetch; the error surfaces if the
                 // jump commits.

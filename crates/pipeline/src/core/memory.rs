@@ -42,6 +42,11 @@ impl Core {
         *self.lq.req_mut(li) = None;
         match resp.payload {
             ResponsePayload::Data { hit_level } => {
+                if let Some(a) = self.cpi.as_mut() {
+                    // Any head wait accumulated against this access now
+                    // charges to the level that served it.
+                    a.resolve_mem(seq, hit_level);
+                }
                 if hit_level != Level::L1 {
                     *self.lq.needs_touch_mut(li) = false;
                 }
@@ -69,12 +74,19 @@ impl Core {
             }
             ResponsePayload::L1MissBlocked => {
                 self.stats.dom_delayed += 1;
+                if let Some(a) = self.cpi.as_mut() {
+                    // The refused probe only reached the L1.
+                    a.resolve_mem(seq, Level::L1);
+                }
                 if self.shadows.is_nonspeculative(seq) {
                     // Became safe while the probe was in flight: retry
                     // with full access immediately.
                     self.set_load_state(li, LoadState::WaitIssue);
                 } else {
                     self.set_load_state(li, LoadState::DelayedDoM);
+                    if let Some(c) = self.policy().miss_delay_cause() {
+                        self.cpi_note_park(li, c);
+                    }
                 }
             }
         }
@@ -163,6 +175,9 @@ impl Core {
             // be untainted before it may touch the memory hierarchy.
             if self.policy().tracks_taint() && self.taint.any_tainted(self.rob.srcs(idx).as_slice())
             {
+                if let Some(c) = self.policy().issue_delay_cause() {
+                    self.cpi_note_park(li, c);
+                }
                 continue;
             }
             // A mispredicted doppelganger's conventional load may be
@@ -171,6 +186,9 @@ impl Core {
             if self.lq.dgl(li).verification() == Verification::Mispredicted
                 && !self.policy().reissue_allowed(nonspec)
             {
+                if let Some(c) = self.policy().reissue_delay_cause() {
+                    self.cpi_note_park(li, c);
+                }
                 continue;
             }
             let plan = self.policy().demand_access(!nonspec);
@@ -187,6 +205,7 @@ impl Core {
                 Some(id) => {
                     *self.lq.req_mut(li) = Some(id);
                     self.set_load_state(li, LoadState::Issued);
+                    self.cpi_note_unpark(li);
                     *self.lq.needs_touch_mut(li) = plan.l1_only; // cleared on non-hit outcomes
                     self.req_owner.insert(id, (seq, ReqTag::Demand));
                     load_ports -= 1;
@@ -281,6 +300,11 @@ impl Core {
         }
         if drained {
             self.tick_activity = true;
+        }
+        if let Some(a) = self.cpi.as_mut() {
+            // Commit-time classification distinguishes "MSHRs refused a
+            // request this tick" from plain port contention.
+            a.mshr_blocked = mshr_blocked;
         }
         // 4. Prefetches into whatever is left.
         let mut pf_ports = self.cfg.prefetch_ports;
@@ -542,6 +566,9 @@ impl Core {
         }
         if let Some((seq, pc)) = squash_load {
             self.stats.memory_order_squashes += 1;
+            if let Some(a) = self.cpi.as_mut() {
+                a.note_squash(SquashKind::MemOrder);
+            }
             self.squash_to(seq - 1, pc, None, None);
         }
     }
@@ -654,6 +681,9 @@ impl Core {
         }
         if let Some((seq, pc)) = squash {
             self.stats.memory_order_squashes += 1;
+            if let Some(a) = self.cpi.as_mut() {
+                a.note_squash(SquashKind::MemOrder);
+            }
             self.squash_to(seq - 1, pc, None, None);
         }
     }

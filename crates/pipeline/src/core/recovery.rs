@@ -47,6 +47,7 @@ impl Core {
         while !self.lq.is_empty() && self.lq.seq(self.lq.len() - 1) > last_good {
             let e = self.lq.pop_back().expect("checked");
             self.lq_gate_pop(&e);
+            self.cpi_note_squashed_load(&e);
             if e.dgl.is_predicted() {
                 // Mispredicted doppelgangers were already accounted at
                 // verification; only live ones die *by* the squash.

@@ -77,6 +77,7 @@ impl Core {
                     }
                     LoadState::DelayedDoM if self.shadows.is_nonspeculative(seq) => {
                         self.set_load_state(li, LoadState::WaitIssue);
+                        self.cpi_note_unpark(li);
                         self.tick_activity = true;
                     }
                     LoadState::WaitStore(_) => {
@@ -154,6 +155,7 @@ impl Core {
             };
             let (_, preg, _) = self.rob.dst(idx).expect("vp loads have destinations");
             self.mark_load_propagated(li);
+            self.cpi_note_outcome(li, false);
             let lat = self.cycle.saturating_sub(self.lq.dispatch_cycle(li));
             self.load_latency.record(lat);
             self.sites.record_latency(Self::pc_addr(pc), lat);
@@ -164,6 +166,9 @@ impl Core {
             if predicted != actual {
                 self.rf.write(preg, actual);
                 self.stats.vp_squashes += 1;
+                if let Some(a) = self.cpi.as_mut() {
+                    a.note_squash(SquashKind::Value);
+                }
                 self.squash_to(seq, pc + 1, None, None);
             }
             return;
@@ -187,6 +192,7 @@ impl Core {
         let Some((_, preg, _)) = self.rob.dst(idx) else {
             // Load to r0: nothing to propagate.
             self.mark_load_propagated(li);
+            self.cpi_note_outcome(li, via_dgl);
             let lat = self.cycle.saturating_sub(self.lq.dispatch_cycle(li));
             self.load_latency.record(lat);
             let pc = self.lq.pc(li);
@@ -233,6 +239,7 @@ impl Core {
             }
             self.rf.propagate(preg);
             self.mark_load_propagated(li);
+            self.cpi_note_outcome(li, via_dgl);
             let lat = self.cycle.saturating_sub(self.lq.dispatch_cycle(li));
             self.load_latency.record(lat);
             let pc = self.lq.pc(li);
@@ -264,6 +271,11 @@ impl Core {
                     let pc = self.lq.pc(li);
                     self.emit_dgl(seq, pc, DglEvent::Deferred);
                 }
+                let cause = self
+                    .policy()
+                    .propagate_delay_cause()
+                    .unwrap_or(DelayCause::PropagateLock);
+                self.cpi_note_park(li, cause);
                 self.tick_activity = true;
             }
             *self.rob.locked_mut(idx) = true;

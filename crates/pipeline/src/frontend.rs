@@ -322,6 +322,13 @@ impl Frontend {
     pub fn is_blocked_on_indirect(&self) -> bool {
         self.blocked_on_indirect
     }
+
+    /// Whether fetch is still serving a redirect penalty at `now`
+    /// (read-only; cycle accounting uses it to classify empty-ROB
+    /// cycles).
+    pub fn is_redirect_stalled(&self, now: u64) -> bool {
+        now < self.stall_until
+    }
 }
 
 #[cfg(test)]

@@ -53,6 +53,7 @@
 pub mod attribution;
 pub mod config;
 pub mod core;
+pub mod cpi;
 pub mod frontend;
 pub mod lsq;
 pub mod regfile;
@@ -66,5 +67,6 @@ pub mod taint;
 pub use crate::core::{core_prof_registry, Core, Provenance, RunError, RunReport};
 pub use attribution::{LoadSiteStats, LoadSiteTable};
 pub use config::CoreConfig;
+pub use cpi::{CpiComponent, CpiStack, RuleProvenance, CPI_SCHEMA, CPI_VERSION};
 pub use sampler::{OccupancySample, OccupancySeries};
 pub use stats::CoreStats;

@@ -3,7 +3,7 @@
 
 use crate::shadow::Seq;
 use crate::soa::{soa_index_of, soa_ring};
-use dgl_core::DoppelgangerState;
+use dgl_core::{DelayCause, DoppelgangerState};
 use dgl_isa::Width;
 use dgl_mem::MemReqId;
 
@@ -75,6 +75,15 @@ pub struct LqEntry {
     /// repair assumes no consumer has observed the old value; once this
     /// is set, repair must squash instead of overriding.
     pub eager_consumed: bool,
+    /// Cycle accounting: the first policy rule that parked this load
+    /// (sticky — the load's later exposed head wait charges here).
+    /// Written only when accounting is enabled; never read by
+    /// simulation.
+    pub park_rule: Option<DelayCause>,
+    /// Cycle accounting: start cycle of the currently open park
+    /// episode, if one is active. Same write-only discipline as
+    /// [`Self::park_rule`].
+    pub park_since: Option<u64>,
 }
 
 impl LqEntry {
@@ -99,6 +108,8 @@ impl LqEntry {
             speculative_at_complete: false,
             dispatch_cycle: 0,
             eager_consumed: false,
+            park_rule: None,
+            park_since: None,
         }
     }
 }
@@ -164,6 +175,8 @@ soa_ring! {
         speculative_at_complete / speculative_at_complete_mut: bool,
         dispatch_cycle / dispatch_cycle_mut: u64,
         eager_consumed / eager_consumed_mut: bool,
+        park_rule / park_rule_mut: Option<DelayCause>,
+        park_since / park_since_mut: Option<u64>,
     }
 }
 

@@ -38,6 +38,7 @@ pub struct SimBuilder {
     prof: Option<Arc<ProfRegistry>>,
     elide: bool,
     commit_log: bool,
+    cycle_accounting: bool,
     spans: Option<(SpanCollector, u32)>,
     flight: Option<SharedFlightRecorder>,
 }
@@ -62,6 +63,7 @@ impl SimBuilder {
             prof: None,
             elide: true,
             commit_log: false,
+            cycle_accounting: true,
             spans: None,
             flight: None,
         }
@@ -200,6 +202,21 @@ impl SimBuilder {
         self
     }
 
+    /// Enables or disables exact cycle-loss accounting (on by default):
+    /// the core attributes every simulated cycle at commit to one cause
+    /// in the fixed CPI-stack taxonomy, with scheme delays broken down
+    /// per policy rule, reported in
+    /// [`RunReport::cpi`](dgl_pipeline::RunReport::cpi) and the
+    /// manifest `cpi` section. Write-only observability: simulated
+    /// results are byte-identical off and on (pinned by the `cpi_exact`
+    /// integration test), so turning it off is only useful for pinning
+    /// that equivalence or shaving the last accounting overhead off a
+    /// benchmark run.
+    pub fn cycle_accounting(&mut self, enabled: bool) -> &mut Self {
+        self.cycle_accounting = enabled;
+        self
+    }
+
     /// Builds the underlying [`Core`] without running it (advanced use:
     /// warming lines, issuing invalidations mid-run in tests).
     pub fn build_core(&self) -> Core {
@@ -223,6 +240,9 @@ impl SimBuilder {
         }
         if self.commit_log {
             core.enable_commit_log();
+        }
+        if self.cycle_accounting {
+            core.enable_cycle_accounting();
         }
         core.set_elision(self.elide);
         core

@@ -543,6 +543,35 @@ mod tests {
     }
 
     #[test]
+    fn cpi_section_movement_gates() {
+        let with_cpi = |commit: u64| match doc(1.5, 1000, 80.0) {
+            Json::Obj(f) => Json::Obj(f).field(
+                "cpi",
+                Json::object()
+                    .field("schema", Json::str("dgl-cpi"))
+                    .field("cycles", Json::uint(1000))
+                    .field(
+                        "components",
+                        Json::object().field("commit", Json::uint(commit)),
+                    ),
+            ),
+            _ => unreachable!(),
+        };
+        let a = with_cpi(600);
+        let b = with_cpi(590);
+        let cmp = compare(&a, &b, CompareOptions::default()).unwrap();
+        assert!(cmp.has_drift(), "cpi components are simulated-side");
+        assert!(cmp
+            .drifted()
+            .iter()
+            .any(|d| d.name == "cpi.components.commit"));
+        // Accounting on one side only is structural drift, not noise.
+        let off = doc(1.5, 1000, 80.0).field("cpi", Json::Null);
+        let cmp = compare(&a, &off, CompareOptions::default()).unwrap();
+        assert!(cmp.has_drift(), "one-sided cpi section must gate");
+    }
+
+    #[test]
     fn identity_mismatch_gates() {
         let a = doc(1.5, 1000, 80.0);
         let b = match doc(1.5, 1000, 80.0) {

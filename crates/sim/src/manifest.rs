@@ -72,9 +72,16 @@ fn report_body(doc: Json, report: &RunReport) -> Json {
         .field("ipc", Json::num(report.ipc()))
         .field("metrics", report.metrics().to_json())
         .field("load_sites", report.load_sites.to_json());
-    match &report.occupancy {
+    let doc = match &report.occupancy {
         Some(series) => doc.field("occupancy", series.to_json()),
         None => doc.field("occupancy", Json::Null),
+    };
+    // The cycle-loss stack lives in its own versioned section (not in
+    // `metrics`) so runs recorded with accounting off stay comparable;
+    // `dgl compare` still gates on it when both sides carry one.
+    match &report.cpi {
+        Some(stack) => doc.field("cpi", stack.to_json()),
+        None => doc.field("cpi", Json::Null),
     }
 }
 

@@ -136,6 +136,127 @@ impl fmt::Display for BarChart {
     }
 }
 
+/// Fill characters assigned to stacked-bar segments in legend order;
+/// charts with more segments than fills cycle through the palette.
+const STACK_FILLS: [char; 10] = ['#', '=', '+', '-', 'o', 'x', '*', '%', '@', '~'];
+
+/// A horizontal stacked ASCII bar chart: every bar is split into the
+/// same ordered set of segments, each rendered with its own fill
+/// character and named once in a legend line.
+///
+/// `dgl explain --cpi` uses this to draw per-configuration CPI stacks
+/// side by side.
+///
+/// # Examples
+///
+/// ```
+/// use dgl_stats::StackedBarChart;
+///
+/// let mut c = StackedBarChart::new("cycles", &["commit", "mem"]);
+/// c.bar("base", &[60.0, 40.0]);
+/// let s = c.to_string();
+/// assert!(s.contains("# commit"));
+/// assert!(s.contains("base"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct StackedBarChart {
+    title: String,
+    width: usize,
+    segments: Vec<String>,
+    bars: Vec<(String, Vec<f64>)>,
+}
+
+impl StackedBarChart {
+    /// Creates a chart whose bars all share the ordered `segments`.
+    pub fn new(title: &str, segments: &[&str]) -> Self {
+        Self {
+            title: title.to_owned(),
+            width: 60,
+            segments: segments.iter().map(|s| (*s).to_owned()).collect(),
+            bars: Vec::new(),
+        }
+    }
+
+    /// Sets the bar width in characters (default 60).
+    pub fn width(&mut self, width: usize) -> &mut Self {
+        self.width = width.max(1);
+        self
+    }
+
+    /// Appends a labelled bar; `values` must carry one entry per
+    /// segment, in the order given to [`StackedBarChart::new`].
+    pub fn bar(&mut self, label: &str, values: &[f64]) -> &mut Self {
+        assert_eq!(
+            values.len(),
+            self.segments.len(),
+            "bar `{label}` must have one value per segment"
+        );
+        self.bars.push((label.to_owned(), values.to_vec()));
+        self
+    }
+
+    /// Number of bars.
+    pub fn len(&self) -> usize {
+        self.bars.len()
+    }
+
+    /// Whether the chart has no bars.
+    pub fn is_empty(&self) -> bool {
+        self.bars.is_empty()
+    }
+
+    fn fill(i: usize) -> char {
+        STACK_FILLS[i % STACK_FILLS.len()]
+    }
+}
+
+impl fmt::Display for StackedBarChart {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.title)?;
+        let legend: Vec<String> = self
+            .segments
+            .iter()
+            .enumerate()
+            .map(|(i, s)| format!("{} {s}", Self::fill(i)))
+            .collect();
+        writeln!(f, "  [{}]", legend.join("  "))?;
+        // Bars share one scale so segment widths are comparable
+        // across rows.
+        let max_total = self
+            .bars
+            .iter()
+            .map(|(_, vs)| vs.iter().map(|v| v.max(0.0)).sum::<f64>())
+            .fold(0.0f64, f64::max)
+            .max(1e-12);
+        let label_w = self
+            .bars
+            .iter()
+            .map(|(l, _)| l.chars().count())
+            .max()
+            .unwrap_or(0);
+        for (label, values) in &self.bars {
+            let total: f64 = values.iter().map(|v| v.max(0.0)).sum();
+            let mut row = String::new();
+            // Cumulative rounding: each segment gets the difference of
+            // rounded prefix sums, so widths sum to the bar's own
+            // rounded length and rounding error never accumulates.
+            let mut cum = 0.0;
+            let mut drawn = 0usize;
+            for (i, v) in values.iter().enumerate() {
+                cum += v.max(0.0);
+                let upto = (cum / max_total * self.width as f64).round() as usize;
+                for _ in drawn..upto {
+                    row.push(Self::fill(i));
+                }
+                drawn = drawn.max(upto);
+            }
+            row.extend(std::iter::repeat_n(' ', self.width - drawn.min(self.width)));
+            writeln!(f, "{label:<label_w$} |{row} {total:.3}")?;
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -166,6 +287,45 @@ mod tests {
         let mut c = BarChart::new("t", 0.0);
         c.bar("x", 0.3);
         let _ = c.to_string();
+    }
+
+    #[test]
+    fn stacked_bars_share_one_scale_and_sum_widths() {
+        let mut c = StackedBarChart::new("cpi", &["commit", "mem", "scheme"]);
+        c.width(40);
+        c.bar("base", &[20.0, 20.0, 0.0]);
+        c.bar("dom", &[20.0, 20.0, 40.0]);
+        let s = c.to_string();
+        assert!(s.starts_with("cpi\n"));
+        assert!(s.contains("# commit"), "{s}");
+        assert!(s.contains("= mem"), "{s}");
+        let base = s.lines().nth(2).unwrap();
+        let dom = s.lines().nth(3).unwrap();
+        // The larger bar fills the full width; the smaller is half.
+        assert_eq!(dom.matches('+').count(), 20, "{dom}");
+        assert_eq!(base.chars().filter(|c| "#=+".contains(*c)).count(), 20);
+        assert!(base.contains("40.000") && dom.contains("80.000"));
+        assert_eq!(c.len(), 2);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn stacked_bar_tiny_segments_never_overflow_width() {
+        let mut c = StackedBarChart::new("t", &["a", "b"]);
+        c.width(10);
+        c.bar("x", &[0.0001, 0.0001]);
+        c.bar("y", &[1.0, 0.0]);
+        for line in c.to_string().lines().skip(2) {
+            let bar: String = line.chars().skip_while(|&ch| ch != '|').collect();
+            assert!(bar.len() <= 1 + 10 + 8, "{line}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one value per segment")]
+    fn stacked_bar_rejects_mismatched_values() {
+        let mut c = StackedBarChart::new("t", &["a", "b"]);
+        c.bar("x", &[1.0]);
     }
 
     #[test]

@@ -52,7 +52,7 @@ pub mod span;
 pub mod summary;
 pub mod table;
 
-pub use chart::BarChart;
+pub use chart::{BarChart, StackedBarChart};
 pub use counter::{Counter, CounterSet};
 pub use histogram::Histogram;
 pub use json::Json;

@@ -400,6 +400,53 @@ mod tests {
     }
 
     #[test]
+    fn span_export_round_trips_counts_tracks_and_time_order() {
+        // Synthetic span set: two workers, three phases each, started
+        // in wall-clock order.
+        let spans: Vec<HostSpan> = (0..6)
+            .map(|i| HostSpan {
+                name: format!("phase{}", i % 3),
+                track: (i % 2) as u32,
+                start_us: (i as u64) * 100,
+                dur_us: 40,
+                detail: format!("case {i}"),
+            })
+            .collect();
+        let json = export_with_spans(&[], &spans);
+        check_json(&json).expect("span export must be valid JSON");
+        // Exactly one complete slice per span.
+        assert_eq!(json.matches("\"cat\":\"host\"").count(), spans.len());
+        // Exactly one thread row per distinct track, named for its
+        // worker.
+        for name in ["\"worker 0\"", "\"worker 1\""] {
+            assert_eq!(json.matches(name).count(), 1, "{name}");
+        }
+        // Slices keep input order, so start timestamps are monotone
+        // non-decreasing within each track.
+        let mut per_track: std::collections::BTreeMap<u64, Vec<u64>> = Default::default();
+        for chunk in json.split('{').filter(|c| c.contains("\"cat\":\"host\"")) {
+            let field = |key: &str| -> u64 {
+                let rest = &chunk[chunk.find(key).expect(key) + key.len()..];
+                rest[..rest.find([',', '}']).expect(key)]
+                    .parse()
+                    .expect(key)
+            };
+            per_track
+                .entry(field("\"tid\":"))
+                .or_default()
+                .push(field("\"ts\":"));
+        }
+        assert_eq!(per_track.len(), 2, "one entry per worker track");
+        for (track, ts) in per_track {
+            assert_eq!(ts.len(), 3, "track {track} carries its three spans");
+            assert!(
+                ts.windows(2).all(|w| w[0] <= w[1]),
+                "track {track} timestamps must be monotone: {ts:?}"
+            );
+        }
+    }
+
+    #[test]
     fn strings_are_escaped() {
         let mut s = String::new();
         push_json_str(&mut s, "a\"b\\c\nd\u{1}");

@@ -19,6 +19,8 @@
 //!          --vp                              enable value prediction
 //!          --insts N                         instruction budget (default 25000)
 //!          --prof                            host time by pipeline stage (explain)
+//!          --cpi                             per-config cycle-loss stacks + scheme delay
+//!                                            provenance + overhead decomposition (explain)
 //!          --quick                           the default quick budget (bench)
 //!          --out FILE|DIR                    write trace to FILE / record to DIR (trace/bench)
 //!          --max-ipc-delta X                 allowed relative drift (compare, default 0)
@@ -51,7 +53,8 @@
 //!          --postmortem-dir DIR              post-mortem artifacts for failed jobs (serve;
 //!                                            falls back to --manifest-dir)
 //!          --spans                           serve: write <id>.spans.json span sidecars;
-//!                                            explain: render a spans/manifest file instead
+//!                                            explain: render a spans/manifest file, or every
+//!                                            sidecar in a manifest directory
 //!          --seed N                          fuzzing base seed (default 1)
 //!          --iters N                         fuzzing cases to run (default 200)
 //!          --corpus DIR                      save minimized reproducers to DIR (fuzz)
@@ -92,6 +95,7 @@ struct Opts {
     occupancy: u64,
     top: usize,
     prof: bool,
+    cpi: bool,
     quick: bool,
     json: bool,
     max_ipc_delta: f64,
@@ -132,6 +136,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         occupancy: 0,
         top: 10,
         prof: false,
+        cpi: false,
         quick: false,
         json: false,
         max_ipc_delta: 0.0,
@@ -209,6 +214,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             }
             "--top" => o.top = num(&mut it, a)?,
             "--prof" => o.prof = true,
+            "--cpi" => o.cpi = true,
             "--quick" => o.quick = true,
             "--json" => o.json = true,
             "--max-ipc-delta" => {
@@ -277,6 +283,19 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                 let v = it
                     .next()
                     .ok_or("--metrics-listen needs an address (host:port)")?;
+                // Validated at parse time, not bind time: a typo'd
+                // address is a usage error (exit 2), not a runtime
+                // failure after workers have spun up. Hostnames are
+                // fine — only the shape (host:port, port in u16) is
+                // checked here.
+                let well_formed = v
+                    .rsplit_once(':')
+                    .is_some_and(|(host, port)| !host.is_empty() && port.parse::<u16>().is_ok());
+                if !well_formed {
+                    return Err(format!(
+                        "bad value `{v}` for --metrics-listen (need host:port)"
+                    ));
+                }
                 o.metrics_listen = Some(v.clone());
             }
             "--metrics-interval" => {
@@ -431,6 +450,9 @@ fn cmd_explain(o: &Opts) -> Result<(), String> {
     if o.spans {
         return cmd_explain_spans(o);
     }
+    if o.cpi {
+        return cmd_explain_cpi(o);
+    }
     let name = o
         .positional
         .first()
@@ -525,11 +547,129 @@ fn cmd_explain(o: &Opts) -> Result<(), String> {
     Ok(())
 }
 
-/// `dgl explain --spans FILE`: render the span timing table for a
+/// `dgl explain --cpi <workload>`: run the paper's full 8-config
+/// matrix and render every configuration's cycle-loss stack side by
+/// side (grouped CPI stacked bars), the per-scheme delay provenance
+/// (which policy rule parked which loads for how long, and how those
+/// episodes ended), and a Figure-6-style overhead decomposition
+/// derived from the stacks.
+fn cmd_explain_cpi(o: &Opts) -> Result<(), String> {
+    use doppelganger_loads::core::DelayCause;
+    use doppelganger_loads::sim::ConfigId;
+    use doppelganger_loads::stats::StackedBarChart;
+    let name = o
+        .positional
+        .first()
+        .ok_or("explain --cpi needs a workload name")?;
+    let w = by_name(name, Scale::Custom(o.insts))
+        .ok_or_else(|| format!("unknown workload `{name}` (try `dgl suite`)"))?;
+    // Coarse display groups. Every component's dotted name falls under
+    // exactly one prefix, so the grouped bars inherit the exactness
+    // invariant: segment sums equal total cycles.
+    const GROUPS: [&str; 6] = ["commit", "frontend", "bad_spec", "mem", "backend", "scheme"];
+    let group_of = |component: &str| -> usize {
+        GROUPS
+            .iter()
+            .position(|g| component == *g || component.starts_with(&format!("{g}.")))
+            .expect("every CPI component belongs to a display group")
+    };
+    let mut runs = Vec::new();
+    for cfg in ConfigId::ALL {
+        let mut b = SimBuilder::new();
+        b.scheme(cfg.scheme()).address_prediction(cfg.ap());
+        let report = b.run_workload(&w).map_err(|e| e.to_string())?;
+        let stack = report
+            .cpi
+            .clone()
+            .ok_or("cycle accounting is off — explain --cpi needs it on")?;
+        runs.push((cfg, report.committed, stack));
+    }
+    out!("{name}: cycle-loss stacks across the 8-config matrix");
+    let mut chart = StackedBarChart::new(
+        "CPI stack by configuration (cycles per committed instruction):",
+        &GROUPS,
+    );
+    for (cfg, committed, stack) in &runs {
+        let mut groups = [0.0f64; GROUPS.len()];
+        for (component, cycles) in stack.iter() {
+            groups[group_of(component.name())] += cycles as f64;
+        }
+        let insts = (*committed).max(1) as f64;
+        for g in &mut groups {
+            *g /= insts;
+        }
+        chart.bar(&cfg.label(), &groups);
+    }
+    out!("{}", chart);
+    out!("scheme delay provenance (cycles charged to policy rules):");
+    let mut any = false;
+    for (cfg, _, stack) in &runs {
+        for cause in DelayCause::ALL {
+            let r = stack.rule(cause);
+            if r.cycles == 0 && r.parks == 0 {
+                continue;
+            }
+            any = true;
+            out!(
+                "  {:11} {:14} {:>9} cycles, {:>6} parks ({} parked cycles): \
+                 {} delayed, {} doppelgangered, {} woken, {} squashed",
+                cfg.label(),
+                cause.label(),
+                r.cycles,
+                r.parks,
+                r.park_cycles,
+                r.delayed,
+                r.doppelgangered,
+                r.woken,
+                r.squashed,
+            );
+        }
+    }
+    if !any {
+        out!("  (no scheme-attributed cycles: baseline-like configs only)");
+    }
+    out!("");
+    // Figure-6-style decomposition: execution-time overhead versus the
+    // unrestricted baseline, next to each configuration's own
+    // scheme-attributed share. Both columns are derived from the same
+    // exact stacks rather than measured separately.
+    let base_cycles = runs[0].2.total().max(1) as f64;
+    out!("overhead decomposition vs {}:", runs[0].0.label());
+    out!(
+        "  {:11} {:>12} {:>8} {:>12} {:>13} {:>13}",
+        "config",
+        "cycles",
+        "CPI",
+        "overhead",
+        "scheme cyc",
+        "scheme share"
+    );
+    for (cfg, committed, stack) in &runs {
+        let cycles = stack.total();
+        let scheme_cycles: u64 = stack
+            .iter()
+            .filter(|(c, _)| c.name().starts_with("scheme."))
+            .map(|(_, v)| v)
+            .sum();
+        out!(
+            "  {:11} {:>12} {:>8.3} {:>+11.1}% {:>13} {:>12.1}%",
+            cfg.label(),
+            cycles,
+            cycles as f64 / (*committed).max(1) as f64,
+            100.0 * (cycles as f64 / base_cycles - 1.0),
+            scheme_cycles,
+            100.0 * scheme_cycles as f64 / cycles.max(1) as f64,
+        );
+    }
+    Ok(())
+}
+
+/// `dgl explain --spans FILE|DIR`: render the span timing table for a
 /// telemetry-enabled serve job. Accepts the `<id>.spans.json` sidecar
-/// directly or the job's manifest path (the sibling sidecar is
-/// derived). With `--format chrome --out FILE`, also exports the spans
-/// as a Chrome trace for the Perfetto UI.
+/// directly, the job's manifest path (the sibling sidecar is derived),
+/// or a manifest directory (every sidecar in it is rendered). With
+/// `--format chrome --out FILE`, also exports the spans as a Chrome
+/// trace for the Perfetto UI.
 fn cmd_explain_spans(o: &Opts) -> Result<(), String> {
     use doppelganger_loads::stats::span::{render_spans, spans_from_json};
     use doppelganger_loads::stats::Json;
@@ -541,6 +681,34 @@ fn cmd_explain_spans(o: &Opts) -> Result<(), String> {
         let text = std::fs::read_to_string(p).map_err(|e| format!("{p}: {e}"))?;
         Json::parse(text.trim_end()).map_err(|e| format!("{p}: {e}"))
     };
+    if std::path::Path::new(path).is_dir() {
+        let mut sidecars: Vec<std::path::PathBuf> = std::fs::read_dir(path)
+            .map_err(|e| format!("{path}: {e}"))?
+            .filter_map(Result::ok)
+            .map(|entry| entry.path())
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.ends_with(".spans.json"))
+            })
+            .collect();
+        sidecars.sort();
+        if sidecars.is_empty() {
+            // Not an error: the directory is simply from a run without
+            // span telemetry. Say what was scanned and how to get one.
+            out!("no span sidecars (*.spans.json) found in {path}");
+            out!("  spans are recorded per job by `dgl serve --spans --manifest-dir {path}`,");
+            out!("  which writes an <id>.spans.json sidecar next to each manifest");
+            return Ok(());
+        }
+        for sidecar in &sidecars {
+            let p = sidecar.display().to_string();
+            let spans = spans_from_json(&load(&p)?).map_err(|e| format!("{p}: {e}"))?;
+            out!("{p}:");
+            out!("{}", render_spans(&spans).trim_end());
+        }
+        return Ok(());
+    }
     let spans = match spans_from_json(&load(path)?) {
         Ok(spans) => spans,
         Err(e) if !path.ends_with(".spans.json") && path.ends_with(".json") => {

@@ -394,6 +394,79 @@ fn explain_prof_prints_host_time_by_stage() {
     assert!(!String::from_utf8_lossy(&out.stdout).contains("host time by stage"));
 }
 
+/// `dgl explain --cpi` renders the per-config cycle-loss stacks, the
+/// per-scheme delay provenance, and the Figure-6-style overhead
+/// decomposition derived from them.
+#[test]
+fn explain_cpi_prints_stacks_and_decomposition() {
+    let out = dgl(&["explain", "mcf_like", "--cpi", "--insts", "3000"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("CPI stack by configuration"), "{text}");
+    for group in ["commit", "frontend", "bad_spec", "mem", "backend", "scheme"] {
+        assert!(text.contains(group), "legend group `{group}`: {text}");
+    }
+    for cfg in ["baseline", "baseline+ap", "nda-p", "stt", "dom", "dom+ap"] {
+        assert!(text.contains(cfg), "config `{cfg}` missing: {text}");
+    }
+    assert!(text.contains("scheme delay provenance"), "{text}");
+    assert!(text.contains("dom_delay"), "{text}");
+    assert!(text.contains("doppelgangered"), "{text}");
+    assert!(
+        text.contains("overhead decomposition vs baseline"),
+        "{text}"
+    );
+    assert!(text.contains("scheme share"), "{text}");
+    let out = dgl(&["explain", "--cpi"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("needs a workload"));
+}
+
+/// `dgl explain --spans DIR` scans for `*.spans.json` sidecars; a
+/// directory with none says what was scanned and how to record spans
+/// instead of failing.
+#[test]
+fn explain_spans_scans_a_manifest_directory() {
+    let dir = std::env::temp_dir().join("dgl-cli-spans-dir-test");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let out = dgl(&["explain", "--spans", dir.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "an empty directory is not an error: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("no span sidecars"), "{text}");
+    assert!(
+        text.contains(dir.to_str().unwrap()),
+        "must name the scanned directory: {text}"
+    );
+    assert!(
+        text.contains("dgl serve --spans"),
+        "must say how to record spans: {text}"
+    );
+    // Drop a sidecar in and the same invocation renders it.
+    let sidecar = dir.join("job1.spans.json");
+    std::fs::write(
+        &sidecar,
+        r#"{"schema":"dgl-spans","version":1,"spans":[
+            {"name":"simulate","track":0,"start_us":0,"dur_us":900,"depth":0,"detail":"w=hmmer"}
+        ]}"#,
+    )
+    .expect("write sidecar");
+    let out = dgl(&["explain", "--spans", dir.to_str().unwrap()]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("job1.spans.json"), "{text}");
+    assert!(text.contains("simulate"), "{text}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// `dgl bench` writes sequential schema-versioned trajectory records,
 /// and `dgl compare` finds two records of the same commit identical in
 /// every simulated metric (host metrics are report-only).
@@ -648,6 +721,9 @@ fn usage_errors_exit_2_and_name_the_value() {
         &["explain", "hmmer_like", "--top", "many"],
         &["compare", "a.json", "b.json", "--max-ipc-delta", "wat"],
         &["serve", "--workers", "several"],
+        &["serve", "--metrics-interval", "0"],
+        &["serve", "--metrics-listen", "nonsense"],
+        &["serve", "--metrics-listen", "127.0.0.1:999999"],
         &["fuzz", "--seed", "notaseed"],
         &["fuzz", "--iters", "lots"],
     ];
